@@ -1,0 +1,104 @@
+//===- bench/arsa_preconditions.cpp - Experiment E13: the Fig. 7 bridge ---===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the central argument of §4.3 (Fig. 7): Rössl's schedules
+/// violate aRSA's preconditions w.r.t. the *arrival* sequence —
+/// priority-policy compliance (a job arriving between polling and
+/// execution is overlooked) and work conservation (a job arriving
+/// mid-idle waits) — and satisfy both w.r.t. the jittered *release*
+/// sequence, whose releases stay within the release curve β_i.
+///
+/// The harness sweeps runs and counts, per configuration, violating
+/// runs under raw arrivals (expected: common) and under releases
+/// (required: none).
+///
+//===----------------------------------------------------------------------===//
+
+#include "convert/trace_to_schedule.h"
+#include "rossl/scheduler.h"
+#include "rta/compliance.h"
+#include "sim/environment.h"
+#include "sim/workload.h"
+#include "support/table.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace rprosa;
+
+int main() {
+  std::printf("=== E13: aRSA preconditions — raw arrivals vs the "
+              "release sequence (§4.3, Fig. 7) ===\n\n");
+
+  TaskSet TS;
+  TS.addTask("hi", 600 * TickNs, 3,
+             std::make_shared<PeriodicCurve>(12 * TickUs));
+  TS.addTask("mid", 1 * TickUs, 2,
+             std::make_shared<LeakyBucketCurve>(2, 30 * TickUs));
+  TS.addTask("lo", 2500 * TickNs, 1,
+             std::make_shared<PeriodicCurve>(60 * TickUs));
+  BasicActionWcets W = BasicActionWcets::typicalDeployment();
+
+  TableWriter T({"sockets", "runs", "raw WC violations",
+                 "raw compliance violations", "release WC violations",
+                 "release compliance violations"});
+  std::uint64_t RawAny = 0, RelBad = 0;
+
+  for (std::uint32_t Socks : {1u, 2u, 4u}) {
+    std::uint64_t Runs = 0, RawWc = 0, RawPc = 0, RelWc = 0, RelPc = 0;
+    for (std::uint64_t Seed = 1; Seed <= 8; ++Seed) {
+      ClientConfig C;
+      C.Tasks = TS;
+      C.NumSockets = Socks;
+      C.Wcets = W;
+      WorkloadSpec Spec;
+      Spec.NumSockets = Socks;
+      Spec.Horizon = 200 * TickUs;
+      Spec.Seed = Seed;
+      Spec.Style = Seed % 2 ? WorkloadStyle::Random
+                            : WorkloadStyle::Sparse;
+      ArrivalSequence Arr = generateWorkload(TS, Spec);
+      Environment Env(Arr);
+      CostModel Costs(W, CostModelKind::AlwaysWcet, Seed);
+      FdScheduler Sched(C, Env, Costs);
+      RunLimits Limits;
+      Limits.Horizon = 400 * TickUs;
+      ConversionResult CR =
+          convertTraceToSchedule(Sched.run(Limits), Socks);
+
+      ReleaseSequence Raw = buildReleaseSequence(CR, Arr,
+                                                 /*ZeroJitter=*/true);
+      ReleaseSequence Rel = buildReleaseSequence(CR, Arr);
+      ++Runs;
+      RawWc += !checkWorkConservation(CR, Raw).passed();
+      RawPc += !checkPolicyCompliance(CR, Raw, TS).passed();
+      RelWc += !checkWorkConservation(CR, Rel).passed();
+      RelPc += !checkPolicyCompliance(CR, Rel, TS).passed();
+    }
+    T.addRow({std::to_string(Socks), std::to_string(Runs),
+              std::to_string(RawWc), std::to_string(RawPc),
+              std::to_string(RelWc), std::to_string(RelPc)});
+    RawAny += RawWc + RawPc;
+    RelBad += RelWc + RelPc;
+  }
+
+  std::printf("%s\n", T.renderAscii().c_str());
+  std::printf("paper expectation: the raw arrival sequence exposes the "
+              "implementation/model gap (violations common); the "
+              "release sequence closes it (0 violations), enabling the "
+              "application of aRSA.\n");
+  if (RawAny == 0 || RelBad != 0) {
+    std::printf("E13 FAILED (raw violations=%llu, release "
+                "violations=%llu)\n",
+                (unsigned long long)RawAny, (unsigned long long)RelBad);
+    return 1;
+  }
+  std::printf("E13 reproduced: raw violations=%llu, release "
+              "violations=0.\n",
+              (unsigned long long)RawAny);
+  return 0;
+}

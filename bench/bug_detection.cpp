@@ -1,0 +1,125 @@
+//===- bench/bug_detection.cpp - Experiment E15: catching buggy code ------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §1.1 motivation made executable: real systems were
+/// refuted by *implementation* bugs (Deos's overhead accounting; the
+/// ROS2 executor's wait-set construction starving tasks). Here, six
+/// deliberately buggy scheduler variants run the same workloads as the
+/// correct Rössl, and the table shows which checker — the executable
+/// counterpart of the corresponding RefinedC-proved invariant — catches
+/// each bug. The correct scheduler must pass everything; every bug must
+/// be caught by at least one checker.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rossl/faulty.h"
+#include "sim/workload.h"
+#include "support/table.h"
+#include "trace/consistency.h"
+#include "trace/functional.h"
+#include "trace/marker_specs.h"
+#include "trace/protocol.h"
+#include "trace/wcet_check.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace rprosa;
+
+namespace {
+
+struct CheckOutcome {
+  bool Protocol = true;
+  bool Functional = true;
+  bool Specs = true;
+  bool Consistency = true;
+  bool Wcet = true;
+
+  bool anyFailed() const {
+    return !Protocol || !Functional || !Specs || !Consistency || !Wcet;
+  }
+};
+
+CheckOutcome runChecks(const TimedTrace &TT, const ClientConfig &C,
+                       const ArrivalSequence &Arr) {
+  CheckOutcome O;
+  O.Protocol = checkProtocol(TT.Tr, C.NumSockets).passed();
+  O.Functional = checkFunctionalCorrectness(TT.Tr, C.Tasks).passed();
+  O.Specs = checkMarkerSpecs(TT.Tr, C.Tasks).passed();
+  O.Consistency = checkConsistency(TT, Arr).passed();
+  O.Wcet = checkWcetRespected(TT, C.Tasks, C.Wcets).passed();
+  return O;
+}
+
+const char *mark(bool Passed) { return Passed ? "pass" : "CAUGHT"; }
+
+} // namespace
+
+int main() {
+  std::printf("=== E15: implementation bugs vs the trace checkers "
+              "(§1.1) ===\n\n");
+
+  ClientConfig C;
+  C.Tasks.addTask("hi", 600 * TickNs, 2,
+                  std::make_shared<PeriodicCurve>(10 * TickUs));
+  C.Tasks.addTask("lo", 1500 * TickNs, 1,
+                  std::make_shared<LeakyBucketCurve>(2, 25 * TickUs));
+  C.NumSockets = 3;
+  C.Wcets = BasicActionWcets::typicalDeployment();
+
+  WorkloadSpec Spec;
+  Spec.NumSockets = 3;
+  Spec.Horizon = 200 * TickUs;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+  RunLimits Limits;
+  Limits.Horizon = 400 * TickUs;
+
+  TableWriter T({"scheduler", "protocol", "functional (Def 3.2)",
+                 "specs (§3.1)", "consistency (Def 2.1)", "WCET (§2.3)",
+                 "verdict"});
+
+  // The correct implementation first.
+  bool Ok = true;
+  {
+    Environment Env(Arr);
+    CostModel Costs(C.Wcets, CostModelKind::AlwaysWcet, 1);
+    FdScheduler Sched(C, Env, Costs);
+    CheckOutcome O = runChecks(Sched.run(Limits), C, Arr);
+    T.addRow({"correct Rössl", mark(O.Protocol), mark(O.Functional),
+              mark(O.Specs), mark(O.Consistency), mark(O.Wcet),
+              O.anyFailed() ? "FALSE ALARM" : "clean"});
+    Ok &= !O.anyFailed();
+  }
+
+  for (SchedulerBug Bug :
+       {SchedulerBug::EarlyPollingExit, SchedulerBug::PriorityInversion,
+        SchedulerBug::SkipCompletionMarker, SchedulerBug::DoubleDispatch,
+        SchedulerBug::IgnoreLastSocket, SchedulerBug::OversleepIdling}) {
+    Environment Env(Arr);
+    CostModel Costs(C.Wcets, CostModelKind::AlwaysWcet, 1);
+    FaultyScheduler Sched(C, Env, Costs, Bug);
+    CheckOutcome O = runChecks(Sched.run(Limits), C, Arr);
+    bool Caught = O.anyFailed();
+    T.addRow({toString(Bug), mark(O.Protocol), mark(O.Functional),
+              mark(O.Specs), mark(O.Consistency), mark(O.Wcet),
+              Caught ? "caught" : "ESCAPED"});
+    Ok &= Caught;
+  }
+
+  std::printf("%s\n", T.renderAscii().c_str());
+  std::printf("paper analogue: the RefinedC-proved invariants exclude "
+              "exactly these bug classes; a variant that escaped every "
+              "checker would make the verification vacuous.\n");
+  if (!Ok) {
+    std::printf("E15 FAILED\n");
+    return 1;
+  }
+  std::printf("E15 reproduced: the correct scheduler is clean and every "
+              "bug is caught.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+//===- bench/effort_table.cpp - Experiment E9: the §5 effort table --------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §5 reports the proof effort per component (RefinedC
+/// extension 2,150 LoC; Rössl C code 300; specs 615; RefinedC proofs
+/// 4,300; trace→timed-trace transformation 12,350; →schedule 11,700;
+/// RTA 4,000). The executable analogue reports, per component of this
+/// reproduction:
+///
+///  - the source inventory (files, lines of code), and
+///  - the *checking effort*: how many elementary checks each layer
+///    performs on a standard adequacy run (the runtime counterpart of
+///    discharged proof obligations).
+///
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/pipeline.h"
+#include "sim/workload.h"
+#include "support/table.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+
+using namespace rprosa;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Counts non-empty lines of the C++ sources under Dir.
+std::pair<std::uint64_t, std::uint64_t> countLoc(const fs::path &Dir) {
+  std::uint64_t Files = 0, Lines = 0;
+  if (!fs::exists(Dir))
+    return {0, 0};
+  for (const auto &Entry : fs::recursive_directory_iterator(Dir)) {
+    if (!Entry.is_regular_file())
+      continue;
+    fs::path P = Entry.path();
+    if (P.extension() != ".h" && P.extension() != ".cpp")
+      continue;
+    ++Files;
+    std::ifstream In(P);
+    std::string Line;
+    while (std::getline(In, Line)) {
+      bool Blank = true;
+      for (char C : Line)
+        if (!isspace(static_cast<unsigned char>(C)))
+          Blank = false;
+      if (!Blank)
+        ++Lines;
+    }
+  }
+  return {Files, Lines};
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== E9: implementation + checking effort (the analogue "
+              "of the paper's §5 table) ===\n\n");
+
+  fs::path Root = RPROSA_SOURCE_DIR;
+  struct Component {
+    const char *Dir;
+    const char *PaperCounterpart;
+  };
+  std::vector<Component> Components = {
+      {"src/support", "(infrastructure)"},
+      {"src/core", "abstract model: tasks/curves/schedules"},
+      {"src/trace", "RefinedC trace extension + invariants (a,c,d)"},
+      {"src/sim", "simulation substrate (clock/sockets/costs)"},
+      {"src/caesium", "Caesium instrumented semantics, Fig. 6 (a)"},
+      {"src/rossl", "the Rössl C code (b)"},
+      {"src/convert", "trace->schedule transformation (e,f)"},
+      {"src/rta", "SBF + aRSA instantiation, the RTA (g)"},
+      {"src/adequacy", "Thm. 5.1 adequacy glue"},
+      {"src/baseline", "ProKOS-style tick baseline (§6)"},
+      {"tests", "(test suite)"},
+      {"bench", "(experiment harnesses)"},
+      {"examples", "(examples)"},
+  };
+
+  TableWriter T({"component", "paper counterpart", "files", "LoC"});
+  std::uint64_t TotalFiles = 0, TotalLines = 0;
+  for (const Component &C : Components) {
+    auto [Files, Lines] = countLoc(Root / C.Dir);
+    T.addRow({C.Dir, C.PaperCounterpart, std::to_string(Files),
+              formatWithCommas(Lines)});
+    TotalFiles += Files;
+    TotalLines += Lines;
+  }
+  T.addRow({"total", "", std::to_string(TotalFiles),
+            formatWithCommas(TotalLines)});
+  std::printf("%s\n", T.renderAscii().c_str());
+  std::printf("paper totals for comparison: 2,150 + 300 + 615 + 4,300 + "
+              "12,350 + 11,700 + 4,000 = 35,415 LoC of Rocq/C.\n\n");
+
+  // Checking effort on a standard run.
+  AdequacySpec Spec;
+  Spec.Client.Tasks.addTask("hi", 600 * TickNs, 2,
+                            std::make_shared<PeriodicCurve>(15 * TickUs));
+  Spec.Client.Tasks.addTask("lo", 1800 * TickNs, 1,
+                            std::make_shared<PeriodicCurve>(50 * TickUs));
+  Spec.Client.NumSockets = 2;
+  Spec.Client.Wcets = BasicActionWcets::typicalDeployment();
+  WorkloadSpec WSpec;
+  WSpec.NumSockets = 2;
+  WSpec.Horizon = 500 * TickUs;
+  WSpec.Style = WorkloadStyle::GreedyDense;
+  Spec.Arr = generateWorkload(Spec.Client.Tasks, WSpec);
+  Spec.Limits.Horizon = 1 * TickMs;
+  AdequacyReport Rep = runAdequacy(Spec);
+
+  TableWriter T2({"checking layer", "elementary checks"});
+  T2.addRow({"client/static side conditions",
+             formatWithCommas(Rep.StaticOk.checksPerformed())});
+  T2.addRow({"arrival-curve compliance (Eq. 2)",
+             formatWithCommas(Rep.ArrivalOk.checksPerformed())});
+  T2.addRow({"timestamp sanity",
+             formatWithCommas(Rep.TimestampsOk.checksPerformed())});
+  T2.addRow({"scheduler protocol (Def. 3.1)",
+             formatWithCommas(Rep.ProtocolOk.checksPerformed())});
+  T2.addRow({"functional correctness (Def. 3.2)",
+             formatWithCommas(Rep.FunctionalOk.checksPerformed())});
+  T2.addRow({"consistency (Def. 2.1)",
+             formatWithCommas(Rep.ConsistencyOk.checksPerformed())});
+  T2.addRow({"WCET respect (§2.3)",
+             formatWithCommas(Rep.WcetOk.checksPerformed())});
+  T2.addRow({"schedule structure",
+             formatWithCommas(Rep.ScheduleOk.checksPerformed())});
+  T2.addRow({"validity (a)-(e) (§2.4)",
+             formatWithCommas(Rep.ValidityOk.checksPerformed())});
+  T2.addRow({"Thm. 5.1 per-job verdicts",
+             formatWithCommas(Rep.Jobs.size())});
+  std::printf("checking effort on a 1ms standard run (%zu markers):\n%s\n",
+              Rep.TT.size(), T2.renderAscii().c_str());
+  std::printf("run verdict: %s\n",
+              Rep.theoremHolds() ? "theorem 5.1 holds" : "FAILED");
+  return Rep.theoremHolds() ? 0 : 1;
+}

@@ -1,0 +1,214 @@
+//===- bench/micro.cpp - Experiment E10: pipeline microbenchmarks ---------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks for every stage of the pipeline:
+/// simulation (markers/second), the trace checkers, the conversion, SBF
+/// evaluation and the RTA solver as the task count grows. These document
+/// that the executable verification scales to long traces.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/pipeline.h"
+#include "convert/trace_to_schedule.h"
+#include "rossl/scheduler.h"
+#include "rta/jitter.h"
+#include "rta/rta_npfp.h"
+#include "rta/sbf.h"
+#include "sim/environment.h"
+#include "sim/workload.h"
+#include "trace/consistency.h"
+#include "trace/online_monitor.h"
+#include "trace/serialize.h"
+#include "trace/functional.h"
+#include "trace/protocol.h"
+#include "trace/wcet_check.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+using namespace rprosa;
+
+namespace {
+
+struct Fixture {
+  ClientConfig Client;
+  ArrivalSequence Arr{2};
+  TimedTrace TT;
+
+  explicit Fixture(Time Horizon = 500 * TickUs) {
+    Client.Tasks.addTask("hi", 600 * TickNs, 2,
+                         std::make_shared<PeriodicCurve>(15 * TickUs));
+    Client.Tasks.addTask("lo", 1800 * TickNs, 1,
+                         std::make_shared<PeriodicCurve>(50 * TickUs));
+    Client.NumSockets = 2;
+    Client.Wcets = BasicActionWcets::typicalDeployment();
+    WorkloadSpec Spec;
+    Spec.NumSockets = 2;
+    Spec.Horizon = Horizon;
+    Spec.Style = WorkloadStyle::GreedyDense;
+    Arr = generateWorkload(Client.Tasks, Spec);
+    Environment Env(Arr);
+    CostModel Costs(Client.Wcets, CostModelKind::AlwaysWcet, 1);
+    FdScheduler Sched(Client, Env, Costs);
+    RunLimits Limits;
+    Limits.Horizon = Horizon * 2;
+    TT = Sched.run(Limits);
+  }
+};
+
+const Fixture &sharedFixture() {
+  static Fixture F;
+  return F;
+}
+
+void BM_SimulateRun(benchmark::State &State) {
+  const Fixture &F = sharedFixture();
+  for (auto _ : State) {
+    Environment Env(F.Arr);
+    CostModel Costs(F.Client.Wcets, CostModelKind::AlwaysWcet, 1);
+    FdScheduler Sched(F.Client, Env, Costs);
+    RunLimits Limits;
+    Limits.Horizon = 1 * TickMs;
+    TimedTrace TT = Sched.run(Limits);
+    benchmark::DoNotOptimize(TT.Tr.size());
+    State.counters["markers/s"] = benchmark::Counter(
+        double(TT.size()), benchmark::Counter::kIsIterationInvariantRate);
+  }
+}
+BENCHMARK(BM_SimulateRun)->Unit(benchmark::kMillisecond);
+
+void BM_CheckProtocol(benchmark::State &State) {
+  const Fixture &F = sharedFixture();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(checkProtocol(F.TT.Tr, 2).passed());
+  State.counters["markers/s"] = benchmark::Counter(
+      double(F.TT.size()), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_CheckProtocol)->Unit(benchmark::kMicrosecond);
+
+void BM_CheckFunctional(benchmark::State &State) {
+  const Fixture &F = sharedFixture();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        checkFunctionalCorrectness(F.TT.Tr, F.Client.Tasks).passed());
+}
+BENCHMARK(BM_CheckFunctional)->Unit(benchmark::kMicrosecond);
+
+void BM_CheckConsistency(benchmark::State &State) {
+  const Fixture &F = sharedFixture();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(checkConsistency(F.TT, F.Arr).passed());
+}
+BENCHMARK(BM_CheckConsistency)->Unit(benchmark::kMicrosecond);
+
+void BM_CheckWcet(benchmark::State &State) {
+  const Fixture &F = sharedFixture();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        checkWcetRespected(F.TT, F.Client.Tasks, F.Client.Wcets).passed());
+}
+BENCHMARK(BM_CheckWcet)->Unit(benchmark::kMicrosecond);
+
+void BM_ConvertTraceToSchedule(benchmark::State &State) {
+  const Fixture &F = sharedFixture();
+  for (auto _ : State) {
+    ConversionResult CR = convertTraceToSchedule(F.TT, 2);
+    benchmark::DoNotOptimize(CR.Sched.length());
+  }
+}
+BENCHMARK(BM_ConvertTraceToSchedule)->Unit(benchmark::kMicrosecond);
+
+void BM_SbfEval(benchmark::State &State) {
+  const Fixture &F = sharedFixture();
+  OverheadBounds B = OverheadBounds::compute(F.Client.Wcets, 2);
+  Duration J = maxReleaseJitter(B);
+  std::vector<ArrivalCurvePtr> Beta;
+  for (const Task &T : F.Client.Tasks.tasks())
+    Beta.push_back(makeReleaseCurve(T.Curve, J));
+  RosslSupply Supply(Beta, B, 100 * TickSec);
+  Duration Delta = 1;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Supply.supplyBound(Delta));
+    Delta = Delta * 2 % (100 * TickMs) + 1;
+  }
+}
+BENCHMARK(BM_SbfEval);
+
+void BM_RtaSolve(benchmark::State &State) {
+  // Task-set size sweep: priorities descend, periods spread out.
+  std::int64_t N = State.range(0);
+  TaskSet TS;
+  for (std::int64_t I = 0; I < N; ++I)
+    TS.addTask("t" + std::to_string(I), (400 + 100 * I) * TickNs,
+               static_cast<Priority>(N - I),
+               std::make_shared<PeriodicCurve>((20 + 10 * I) * TickUs));
+  BasicActionWcets W = BasicActionWcets::typicalDeployment();
+  for (auto _ : State) {
+    RtaResult R = analyzeNpfp(TS, W, 2);
+    benchmark::DoNotOptimize(R.allBounded());
+  }
+}
+BENCHMARK(BM_RtaSolve)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullAdequacyPipeline(benchmark::State &State) {
+  const Fixture &F = sharedFixture();
+  for (auto _ : State) {
+    AdequacySpec Spec;
+    Spec.Client = F.Client;
+    Spec.Arr = F.Arr;
+    Spec.Limits.Horizon = 1 * TickMs;
+    AdequacyReport Rep = runAdequacy(Spec);
+    benchmark::DoNotOptimize(Rep.theoremHolds());
+  }
+}
+BENCHMARK(BM_FullAdequacyPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_WorkloadGeneration(benchmark::State &State) {
+  const Fixture &F = sharedFixture();
+  for (auto _ : State) {
+    WorkloadSpec Spec;
+    Spec.NumSockets = 2;
+    Spec.Horizon = 500 * TickUs;
+    Spec.Style = WorkloadStyle::Random;
+    ArrivalSequence Arr = generateWorkload(F.Client.Tasks, Spec);
+    benchmark::DoNotOptimize(Arr.size());
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+namespace {
+
+void BM_SerializeRoundTrip(benchmark::State &State) {
+  const Fixture &F = sharedFixture();
+  std::string Text = serializeTimedTrace(F.TT);
+  for (auto _ : State) {
+    std::optional<TimedTrace> TT = parseTimedTrace(Text);
+    benchmark::DoNotOptimize(TT->size());
+  }
+  State.counters["bytes"] = double(Text.size());
+}
+BENCHMARK(BM_SerializeRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_OnlineMonitor(benchmark::State &State) {
+  const Fixture &F = sharedFixture();
+  for (auto _ : State) {
+    OnlineMonitor M(F.Client.Tasks, F.Client.Wcets, 2);
+    for (std::size_t I = 0; I < F.TT.size(); ++I)
+      M.observe(F.TT.Tr[I], F.TT.Ts[I]);
+    M.finish(F.TT.EndTime);
+    benchmark::DoNotOptimize(M.clean());
+  }
+  State.counters["markers/s"] = benchmark::Counter(
+      double(F.TT.size()), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_OnlineMonitor)->Unit(benchmark::kMicrosecond);
+
+} // namespace

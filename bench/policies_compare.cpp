@@ -1,0 +1,90 @@
+//===- bench/policies_compare.cpp - Experiment E11: the policy family -----===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The policy extension experiment (related work, §6: ProKOS verifies
+/// FP *and* EDF; Prosa ships a verified FIFO RTA): the same interrupt-
+/// free scheduler skeleton with NPFP / NP-EDF / NP-FIFO selection rules,
+/// each verified end to end by its own analysis on the same workload.
+///
+/// Expected shape: NPFP protects its highest-priority task best; EDF
+/// protects the tightest deadline; FIFO treats everyone alike (uniform
+/// bounds). All three must satisfy their Thm. 5.1 analogue.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/pipeline.h"
+#include "adequacy/report.h"
+#include "sim/workload.h"
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+using namespace rprosa;
+
+int main() {
+  std::printf("=== E11: NPFP vs NP-EDF vs NP-FIFO on the same workload "
+              "===\n\n");
+
+  TaskSet TS;
+  // "urgent": highest priority AND tight deadline; "bulk": low priority,
+  // loose deadline, big WCET; "mid": in between — the three policies
+  // produce visibly different orderings.
+  TS.addTask("urgent", 500 * TickNs, 3,
+             std::make_shared<PeriodicCurve>(20 * TickUs),
+             /*Deadline=*/5 * TickUs);
+  TS.addTask("mid", 1200 * TickNs, 2,
+             std::make_shared<PeriodicCurve>(40 * TickUs),
+             /*Deadline=*/25 * TickUs);
+  TS.addTask("bulk", 3 * TickUs, 1,
+             std::make_shared<PeriodicCurve>(80 * TickUs),
+             /*Deadline=*/80 * TickUs);
+
+  WorkloadSpec Spec;
+  Spec.NumSockets = 2;
+  Spec.Horizon = 400 * TickUs;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  ArrivalSequence Arr = generateWorkload(TS, Spec);
+
+  TableWriter T({"policy", "task", "bound", "worst observed",
+                 "violations", "theorem"});
+  bool AllHold = true;
+  for (SchedPolicy P :
+       {SchedPolicy::Npfp, SchedPolicy::Edf, SchedPolicy::Fifo}) {
+    AdequacySpec ASpec;
+    ASpec.Client.Tasks = TS;
+    ASpec.Client.NumSockets = 2;
+    ASpec.Client.Wcets = BasicActionWcets::typicalDeployment();
+    ASpec.Client.Policy = P;
+    ASpec.Arr = Arr;
+    ASpec.Limits.Horizon = 2 * TickMs;
+    AdequacyReport Rep = runAdequacy(ASpec);
+    bool Holds = Rep.assumptionsHold() && Rep.invariantsHold() &&
+                 Rep.conclusionHolds();
+    AllHold &= Holds;
+
+    for (const TaskStats &S : aggregatePerTask(Rep, TS))
+      T.addRow({toString(P), TS.task(S.Task).Name,
+                S.Bound == TimeInfinity ? "unbounded"
+                                        : formatTicksAsNs(S.Bound),
+                formatTicksAsNs(S.MaxResponse),
+                std::to_string(S.Violations),
+                Holds ? "holds" : "VIOLATED"});
+  }
+  std::printf("%s\n", T.renderAscii().c_str());
+  std::printf("expected shape: NPFP gives 'urgent' the smallest bound; "
+              "EDF honors the tight deadline; FIFO's bounds are the "
+              "most uniform across tasks. Every policy's theorem must "
+              "hold on its own run.\n");
+  if (!AllHold) {
+    std::printf("E11 FAILED\n");
+    return 1;
+  }
+  std::printf("E11 reproduced.\n");
+  return 0;
+}

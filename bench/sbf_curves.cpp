@@ -1,0 +1,125 @@
+//===- bench/sbf_curves.cpp - Experiment E4: SBF and blackout bounds ------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces §4.4 / Def. 2.2: the supply bound function SBF(Δ) and the
+/// blackout bound it is built from. For a growing window length Δ the
+/// harness prints the analytical TRB(Δ), NRB(Δ), BlackoutBound(Δ) and
+/// SBF(Δ) next to the *measured* worst blackout and least supply over
+/// all busy-window-anchored windows of length Δ in a dense simulated
+/// run. Soundness requires measured blackout ≤ bound and measured
+/// supply ≥ SBF at every Δ; additionally every discrete PollingOvh
+/// instance must respect PB (Def. 2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "convert/trace_to_schedule.h"
+#include "rossl/scheduler.h"
+#include "rta/jitter.h"
+#include "rta/sbf.h"
+#include "sim/environment.h"
+#include "sim/workload.h"
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+using namespace rprosa;
+
+int main() {
+  std::printf("=== E4: supply bound function and blackout bounds (§4.4, "
+              "Def. 2.2) ===\n\n");
+
+  ClientConfig Client;
+  Client.Tasks.addTask("hi", 500 * TickNs, 2,
+                       std::make_shared<PeriodicCurve>(10 * TickUs));
+  Client.Tasks.addTask("lo", 1500 * TickNs, 1,
+                       std::make_shared<LeakyBucketCurve>(2, 30 * TickUs));
+  Client.NumSockets = 2;
+  Client.Wcets = BasicActionWcets::typicalDeployment();
+
+  WorkloadSpec Spec;
+  Spec.NumSockets = 2;
+  Spec.Horizon = 300 * TickUs;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  ArrivalSequence Arr = generateWorkload(Client.Tasks, Spec);
+
+  Environment Env(Arr);
+  CostModel Costs(Client.Wcets, CostModelKind::AlwaysWcet, 1);
+  FdScheduler Sched(Client, Env, Costs);
+  RunLimits Limits;
+  Limits.Horizon = 400 * TickUs;
+  TimedTrace TT = Sched.run(Limits);
+  ConversionResult CR = convertTraceToSchedule(TT, 2);
+
+  OverheadBounds B = OverheadBounds::compute(Client.Wcets, 2);
+  Duration J = maxReleaseJitter(B);
+  std::vector<ArrivalCurvePtr> Beta;
+  for (const Task &T : Client.Tasks.tasks())
+    Beta.push_back(makeReleaseCurve(T.Curve, J));
+  RosslSupply Supply(Beta, B, 100 * TickSec);
+
+  std::vector<Time> Anchors = CR.Sched.busyWindowAnchors();
+  const auto &Segs = CR.Sched.segments();
+  std::printf("run: %zu markers, %zu jobs, %zu busy-window anchors\n\n",
+              TT.size(), CR.Jobs.size(), Anchors.size());
+
+  TableWriter T({"Delta", "TRB", "NRB", "BlackoutBound", "measured max "
+                 "blackout", "SBF", "measured min supply", "sound"});
+  bool AllSound = true;
+  for (Duration Delta :
+       {1 * TickUs, 2 * TickUs, 5 * TickUs, 10 * TickUs, 20 * TickUs,
+        50 * TickUs, 100 * TickUs, 200 * TickUs}) {
+    Duration MaxBlackout = 0;
+    Duration MinSupply = TimeInfinity;
+    for (Time A : Anchors) {
+      if (A + Delta > CR.Sched.endTime())
+        continue;
+      MaxBlackout = std::max(MaxBlackout,
+                             CR.Sched.blackoutIn(A, A + Delta));
+      MinSupply = std::min(MinSupply, CR.Sched.supplyIn(A, A + Delta));
+    }
+    if (MinSupply == TimeInfinity)
+      continue; // No anchor fits this window.
+    Duration Bound = Supply.blackoutBound(Delta);
+    Duration Sbf = Supply.supplyBound(Delta);
+    bool Sound = MaxBlackout <= Bound && MinSupply >= Sbf;
+    AllSound &= Sound;
+    T.addRow({formatTicksAsNs(Delta), formatTicksAsNs(Supply.trb(Delta)),
+              formatTicksAsNs(Supply.nrb(Delta)), formatTicksAsNs(Bound),
+              formatTicksAsNs(MaxBlackout), formatTicksAsNs(Sbf),
+              formatTicksAsNs(MinSupply), Sound ? "yes" : "NO"});
+  }
+  std::printf("%s\n", T.renderAscii().c_str());
+
+  // Def. 2.2: each discrete PollingOvh instance within PB.
+  Duration MaxPolling = 0;
+  std::uint64_t PollingInstances = 0;
+  for (const ScheduleSegment &S : Segs) {
+    if (S.State.Kind != ProcStateKind::PollingOvh)
+      continue;
+    ++PollingInstances;
+    MaxPolling = std::max(MaxPolling, S.Len);
+  }
+  std::printf("Def. 2.2: %llu PollingOvh instances, longest %s, bound "
+              "PB = %s: %s\n",
+              (unsigned long long)PollingInstances,
+              formatTicksAsNs(MaxPolling).c_str(),
+              formatTicksAsNs(B.PB).c_str(),
+              MaxPolling <= B.PB ? "respected" : "VIOLATED");
+  AllSound &= MaxPolling <= B.PB;
+
+  std::printf("\npaper expectation: BlackoutBound/SBF are sound (proved "
+              "in Rocq); measured blackout stays below the bound at "
+              "every Delta.\n");
+  if (!AllSound) {
+    std::printf("E4 FAILED\n");
+    return 1;
+  }
+  std::printf("E4 reproduced.\n");
+  return 0;
+}

@@ -1,0 +1,178 @@
+//===- bench/thm51_soundness.cpp - Experiment E3: Theorem 5.1 -------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The headline reproduction: Theorem 5.1 (timing correctness) states
+/// that for every job of task τ_i whose deadline t_arr + R_i + J_i lies
+/// within the horizon, the M_Completion marker appears by that deadline.
+/// The paper proves this in Rocq; this harness validates it empirically
+/// across a randomized sweep of systems (socket counts × workload
+/// styles × cost models × seeds) and reports, per configuration:
+///
+///   jobs checked, violations (must be 0), and the tightness of the
+///   bound (max observed response / bound, closer to 1 = tighter).
+///
+/// Exit code 1 on any violation or failed assumption/invariant check.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/pipeline.h"
+#include "adequacy/report.h"
+#include "sim/workload.h"
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+using namespace rprosa;
+
+namespace {
+
+TaskSet makeTasks(std::uint64_t Variant) {
+  TaskSet TS;
+  switch (Variant % 3) {
+  case 0:
+    TS.addTask("ctrl", 600 * TickNs, 3,
+               std::make_shared<PeriodicCurve>(15 * TickUs),
+               /*Deadline=*/15 * TickUs);
+    TS.addTask("sense", 400 * TickNs, 2,
+               std::make_shared<LeakyBucketCurve>(3, 25 * TickUs),
+               /*Deadline=*/40 * TickUs);
+    TS.addTask("log", 1200 * TickNs, 1,
+               std::make_shared<PeriodicCurve>(60 * TickUs),
+               /*Deadline=*/90 * TickUs);
+    break;
+  case 1:
+    TS.addTask("hi", 300 * TickNs, 2,
+               std::make_shared<PeriodicCurve>(8 * TickUs),
+               /*Deadline=*/10 * TickUs);
+    TS.addTask("lo", 2000 * TickNs, 1,
+               std::make_shared<PeriodicCurve>(40 * TickUs),
+               /*Deadline=*/60 * TickUs);
+    break;
+  case 2:
+    TS.addTask("a", 500 * TickNs, 4,
+               std::make_shared<PeriodicCurve>(20 * TickUs),
+               /*Deadline=*/20 * TickUs);
+    TS.addTask("b", 500 * TickNs, 3,
+               std::make_shared<PeriodicCurve>(20 * TickUs),
+               /*Deadline=*/30 * TickUs);
+    TS.addTask("c", 900 * TickNs, 2,
+               std::make_shared<LeakyBucketCurve>(2, 60 * TickUs),
+               /*Deadline=*/80 * TickUs);
+    TS.addTask("d", 1500 * TickNs, 1,
+               std::make_shared<PeriodicCurve>(120 * TickUs),
+               /*Deadline=*/150 * TickUs);
+    break;
+  }
+  return TS;
+}
+
+const char *styleName(WorkloadStyle S) {
+  switch (S) {
+  case WorkloadStyle::Random:
+    return "random";
+  case WorkloadStyle::GreedyDense:
+    return "dense";
+  case WorkloadStyle::Sparse:
+    return "sparse";
+  }
+  return "?";
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== E3: empirical validation of Theorem 5.1 (timing "
+              "correctness) ===\n\n");
+
+  TableWriter T({"policy", "tasks", "sockets", "style", "cost", "jobs",
+                 "in-horizon", "violations", "worst obs/bound", "checks"});
+
+  std::uint64_t TotalJobs = 0, TotalInHorizon = 0, TotalViolations = 0;
+  std::uint64_t TotalChecks = 0;
+  bool AllSound = true;
+
+  std::uint64_t Variant = 0;
+  for (SchedPolicy Policy :
+       {SchedPolicy::Npfp, SchedPolicy::Edf, SchedPolicy::Fifo}) {
+  for (std::uint32_t Socks : {1u, 2u, 4u}) {
+    for (WorkloadStyle Style :
+         {WorkloadStyle::Random, WorkloadStyle::GreedyDense}) {
+      for (CostModelKind Cost :
+           {CostModelKind::AlwaysWcet, CostModelKind::Uniform}) {
+        if (Policy != SchedPolicy::Npfp &&
+            (Cost == CostModelKind::Uniform ||
+             Style == WorkloadStyle::Random))
+          continue; // The extension policies sweep the dense/WCET grid.
+        ++Variant;
+        AdequacySpec Spec;
+        Spec.Client.Tasks = makeTasks(Variant);
+        Spec.Client.NumSockets = Socks;
+        Spec.Client.Policy = Policy;
+        Spec.Client.Wcets = BasicActionWcets::typicalDeployment();
+        WorkloadSpec WSpec;
+        WSpec.NumSockets = Socks;
+        WSpec.Horizon = 400 * TickUs;
+        WSpec.Seed = Variant;
+        WSpec.Style = Style;
+        Spec.Arr = generateWorkload(Spec.Client.Tasks, WSpec);
+        Spec.Cost = Cost;
+        Spec.Seed = Variant;
+        Spec.Limits.Horizon = 2 * TickMs;
+
+        AdequacyReport Rep = runAdequacy(Spec);
+        bool Sound = Rep.assumptionsHold() && Rep.invariantsHold() &&
+                     Rep.conclusionHolds();
+        AllSound &= Sound;
+        if (!Sound)
+          std::printf("UNSOUND CONFIG:\n%s\n", Rep.summary().c_str());
+
+        std::uint64_t InHorizon = 0, Violations = 0;
+        double WorstRatio = 0;
+        for (const JobVerdict &V : Rep.Jobs) {
+          InHorizon += V.WithinHorizon;
+          Violations += !V.Holds;
+          if (V.Completed && V.Bound != TimeInfinity && V.Bound > 0)
+            WorstRatio = std::max(
+                WorstRatio, double(V.ResponseTime) / double(V.Bound));
+        }
+        char Ratio[32];
+        std::snprintf(Ratio, sizeof(Ratio), "%.2f", WorstRatio);
+        T.addRow({toString(Policy),
+                  std::to_string(Spec.Client.Tasks.size()),
+                  std::to_string(Socks), styleName(Style),
+                  toString(Cost), std::to_string(Rep.Jobs.size()),
+                  std::to_string(InHorizon), std::to_string(Violations),
+                  Ratio, formatWithCommas(Rep.totalChecks())});
+        TotalJobs += Rep.Jobs.size();
+        TotalInHorizon += InHorizon;
+        TotalViolations += Violations;
+        TotalChecks += Rep.totalChecks();
+      }
+    }
+  }
+  }
+
+  std::printf("%s\n", T.renderAscii().c_str());
+  std::printf("total: %llu jobs, %llu with in-horizon deadlines, %llu "
+              "violations, %s elementary checks\n",
+              (unsigned long long)TotalJobs,
+              (unsigned long long)TotalInHorizon,
+              (unsigned long long)TotalViolations,
+              formatWithCommas(TotalChecks).c_str());
+  std::printf("paper expectation: 0 violations (Thm. 5.1 is proved); a "
+              "worst obs/bound ratio near 1 under always-WCET dense "
+              "load shows the bound is not vacuous.\n");
+
+  if (!AllSound || TotalViolations != 0) {
+    std::printf("E3 FAILED\n");
+    return 1;
+  }
+  std::printf("E3 reproduced: Theorem 5.1 held on every run.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+//===- bench/tick_vs_eventdriven.cpp - Experiment E8: ProKOS contrast -----===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the related-work contrast of §6: ProKOS verifies a
+/// *tick-based* (preemptive, quantum-driven) scheduler where overheads
+/// are "a fixed percentage of the time between two ticks"; RefinedProsa
+/// verifies an *interrupt-free* scheduler with fine-grained per-job
+/// overhead accounting. The harness runs the same workload through both
+/// systems and their respective analyses and reports bounds and
+/// observations side by side.
+///
+/// The expected shape: for short callbacks the tick-based system pays
+/// the quantum granularity (bounds quantized to multiples of Q, plus a
+/// quantum of release latency), while the interrupt-free system pays
+/// per-job polling/selection/dispatch overheads but reacts at µs scale.
+/// Both must be sound for their own runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/pipeline.h"
+#include "baseline/tick_rta.h"
+#include "baseline/tick_scheduler.h"
+#include "sim/workload.h"
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+using namespace rprosa;
+
+int main() {
+  std::printf("=== E8: interrupt-free (RefinedProsa/Rössl) vs "
+              "tick-based (ProKOS-style) ===\n\n");
+
+  TaskSet TS;
+  TS.addTask("fast", 300 * TickUs, 3,
+             std::make_shared<PeriodicCurve>(10 * TickMs));
+  TS.addTask("mid", 1200 * TickUs, 2,
+             std::make_shared<PeriodicCurve>(25 * TickMs));
+  TS.addTask("slow", 4 * TickMs, 1,
+             std::make_shared<PeriodicCurve>(80 * TickMs));
+
+  WorkloadSpec Spec;
+  Spec.NumSockets = 2;
+  Spec.Horizon = 500 * TickMs;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  ArrivalSequence Arr = generateWorkload(TS, Spec);
+  Time Horizon = 1 * TickSec;
+
+  // --- Interrupt-free: Rössl + RefinedProsa analysis. ---
+  ClientConfig Client;
+  Client.Tasks = TS;
+  Client.NumSockets = 2;
+  Client.Wcets = BasicActionWcets::typicalDeployment();
+  AdequacySpec ASpec;
+  ASpec.Client = Client;
+  ASpec.Arr = Arr;
+  ASpec.Limits.Horizon = Horizon;
+  AdequacyReport Rossl = runAdequacy(ASpec);
+
+  // --- Tick-based: quantum scheduler + quantum RTA. ---
+  TickConfig Tick;
+  Tick.Quantum = 1 * TickMs;             // 1ms timer tick.
+  Tick.OverheadPerQuantum = 50 * TickUs; // 5% of the quantum (ProKOS
+                                         // fixed-percentage model).
+  TickRunResult TickRun = runTickScheduler(TS, Arr, Horizon, Tick);
+  RtaResult TickRta = analyzeTick(TS, Tick);
+
+  // Collect per-task worst observations.
+  std::vector<Duration> RosslWorst(TS.size(), 0), TickWorst(TS.size(), 0);
+  std::uint64_t RosslViolations = 0, TickViolations = 0;
+  for (const JobVerdict &V : Rossl.Jobs) {
+    if (V.Completed)
+      RosslWorst[V.Task] = std::max(RosslWorst[V.Task], V.ResponseTime);
+    RosslViolations += !V.Holds;
+  }
+  for (const TickJobResult &J : TickRun.Jobs) {
+    const TaskRta &B = TickRta.forTask(J.Task);
+    if (J.Completed)
+      TickWorst[J.Task] = std::max(TickWorst[J.Task],
+                                   J.CompletedAt - J.ArrivalAt);
+    if (B.Bounded && J.ArrivalAt + B.ResponseBound < Horizon &&
+        (!J.Completed || J.CompletedAt - J.ArrivalAt > B.ResponseBound))
+      ++TickViolations;
+  }
+
+  TableWriter T({"task", "C_i", "Rössl bound", "Rössl worst obs",
+                 "tick bound", "tick worst obs"});
+  for (const Task &Tk : TS.tasks()) {
+    const TaskRta &RB = Rossl.Rta.forTask(Tk.Id);
+    const TaskRta &TB = TickRta.forTask(Tk.Id);
+    T.addRow({Tk.Name, formatTicksAsNs(Tk.Wcet),
+              RB.Bounded ? formatTicksAsNs(RB.ResponseBound) : "unbounded",
+              formatTicksAsNs(RosslWorst[Tk.Id]),
+              TB.Bounded ? formatTicksAsNs(TB.ResponseBound) : "unbounded",
+              formatTicksAsNs(TickWorst[Tk.Id])});
+  }
+  std::printf("%s\n", T.renderAscii().c_str());
+
+  std::printf("violations: Rössl %llu, tick-based %llu (both must be "
+              "0)\n\n",
+              (unsigned long long)RosslViolations,
+              (unsigned long long)TickViolations);
+
+  // The structural contrast the paper draws.
+  const TaskRta &FastRossl = Rossl.Rta.forTask(0);
+  const TaskRta &FastTick = TickRta.forTask(0);
+  std::printf("contrast on the short 'fast' callback (C = 300us):\n");
+  std::printf("  tick-based bound %s is dominated by quantum "
+              "granularity (Q = %s);\n",
+              formatTicksAsNs(FastTick.ResponseBound).c_str(),
+              formatTicksAsNs(Tick.Quantum).c_str());
+  std::printf("  interrupt-free bound %s pays per-job overheads and "
+              "non-preemptive blocking (B = %s) instead.\n",
+              formatTicksAsNs(FastRossl.ResponseBound).c_str(),
+              formatTicksAsNs(FastRossl.Blocking).c_str());
+
+  bool Ok = RosslViolations == 0 && TickViolations == 0 &&
+            Rossl.theoremHolds();
+  if (!Ok) {
+    std::printf("E8 FAILED\n");
+    return 1;
+  }
+  std::printf("E8 reproduced: both systems sound under their own "
+              "analyses, with the expected structural difference.\n");
+  return 0;
+}

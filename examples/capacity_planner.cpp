@@ -1,0 +1,95 @@
+//===- examples/capacity_planner.cpp - Exploring the feasibility frontier -===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deployment question the analysis answers offline: *how fast can
+/// messages arrive before the verified bound disappears?* For each
+/// socket count, the example binary-searches the smallest sustainable
+/// period of a reference task mix (the feasibility frontier) under
+///
+///  - the overhead-aware RefinedProsa analysis, and
+///  - the overhead-oblivious naive analysis,
+///
+/// and prints both. The gap between the two frontiers is exactly the
+/// capacity a deployment would *think* it has but does not — the Deos/
+/// ROS2 failure mode from the paper's introduction, quantified.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rta/rta_npfp.h"
+#include "support/table.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace rprosa;
+
+namespace {
+
+/// Builds the reference mix with the high-rate task at \p Period.
+TaskSet mixWithPeriod(Duration Period) {
+  TaskSet TS;
+  TS.addTask("stream", 600 * TickNs, 2,
+             std::make_shared<PeriodicCurve>(Period));
+  TS.addTask("background", 2 * TickUs, 1,
+             std::make_shared<PeriodicCurve>(10 * Period));
+  return TS;
+}
+
+/// The smallest period (>= Lo) for which the analysis still bounds all
+/// tasks, found by binary search (schedulability is monotone in the
+/// period).
+Duration feasibilityFrontier(std::uint32_t Socks, const RtaConfig &Cfg) {
+  BasicActionWcets W = BasicActionWcets::typicalDeployment();
+  Duration Lo = 100, Hi = 400 * TickUs;
+  auto Feasible = [&](Duration Period) {
+    RtaConfig Local = Cfg;
+    Local.FixedPointCap = 1 * TickSec;
+    return analyzeNpfp(mixWithPeriod(Period), W, Socks, Local)
+        .allBounded();
+  };
+  if (!Feasible(Hi))
+    return TimeInfinity;
+  while (Lo < Hi) {
+    Duration Mid = Lo + (Hi - Lo) / 2;
+    if (Feasible(Mid))
+      Hi = Mid;
+    else
+      Lo = Mid + 1;
+  }
+  return Hi;
+}
+
+} // namespace
+
+int main() {
+  std::printf("capacity planning: smallest sustainable period of the "
+              "'stream' task per socket count\n\n");
+
+  TableWriter T({"sockets", "frontier (aware)", "frontier (naive)",
+                 "capacity the naive analysis over-promises"});
+  for (std::uint32_t Socks : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    RtaConfig Aware;
+    RtaConfig Naive;
+    Naive.AccountOverheads = false;
+    Duration FA = feasibilityFrontier(Socks, Aware);
+    Duration FN = feasibilityFrontier(Socks, Naive);
+    std::string Gap = "-";
+    if (FA != TimeInfinity && FN != TimeInfinity && FA > FN)
+      // The naive analysis claims rates up to 1/FN are fine; only up to
+      // 1/FA actually carry a sound bound.
+      Gap = formatRatio(100 * (FA - FN), FA) + "% of the budget";
+    T.addRow({std::to_string(Socks),
+              FA == TimeInfinity ? "never" : formatTicksAsNs(FA),
+              FN == TimeInfinity ? "never" : formatTicksAsNs(FN), Gap});
+  }
+  std::printf("%s\n", T.renderAscii().c_str());
+  std::printf("reading: the naive frontier is flat (overheads ignored), "
+              "the real frontier recedes as sockets add polling "
+              "overhead — deploy past it and the response-time "
+              "guarantee silently disappears.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- examples/iot_sensor_node.cpp - A TinyOS/Contiki-class node ---------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The other end of the paper's motivation spectrum (§1.1): deeply
+/// embedded, interrupt-free schedulers on resource-constrained hardware
+/// (TinyOS, Contiki). This example models a battery-powered sensor node
+/// on a slow microcontroller: basic actions cost tens of microseconds
+/// (not hundreds of nanoseconds), and the radio delivers everything on
+/// a single socket.
+///
+///   sample_cb (prio 2): read + filter a sensor sample, 4ms, every 250ms
+///   report_cb (prio 1): assemble + queue a radio packet, 12ms, every 1s
+///
+/// Besides the Thm. 5.1 verdict, the example reports the *duty cycle*
+/// (fraction of time not idle) — the quantity an energy budget hinges
+/// on — split into execution and scheduling overhead, straight from the
+/// converted schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/pipeline.h"
+#include "adequacy/report.h"
+#include "sim/workload.h"
+#include "support/table.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace rprosa;
+
+int main() {
+  ClientConfig Client;
+  Client.Tasks.addTask("sample_cb", 4 * TickMs, 2,
+                       std::make_shared<PeriodicCurve>(250 * TickMs));
+  Client.Tasks.addTask("report_cb", 12 * TickMs, 1,
+                       std::make_shared<PeriodicCurve>(1 * TickSec));
+  Client.NumSockets = 1; // One radio socket.
+
+  // A slow MCU: every basic action is orders of magnitude pricier than
+  // on the "typical deployment" hardware.
+  BasicActionWcets W;
+  W.FailedRead = 40 * TickUs;
+  W.SuccessfulRead = 120 * TickUs;
+  W.Selection = 30 * TickUs;
+  W.Dispatch = 25 * TickUs;
+  W.Completion = 35 * TickUs;
+  W.Idling = 500 * TickUs; // Wake-from-sleep latency.
+  Client.Wcets = W;
+
+  WorkloadSpec Spec;
+  Spec.NumSockets = 1;
+  Spec.Horizon = 4 * TickSec;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  ArrivalSequence Arr = generateWorkload(Client.Tasks, Spec);
+
+  AdequacySpec ASpec;
+  ASpec.Client = Client;
+  ASpec.Arr = Arr;
+  ASpec.Limits.Horizon = 6 * TickSec;
+  AdequacyReport Rep = runAdequacy(ASpec);
+
+  std::printf("IoT sensor node, 1 radio socket, slow-MCU WCETs, 4s run\n\n");
+  std::printf("%s\n", Rep.summary().c_str());
+  std::printf("%s\n", renderTaskTable(Rep, Client.Tasks).c_str());
+
+  // Duty-cycle accounting from the schedule.
+  Duration Total = Rep.Conv.Sched.length();
+  Duration Exec = 0, Overhead = 0, Idle = 0;
+  for (const ScheduleSegment &S : Rep.Conv.Sched.segments()) {
+    if (S.State.isExecuting())
+      Exec += S.Len;
+    else if (S.State.isOverhead())
+      Overhead += S.Len;
+    else
+      Idle += S.Len;
+  }
+  std::printf("energy view over %s:\n", formatTicksAsNs(Total).c_str());
+  std::printf("  executing callbacks : %s (%s%%)\n",
+              formatTicksAsNs(Exec).c_str(),
+              formatRatio(100 * Exec, Total).c_str());
+  std::printf("  scheduler overhead  : %s (%s%%)\n",
+              formatTicksAsNs(Overhead).c_str(),
+              formatRatio(100 * Overhead, Total).c_str());
+  std::printf("  idle (can sleep)    : %s (%s%%)\n",
+              formatTicksAsNs(Idle).c_str(),
+              formatRatio(100 * Idle, Total).c_str());
+
+  return Rep.theoremHolds() ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+//===- examples/ros2_executor.cpp - A ROS2-style callback executor --------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper motivates Rössl with the default executor of the ROS2
+/// robotics middleware (§1.1, §2): an in-process, interrupt-free
+/// scheduler sequencing callback functions. This example models a small
+/// autonomous-robot node:
+///
+///   lidar_cb    (prio 4): obstacle detection, 800µs, every 25ms
+///   imu_cb      (prio 3): state estimation, 120µs, every 5ms
+///   planner_cb  (prio 2): trajectory update, 3ms, every 100ms
+///   diag_cb     (prio 1): diagnostics, bursty (3 back-to-back), 500µs
+///
+/// Each topic arrives on its own socket (4 sockets). The run verifies
+/// Thm. 5.1 and prints, per callback, the verified worst-case response
+/// time next to the worst response observed in a one-second dense run —
+/// the guarantee a robotics engineer would consult before claiming the
+/// robot "swerves in time".
+///
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/pipeline.h"
+#include "adequacy/report.h"
+#include "rta/chains.h"
+#include "sim/workload.h"
+#include "support/table.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace rprosa;
+
+int main() {
+  ClientConfig Client;
+  TaskId Lidar = Client.Tasks.addTask(
+      "lidar_cb", 800 * TickUs, 4,
+      std::make_shared<PeriodicCurve>(25 * TickMs));
+  TaskId Imu = Client.Tasks.addTask(
+      "imu_cb", 120 * TickUs, 3,
+      std::make_shared<PeriodicCurve>(5 * TickMs));
+  TaskId Planner = Client.Tasks.addTask(
+      "planner_cb", 3 * TickMs, 2,
+      std::make_shared<PeriodicCurve>(100 * TickMs));
+  TaskId Diag = Client.Tasks.addTask(
+      "diag_cb", 500 * TickUs, 1,
+      std::make_shared<LeakyBucketCurve>(3, 200 * TickMs));
+  Client.NumSockets = 4;
+  Client.Wcets = BasicActionWcets::typicalDeployment();
+
+  // Callback hooks: count invocations like a real executor would
+  // deliver messages.
+  std::vector<std::uint64_t> Fired(Client.Tasks.size(), 0);
+  Client.Callbacks.resize(Client.Tasks.size());
+  for (TaskId T = 0; T < Client.Tasks.size(); ++T)
+    Client.Callbacks[T] = [&Fired, T](const Job &) { ++Fired[T]; };
+
+  // One topic per socket.
+  std::vector<SocketId> TopicSocket = {0, 1, 2, 3};
+  WorkloadSpec Spec;
+  Spec.NumSockets = 4;
+  Spec.Horizon = 1 * TickSec;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  ArrivalSequence Arr = generateWorkload(Client.Tasks, TopicSocket, Spec);
+
+  AdequacySpec ASpec;
+  ASpec.Client = Client;
+  ASpec.Arr = Arr;
+  ASpec.Limits.Horizon = 2 * TickSec;
+  AdequacyReport Rep = runAdequacy(ASpec);
+
+  std::printf("ROS2-style executor, 4 topics on 4 sockets, 1s dense "
+              "workload\n\n");
+  std::printf("%s\n", Rep.summary().c_str());
+  std::printf("%s\n", renderTaskTable(Rep, Client.Tasks).c_str());
+
+  std::printf("callback invocations: lidar=%llu imu=%llu planner=%llu "
+              "diag=%llu\n\n",
+              (unsigned long long)Fired[Lidar],
+              (unsigned long long)Fired[Imu],
+              (unsigned long long)Fired[Planner],
+              (unsigned long long)Fired[Diag]);
+
+  // Response-time distribution of the most critical callback.
+  std::printf("%s\n",
+              renderResponseHistogram(Rep, Client.Tasks, Imu, 8).c_str());
+
+  // The §1.1 point: the *high-priority* lidar callback's bound is small
+  // even though the low-priority planner can block it non-preemptively.
+  const TaskRta &L = Rep.Rta.forTask(Lidar);
+  std::printf("lidar_cb: verified worst-case response %s "
+              "(incl. %s of non-preemptive blocking by planner_cb and "
+              "%s release jitter)\n",
+              formatTicksAsNs(L.ResponseBound).c_str(),
+              formatTicksAsNs(L.Blocking).c_str(),
+              formatTicksAsNs(L.Jitter).c_str());
+
+  // End-to-end chain: lidar -> imu (obstacle detection feeds the state
+  // estimator; the estimator's 5ms curve easily admits lidar's 25ms
+  // traffic, so the composition precondition holds).
+  Chain Pipeline{"lidar->imu", {Lidar, Imu}};
+  CheckResult WF = chainWellFormed(Pipeline, Client.Tasks);
+  Duration ChainBound = chainLatencyBound(Pipeline, Rep.Rta);
+  std::printf("\nprocessing chain lidar_cb -> imu_cb: end-to-end "
+              "latency bound %s (%s)\n",
+              ChainBound == TimeInfinity ? "unbounded"
+                                         : formatTicksAsNs(ChainBound).c_str(),
+              WF.passed() ? "composition precondition holds"
+                          : "COMPOSITION PRECONDITION FAILS");
+
+  return Rep.theoremHolds() ? 0 : 1;
+}

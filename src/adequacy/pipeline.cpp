@@ -1,0 +1,111 @@
+//===- adequacy/pipeline.cpp ----------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/pipeline.h"
+
+#include "convert/validity.h"
+#include "rta/rta_policies.h"
+#include "sim/environment.h"
+#include "trace/consistency.h"
+#include "trace/functional.h"
+#include "trace/protocol.h"
+#include "trace/wcet_check.h"
+
+#include <map>
+
+using namespace rprosa;
+
+bool AdequacyReport::assumptionsHold() const {
+  return StaticOk.passed() && ArrivalOk.passed() && WcetOk.passed() &&
+         ConsistencyOk.passed() && TimestampsOk.passed();
+}
+
+bool AdequacyReport::invariantsHold() const {
+  return ProtocolOk.passed() && FunctionalOk.passed() &&
+         ScheduleOk.passed() && ValidityOk.passed();
+}
+
+bool AdequacyReport::conclusionHolds() const {
+  for (const JobVerdict &V : Jobs)
+    if (!V.Holds)
+      return false;
+  return true;
+}
+
+std::size_t AdequacyReport::totalChecks() const {
+  std::size_t N = 0;
+  for (const CheckResult *R :
+       {&StaticOk, &ArrivalOk, &TimestampsOk, &ProtocolOk, &FunctionalOk,
+        &ConsistencyOk, &WcetOk, &ScheduleOk, &ValidityOk})
+    N += R->checksPerformed();
+  return N + Jobs.size();
+}
+
+AdequacyReport rprosa::runAdequacy(const AdequacySpec &Spec) {
+  AdequacyReport Rep;
+
+  // 1-2: assumptions on the model and the workload.
+  Rep.StaticOk = validateClient(Spec.Client);
+  Rep.ArrivalOk = Spec.Arr.respectsCurves(Spec.Client.Tasks);
+  Rep.ArrivalOk.merge(Spec.Arr.uniqueMsgIds());
+
+  // 3: one run of Rössl on the substrate.
+  Environment Env(Spec.Arr);
+  CostModel Costs(Spec.Client.Wcets, Spec.Cost, Spec.Seed);
+  FdScheduler Sched(Spec.Client, Env, Costs);
+  Rep.TT = Sched.run(Spec.Limits);
+  Rep.Horizon = Rep.TT.EndTime;
+
+  // 4: the trace invariants.
+  Rep.TimestampsOk = checkTimestamps(Rep.TT);
+  Rep.ProtocolOk = checkProtocol(Rep.TT.Tr, Spec.Client.NumSockets);
+  Rep.FunctionalOk = checkFunctionalCorrectness(Rep.TT.Tr,
+                                                Spec.Client.Tasks,
+                                                Spec.Client.Policy);
+  Rep.ConsistencyOk = checkConsistency(Rep.TT, Spec.Arr);
+  Rep.WcetOk = checkWcetRespected(Rep.TT, Spec.Client.Tasks,
+                                  Spec.Client.Wcets);
+
+  // 5: schedule conversion and validity.
+  Rep.Conv = convertTraceToSchedule(Rep.TT, Spec.Client.NumSockets,
+                                    &Rep.ScheduleOk);
+  Rep.ScheduleOk.merge(Rep.Conv.Sched.validateStructure());
+  Rep.ValidityOk = checkValidity(Rep.Conv, Spec.Client.Tasks, Spec.Arr,
+                                 Spec.Client.Wcets, Spec.Client.NumSockets,
+                                 Spec.Client.Policy);
+
+  // 6: the RTA matching the client's policy.
+  Rep.Rta = analyzePolicy(Spec.Client.Tasks, Spec.Client.Wcets,
+                          Spec.Client.NumSockets, Spec.Client.Policy,
+                          Spec.Rta);
+
+  // 7: per-job verdicts (completion by message identity: job ids are
+  // assigned at read time, arrivals are identified by MsgId).
+  std::map<MsgId, const ConvertedJob *> ByMsg;
+  for (const ConvertedJob &CJ : Rep.Conv.Jobs)
+    ByMsg.emplace(CJ.J.Msg, &CJ);
+
+  for (const Arrival &A : Spec.Arr.arrivals()) {
+    JobVerdict V;
+    V.Msg = A.Msg.Id;
+    V.Task = A.Msg.Task;
+    V.ArrivalAt = A.At;
+    if (V.Task < Rep.Rta.PerTask.size() &&
+        Rep.Rta.forTask(V.Task).Bounded)
+      V.Bound = Rep.Rta.forTask(V.Task).ResponseBound;
+    Time Deadline = satAdd(V.ArrivalAt, V.Bound);
+    V.WithinHorizon = Deadline != TimeInfinity && Deadline < Rep.Horizon;
+    auto It = ByMsg.find(A.Msg.Id);
+    if (It != ByMsg.end() && It->second->CompletedAt) {
+      V.Completed = true;
+      V.CompletedAt = *It->second->CompletedAt;
+      V.ResponseTime = V.CompletedAt - V.ArrivalAt;
+    }
+    V.Holds = !V.WithinHorizon || (V.Completed && V.CompletedAt <= Deadline);
+    Rep.Jobs.push_back(V);
+  }
+  return Rep;
+}

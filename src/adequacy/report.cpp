@@ -1,0 +1,163 @@
+//===- adequacy/report.cpp ------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/report.h"
+
+#include "support/table.h"
+
+#include <algorithm>
+
+using namespace rprosa;
+
+std::vector<TaskStats> rprosa::aggregatePerTask(const AdequacyReport &Rep,
+                                                const TaskSet &Tasks) {
+  std::vector<TaskStats> Stats(Tasks.size());
+  for (std::size_t I = 0; I < Tasks.size(); ++I) {
+    Stats[I].Task = static_cast<TaskId>(I);
+    if (I < Rep.Rta.PerTask.size() && Rep.Rta.PerTask[I].Bounded)
+      Stats[I].Bound = Rep.Rta.PerTask[I].ResponseBound;
+  }
+  for (const JobVerdict &V : Rep.Jobs) {
+    if (V.Task >= Stats.size())
+      continue;
+    TaskStats &S = Stats[V.Task];
+    ++S.Arrivals;
+    if (V.WithinHorizon)
+      ++S.InHorizon;
+    if (V.Completed) {
+      ++S.Completed;
+      if (V.ResponseTime > S.MaxResponse)
+        S.MaxResponse = V.ResponseTime;
+    }
+    if (!V.Holds)
+      ++S.Violations;
+  }
+  return Stats;
+}
+
+std::string AdequacyReport::summary() const {
+  auto Line = [](const char *Name, const CheckResult &R) {
+    std::string S = "  ";
+    S += Name;
+    S += R.passed() ? ": ok (" : ": FAILED (";
+    S += std::to_string(R.checksPerformed());
+    S += " checks)\n";
+    if (!R.passed())
+      S += R.describe();
+    return S;
+  };
+  std::string Out = "adequacy run up to t_hrzn=" + std::to_string(Horizon) +
+                    " (" + formatTicksAsNs(Horizon) + "), " +
+                    std::to_string(TT.size()) + " markers, " +
+                    std::to_string(Conv.Jobs.size()) + " jobs\n";
+  Out += Line("client/static", StaticOk);
+  Out += Line("arrival curves", ArrivalOk);
+  Out += Line("timestamps", TimestampsOk);
+  Out += Line("scheduler protocol", ProtocolOk);
+  Out += Line("functional correctness", FunctionalOk);
+  Out += Line("trace/arrival consistency", ConsistencyOk);
+  Out += Line("WCET respected", WcetOk);
+  Out += Line("schedule structure", ScheduleOk);
+  Out += Line("validity (a)-(e)", ValidityOk);
+  Out += std::string("  theorem 5.1: ") +
+         (theoremHolds() ? (assumptionsHold() ? "holds"
+                                              : "vacuous (assumptions "
+                                                "violated)")
+                         : "VIOLATED") +
+         "\n";
+  return Out;
+}
+
+std::string rprosa::renderTaskTable(const AdequacyReport &Rep,
+                                    const TaskSet &Tasks) {
+  TableWriter T({"task", "prio", "C_i", "bound R_i+J_i", "worst observed",
+                 "bound/observed", "jobs", "violations"});
+  for (const TaskStats &S : aggregatePerTask(Rep, Tasks)) {
+    const Task &Tk = Tasks.task(S.Task);
+    std::string Bound = S.Bound == TimeInfinity
+                            ? "unbounded"
+                            : formatTicksAsNs(S.Bound);
+    T.addRow({Tk.Name, std::to_string(Tk.Prio), formatTicksAsNs(Tk.Wcet),
+              Bound, formatTicksAsNs(S.MaxResponse),
+              S.Bound == TimeInfinity
+                  ? "-"
+                  : formatRatio(S.Bound, S.MaxResponse),
+              std::to_string(S.Arrivals), std::to_string(S.Violations)});
+  }
+  return T.renderAscii();
+}
+
+ResponseStats rprosa::responseStats(const AdequacyReport &Rep,
+                                    TaskId Task) {
+  std::vector<Duration> Samples;
+  for (const JobVerdict &V : Rep.Jobs)
+    if (V.Completed && (Task == InvalidTaskId || V.Task == Task))
+      Samples.push_back(V.ResponseTime);
+  ResponseStats S;
+  S.Count = Samples.size();
+  if (Samples.empty())
+    return S;
+  std::sort(Samples.begin(), Samples.end());
+  auto Pct = [&](double P) {
+    std::size_t I = static_cast<std::size_t>(P * (Samples.size() - 1));
+    return Samples[I];
+  };
+  S.Min = Samples.front();
+  S.P50 = Pct(0.50);
+  S.P90 = Pct(0.90);
+  S.P99 = Pct(0.99);
+  S.Max = Samples.back();
+  return S;
+}
+
+std::string rprosa::renderResponseHistogram(const AdequacyReport &Rep,
+                                            const TaskSet &Tasks,
+                                            TaskId Task,
+                                            std::size_t Buckets,
+                                            std::size_t BarWidth) {
+  if (Task >= Tasks.size() || Buckets == 0)
+    return "(no such task)\n";
+  Duration Bound = Task < Rep.Rta.PerTask.size() &&
+                           Rep.Rta.forTask(Task).Bounded
+                       ? Rep.Rta.forTask(Task).ResponseBound
+                       : 0;
+  std::vector<Duration> Samples;
+  for (const JobVerdict &V : Rep.Jobs)
+    if (V.Completed && V.Task == Task)
+      Samples.push_back(V.ResponseTime);
+  if (Samples.empty())
+    return "(no completed jobs for " + Tasks.task(Task).Name + ")\n";
+
+  Duration Top = Bound;
+  for (Duration S : Samples)
+    Top = std::max(Top, S);
+  if (Top == 0)
+    Top = 1;
+
+  std::vector<std::uint64_t> Counts(Buckets, 0);
+  for (Duration S : Samples) {
+    std::size_t B = static_cast<std::size_t>(
+        (static_cast<unsigned long long>(S) * Buckets) / (Top + 1));
+    ++Counts[std::min(B, Buckets - 1)];
+  }
+  std::uint64_t MaxCount = 1;
+  for (std::uint64_t C : Counts)
+    MaxCount = std::max(MaxCount, C);
+
+  std::string Out = "response times of " + Tasks.task(Task).Name + " (" +
+                    std::to_string(Samples.size()) + " jobs, bound " +
+                    formatTicksAsNs(Bound) + "):\n";
+  for (std::size_t B = 0; B < Buckets; ++B) {
+    Duration Lo = Top * B / Buckets;
+    Duration Hi = Top * (B + 1) / Buckets;
+    std::string Bar(static_cast<std::size_t>(Counts[B] * BarWidth /
+                                             MaxCount),
+                    '#');
+    Out += "  [" + formatTicksAsNs(Lo) + ", " + formatTicksAsNs(Hi) +
+           ") " + Bar + " " + std::to_string(Counts[B]) + "\n";
+  }
+  return Out;
+}

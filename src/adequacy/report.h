@@ -1,0 +1,68 @@
+//===- adequacy/report.h - Rendering adequacy reports ---------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers that render an AdequacyReport for the examples and the
+/// benchmark harnesses: a per-task table (bound vs. worst observed
+/// response) and aggregate statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_ADEQUACY_REPORT_H
+#define RPROSA_ADEQUACY_REPORT_H
+
+#include "adequacy/pipeline.h"
+
+#include <string>
+#include <vector>
+
+namespace rprosa {
+
+/// Per-task aggregation of the job verdicts.
+struct TaskStats {
+  TaskId Task = InvalidTaskId;
+  std::uint64_t Arrivals = 0;
+  std::uint64_t Completed = 0;
+  std::uint64_t InHorizon = 0;
+  std::uint64_t Violations = 0;
+  Duration MaxResponse = 0;
+  Duration Bound = TimeInfinity;
+};
+
+/// Aggregates the verdicts of \p Rep per task.
+std::vector<TaskStats> aggregatePerTask(const AdequacyReport &Rep,
+                                        const TaskSet &Tasks);
+
+/// Renders the per-task table (task, priority, C_i, bound, worst
+/// observed, tightness ratio, verdict).
+std::string renderTaskTable(const AdequacyReport &Rep, const TaskSet &Tasks);
+
+/// Percentiles of a sample of observed response times.
+struct ResponseStats {
+  std::uint64_t Count = 0;
+  Duration Min = 0;
+  Duration P50 = 0;
+  Duration P90 = 0;
+  Duration P99 = 0;
+  Duration Max = 0;
+};
+
+/// Computes percentiles over the completed jobs of \p Task (all tasks
+/// when Task == InvalidTaskId).
+ResponseStats responseStats(const AdequacyReport &Rep,
+                            TaskId Task = InvalidTaskId);
+
+/// A text histogram of \p Task's response times between 0 and the
+/// task's bound, one row per bucket ('#' bars), with the bound marked.
+/// Useful for eyeballing how much headroom the analysis leaves.
+std::string renderResponseHistogram(const AdequacyReport &Rep,
+                                    const TaskSet &Tasks, TaskId Task,
+                                    std::size_t Buckets = 10,
+                                    std::size_t BarWidth = 40);
+
+} // namespace rprosa
+
+#endif // RPROSA_ADEQUACY_REPORT_H

@@ -1,0 +1,70 @@
+//===- baseline/tick_rta.h - ProKOS-style quantum RTA ---------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis companion of the tick-based baseline: a preemptive
+/// fixed-priority RTA where
+///
+///  - the supply is quantized: every quantum of length Q delivers
+///    Q − o useful ticks (o = the fixed per-quantum overhead — exactly
+///    ProKOS's "fixed percentage of the time between two ticks");
+///  - arrivals are observed only at ticks, adding a release latency of
+///    up to one quantum (modeled, like in the main analysis, as
+///    release jitter J = Q).
+///
+/// Implemented on the same SupplyModel interface as the Rössl analysis,
+/// which is the point of the E8 comparison: tick-based systems absorb
+/// overheads into the quantum, interrupt-free systems must account for
+/// them per job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_BASELINE_TICK_RTA_H
+#define RPROSA_BASELINE_TICK_RTA_H
+
+#include "baseline/tick_scheduler.h"
+
+#include "rta/arsa.h"
+#include "rta/rta_npfp.h"
+
+namespace rprosa {
+
+/// The quantized supply of a tick-based processor.
+class TickSupply : public SupplyModel {
+public:
+  TickSupply(const TickConfig &Cfg, Time Cap) : Cfg(Cfg), Cap(Cap) {}
+
+  Duration supplyBound(Duration Delta) const override {
+    // Only complete quanta are guaranteed; the window may start
+    // mid-quantum, losing up to one quantum of alignment.
+    Duration Full = Delta / Cfg.Quantum;
+    Duration Aligned = Full > 0 ? Full - 1 : 0;
+    return satMul(Aligned, Cfg.Quantum - Cfg.OverheadPerQuantum);
+  }
+
+  Time timeToSupply(Duration Work) const override {
+    if (Work == 0)
+      return 0;
+    Duration Useful = Cfg.Quantum - Cfg.OverheadPerQuantum;
+    // Need (full quanta - 1) * Useful >= Work.
+    Duration Quanta = (Work + Useful - 1) / Useful + 1;
+    Time T = satMul(Quanta, Cfg.Quantum);
+    return T > Cap ? TimeInfinity : T;
+  }
+
+private:
+  TickConfig Cfg;
+  Time Cap;
+};
+
+/// Runs the preemptive quantum RTA; reuses the TaskRta/RtaResult
+/// containers of the main analysis.
+RtaResult analyzeTick(const TaskSet &Tasks, const TickConfig &Cfg,
+                      Time FixedPointCap = 100 * TickSec);
+
+} // namespace rprosa
+
+#endif // RPROSA_BASELINE_TICK_RTA_H

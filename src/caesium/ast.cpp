@@ -1,0 +1,124 @@
+//===- caesium/ast.cpp ----------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "caesium/ast.h"
+
+using namespace rprosa::caesium;
+
+ExprPtr Expr::lit(Value V) {
+  auto E = std::make_shared<Expr>();
+  E->K = Kind::Lit;
+  E->Lit = V;
+  return E;
+}
+
+ExprPtr Expr::reg(RegId R) {
+  auto E = std::make_shared<Expr>();
+  E->K = Kind::Reg;
+  E->Reg = R;
+  return E;
+}
+
+static ExprPtr binary(Expr::Kind K, ExprPtr L, ExprPtr R) {
+  auto E = std::make_shared<Expr>();
+  E->K = K;
+  E->L = std::move(L);
+  E->R = std::move(R);
+  return E;
+}
+
+ExprPtr Expr::add(ExprPtr L, ExprPtr R) {
+  return binary(Kind::Add, std::move(L), std::move(R));
+}
+ExprPtr Expr::sub(ExprPtr L, ExprPtr R) {
+  return binary(Kind::Sub, std::move(L), std::move(R));
+}
+ExprPtr Expr::less(ExprPtr L, ExprPtr R) {
+  return binary(Kind::Less, std::move(L), std::move(R));
+}
+ExprPtr Expr::eq(ExprPtr L, ExprPtr R) {
+  return binary(Kind::Eq, std::move(L), std::move(R));
+}
+ExprPtr Expr::notE(ExprPtr L) {
+  return binary(Kind::Not, std::move(L), nullptr);
+}
+ExprPtr Expr::fuel() {
+  auto E = std::make_shared<Expr>();
+  E->K = Kind::Fuel;
+  return E;
+}
+
+StmtPtr Stmt::seq(std::vector<StmtPtr> Children) {
+  auto S = std::make_shared<Stmt>();
+  S->K = Kind::Seq;
+  S->Children = std::move(Children);
+  return S;
+}
+
+StmtPtr Stmt::setReg(RegId Dst, ExprPtr E) {
+  auto S = std::make_shared<Stmt>();
+  S->K = Kind::SetReg;
+  S->Dst = Dst;
+  S->E = std::move(E);
+  return S;
+}
+
+StmtPtr Stmt::ifThen(ExprPtr Cond, StmtPtr Then, StmtPtr Else) {
+  auto S = std::make_shared<Stmt>();
+  S->K = Kind::If;
+  S->E = std::move(Cond);
+  S->Children.push_back(std::move(Then));
+  if (Else)
+    S->Children.push_back(std::move(Else));
+  return S;
+}
+
+StmtPtr Stmt::whileLoop(ExprPtr Cond, StmtPtr Body) {
+  auto S = std::make_shared<Stmt>();
+  S->K = Kind::While;
+  S->E = std::move(Cond);
+  S->Children.push_back(std::move(Body));
+  return S;
+}
+
+StmtPtr Stmt::readE(RegId SockReg, BufId Buf, RegId Dst) {
+  auto S = std::make_shared<Stmt>();
+  S->K = Kind::ReadE;
+  S->Reg = SockReg;
+  S->Buf = Buf;
+  S->Dst = Dst;
+  return S;
+}
+
+StmtPtr Stmt::traceE(TraceFn Fn, BufId Buf) {
+  auto S = std::make_shared<Stmt>();
+  S->K = Kind::TraceE;
+  S->Fn = Fn;
+  S->Buf = Buf;
+  return S;
+}
+
+StmtPtr Stmt::enqueue(BufId Buf) {
+  auto S = std::make_shared<Stmt>();
+  S->K = Kind::Enqueue;
+  S->Buf = Buf;
+  return S;
+}
+
+StmtPtr Stmt::dequeue(BufId Buf, RegId Dst) {
+  auto S = std::make_shared<Stmt>();
+  S->K = Kind::Dequeue;
+  S->Buf = Buf;
+  S->Dst = Dst;
+  return S;
+}
+
+StmtPtr Stmt::freeBuf(BufId Buf) {
+  auto S = std::make_shared<Stmt>();
+  S->K = Kind::FreeBuf;
+  S->Buf = Buf;
+  return S;
+}

@@ -1,0 +1,130 @@
+//===- caesium/ast.h - A deep embedding of the scheduler language ---------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RefinedC reasons about C by translating it into Caesium, a deep
+/// embedding of (a subset of) C in Rocq; Fig. 6 extends Caesium with
+/// the read expression (ReadE) and the marker expression (TraceE), and
+/// with a trace component in the program state. This module is the
+/// executable analogue: a small deeply-embedded imperative language —
+/// just rich enough to express the Rössl scheduling loop — whose
+/// small-step interpreter (interp.h) implements exactly the Fig. 6
+/// rules (READ-STEP-SUCCESS/FAILURE, TRACE-STEP-*), emitting the timed
+/// marker trace as it runs.
+///
+/// The payoff is a differential-testing substrate: Rössl written *in
+/// the embedded language* (rossl_program.h) must produce, step for
+/// step, the same timed trace as the native C++ scheduler — the
+/// executable counterpart of RefinedC's claim that the verified
+/// semantics captures the C program's behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_CAESIUM_AST_H
+#define RPROSA_CAESIUM_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rprosa::caesium {
+
+/// Machine values are signed words (C's int in the original).
+using Value = std::int64_t;
+/// Register index (the locals of the C function).
+using RegId = std::uint32_t;
+/// Heap buffer slot index (the message buffers the C code allocates).
+using BufId = std::uint32_t;
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Pure expressions over registers.
+struct Expr {
+  enum class Kind : std::uint8_t {
+    Lit,   ///< A constant.
+    Reg,   ///< A register read.
+    Add,   ///< L + R.
+    Sub,   ///< L - R.
+    Less,  ///< L < R (0/1).
+    Eq,    ///< L == R (0/1).
+    Not,   ///< !L (0/1).
+    Fuel,  ///< 1 while the run limits allow another iteration, else 0.
+           ///< The executable stand-in for the paper's finite-prefix
+           ///< reasoning horizon t_hrzn (the C loop is `while(1)`).
+  };
+
+  Kind K = Kind::Lit;
+  Value Lit = 0;
+  RegId Reg = 0;
+  ExprPtr L, R;
+
+  static ExprPtr lit(Value V);
+  static ExprPtr reg(RegId R);
+  static ExprPtr add(ExprPtr L, ExprPtr R);
+  static ExprPtr sub(ExprPtr L, ExprPtr R);
+  static ExprPtr less(ExprPtr L, ExprPtr R);
+  static ExprPtr eq(ExprPtr L, ExprPtr R);
+  static ExprPtr notE(ExprPtr L);
+  static ExprPtr fuel();
+};
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+/// The marker functions of Fig. 4/6 (TraceFn in the paper's grammar;
+/// M_ReadS/M_ReadE are emitted by the ReadE statement itself).
+enum class TraceFn : std::uint8_t {
+  TrSelection,
+  TrDisp,
+  TrExec,
+  TrCompl,
+  TrIdling,
+};
+
+/// Statements. ReadE and the scheduler-state builtins correspond to the
+/// system call and the npfp_* helper functions of the C code; TraceE is
+/// the ghost marker call.
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    Seq,     ///< Children in order.
+    SetReg,  ///< Reg := E.
+    If,      ///< if (E) Children[0] else Children[1] (else optional).
+    While,   ///< while (E) Children[0].
+    ReadE,   ///< The read system call on socket reg(Reg), writing the
+             ///< datagram into buffer Buf; reg(Dst) := length or -1.
+             ///< Emits M_ReadS and M_ReadE (Fig. 6 READ-STEP-*).
+    TraceE,  ///< A marker function call (Fig. 6 TRACE-STEP-*); for
+             ///< TrDisp/TrExec/TrCompl the argument buffer is Buf.
+    Enqueue, ///< npfp_enqueue(&sched, buffer Buf) — adds the read
+             ///< message to the pending queue.
+    Dequeue, ///< npfp_dequeue(&sched) — pops the policy's next message
+             ///< into buffer Buf; reg(Dst) := 1 on success else 0.
+    FreeBuf, ///< free(j) — clears buffer Buf.
+  };
+
+  Kind K = Kind::Seq;
+  std::vector<StmtPtr> Children;
+  ExprPtr E;
+  RegId Reg = 0;
+  RegId Dst = 0;
+  BufId Buf = 0;
+  TraceFn Fn = TraceFn::TrIdling;
+
+  static StmtPtr seq(std::vector<StmtPtr> Children);
+  static StmtPtr setReg(RegId Dst, ExprPtr E);
+  static StmtPtr ifThen(ExprPtr Cond, StmtPtr Then, StmtPtr Else = nullptr);
+  static StmtPtr whileLoop(ExprPtr Cond, StmtPtr Body);
+  static StmtPtr readE(RegId SockReg, BufId Buf, RegId Dst);
+  static StmtPtr traceE(TraceFn Fn, BufId Buf = 0);
+  static StmtPtr enqueue(BufId Buf);
+  static StmtPtr dequeue(BufId Buf, RegId Dst);
+  static StmtPtr freeBuf(BufId Buf);
+};
+
+} // namespace rprosa::caesium
+
+#endif // RPROSA_CAESIUM_AST_H

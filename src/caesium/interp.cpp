@@ -1,0 +1,200 @@
+//===- caesium/interp.cpp -------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "caesium/interp.h"
+
+#include <cassert>
+
+using namespace rprosa;
+using namespace rprosa::caesium;
+
+CaesiumMachine::CaesiumMachine(const ClientConfig &Client, Environment &Env,
+                               CostModel &Costs, std::size_t NumBuffers,
+                               std::size_t NumRegs)
+    : Client(Client), Env(Env), Costs(Costs), Recorder(Clock),
+      Heap(NumBuffers), Regs(NumRegs, 0) {
+  assert(Client.Policy == SchedPolicy::Npfp &&
+         "the embedded scheduler-state builtin implements NPFP (the "
+         "paper's policy)");
+}
+
+Value CaesiumMachine::eval(const Expr &E) const {
+  switch (E.K) {
+  case Expr::Kind::Lit:
+    return E.Lit;
+  case Expr::Kind::Reg:
+    assert(E.Reg < Regs.size() && "register out of range");
+    return Regs[E.Reg];
+  case Expr::Kind::Add:
+    return eval(*E.L) + eval(*E.R);
+  case Expr::Kind::Sub:
+    return eval(*E.L) - eval(*E.R);
+  case Expr::Kind::Less:
+    return eval(*E.L) < eval(*E.R) ? 1 : 0;
+  case Expr::Kind::Eq:
+    return eval(*E.L) == eval(*E.R) ? 1 : 0;
+  case Expr::Kind::Not:
+    return eval(*E.L) == 0 ? 1 : 0;
+  case Expr::Kind::Fuel:
+    return (Clock.now() < Limits.Horizon &&
+            (Limits.MaxMarkers == 0 ||
+             Recorder.size() < Limits.MaxMarkers))
+               ? 1
+               : 0;
+  }
+  return 0;
+}
+
+void CaesiumMachine::stepRead(const Stmt &S) {
+  assert(S.Buf < Heap.size() && "buffer out of range");
+  SocketId Sock = static_cast<SocketId>(Regs[S.Reg]);
+
+  // M_ReadS marks the issue of the system call.
+  Recorder.record(MarkerEvent::readS());
+
+  Duration PollLen = Costs.failedRead();
+  Time PollDone = satAdd(Clock.now(), PollLen);
+  std::optional<Message> Msg = Env.read(Sock, PollDone);
+  if (!Msg) {
+    // READ-STEP-FAILURE: result -1, trace event M_ReadE sock ⊥.
+    Clock.advance(PollLen);
+    Recorder.record(MarkerEvent::readE(Sock, std::nullopt));
+    Regs[S.Dst] = -1;
+    return;
+  }
+
+  // READ-STEP-SUCCESS: j = (data, σ.idx); σ'.idx = σ.idx + 1;
+  // σ'.id_map[data] += [j]; heap[l] ← data; emits M_ReadE sock j.
+  Clock.advance(PollLen);
+  Clock.advance(Costs.readCompletionExtra(PollLen));
+  Job J;
+  J.Id = Idx++;
+  J.Msg = Msg->Id;
+  J.Task = Msg->Task;
+  J.Socket = Sock;
+  J.ReadAt = Clock.now();
+  IdMap[dataOf(*Msg)].push_back(J.Id);
+  JobTable[J.Id] = J;
+  Heap[S.Buf].Msg = *Msg;
+  Recorder.record(MarkerEvent::readE(Sock, J));
+  Regs[S.Dst] = static_cast<Value>(Msg->PayloadLen);
+}
+
+void CaesiumMachine::stepTrace(const Stmt &S) {
+  switch (S.Fn) {
+  case TraceFn::TrSelection:
+    Recorder.record(MarkerEvent::selection());
+    Clock.advance(Costs.selection());
+    break;
+
+  case TraceFn::TrIdling:
+    // TRACE-STEP-IDLING: emit M_Idling; state unchanged.
+    Recorder.record(MarkerEvent::idling());
+    Clock.advance(Costs.idling());
+    break;
+
+  case TraceFn::TrDisp: {
+    // TRACE-STEP-DISPATCH: read the data from the heap, resolve the
+    // first job mapped to it (id_map[data] = j :: js), emit
+    // M_Dispatch j. The concrete pick is sound because executions with
+    // equal data are indistinguishable (footnote 5).
+    assert(S.Buf < Heap.size() && Heap[S.Buf].Msg &&
+           "dispatch of an empty buffer");
+    MsgData Data = dataOf(*Heap[S.Buf].Msg);
+    auto It = IdMap.find(Data);
+    assert(It != IdMap.end() && !It->second.empty() &&
+           "dispatched data has no read job (trace_state_inv violated)");
+    JobId Id = It->second.front();
+    It->second.pop_front();
+    if (It->second.empty())
+      IdMap.erase(It);
+    CurrentJob = JobTable[Id];
+    Recorder.record(MarkerEvent::dispatch(*CurrentJob));
+    Clock.advance(Costs.dispatch());
+    break;
+  }
+
+  case TraceFn::TrExec: {
+    assert(CurrentJob && "execution marker without a dispatched job");
+    Recorder.record(MarkerEvent::execution(*CurrentJob));
+    const Task &T = Client.Tasks.task(CurrentJob->Task);
+    if (!Client.Callbacks.empty() && Client.Callbacks[CurrentJob->Task])
+      Client.Callbacks[CurrentJob->Task](*CurrentJob);
+    Clock.advance(Costs.exec(T));
+    break;
+  }
+
+  case TraceFn::TrCompl:
+    assert(CurrentJob && "completion marker without a dispatched job");
+    Recorder.record(MarkerEvent::completion(*CurrentJob));
+    Clock.advance(Costs.completion());
+    CurrentJob.reset();
+    break;
+  }
+}
+
+void CaesiumMachine::exec(const Stmt &S) {
+  switch (S.K) {
+  case Stmt::Kind::Seq:
+    for (const StmtPtr &C : S.Children)
+      exec(*C);
+    break;
+  case Stmt::Kind::SetReg:
+    assert(S.Dst < Regs.size() && "register out of range");
+    Regs[S.Dst] = eval(*S.E);
+    break;
+  case Stmt::Kind::If:
+    if (eval(*S.E) != 0)
+      exec(*S.Children[0]);
+    else if (S.Children.size() > 1)
+      exec(*S.Children[1]);
+    break;
+  case Stmt::Kind::While:
+    while (eval(*S.E) != 0)
+      exec(*S.Children[0]);
+    break;
+  case Stmt::Kind::ReadE:
+    stepRead(S);
+    break;
+  case Stmt::Kind::TraceE:
+    stepTrace(S);
+    break;
+  case Stmt::Kind::Enqueue: {
+    assert(S.Buf < Heap.size() && Heap[S.Buf].Msg &&
+           "enqueue of an empty buffer");
+    const Message &M = *Heap[S.Buf].Msg;
+    assert(M.Task < Client.Tasks.size() && "unknown task");
+    PendingByPrio[Client.Tasks.task(M.Task).Prio].push_back(M);
+    ++PendingCount;
+    break;
+  }
+  case Stmt::Kind::Dequeue: {
+    if (PendingByPrio.empty()) {
+      Regs[S.Dst] = 0;
+      break;
+    }
+    auto It = std::prev(PendingByPrio.end());
+    Heap[S.Buf].Msg = It->second.front();
+    It->second.pop_front();
+    if (It->second.empty())
+      PendingByPrio.erase(It);
+    --PendingCount;
+    Regs[S.Dst] = 1;
+    break;
+  }
+  case Stmt::Kind::FreeBuf:
+    assert(S.Buf < Heap.size() && "buffer out of range");
+    Heap[S.Buf].Msg.reset();
+    break;
+  }
+}
+
+TimedTrace CaesiumMachine::run(const StmtPtr &Program,
+                               const RunLimits &RunLimits_) {
+  Limits = RunLimits_;
+  exec(*Program);
+  return Recorder.take();
+}

@@ -1,0 +1,442 @@
+//===- caesium/parser.cpp -------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "caesium/parser.h"
+
+#include <cctype>
+#include <vector>
+
+using namespace rprosa;
+using namespace rprosa::caesium;
+
+namespace {
+
+/// Token kinds of the concrete syntax.
+enum class Tok : std::uint8_t {
+  Ident,   ///< while, if, else, fuel, read, free, marker names, ...
+  Reg,     ///< rN
+  Buf,     ///< bufN
+  Number,  ///< decimal literal (the '-' of -1 is a separate token)
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Semi,
+  Comma,
+  Assign,  ///< =
+  Bang,    ///< !
+  Plus,
+  Minus,
+  Lt,
+  EqEq,
+  Amp,     ///< & (of &sched)
+  End,
+};
+
+struct Token {
+  Tok K = Tok::End;
+  std::string Text;
+  std::uint64_t Num = 0;
+  std::size_t Line = 1;
+};
+
+/// Lexer for the C-like syntax. '#' and '//' start line comments.
+class Lexer {
+public:
+  explicit Lexer(const std::string &Src) : Src(Src) {}
+
+  bool lex(std::vector<Token> &Out, std::string &Err) {
+    std::size_t I = 0, Line = 1;
+    auto Push = [&](Tok K, std::string Text = "", std::uint64_t N = 0) {
+      Out.push_back(Token{K, std::move(Text), N, Line});
+    };
+    while (I < Src.size()) {
+      char C = Src[I];
+      if (C == '\n') {
+        ++Line;
+        ++I;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        ++I;
+        continue;
+      }
+      if (C == '#' || (C == '/' && I + 1 < Src.size() &&
+                       Src[I + 1] == '/')) {
+        while (I < Src.size() && Src[I] != '\n')
+          ++I;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        std::uint64_t N = 0;
+        while (I < Src.size() &&
+               std::isdigit(static_cast<unsigned char>(Src[I])))
+          N = N * 10 + static_cast<std::uint64_t>(Src[I++] - '0');
+        Push(Tok::Number, "", N);
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+        std::string W;
+        while (I < Src.size() &&
+               (std::isalnum(static_cast<unsigned char>(Src[I])) ||
+                Src[I] == '_'))
+          W += Src[I++];
+        // rN and bufN are their own token kinds.
+        if (W.size() >= 2 && W[0] == 'r' &&
+            std::isdigit(static_cast<unsigned char>(W[1]))) {
+          Push(Tok::Reg, W.substr(1));
+        } else if (W.size() >= 4 && W.rfind("buf", 0) == 0 &&
+                   std::isdigit(static_cast<unsigned char>(W[3]))) {
+          Push(Tok::Buf, W.substr(3));
+        } else {
+          Push(Tok::Ident, W);
+        }
+        continue;
+      }
+      switch (C) {
+      case '(':
+        Push(Tok::LParen);
+        break;
+      case ')':
+        Push(Tok::RParen);
+        break;
+      case '{':
+        Push(Tok::LBrace);
+        break;
+      case '}':
+        Push(Tok::RBrace);
+        break;
+      case ';':
+        Push(Tok::Semi);
+        break;
+      case ',':
+        Push(Tok::Comma);
+        break;
+      case '!':
+        Push(Tok::Bang);
+        break;
+      case '+':
+        Push(Tok::Plus);
+        break;
+      case '-':
+        Push(Tok::Minus);
+        break;
+      case '&':
+        Push(Tok::Amp);
+        break;
+      case '<':
+        Push(Tok::Lt);
+        break;
+      case '=':
+        if (I + 1 < Src.size() && Src[I + 1] == '=') {
+          Push(Tok::EqEq);
+          ++I;
+        } else {
+          Push(Tok::Assign);
+        }
+        break;
+      default:
+        Err = "line " + std::to_string(Line) +
+              ": unexpected character '" + std::string(1, C) + "'";
+        return false;
+      }
+      ++I;
+    }
+    Push(Tok::End);
+    return true;
+  }
+
+private:
+  const std::string &Src;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+public:
+  Parser(std::vector<Token> Toks, CheckResult *Diags)
+      : Toks(std::move(Toks)), Diags(Diags) {}
+
+  std::optional<StmtPtr> program() {
+    std::vector<StmtPtr> Stmts;
+    while (!at(Tok::End)) {
+      std::optional<StmtPtr> S = stmt();
+      if (!S)
+        return std::nullopt;
+      Stmts.push_back(std::move(*S));
+    }
+    return Stmt::seq(std::move(Stmts));
+  }
+
+private:
+  const Token &peek() const { return Toks[Pos]; }
+  bool at(Tok K) const { return peek().K == K; }
+  const Token &advance() { return Toks[Pos++]; }
+
+  bool expect(Tok K, const char *What) {
+    if (at(K)) {
+      advance();
+      return true;
+    }
+    fail(std::string("expected ") + What);
+    return false;
+  }
+
+  void fail(const std::string &Why) {
+    if (Diags)
+      Diags->addFailure("parse error at line " +
+                        std::to_string(peek().Line) + ": " + Why);
+  }
+
+  std::optional<std::uint64_t> regOrBufIndex(Tok K, const char *What) {
+    if (!at(K)) {
+      fail(std::string("expected ") + What);
+      return std::nullopt;
+    }
+    return std::stoull(advance().Text);
+  }
+
+  /// primary := number | -number | rN | fuel() | '(' expr op expr ')'
+  ///          | '!' primary
+  std::optional<ExprPtr> expr() {
+    if (at(Tok::Number))
+      return Expr::lit(static_cast<Value>(advance().Num));
+    if (at(Tok::Minus)) {
+      advance();
+      if (!at(Tok::Number)) {
+        fail("expected a number after '-'");
+        return std::nullopt;
+      }
+      return Expr::lit(-static_cast<Value>(advance().Num));
+    }
+    if (at(Tok::Reg))
+      return Expr::reg(static_cast<RegId>(std::stoul(advance().Text)));
+    if (at(Tok::Bang)) {
+      advance();
+      std::optional<ExprPtr> Inner = expr();
+      if (!Inner)
+        return std::nullopt;
+      return Expr::notE(std::move(*Inner));
+    }
+    if (at(Tok::Ident) && peek().Text == "fuel") {
+      advance();
+      if (!expect(Tok::LParen, "'(' after fuel") ||
+          !expect(Tok::RParen, "')' after fuel("))
+        return std::nullopt;
+      return Expr::fuel();
+    }
+    if (at(Tok::LParen)) {
+      advance();
+      std::optional<ExprPtr> L = expr();
+      if (!L)
+        return std::nullopt;
+      Tok Op = peek().K;
+      if (Op != Tok::Plus && Op != Tok::Minus && Op != Tok::Lt &&
+          Op != Tok::EqEq) {
+        fail("expected a binary operator");
+        return std::nullopt;
+      }
+      advance();
+      std::optional<ExprPtr> R = expr();
+      if (!R || !expect(Tok::RParen, "')'"))
+        return std::nullopt;
+      switch (Op) {
+      case Tok::Plus:
+        return Expr::add(std::move(*L), std::move(*R));
+      case Tok::Minus:
+        return Expr::sub(std::move(*L), std::move(*R));
+      case Tok::Lt:
+        return Expr::less(std::move(*L), std::move(*R));
+      default:
+        return Expr::eq(std::move(*L), std::move(*R));
+      }
+    }
+    fail("expected an expression");
+    return std::nullopt;
+  }
+
+  std::optional<StmtPtr> block() {
+    if (!expect(Tok::LBrace, "'{'"))
+      return std::nullopt;
+    std::vector<StmtPtr> Stmts;
+    while (!at(Tok::RBrace) && !at(Tok::End)) {
+      std::optional<StmtPtr> S = stmt();
+      if (!S)
+        return std::nullopt;
+      Stmts.push_back(std::move(*S));
+    }
+    if (!expect(Tok::RBrace, "'}'"))
+      return std::nullopt;
+    return Stmt::seq(std::move(Stmts));
+  }
+
+  /// "(&sched, bufN)" tail of the queue builtins.
+  std::optional<BufId> schedArgs() {
+    if (!expect(Tok::LParen, "'('") || !expect(Tok::Amp, "'&sched'"))
+      return std::nullopt;
+    if (!at(Tok::Ident) || peek().Text != "sched") {
+      fail("expected 'sched'");
+      return std::nullopt;
+    }
+    advance();
+    if (!expect(Tok::Comma, "','"))
+      return std::nullopt;
+    std::optional<std::uint64_t> B = regOrBufIndex(Tok::Buf, "a buffer");
+    if (!B || !expect(Tok::RParen, "')'"))
+      return std::nullopt;
+    return static_cast<BufId>(*B);
+  }
+
+  std::optional<StmtPtr> stmt() {
+    // Control flow.
+    if (at(Tok::Ident) && peek().Text == "while") {
+      advance();
+      if (!expect(Tok::LParen, "'('"))
+        return std::nullopt;
+      std::optional<ExprPtr> Cond = expr();
+      if (!Cond || !expect(Tok::RParen, "')'"))
+        return std::nullopt;
+      std::optional<StmtPtr> Body = block();
+      if (!Body)
+        return std::nullopt;
+      return Stmt::whileLoop(std::move(*Cond), std::move(*Body));
+    }
+    if (at(Tok::Ident) && peek().Text == "if") {
+      advance();
+      if (!expect(Tok::LParen, "'('"))
+        return std::nullopt;
+      std::optional<ExprPtr> Cond = expr();
+      if (!Cond || !expect(Tok::RParen, "')'"))
+        return std::nullopt;
+      std::optional<StmtPtr> Then = block();
+      if (!Then)
+        return std::nullopt;
+      StmtPtr Else;
+      if (at(Tok::Ident) && peek().Text == "else") {
+        advance();
+        std::optional<StmtPtr> E = block();
+        if (!E)
+          return std::nullopt;
+        Else = std::move(*E);
+      }
+      return Stmt::ifThen(std::move(*Cond), std::move(*Then),
+                          std::move(Else));
+    }
+
+    // Marker functions and free().
+    if (at(Tok::Ident)) {
+      const std::string &W = peek().Text;
+      auto MarkerFor = [&](const std::string &Name)
+          -> std::optional<TraceFn> {
+        if (Name == "selection_start")
+          return TraceFn::TrSelection;
+        if (Name == "dispatch_start")
+          return TraceFn::TrDisp;
+        if (Name == "execution_start")
+          return TraceFn::TrExec;
+        if (Name == "completion_start")
+          return TraceFn::TrCompl;
+        if (Name == "idling_start")
+          return TraceFn::TrIdling;
+        return std::nullopt;
+      };
+      if (std::optional<TraceFn> Fn = MarkerFor(W)) {
+        advance();
+        if (!expect(Tok::LParen, "'('"))
+          return std::nullopt;
+        BufId Buf = 0;
+        if (at(Tok::Buf)) {
+          std::optional<std::uint64_t> B =
+              regOrBufIndex(Tok::Buf, "a buffer");
+          if (!B)
+            return std::nullopt;
+          Buf = static_cast<BufId>(*B);
+        }
+        if (!expect(Tok::RParen, "')'") || !expect(Tok::Semi, "';'"))
+          return std::nullopt;
+        return Stmt::traceE(*Fn, Buf);
+      }
+      if (W == "free") {
+        advance();
+        if (!expect(Tok::LParen, "'('"))
+          return std::nullopt;
+        std::optional<std::uint64_t> B =
+            regOrBufIndex(Tok::Buf, "a buffer");
+        if (!B || !expect(Tok::RParen, "')'") ||
+            !expect(Tok::Semi, "';'"))
+          return std::nullopt;
+        return Stmt::freeBuf(static_cast<BufId>(*B));
+      }
+      if (W == "npfp_enqueue") {
+        advance();
+        std::optional<BufId> B = schedArgs();
+        if (!B || !expect(Tok::Semi, "';'"))
+          return std::nullopt;
+        return Stmt::enqueue(*B);
+      }
+    }
+
+    // Assignments: rN = expr; | rN = read(rM, bufK); |
+    //              rN = npfp_dequeue(&sched, bufK);
+    if (at(Tok::Reg)) {
+      RegId Dst = static_cast<RegId>(std::stoul(advance().Text));
+      if (!expect(Tok::Assign, "'='"))
+        return std::nullopt;
+      if (at(Tok::Ident) && peek().Text == "read") {
+        advance();
+        if (!expect(Tok::LParen, "'('"))
+          return std::nullopt;
+        std::optional<std::uint64_t> Sock =
+            regOrBufIndex(Tok::Reg, "a register");
+        if (!Sock || !expect(Tok::Comma, "','"))
+          return std::nullopt;
+        std::optional<std::uint64_t> Buf =
+            regOrBufIndex(Tok::Buf, "a buffer");
+        if (!Buf || !expect(Tok::RParen, "')'") ||
+            !expect(Tok::Semi, "';'"))
+          return std::nullopt;
+        return Stmt::readE(static_cast<RegId>(*Sock),
+                           static_cast<BufId>(*Buf), Dst);
+      }
+      if (at(Tok::Ident) && peek().Text == "npfp_dequeue") {
+        advance();
+        std::optional<BufId> B = schedArgs();
+        if (!B || !expect(Tok::Semi, "';'"))
+          return std::nullopt;
+        return Stmt::dequeue(*B, Dst);
+      }
+      std::optional<ExprPtr> E = expr();
+      if (!E || !expect(Tok::Semi, "';'"))
+        return std::nullopt;
+      return Stmt::setReg(Dst, std::move(*E));
+    }
+
+    fail("expected a statement, got '" +
+         (peek().Text.empty() ? std::to_string(peek().Num) : peek().Text) +
+         "'");
+    return std::nullopt;
+  }
+
+  std::vector<Token> Toks;
+  CheckResult *Diags;
+  std::size_t Pos = 0;
+};
+
+} // namespace
+
+std::optional<StmtPtr>
+rprosa::caesium::parseProgram(const std::string &Source,
+                              CheckResult *Diags) {
+  Lexer L(Source);
+  std::vector<Token> Toks;
+  std::string Err;
+  if (!L.lex(Toks, Err)) {
+    if (Diags)
+      Diags->addFailure(Err);
+    return std::nullopt;
+  }
+  Parser P(std::move(Toks), Diags);
+  return P.program();
+}

@@ -1,0 +1,55 @@
+//===- caesium/parser.h - A C-like frontend for the embedding -------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RefinedC's *frontend* — the translation from C source to the Caesium
+/// embedding — is explicitly part of the paper's trusted computing base
+/// (§5). This module is its executable analogue: a recursive-descent
+/// parser from the C-like concrete syntax (exactly what print.h emits)
+/// back into the deeply-embedded AST, so a scheduler can be written as
+/// text, parsed, run under the Fig. 6 semantics, and checked:
+///
+///   while (fuel()) {
+///     r1 = 1;
+///     while (r1) { r1 = 0; r0 = 0;
+///       while ((r0 < 2)) {
+///         r2 = read(r0, buf0);
+///         if (!(r2 == -1)) { npfp_enqueue(&sched, buf0);
+///                            free(buf0); r1 = 1; }
+///         r0 = (r0 + 1);
+///       } }
+///     selection_start();
+///     r3 = npfp_dequeue(&sched, buf1);
+///     if (r3) { dispatch_start(buf1); execution_start(buf1);
+///               completion_start(buf1); free(buf1); }
+///     else { idling_start(); }
+///   }
+///
+/// parse ∘ print is the identity on ASTs (asserted by tests), and the
+/// parsed Rössl source is trace-equivalent to the native scheduler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_CAESIUM_PARSER_H
+#define RPROSA_CAESIUM_PARSER_H
+
+#include "caesium/ast.h"
+
+#include "support/check.h"
+
+#include <optional>
+#include <string>
+
+namespace rprosa::caesium {
+
+/// Parses a program (a sequence of statements). nullopt on error, with
+/// the position and reason appended to \p Diags when non-null.
+std::optional<StmtPtr> parseProgram(const std::string &Source,
+                                    rprosa::CheckResult *Diags = nullptr);
+
+} // namespace rprosa::caesium
+
+#endif // RPROSA_CAESIUM_PARSER_H

@@ -1,0 +1,92 @@
+//===- caesium/print.cpp --------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "caesium/print.h"
+
+using namespace rprosa::caesium;
+
+std::string rprosa::caesium::printExpr(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::Lit:
+    return std::to_string(E.Lit);
+  case Expr::Kind::Reg:
+    return "r" + std::to_string(E.Reg);
+  case Expr::Kind::Add:
+    return "(" + printExpr(*E.L) + " + " + printExpr(*E.R) + ")";
+  case Expr::Kind::Sub:
+    return "(" + printExpr(*E.L) + " - " + printExpr(*E.R) + ")";
+  case Expr::Kind::Less:
+    return "(" + printExpr(*E.L) + " < " + printExpr(*E.R) + ")";
+  case Expr::Kind::Eq:
+    return "(" + printExpr(*E.L) + " == " + printExpr(*E.R) + ")";
+  case Expr::Kind::Not:
+    return "!" + printExpr(*E.L);
+  case Expr::Kind::Fuel:
+    return "fuel()"; // The finite-horizon stand-in for `1`.
+  }
+  return "?";
+}
+
+static const char *traceFnName(TraceFn F) {
+  switch (F) {
+  case TraceFn::TrSelection:
+    return "selection_start";
+  case TraceFn::TrDisp:
+    return "dispatch_start";
+  case TraceFn::TrExec:
+    return "execution_start";
+  case TraceFn::TrCompl:
+    return "completion_start";
+  case TraceFn::TrIdling:
+    return "idling_start";
+  }
+  return "?";
+}
+
+std::string rprosa::caesium::printStmt(const Stmt &S, unsigned Indent) {
+  std::string Pad(Indent, ' ');
+  switch (S.K) {
+  case Stmt::Kind::Seq: {
+    std::string Out;
+    for (const StmtPtr &C : S.Children)
+      Out += printStmt(*C, Indent);
+    return Out;
+  }
+  case Stmt::Kind::SetReg:
+    return Pad + "r" + std::to_string(S.Dst) + " = " + printExpr(*S.E) +
+           ";\n";
+  case Stmt::Kind::If: {
+    std::string Out = Pad + "if (" + printExpr(*S.E) + ") {\n" +
+                      printStmt(*S.Children[0], Indent + 2);
+    if (S.Children.size() > 1)
+      Out += Pad + "} else {\n" + printStmt(*S.Children[1], Indent + 2);
+    return Out + Pad + "}\n";
+  }
+  case Stmt::Kind::While:
+    return Pad + "while (" + printExpr(*S.E) + ") {\n" +
+           printStmt(*S.Children[0], Indent + 2) + Pad + "}\n";
+  case Stmt::Kind::ReadE:
+    return Pad + "r" + std::to_string(S.Dst) + " = read(r" +
+           std::to_string(S.Reg) + ", buf" + std::to_string(S.Buf) +
+           ");\n";
+  case Stmt::Kind::TraceE: {
+    std::string Args;
+    if (S.Fn == TraceFn::TrDisp || S.Fn == TraceFn::TrExec ||
+        S.Fn == TraceFn::TrCompl)
+      Args = "buf" + std::to_string(S.Buf);
+    return Pad + std::string(traceFnName(S.Fn)) + "(" + Args + ");\n";
+  }
+  case Stmt::Kind::Enqueue:
+    return Pad + "npfp_enqueue(&sched, buf" + std::to_string(S.Buf) +
+           ");\n";
+  case Stmt::Kind::Dequeue:
+    return Pad + "r" + std::to_string(S.Dst) + " = npfp_dequeue(&sched, "
+           "buf" + std::to_string(S.Buf) + ");\n";
+  case Stmt::Kind::FreeBuf:
+    return Pad + "free(buf" + std::to_string(S.Buf) + ");\n";
+  }
+  return Pad + "?;\n";
+}

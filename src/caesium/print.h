@@ -1,0 +1,31 @@
+//===- caesium/print.h - Pretty-printing embedded programs ----------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a deeply-embedded program as C-like source text — the view a
+/// RefinedC user would annotate. Used by the docs, by debugging, and by
+/// tests that pin the shape of the generated Rössl program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_CAESIUM_PRINT_H
+#define RPROSA_CAESIUM_PRINT_H
+
+#include "caesium/ast.h"
+
+#include <string>
+
+namespace rprosa::caesium {
+
+/// Renders the expression as C-like text ("(r0 < 3)").
+std::string printExpr(const Expr &E);
+
+/// Renders the statement tree with \p Indent leading spaces per level.
+std::string printStmt(const Stmt &S, unsigned Indent = 0);
+
+} // namespace rprosa::caesium
+
+#endif // RPROSA_CAESIUM_PRINT_H

@@ -1,0 +1,64 @@
+//===- caesium/rossl_program.cpp ------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "caesium/rossl_program.h"
+
+using namespace rprosa::caesium;
+
+StmtPtr rprosa::caesium::buildRosslProgram(std::uint32_t NumSockets) {
+  constexpr RegId Sock = 0, AnySuccess = 1, ReadResult = 2, HaveJob = 3;
+  constexpr BufId RecvBuf = 0, DispBuf = 1;
+
+  // --- check_sockets_until_empty (Fig. 2, line 3) ---
+  // for (sock = 0; sock < N; ++sock) {
+  //   if (read(sock, buf) != -1) { npfp_enqueue(buf); any = 1; }
+  // }
+  StmtPtr OneRound = Stmt::seq({
+      Stmt::setReg(Sock, Expr::lit(0)),
+      Stmt::whileLoop(
+          Expr::less(Expr::reg(Sock), Expr::lit(NumSockets)),
+          Stmt::seq({
+              Stmt::readE(Sock, RecvBuf, ReadResult),
+              Stmt::ifThen(
+                  Expr::notE(Expr::eq(Expr::reg(ReadResult),
+                                      Expr::lit(-1))),
+                  Stmt::seq({
+                      Stmt::enqueue(RecvBuf),
+                      Stmt::freeBuf(RecvBuf),
+                      Stmt::setReg(AnySuccess, Expr::lit(1)),
+                  })),
+              Stmt::setReg(Sock,
+                           Expr::add(Expr::reg(Sock), Expr::lit(1))),
+          })),
+  });
+
+  // do { any = 0; <round>; } while (any);
+  StmtPtr Polling = Stmt::seq({
+      Stmt::setReg(AnySuccess, Expr::lit(1)),
+      Stmt::whileLoop(Expr::reg(AnySuccess),
+                      Stmt::seq({
+                          Stmt::setReg(AnySuccess, Expr::lit(0)),
+                          OneRound,
+                      })),
+  });
+
+  // --- selection + execution phases (Fig. 2, lines 4-12) ---
+  StmtPtr SelectAndRun = Stmt::seq({
+      Stmt::traceE(TraceFn::TrSelection),
+      Stmt::dequeue(DispBuf, HaveJob),
+      Stmt::ifThen(Expr::reg(HaveJob),
+                   Stmt::seq({
+                       Stmt::traceE(TraceFn::TrDisp, DispBuf),
+                       Stmt::traceE(TraceFn::TrExec, DispBuf),
+                       Stmt::traceE(TraceFn::TrCompl, DispBuf),
+                       Stmt::freeBuf(DispBuf), // free(j)
+                   }),
+                   Stmt::traceE(TraceFn::TrIdling)),
+  });
+
+  // while (1) { ... }  — with Fuel standing in for the finite horizon.
+  return Stmt::whileLoop(Expr::fuel(), Stmt::seq({Polling, SelectAndRun}));
+}

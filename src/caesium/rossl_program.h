@@ -1,0 +1,30 @@
+//===- caesium/rossl_program.h - Rössl in the embedded language -----------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Fig. 2 scheduling loop written in the deep embedding — the
+/// analogue of the 300 LoC of Rössl C code the paper verifies. Running
+/// it under the CaesiumMachine must reproduce the native C++
+/// scheduler's timed trace exactly (the differential tests and the E12
+/// harness check this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_CAESIUM_ROSSL_PROGRAM_H
+#define RPROSA_CAESIUM_ROSSL_PROGRAM_H
+
+#include "caesium/ast.h"
+
+namespace rprosa::caesium {
+
+/// Builds fds_run for \p NumSockets sockets. Register/buffer usage:
+/// r0 = socket loop index, r1 = any-success flag, r2 = read result,
+/// r3 = dequeue flag; buf0 = receive buffer, buf1 = dispatch buffer.
+StmtPtr buildRosslProgram(std::uint32_t NumSockets);
+
+} // namespace rprosa::caesium
+
+#endif // RPROSA_CAESIUM_ROSSL_PROGRAM_H

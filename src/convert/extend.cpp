@@ -1,0 +1,83 @@
+//===- convert/extend.cpp -------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "convert/extend.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace rprosa;
+
+namespace {
+
+/// Policy ordering among the leftover pending jobs (same keys as the
+/// selection rule; smaller = dispatched first).
+std::uint64_t pendingKey(const ConvertedJob &CJ, const TaskSet &Tasks,
+                         SchedPolicy Policy) {
+  switch (Policy) {
+  case SchedPolicy::Npfp:
+    return std::numeric_limits<std::uint64_t>::max() -
+           Tasks.task(CJ.J.Task).Prio;
+  case SchedPolicy::Edf:
+    return satAdd(CJ.ReadAt, Tasks.task(CJ.J.Task).Deadline);
+  case SchedPolicy::Fifo:
+    return CJ.J.Id;
+  }
+  return CJ.J.Id;
+}
+
+} // namespace
+
+std::size_t rprosa::extendWithPendingCompletions(ConversionResult &CR,
+                                                 const TaskSet &Tasks,
+                                                 const BasicActionWcets &W,
+                                                 std::uint32_t NumSockets,
+                                                 SchedPolicy Policy) {
+  // The jobs whose completion the horizon cut off.
+  std::vector<ConvertedJob *> Pending;
+  for (ConvertedJob &CJ : CR.Jobs)
+    if (!CJ.CompletedAt && CJ.J.Task < Tasks.size())
+      Pending.push_back(&CJ);
+  if (Pending.empty())
+    return 0;
+
+  std::stable_sort(Pending.begin(), Pending.end(),
+                   [&](const ConvertedJob *A, const ConvertedJob *B) {
+                     std::uint64_t Ka = pendingKey(*A, Tasks, Policy);
+                     std::uint64_t Kb = pendingKey(*B, Tasks, Policy);
+                     if (Ka != Kb)
+                       return Ka < Kb;
+                     return A->J.Id < B->J.Id;
+                   });
+
+  // If the run stopped mid-iteration (e.g. a truncated trace), pad to a
+  // clean boundary with Idle: the synthesized blocks start fresh.
+  Duration PB = satMul(NumSockets, W.FailedRead);
+  for (ConvertedJob *CJ : Pending) {
+    // One worst-case loop iteration serving this job: the final
+    // all-failed polling round, selection, dispatch, execution at C_i,
+    // completion cleanup.
+    JobId Id = CJ->J.Id;
+    CR.Sched.append(ProcState::overhead(ProcStateKind::PollingOvh, Id),
+                    PB);
+    Time SelAt = CR.Sched.endTime();
+    CR.Sched.append(ProcState::overhead(ProcStateKind::SelectionOvh, Id),
+                    W.Selection);
+    Time DispAt = CR.Sched.endTime();
+    CR.Sched.append(ProcState::overhead(ProcStateKind::DispatchOvh, Id),
+                    W.Dispatch);
+    CR.Sched.append(ProcState::executes(Id), Tasks.task(CJ->J.Task).Wcet);
+    Time ComplAt = CR.Sched.endTime();
+    CR.Sched.append(ProcState::overhead(ProcStateKind::CompletionOvh, Id),
+                    W.Completion);
+    if (!CJ->SelectedAt)
+      CJ->SelectedAt = SelAt;
+    if (!CJ->DispatchedAt)
+      CJ->DispatchedAt = DispAt;
+    CJ->CompletedAt = ComplAt;
+  }
+  return Pending.size();
+}

@@ -1,0 +1,46 @@
+//===- convert/extend.h - Finite-to-infinite schedule extension (§6) ------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prosa reasons over possibly-infinite schedules, but a run yields a
+/// finite trace. §6: "Like ProKOS, we therefore extend Rössl's traces
+/// by manually scheduling the completion of any pending jobs to fit
+/// Prosa's standard representation and its associated invariants."
+/// (Unlike ProKOS, no infinite periodic extension is needed — beyond
+/// the pending jobs the schedule is Idle forever, which Schedule's
+/// out-of-range convention already provides.)
+///
+/// extendWithPendingCompletions() appends, in policy order, a
+/// PollingOvh/SelectionOvh/DispatchOvh/Executes/CompletionOvh block at
+/// worst-case durations for every job that was read but not completed
+/// when the horizon cut the run, and fills in the job table entries —
+/// producing a schedule in which every read job completes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_CONVERT_EXTEND_H
+#define RPROSA_CONVERT_EXTEND_H
+
+#include "convert/trace_to_schedule.h"
+
+#include "core/policy.h"
+#include "core/task.h"
+#include "core/wcet.h"
+
+namespace rprosa {
+
+/// Extends \p CR in place; returns the number of jobs whose completion
+/// was synthesized.
+std::size_t extendWithPendingCompletions(ConversionResult &CR,
+                                         const TaskSet &Tasks,
+                                         const BasicActionWcets &W,
+                                         std::uint32_t NumSockets,
+                                         SchedPolicy Policy =
+                                             SchedPolicy::Npfp);
+
+} // namespace rprosa
+
+#endif // RPROSA_CONVERT_EXTEND_H

@@ -1,0 +1,206 @@
+//===- core/arrival_curve.cpp ---------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/arrival_curve.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+using namespace rprosa;
+
+CheckResult ArrivalCurve::validate(Duration Horizon) const {
+  CheckResult R;
+  R.noteCheck();
+  if (eval(0) != 0)
+    R.addFailure("arrival curve violates eval(0) == 0: " + describe());
+  // Probe a coarse grid for monotonicity; a full scan is infeasible for
+  // ns-granularity horizons, and curve implementations are simple enough
+  // that grid probing catches sign errors.
+  std::uint64_t Prev = 0;
+  Duration Step = Horizon / 256 + 1;
+  for (Duration D = 0; D <= Horizon; D = satAdd(D, Step)) {
+    R.noteCheck();
+    std::uint64_t V = eval(D);
+    if (V < Prev) {
+      R.addFailure("arrival curve not monotone at Delta=" +
+                   std::to_string(D) + ": " + describe());
+      break;
+    }
+    Prev = V;
+    if (D == TimeInfinity)
+      break;
+  }
+  return R;
+}
+
+PeriodicCurve::PeriodicCurve(Duration Period) : Period(Period) {
+  assert(Period > 0 && "period must be positive");
+}
+
+std::uint64_t PeriodicCurve::eval(Duration Delta) const {
+  if (Delta == 0)
+    return 0;
+  // ⌈Δ/T⌉ without overflow.
+  return (Delta - 1) / Period + 1;
+}
+
+std::string PeriodicCurve::describe() const {
+  return "periodic(T=" + std::to_string(Period) + ")";
+}
+
+LeakyBucketCurve::LeakyBucketCurve(std::uint64_t Burst, Duration Rate)
+    : Burst(Burst), Rate(Rate) {
+  assert(Burst > 0 && "burst must admit at least one arrival");
+  assert(Rate > 0 && "rate separation must be positive");
+}
+
+std::uint64_t LeakyBucketCurve::eval(Duration Delta) const {
+  if (Delta == 0)
+    return 0;
+  return Burst + Delta / Rate;
+}
+
+std::string LeakyBucketCurve::describe() const {
+  return "leaky-bucket(b=" + std::to_string(Burst) +
+         ", r=1/" + std::to_string(Rate) + ")";
+}
+
+StaircaseCurve::StaircaseCurve(std::vector<Step> Steps, Duration TailPeriod)
+    : Steps(std::move(Steps)), TailPeriod(TailPeriod) {
+  assert(!this->Steps.empty() && "need at least one step");
+  for (std::size_t I = 1; I < this->Steps.size(); ++I) {
+    assert(this->Steps[I - 1].UpToLength < this->Steps[I].UpToLength &&
+           "steps must be sorted by window length");
+    assert(this->Steps[I - 1].Bound <= this->Steps[I].Bound &&
+           "bounds must be non-decreasing");
+  }
+}
+
+std::uint64_t StaircaseCurve::eval(Duration Delta) const {
+  if (Delta == 0)
+    return 0;
+  const Step *Best = nullptr;
+  for (const Step &S : Steps) {
+    if (Delta <= S.UpToLength) {
+      Best = &S;
+      break;
+    }
+  }
+  if (Best)
+    return Best->Bound;
+  const Step &Last = Steps.back();
+  if (TailPeriod == 0)
+    return Last.Bound;
+  return Last.Bound + (Delta - Last.UpToLength) / TailPeriod;
+}
+
+std::string StaircaseCurve::describe() const {
+  return "staircase(" + std::to_string(Steps.size()) + " steps)";
+}
+
+PeriodicJitterCurve::PeriodicJitterCurve(Duration Period, Duration Jit)
+    : Period(Period), Jit(Jit) {
+  assert(Period > 0 && "period must be positive");
+}
+
+std::uint64_t PeriodicJitterCurve::eval(Duration Delta) const {
+  if (Delta == 0)
+    return 0;
+  // ⌈(Δ + Jit)/T⌉.
+  Duration Num = satAdd(Delta, Jit);
+  return (Num - 1) / Period + 1;
+}
+
+std::string PeriodicJitterCurve::describe() const {
+  return "periodic-jitter(T=" + std::to_string(Period) +
+         ", J=" + std::to_string(Jit) + ")";
+}
+
+SumCurve::SumCurve(std::vector<ArrivalCurvePtr> Parts)
+    : Parts(std::move(Parts)) {
+  assert(!this->Parts.empty() && "sum of zero curves");
+  for ([[maybe_unused]] const ArrivalCurvePtr &P : this->Parts)
+    assert(P && "missing summand");
+}
+
+std::uint64_t SumCurve::eval(Duration Delta) const {
+  std::uint64_t Sum = 0;
+  for (const ArrivalCurvePtr &P : Parts)
+    Sum += P->eval(Delta);
+  return Sum;
+}
+
+std::string SumCurve::describe() const {
+  return "sum(" + std::to_string(Parts.size()) + " curves)";
+}
+
+MinCurve::MinCurve(ArrivalCurvePtr A, ArrivalCurvePtr B)
+    : A(std::move(A)), B(std::move(B)) {
+  assert(this->A && this->B && "missing operand");
+}
+
+std::uint64_t MinCurve::eval(Duration Delta) const {
+  return std::min(A->eval(Delta), B->eval(Delta));
+}
+
+std::string MinCurve::describe() const {
+  return "min(" + A->describe() + ", " + B->describe() + ")";
+}
+
+ScaledCurve::ScaledCurve(ArrivalCurvePtr Inner, std::uint64_t Factor)
+    : Inner(std::move(Inner)), Factor(Factor) {
+  assert(this->Inner && "missing inner curve");
+  assert(Factor > 0 && "zero scale makes a zero curve; use ZeroCurve");
+}
+
+std::uint64_t ScaledCurve::eval(Duration Delta) const {
+  return Factor * Inner->eval(Delta);
+}
+
+std::string ScaledCurve::describe() const {
+  return std::to_string(Factor) + "x(" + Inner->describe() + ")";
+}
+
+Duration rprosa::minWindowAdmitting(const ArrivalCurve &Curve,
+                                    std::uint64_t Count, Duration SearchCap) {
+  if (Count == 0)
+    return 0;
+  // Doubling phase: find some window admitting Count.
+  Duration Hi = 1;
+  while (Curve.eval(Hi) < Count) {
+    if (Hi >= SearchCap)
+      return TimeInfinity;
+    Hi = satMul(Hi, 2);
+    if (Hi > SearchCap)
+      Hi = SearchCap;
+  }
+  // Binary search for the smallest such window.
+  Duration Lo = 1;
+  while (Lo < Hi) {
+    Duration Mid = Lo + (Hi - Lo) / 2;
+    if (Curve.eval(Mid) >= Count)
+      Hi = Mid;
+    else
+      Lo = Mid + 1;
+  }
+  return Hi;
+}
+
+ShiftedCurve::ShiftedCurve(ArrivalCurvePtr Inner, Duration Shift)
+    : Inner(std::move(Inner)), Shift(Shift) {
+  assert(this->Inner && "inner curve required");
+}
+
+std::uint64_t ShiftedCurve::eval(Duration Delta) const {
+  if (Delta == 0)
+    return 0;
+  return Inner->eval(satAdd(Delta, Shift));
+}
+
+std::string ShiftedCurve::describe() const {
+  return Inner->describe() + "+shift(" + std::to_string(Shift) + ")";
+}

@@ -1,0 +1,196 @@
+//===- core/arrival_curve.h - Arrival curves (workload model) -------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arrival curves α_i bound the job arrival rate per task (§4.1): α_i(Δ)
+/// is an upper bound on the number of jobs of task τ_i that may arrive
+/// in *any* half-open time window of length Δ. Required properties:
+///   - α(0) = 0,
+///   - α is monotonically non-decreasing.
+///
+/// The paper supports arbitrary arrival curves (a key generalization over
+/// ProKOS's periodic tasks, §6). We provide the standard shapes:
+/// periodic/sporadic (min-separation), leaky-bucket (burst + rate), an
+/// explicit staircase, and combinators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_CORE_ARRIVAL_CURVE_H
+#define RPROSA_CORE_ARRIVAL_CURVE_H
+
+#include "core/time.h"
+#include "support/check.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rprosa {
+
+/// Abstract arrival curve. Implementations must be monotone with
+/// eval(0) == 0; validate() spot-checks this.
+class ArrivalCurve {
+public:
+  virtual ~ArrivalCurve() = default;
+
+  /// Returns an upper bound on the number of arrivals in any half-open
+  /// window of length \p Delta.
+  virtual std::uint64_t eval(Duration Delta) const = 0;
+
+  /// A human-readable description of the curve ("periodic(T=10ms)").
+  virtual std::string describe() const = 0;
+
+  /// Spot-checks the curve axioms (eval(0)==0, monotonicity on a probe
+  /// grid up to \p Horizon).
+  CheckResult validate(Duration Horizon) const;
+};
+
+using ArrivalCurvePtr = std::shared_ptr<const ArrivalCurve>;
+
+/// Periodic / sporadic arrivals with minimum separation T:
+/// α(Δ) = ⌈Δ/T⌉.
+class PeriodicCurve : public ArrivalCurve {
+public:
+  explicit PeriodicCurve(Duration Period);
+
+  std::uint64_t eval(Duration Delta) const override;
+  std::string describe() const override;
+
+  Duration period() const { return Period; }
+
+private:
+  Duration Period;
+};
+
+/// Leaky-bucket arrivals: α(Δ) = 0 for Δ = 0, else Burst + ⌊Δ/Rate⌋
+/// where Rate is the steady-state minimum separation. Models a bursty
+/// source that may deliver up to Burst back-to-back messages.
+class LeakyBucketCurve : public ArrivalCurve {
+public:
+  LeakyBucketCurve(std::uint64_t Burst, Duration Rate);
+
+  std::uint64_t eval(Duration Delta) const override;
+  std::string describe() const override;
+
+  std::uint64_t burst() const { return Burst; }
+  Duration rate() const { return Rate; }
+
+private:
+  std::uint64_t Burst;
+  Duration Rate;
+};
+
+/// An explicit staircase given as (window length, bound) breakpoints.
+/// eval(Δ) = the bound of the largest breakpoint with length ≤ Δ.
+class StaircaseCurve : public ArrivalCurve {
+public:
+  struct Step {
+    Duration UpToLength; ///< Window lengths ≤ this get...
+    std::uint64_t Bound; ///< ...this arrival bound.
+  };
+
+  /// \p Steps must be sorted by UpToLength with non-decreasing bounds;
+  /// windows longer than the last step extrapolate linearly using
+  /// \p TailPeriod extra arrivals per TailPeriod ticks (0 = constant).
+  StaircaseCurve(std::vector<Step> Steps, Duration TailPeriod = 0);
+
+  std::uint64_t eval(Duration Delta) const override;
+  std::string describe() const override;
+
+private:
+  std::vector<Step> Steps;
+  Duration TailPeriod;
+};
+
+/// The curve shifted by a constant window extension: eval(Δ) =
+/// Inner(Δ + Shift) for Δ > 0, and 0 at Δ = 0. This is exactly the
+/// *release curve* construction of §4.3: β_i(Δ) = α_i(Δ + J_i).
+class ShiftedCurve : public ArrivalCurve {
+public:
+  ShiftedCurve(ArrivalCurvePtr Inner, Duration Shift);
+
+  std::uint64_t eval(Duration Delta) const override;
+  std::string describe() const override;
+
+private:
+  ArrivalCurvePtr Inner;
+  Duration Shift;
+};
+
+/// The zero curve (no arrivals); useful for disabled tasks in tests.
+class ZeroCurve : public ArrivalCurve {
+public:
+  std::uint64_t eval(Duration) const override { return 0; }
+  std::string describe() const override { return "zero"; }
+};
+
+/// Periodic arrivals subject to release jitter at the *source*:
+/// α(Δ) = ⌈(Δ + Jit)/T⌉. The classic "periodic with jitter" event
+/// model (Audsley et al.); jitter squeezes events closer together, so
+/// small windows admit more arrivals than the plain periodic curve.
+class PeriodicJitterCurve : public ArrivalCurve {
+public:
+  PeriodicJitterCurve(Duration Period, Duration Jit);
+
+  std::uint64_t eval(Duration Delta) const override;
+  std::string describe() const override;
+
+private:
+  Duration Period;
+  Duration Jit;
+};
+
+/// Pointwise sum of several curves: a task fed by independent sources.
+class SumCurve : public ArrivalCurve {
+public:
+  explicit SumCurve(std::vector<ArrivalCurvePtr> Parts);
+
+  std::uint64_t eval(Duration Delta) const override;
+  std::string describe() const override;
+
+private:
+  std::vector<ArrivalCurvePtr> Parts;
+};
+
+/// Pointwise minimum of two curves: when two independent bounds are
+/// known (e.g. a burst limit and a long-run rate), their minimum is
+/// also a valid — and tighter — arrival curve.
+class MinCurve : public ArrivalCurve {
+public:
+  MinCurve(ArrivalCurvePtr A, ArrivalCurvePtr B);
+
+  std::uint64_t eval(Duration Delta) const override;
+  std::string describe() const override;
+
+private:
+  ArrivalCurvePtr A, B;
+};
+
+/// K identical sources: α(Δ) = K · Inner(Δ).
+class ScaledCurve : public ArrivalCurve {
+public:
+  ScaledCurve(ArrivalCurvePtr Inner, std::uint64_t Factor);
+
+  std::uint64_t eval(Duration Delta) const override;
+  std::string describe() const override;
+
+private:
+  ArrivalCurvePtr Inner;
+  std::uint64_t Factor;
+};
+
+/// The smallest window length Delta with Curve.eval(Delta) >= Count
+/// (doubling + binary search over the monotone curve; TimeInfinity if
+/// no window below \p SearchCap admits Count arrivals). Used by the
+/// workload generators (earliest compliant arrival times) and by the
+/// RTA (release offsets A_q within a busy window).
+Duration minWindowAdmitting(const ArrivalCurve &Curve, std::uint64_t Count,
+                            Duration SearchCap = 365ull * 24 * 3600 *
+                                                 TickSec);
+
+} // namespace rprosa
+
+#endif // RPROSA_CORE_ARRIVAL_CURVE_H

@@ -1,0 +1,43 @@
+//===- core/ids.h - Identifier types for tasks, jobs, sockets -------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifier conventions:
+///  - TaskId indexes a task type in a TaskSet.
+///  - SocketId indexes an input socket of the scheduler.
+///  - MsgId uniquely identifies a message as created by the environment.
+///  - JobId uniquely identifies a *read* job. Following §3.2 of the
+///    paper, the read step assigns a fresh JobId from a monotonically
+///    increasing counter, because message payloads may repeat and thus
+///    cannot serve as identities (Def. 3.2, third property).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_CORE_IDS_H
+#define RPROSA_CORE_IDS_H
+
+#include <cstdint>
+
+namespace rprosa {
+
+using TaskId = std::uint32_t;
+using SocketId = std::uint32_t;
+using MsgId = std::uint64_t;
+using JobId = std::uint64_t;
+
+/// Sentinel for "no job" (e.g., the Idle processor state).
+inline constexpr JobId InvalidJobId = ~0ull;
+
+/// Sentinel for "no task".
+inline constexpr TaskId InvalidTaskId = ~0u;
+
+/// Task priority. Convention used throughout this code base: a larger
+/// numeric value means a *higher* priority (dispatched first).
+using Priority = std::uint32_t;
+
+} // namespace rprosa
+
+#endif // RPROSA_CORE_IDS_H

@@ -1,0 +1,40 @@
+//===- core/job.h - Jobs: runtime instances of tasks ----------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A job is a runtime instance of a task (§4.1): concretely, a message
+/// that has been read from a socket and assigned a unique JobId by the
+/// read step (§3.2, READ-STEP-SUCCESS).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_CORE_JOB_H
+#define RPROSA_CORE_JOB_H
+
+#include "core/ids.h"
+#include "core/message.h"
+#include "core/time.h"
+
+namespace rprosa {
+
+/// A read job. ArrivalTime is carried for the benefit of the *analysis
+/// and checkers only* — the scheduler implementation never inspects it
+/// (it cannot know it), mirroring how the paper keeps arrival times out
+/// of the C code and in the assumed arrival sequence.
+struct Job {
+  JobId Id = InvalidJobId;
+  MsgId Msg = 0;
+  TaskId Task = InvalidTaskId;
+  SocketId Socket = 0;
+  /// The instant the read system call returned this job. The scheduler
+  /// legitimately knows this (unlike the arrival time); the EDF policy
+  /// derives the job's absolute deadline from it (ReadAt + D_i).
+  Time ReadAt = 0;
+};
+
+} // namespace rprosa
+
+#endif // RPROSA_CORE_JOB_H

@@ -1,0 +1,38 @@
+//===- core/message.h - Messages on sockets -------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A message is what arrives on a socket; reading it creates a job
+/// (§2.1). In the paper a message is raw data and the client's
+/// msg_to_task / msg_identify_type functions infer the task type
+/// (Def. 3.3). We carry the payload as an opaque length plus the task
+/// tag the client's classifier would compute, and a MsgId assigned by
+/// the environment so consistency checks can match reads to arrivals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_CORE_MESSAGE_H
+#define RPROSA_CORE_MESSAGE_H
+
+#include "core/ids.h"
+#include "core/time.h"
+
+namespace rprosa {
+
+/// A datagram enqueued on an input socket by the environment.
+struct Message {
+  /// Environment-assigned identity (distinct even for identical payloads).
+  MsgId Id = 0;
+  /// The task type msg_to_task infers from the payload.
+  TaskId Task = InvalidTaskId;
+  /// Payload length in bytes (only used for realism in examples; the
+  /// analysis never looks at it).
+  std::uint32_t PayloadLen = 0;
+};
+
+} // namespace rprosa
+
+#endif // RPROSA_CORE_MESSAGE_H

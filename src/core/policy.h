@@ -1,0 +1,49 @@
+//===- core/policy.h - Scheduling policies ---------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduling policies supported by this reproduction. Rössl's
+/// policy in the paper is NPFP (non-preemptive fixed priority); the EDF
+/// and FIFO variants are the natural extensions suggested by the
+/// related work (ProKOS verifies FP *and* EDF, §6; Prosa ships a
+/// verified FIFO RTA). All three are non-preemptive and interrupt-free:
+/// only the selection rule of npfp_dequeue changes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_CORE_POLICY_H
+#define RPROSA_CORE_POLICY_H
+
+#include <cstdint>
+#include <string>
+
+namespace rprosa {
+
+enum class SchedPolicy : std::uint8_t {
+  /// Non-preemptive fixed priority (the paper's Rössl).
+  Npfp,
+  /// Non-preemptive earliest deadline first; a job's absolute deadline
+  /// is its read time plus the task's relative deadline.
+  Edf,
+  /// Non-preemptive FIFO by read order.
+  Fifo,
+};
+
+inline std::string toString(SchedPolicy P) {
+  switch (P) {
+  case SchedPolicy::Npfp:
+    return "NPFP";
+  case SchedPolicy::Edf:
+    return "NP-EDF";
+  case SchedPolicy::Fifo:
+    return "NP-FIFO";
+  }
+  return "?";
+}
+
+} // namespace rprosa
+
+#endif // RPROSA_CORE_POLICY_H

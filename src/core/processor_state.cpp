@@ -1,0 +1,35 @@
+//===- core/processor_state.cpp -------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/processor_state.h"
+
+using namespace rprosa;
+
+std::string rprosa::toString(ProcStateKind K) {
+  switch (K) {
+  case ProcStateKind::Idle:
+    return "Idle";
+  case ProcStateKind::Executes:
+    return "Executes";
+  case ProcStateKind::ReadOvh:
+    return "ReadOvh";
+  case ProcStateKind::PollingOvh:
+    return "PollingOvh";
+  case ProcStateKind::SelectionOvh:
+    return "SelectionOvh";
+  case ProcStateKind::DispatchOvh:
+    return "DispatchOvh";
+  case ProcStateKind::CompletionOvh:
+    return "CompletionOvh";
+  }
+  return "?";
+}
+
+std::string rprosa::toString(const ProcState &S) {
+  if (S.Kind == ProcStateKind::Idle)
+    return "Idle";
+  return toString(S.Kind) + "(j" + std::to_string(S.Job) + ")";
+}

@@ -1,0 +1,81 @@
+//===- core/processor_state.h - Abstract processor states (§2.4) ----------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract processor-state model of §2.4:
+///
+///   ProcessorState ≜ Idle | Executes j | ReadOvh j | PollingOvh j
+///                  | SelectionOvh j | DispatchOvh j | CompletionOvh j
+///
+/// States split into three categories: idle, executing a job, and
+/// *overheads* — work that is not directly executing a job. Every
+/// overhead is attributed to a job so the total overhead time can be
+/// bounded by bounding the number of jobs (§4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_CORE_PROCESSOR_STATE_H
+#define RPROSA_CORE_PROCESSOR_STATE_H
+
+#include "core/ids.h"
+
+#include <string>
+
+namespace rprosa {
+
+/// The discriminator of a processor state.
+enum class ProcStateKind : std::uint8_t {
+  Idle,          ///< Waiting for new jobs; no pending work.
+  Executes,      ///< Running the callback of the attributed job.
+  ReadOvh,       ///< Reading the attributed job (incl. failed reads
+                 ///< preceding its successful read in the polling phase).
+  PollingOvh,    ///< The final all-failed polling round before the
+                 ///< attributed job executes.
+  SelectionOvh,  ///< Selecting the attributed job.
+  DispatchOvh,   ///< Dispatching (initiating) the attributed job.
+  CompletionOvh, ///< Cleaning up after the attributed job.
+};
+
+/// A processor state: a kind plus the job it is attributed to (Idle has
+/// no job).
+struct ProcState {
+  ProcStateKind Kind = ProcStateKind::Idle;
+  JobId Job = InvalidJobId;
+
+  static ProcState idle() { return ProcState{ProcStateKind::Idle,
+                                             InvalidJobId}; }
+  static ProcState executes(JobId J) {
+    return ProcState{ProcStateKind::Executes, J};
+  }
+  static ProcState overhead(ProcStateKind K, JobId J) {
+    return ProcState{K, J};
+  }
+
+  /// Overheads are the blackout states of the aRSA instantiation (§4.2):
+  /// "we model all overhead states as blackouts".
+  bool isOverhead() const {
+    return Kind != ProcStateKind::Idle && Kind != ProcStateKind::Executes;
+  }
+  bool isIdle() const { return Kind == ProcStateKind::Idle; }
+  bool isExecuting() const { return Kind == ProcStateKind::Executes; }
+
+  /// Supply is the time usable for executing jobs: execution and idle
+  /// instants provide supply; overheads do not (§4.2). Idle counts as
+  /// supply because the processor *could* have run a job then.
+  bool providesSupply() const { return !isOverhead(); }
+
+  bool operator==(const ProcState &O) const {
+    return Kind == O.Kind && Job == O.Job;
+  }
+};
+
+/// Short printable name ("Executes(j3)").
+std::string toString(const ProcState &S);
+std::string toString(ProcStateKind K);
+
+} // namespace rprosa
+
+#endif // RPROSA_CORE_PROCESSOR_STATE_H

@@ -1,0 +1,89 @@
+//===- core/schedule_render.cpp -------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/schedule_render.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace rprosa;
+
+char rprosa::timelineGlyph(ProcStateKind K) {
+  switch (K) {
+  case ProcStateKind::Idle:
+    return '.';
+  case ProcStateKind::Executes:
+    return '#';
+  case ProcStateKind::ReadOvh:
+    return 'r';
+  case ProcStateKind::PollingOvh:
+    return 'p';
+  case ProcStateKind::SelectionOvh:
+    return 's';
+  case ProcStateKind::DispatchOvh:
+    return 'd';
+  case ProcStateKind::CompletionOvh:
+    return 'c';
+  }
+  return '?';
+}
+
+std::string rprosa::renderScheduleTimeline(const Schedule &S,
+                                           std::size_t Width, Time From,
+                                           Time To) {
+  if (From == 0 && To == 0) {
+    From = S.startTime();
+    To = S.endTime();
+  }
+  if (Width == 0 || To <= From)
+    return "(empty timeline)\n";
+
+  Duration Span = To - From;
+  std::string Row;
+  Row.reserve(Width);
+  for (std::size_t Col = 0; Col < Width; ++Col) {
+    // The bucket of time this column summarizes.
+    Time BFrom = From + Span * Col / Width;
+    Time BTo = From + Span * (Col + 1) / Width;
+    if (BTo <= BFrom)
+      BTo = BFrom + 1;
+    // Dominant state kind within the bucket.
+    std::map<ProcStateKind, Duration> InBucket;
+    for (const ScheduleSegment &Seg : S.segments()) {
+      if (Seg.end() <= BFrom)
+        continue;
+      if (Seg.Start >= BTo)
+        break;
+      Time Lo = std::max(Seg.Start, BFrom);
+      Time Hi = std::min(Seg.end(), BTo);
+      InBucket[Seg.State.Kind] += Hi - Lo;
+    }
+    Duration Covered = 0;
+    for (const auto &[K, L] : InBucket)
+      Covered += L;
+    if (Covered < BTo - BFrom)
+      InBucket[ProcStateKind::Idle] += (BTo - BFrom) - Covered;
+    ProcStateKind Best = ProcStateKind::Idle;
+    Duration BestLen = 0;
+    for (const auto &[K, L] : InBucket) {
+      if (L > BestLen) {
+        Best = K;
+        BestLen = L;
+      }
+    }
+    Row += timelineGlyph(Best);
+  }
+
+  std::string Out = "t=" + std::to_string(From) + "\n" + Row + "\n";
+  // Right-align the end label under the row.
+  std::string EndLabel = "t=" + std::to_string(To);
+  if (EndLabel.size() < Width)
+    Out += std::string(Width - EndLabel.size(), ' ');
+  Out += EndLabel + "\n";
+  Out += "legend: . idle  # executing  r read  p polling  s selection  "
+         "d dispatch  c completion\n";
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- core/schedule_render.h - ASCII timelines for schedules -------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a schedule as a fixed-width ASCII timeline — a terminal
+/// stand-in for the Fig. 3-style diagrams. Each column summarizes one
+/// bucket of time by the state that dominates it:
+///
+///   .  Idle        #  Executes     r  ReadOvh      p  PollingOvh
+///   s  SelectionOvh  d  DispatchOvh  c  CompletionOvh
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_CORE_SCHEDULE_RENDER_H
+#define RPROSA_CORE_SCHEDULE_RENDER_H
+
+#include "core/schedule.h"
+
+#include <string>
+
+namespace rprosa {
+
+/// Renders [From, To) of \p S into \p Width columns, with an axis line
+/// and the legend. From/To default to the schedule's own extent.
+std::string renderScheduleTimeline(const Schedule &S, std::size_t Width = 72,
+                                   Time From = 0, Time To = 0);
+
+/// The one-character glyph used for \p K in the timeline.
+char timelineGlyph(ProcStateKind K);
+
+} // namespace rprosa
+
+#endif // RPROSA_CORE_SCHEDULE_RENDER_H

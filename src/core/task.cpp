@@ -1,0 +1,91 @@
+//===- core/task.cpp ------------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/task.h"
+
+#include <cassert>
+
+using namespace rprosa;
+
+TaskId TaskSet::addTask(std::string Name, Duration Wcet, Priority Prio,
+                        ArrivalCurvePtr Curve, Duration Deadline) {
+  Task T;
+  T.Id = static_cast<TaskId>(Tasks.size());
+  T.Name = std::move(Name);
+  T.Wcet = Wcet;
+  T.Prio = Prio;
+  T.Deadline = Deadline;
+  T.Curve = std::move(Curve);
+  Tasks.push_back(std::move(T));
+  return Tasks.back().Id;
+}
+
+Duration TaskSet::maxOtherWcet(TaskId Id) const {
+  Duration Max = 0;
+  for (const Task &T : Tasks)
+    if (T.Id != Id && T.Wcet > Max)
+      Max = T.Wcet;
+  return Max;
+}
+
+const Task &TaskSet::task(TaskId Id) const {
+  assert(Id < Tasks.size() && "task id out of range");
+  return Tasks[Id];
+}
+
+std::vector<TaskId> TaskSet::higherPriority(TaskId Id) const {
+  std::vector<TaskId> Out;
+  Priority P = task(Id).Prio;
+  for (const Task &T : Tasks)
+    if (T.Id != Id && T.Prio > P)
+      Out.push_back(T.Id);
+  return Out;
+}
+
+std::vector<TaskId> TaskSet::higherOrEqualPriorityOthers(TaskId Id) const {
+  std::vector<TaskId> Out;
+  Priority P = task(Id).Prio;
+  for (const Task &T : Tasks)
+    if (T.Id != Id && T.Prio >= P)
+      Out.push_back(T.Id);
+  return Out;
+}
+
+std::vector<TaskId> TaskSet::lowerPriority(TaskId Id) const {
+  std::vector<TaskId> Out;
+  Priority P = task(Id).Prio;
+  for (const Task &T : Tasks)
+    if (T.Id != Id && T.Prio < P)
+      Out.push_back(T.Id);
+  return Out;
+}
+
+Duration TaskSet::maxLowerPriorityWcet(TaskId Id) const {
+  Duration Max = 0;
+  for (TaskId K : lowerPriority(Id))
+    if (task(K).Wcet > Max)
+      Max = task(K).Wcet;
+  return Max;
+}
+
+CheckResult TaskSet::validate(Duration CurveProbeHorizon) const {
+  CheckResult R;
+  R.noteCheck();
+  if (Tasks.empty())
+    R.addFailure("task set is empty");
+  for (const Task &T : Tasks) {
+    R.noteCheck(2);
+    if (T.Wcet == 0)
+      R.addFailure("task '" + T.Name + "' has zero WCET (Thm. 5.1 requires "
+                   "0 < C_i)");
+    if (!T.Curve) {
+      R.addFailure("task '" + T.Name + "' has no arrival curve");
+      continue;
+    }
+    R.merge(T.Curve->validate(CurveProbeHorizon));
+  }
+  return R;
+}

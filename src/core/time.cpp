@@ -1,0 +1,30 @@
+//===- core/time.cpp ------------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/time.h"
+
+using namespace rprosa;
+
+std::optional<Duration> rprosa::parseTimeLiteral(const std::string &Text) {
+  if (Text.empty())
+    return std::nullopt;
+  std::size_t Pos = 0;
+  while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+    ++Pos;
+  if (Pos == 0 || Pos > 19)
+    return std::nullopt;
+  Duration Num = std::stoull(Text.substr(0, Pos));
+  std::string Suffix = Text.substr(Pos);
+  if (Suffix.empty() || Suffix == "ns")
+    return Num;
+  if (Suffix == "us")
+    return satMul(Num, TickUs);
+  if (Suffix == "ms")
+    return satMul(Num, TickMs);
+  if (Suffix == "s")
+    return satMul(Num, TickSec);
+  return std::nullopt;
+}

@@ -1,0 +1,46 @@
+//===- core/wcet.cpp ------------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/wcet.h"
+
+using namespace rprosa;
+
+CheckResult BasicActionWcets::validate() const {
+  CheckResult R;
+  R.noteCheck(6);
+  // Thm. 5.1: WcetSel, WcetDisp, WcetCompl and WcetIdling are strictly
+  // positive and 1 < WcetFR, 1 < WcetSR.
+  if (FailedRead <= 1)
+    R.addFailure("WcetFR must be > 1 (Thm. 5.1 side condition)");
+  if (SuccessfulRead <= 1)
+    R.addFailure("WcetSR must be > 1 (Thm. 5.1 side condition)");
+  if (Selection == 0)
+    R.addFailure("WcetSel must be strictly positive");
+  if (Dispatch == 0)
+    R.addFailure("WcetDisp must be strictly positive");
+  if (Completion == 0)
+    R.addFailure("WcetCompl must be strictly positive");
+  if (Idling == 0)
+    R.addFailure("WcetIdling must be strictly positive");
+  // Substrate assumption (see sim/cost_model.h): a successful read does
+  // at least as much work as a failed one (poll + copy).
+  R.noteCheck();
+  if (SuccessfulRead < FailedRead)
+    R.addFailure("WcetSR must be >= WcetFR (a successful read subsumes "
+                 "the availability poll of a failed one)");
+  return R;
+}
+
+BasicActionWcets BasicActionWcets::typicalDeployment() {
+  BasicActionWcets W;
+  W.FailedRead = 400 * TickNs;
+  W.SuccessfulRead = 900 * TickNs;
+  W.Selection = 300 * TickNs;
+  W.Dispatch = 250 * TickNs;
+  W.Completion = 350 * TickNs;
+  W.Idling = 2 * TickUs;
+  return W;
+}

@@ -1,0 +1,52 @@
+//===- core/wcet.h - WCET parameters of the basic actions -----------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worst-case execution times of Rössl's basic actions (Fig. 4).
+/// Exactly as in the paper (§2.3), these are *parameters* of the
+/// verification: "we simply assume the WCET bounds on basic actions as a
+/// parameter". Theorem 5.1 additionally constrains them: Selection,
+/// Dispatch, Completion and Idling are strictly positive, and
+/// 1 < WcetFR, 1 < WcetSR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_CORE_WCET_H
+#define RPROSA_CORE_WCET_H
+
+#include "core/time.h"
+#include "support/check.h"
+
+namespace rprosa {
+
+/// WCET bounds for each basic action of the scheduler (not including the
+/// per-task callback WCETs C_i, which live in Task).
+struct BasicActionWcets {
+  /// A read system call that returns without data (M_ReadE sock ⊥).
+  Duration FailedRead = 0;
+  /// A read system call that returns a message (M_ReadE sock j).
+  Duration SuccessfulRead = 0;
+  /// Selecting the highest-priority pending job (M_Selection segment).
+  Duration Selection = 0;
+  /// Initiating the callback for the selected job (M_Dispatch segment).
+  Duration Dispatch = 0;
+  /// Cleaning up after a callback finished (M_Completion segment).
+  Duration Completion = 0;
+  /// One idling wait: the bound on how long the scheduler may linger in
+  /// the Idling state before it polls again (the wake-up latency).
+  Duration Idling = 0;
+
+  /// Checks the side conditions of Thm. 5.1 on the WCET parameters.
+  CheckResult validate() const;
+
+  /// A plausible "typical deployment" (§2.4): basic actions take a few
+  /// hundred ns to a few µs on an embedded-class CPU.
+  static BasicActionWcets typicalDeployment();
+};
+
+} // namespace rprosa
+
+#endif // RPROSA_CORE_WCET_H

@@ -1,0 +1,29 @@
+//===- rossl/client.cpp ---------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rossl/client.h"
+
+using namespace rprosa;
+
+CheckResult rprosa::validateClient(const ClientConfig &C) {
+  CheckResult R;
+  R.merge(C.Tasks.validate());
+  R.merge(C.Wcets.validate());
+  R.noteCheck(2);
+  if (C.NumSockets == 0)
+    R.addFailure("client registers no input sockets");
+  if (!C.Callbacks.empty() && C.Callbacks.size() != C.Tasks.size())
+    R.addFailure("callback table size does not match the task set");
+  if (C.Policy == SchedPolicy::Edf) {
+    for (const Task &T : C.Tasks.tasks()) {
+      R.noteCheck();
+      if (T.Deadline == 0)
+        R.addFailure("task '" + T.Name + "' has no relative deadline "
+                     "but the client selects the EDF policy");
+    }
+  }
+  return R;
+}

@@ -1,0 +1,49 @@
+//===- rossl/job_queue.cpp ------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rossl/job_queue.h"
+
+#include <cassert>
+
+using namespace rprosa;
+
+void EdfJobQueue::enqueue(const Job &J, const Task &T) {
+  assert(T.Deadline > 0 && "EDF tasks need a relative deadline");
+  ByDeadline[satAdd(J.ReadAt, T.Deadline)].push_back(J);
+  ++Size;
+}
+
+std::optional<Job> EdfJobQueue::dequeue() {
+  if (ByDeadline.empty())
+    return std::nullopt;
+  auto It = ByDeadline.begin();
+  Job J = It->second.front();
+  It->second.pop_front();
+  if (It->second.empty())
+    ByDeadline.erase(It);
+  --Size;
+  return J;
+}
+
+std::optional<Job> FifoJobQueue::dequeue() {
+  if (Queue.empty())
+    return std::nullopt;
+  Job J = Queue.front();
+  Queue.pop_front();
+  return J;
+}
+
+std::unique_ptr<JobQueue> rprosa::makeJobQueue(SchedPolicy Policy) {
+  switch (Policy) {
+  case SchedPolicy::Npfp:
+    return std::make_unique<NpfpJobQueue>();
+  case SchedPolicy::Edf:
+    return std::make_unique<EdfJobQueue>();
+  case SchedPolicy::Fifo:
+    return std::make_unique<FifoJobQueue>();
+  }
+  return std::make_unique<NpfpJobQueue>();
+}

@@ -1,0 +1,95 @@
+//===- rossl/job_queue.h - Pending-job queues for all policies ------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pending-job container behind npfp_dequeue (Fig. 2, line 6),
+/// generalized over the selection rule:
+///
+///  - NPFP: highest task priority, FIFO within a priority level
+///    (NpfpQueue, the paper's policy);
+///  - NP-EDF: earliest absolute deadline (read time + D_i), FIFO among
+///    equal deadlines;
+///  - NP-FIFO: read order (job ids are assigned by the read counter, so
+///    FIFO = smallest id).
+///
+/// All queues are deterministic; ties break by JobId so that two runs
+/// with the same inputs produce the same trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_ROSSL_JOB_QUEUE_H
+#define RPROSA_ROSSL_JOB_QUEUE_H
+
+#include "rossl/npfp_queue.h"
+
+#include "core/policy.h"
+#include "core/task.h"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+
+namespace rprosa {
+
+/// The queue interface the scheduling loop uses.
+class JobQueue {
+public:
+  virtual ~JobQueue() = default;
+
+  /// Enqueues a freshly read job (its task provides the policy key).
+  virtual void enqueue(const Job &J, const Task &T) = 0;
+
+  /// Removes and returns the job the policy selects next; nullopt when
+  /// empty.
+  virtual std::optional<Job> dequeue() = 0;
+
+  virtual std::size_t size() const = 0;
+  bool empty() const { return size() == 0; }
+};
+
+/// NPFP selection (adapts the paper-faithful NpfpQueue).
+class NpfpJobQueue : public JobQueue {
+public:
+  void enqueue(const Job &J, const Task &T) override {
+    Queue.enqueue(J, T.Prio);
+  }
+  std::optional<Job> dequeue() override { return Queue.dequeueHighest(); }
+  std::size_t size() const override { return Queue.size(); }
+
+private:
+  NpfpQueue Queue;
+};
+
+/// NP-EDF selection: smallest (ReadAt + D_i), ties by JobId.
+class EdfJobQueue : public JobQueue {
+public:
+  void enqueue(const Job &J, const Task &T) override;
+  std::optional<Job> dequeue() override;
+  std::size_t size() const override { return Size; }
+
+private:
+  std::map<Time, std::deque<Job>> ByDeadline;
+  std::size_t Size = 0;
+};
+
+/// NP-FIFO selection: smallest JobId (read order).
+class FifoJobQueue : public JobQueue {
+public:
+  void enqueue(const Job &J, const Task &) override { Queue.push_back(J); }
+  std::optional<Job> dequeue() override;
+  std::size_t size() const override { return Queue.size(); }
+
+private:
+  std::deque<Job> Queue;
+};
+
+/// Builds the queue for a policy.
+std::unique_ptr<JobQueue> makeJobQueue(SchedPolicy Policy);
+
+} // namespace rprosa
+
+#endif // RPROSA_ROSSL_JOB_QUEUE_H

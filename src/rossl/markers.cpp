@@ -1,0 +1,10 @@
+//===- rossl/markers.cpp --------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rossl/markers.h"
+
+// MarkerRecorder is header-only; this translation unit compiles the
+// header standalone.

@@ -1,0 +1,52 @@
+//===- rossl/markers.h - The marker recorder (ghost code) -----------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Marker functions "do not affect the actual runtime behavior of Rössl
+/// (i.e., they are a form of ghost code for verification purposes only)"
+/// (§2.2). MarkerRecorder is the executable analogue of the instrumented
+/// Caesium semantics (Fig. 6): every marker call appends an event to the
+/// trace, stamped with the virtual clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_ROSSL_MARKERS_H
+#define RPROSA_ROSSL_MARKERS_H
+
+#include "trace/trace.h"
+
+#include "sim/clock.h"
+
+namespace rprosa {
+
+/// Accumulates the timed trace of one run.
+class MarkerRecorder {
+public:
+  explicit MarkerRecorder(const VirtualClock &Clock) : Clock(Clock) {}
+
+  /// Records \p E at the current clock instant.
+  void record(MarkerEvent E) {
+    TT.Tr.push_back(std::move(E));
+    TT.Ts.push_back(Clock.now());
+  }
+
+  std::size_t size() const { return TT.size(); }
+
+  /// Finalizes and returns the timed trace; EndTime is stamped with the
+  /// clock value at the call.
+  TimedTrace take() {
+    TT.EndTime = Clock.now();
+    return std::move(TT);
+  }
+
+private:
+  const VirtualClock &Clock;
+  TimedTrace TT;
+};
+
+} // namespace rprosa
+
+#endif // RPROSA_ROSSL_MARKERS_H

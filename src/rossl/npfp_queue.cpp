@@ -1,0 +1,26 @@
+//===- rossl/npfp_queue.cpp -----------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rossl/npfp_queue.h"
+
+using namespace rprosa;
+
+void NpfpQueue::enqueue(const Job &J, Priority P) {
+  Levels[P].push_back(J);
+  ++Size;
+}
+
+std::optional<Job> NpfpQueue::dequeueHighest() {
+  if (Levels.empty())
+    return std::nullopt;
+  auto It = std::prev(Levels.end());
+  Job J = It->second.front();
+  It->second.pop_front();
+  if (It->second.empty())
+    Levels.erase(It);
+  --Size;
+  return J;
+}

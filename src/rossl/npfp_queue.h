@@ -1,0 +1,49 @@
+//===- rossl/npfp_queue.h - The pending-job queue of Rössl ----------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rössl's internal state: the jobs that have been read but not yet
+/// dispatched. npfp_dequeue (Fig. 2, line 6) "selects the pending job
+/// with the highest priority"; ties are broken FIFO by read order
+/// (JobIds increase monotonically with reads), which satisfies
+/// Def. 3.2's ≥-condition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_ROSSL_NPFP_QUEUE_H
+#define RPROSA_ROSSL_NPFP_QUEUE_H
+
+#include "core/job.h"
+
+#include <deque>
+#include <map>
+#include <optional>
+
+namespace rprosa {
+
+/// A priority queue of pending jobs (fixed priority, FIFO within a
+/// priority level).
+class NpfpQueue {
+public:
+  /// Enqueues a freshly read job at its task's priority.
+  void enqueue(const Job &J, Priority P);
+
+  /// Removes and returns the highest-priority pending job; FIFO among
+  /// equal priorities. nullopt when empty.
+  std::optional<Job> dequeueHighest();
+
+  bool empty() const { return Size == 0; }
+  std::size_t size() const { return Size; }
+
+private:
+  // Keyed by priority; rbegin() is the highest level.
+  std::map<Priority, std::deque<Job>> Levels;
+  std::size_t Size = 0;
+};
+
+} // namespace rprosa
+
+#endif // RPROSA_ROSSL_NPFP_QUEUE_H

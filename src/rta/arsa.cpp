@@ -1,0 +1,27 @@
+//===- rta/arsa.cpp -------------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rta/arsa.h"
+
+using namespace rprosa;
+
+std::optional<Time> rprosa::leastFixedPoint(
+    const std::function<Time(Time)> &F, Time Start, Time Cap) {
+  Time T = Start;
+  // Kleene iteration; each non-fixed step strictly increases T (F is
+  // monotone and inflationary on the iterates), so the Cap bounds the
+  // number of iterations.
+  while (true) {
+    Time Next = F(T);
+    if (Next == TimeInfinity || Next > Cap)
+      return std::nullopt;
+    if (Next == T)
+      return T;
+    if (Next < T) // Non-monotone F: treat as converged conservatively.
+      return T;
+    T = Next;
+  }
+}

@@ -1,0 +1,64 @@
+//===- rta/arsa.h - Abstract restricted-supply analysis machinery ---------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generic skeleton of aRSA (§4.2): response-time analyses for
+/// processors subject to supply restrictions are phrased as least fixed
+/// points of monotone demand/supply equations. This header provides the
+/// shared machinery:
+///
+///  - leastFixedPoint: Kleene iteration of a monotone map on times,
+///    with a divergence cap (an analysis that hits the cap reports the
+///    task as unbounded rather than looping forever);
+///  - SupplyModel: the interface the concrete analysis needs from a
+///    supply description — both the restricted supply of Rössl (see
+///    sbf.h) and the ideal unit-supply processor implement it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_RTA_ARSA_H
+#define RPROSA_RTA_ARSA_H
+
+#include "core/time.h"
+
+#include <functional>
+#include <optional>
+
+namespace rprosa {
+
+/// Iterates T ← F(T) from \p Start until a fixed point is reached;
+/// returns nullopt if the iterate exceeds \p Cap (divergence) or F ever
+/// returns TimeInfinity. F must be monotone and satisfy F(T) >= Start
+/// for the result to be the least fixed point above Start.
+std::optional<Time> leastFixedPoint(const std::function<Time(Time)> &F,
+                                    Time Start, Time Cap);
+
+/// What an RTA needs to know about the processor's supply.
+class SupplyModel {
+public:
+  virtual ~SupplyModel() = default;
+
+  /// A lower bound on the supply in any (busy-window-anchored) interval
+  /// of length \p Delta — the SBF of §4.4.
+  virtual Duration supplyBound(Duration Delta) const = 0;
+
+  /// The least interval length t with supplyBound(t) >= \p Work
+  /// (TimeInfinity if none exists below the model's own cap).
+  virtual Time timeToSupply(Duration Work) const = 0;
+};
+
+/// The ideal uniprocessor: one unit of supply per instant. Used by the
+/// no-overhead baseline analyses (and by the unsound overhead-oblivious
+/// analysis of experiment E6).
+class IdealSupply : public SupplyModel {
+public:
+  Duration supplyBound(Duration Delta) const override { return Delta; }
+  Time timeToSupply(Duration Work) const override { return Work; }
+};
+
+} // namespace rprosa
+
+#endif // RPROSA_RTA_ARSA_H

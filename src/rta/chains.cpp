@@ -1,0 +1,58 @@
+//===- rta/chains.cpp -----------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rta/chains.h"
+
+using namespace rprosa;
+
+CheckResult rprosa::chainWellFormed(const Chain &C, const TaskSet &Tasks,
+                                    Duration ProbeHorizon) {
+  CheckResult R;
+  R.noteCheck();
+  if (C.Stages.empty()) {
+    R.addFailure("chain '" + C.Name + "' has no stages");
+    return R;
+  }
+  for (TaskId T : C.Stages) {
+    R.noteCheck();
+    if (T >= Tasks.size()) {
+      R.addFailure("chain '" + C.Name + "' references unknown task " +
+                   std::to_string(T));
+      return R;
+    }
+  }
+  // Successor curves must dominate their predecessor's (one output per
+  // completed input job): probe a grid of window lengths.
+  for (std::size_t I = 1; I < C.Stages.size(); ++I) {
+    const ArrivalCurve &Pred = *Tasks.task(C.Stages[I - 1]).Curve;
+    const ArrivalCurve &Succ = *Tasks.task(C.Stages[I]).Curve;
+    Duration Step = ProbeHorizon / 256 + 1;
+    for (Duration D = 0; D <= ProbeHorizon; D += Step) {
+      R.noteCheck();
+      if (Succ.eval(D) < Pred.eval(D)) {
+        R.addFailure("chain '" + C.Name + "': stage " +
+                     Tasks.task(C.Stages[I]).Name +
+                     " does not admit the traffic of its predecessor " +
+                     Tasks.task(C.Stages[I - 1]).Name + " at Delta=" +
+                     std::to_string(D));
+        break;
+      }
+    }
+  }
+  return R;
+}
+
+Duration rprosa::chainLatencyBound(const Chain &C, const RtaResult &R) {
+  if (C.Stages.empty())
+    return TimeInfinity;
+  Duration Sum = 0;
+  for (TaskId T : C.Stages) {
+    if (T >= R.PerTask.size() || !R.forTask(T).Bounded)
+      return TimeInfinity;
+    Sum = satAdd(Sum, R.forTask(T).ResponseBound);
+  }
+  return Sum;
+}

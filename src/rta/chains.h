@@ -1,0 +1,53 @@
+//===- rta/chains.h - End-to-end latency of callback chains ---------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's motivating domain runs *processing chains*: a sensor
+/// callback's output triggers a fusion callback, whose output triggers
+/// control (ROS2 chains; the paper cites Casini et al.'s chain RTA
+/// [14]). Given per-task response-time bounds R_i + J_i, the end-to-end
+/// latency of a chain is bounded compositionally:
+///
+///   L(chain) ≤ Σ_{stage i} (R_i + J_i)
+///
+/// provided each stage's arrival curve admits the traffic its
+/// predecessor emits — one output message per completed job, so the
+/// predecessor's arrival curve must be dominated by the successor's
+/// (checked by chainWellFormed; publishing one message per input is the
+/// standard ROS2 pattern).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_RTA_CHAINS_H
+#define RPROSA_RTA_CHAINS_H
+
+#include "rta/rta_npfp.h"
+
+#include "support/check.h"
+
+#include <vector>
+
+namespace rprosa {
+
+/// A processing chain: task ids in trigger order.
+struct Chain {
+  std::string Name;
+  std::vector<TaskId> Stages;
+};
+
+/// Checks the composition precondition: every successor stage's curve
+/// admits at least the arrivals of its predecessor (spot-checked on a
+/// probe grid; publishing is one message per completed job).
+CheckResult chainWellFormed(const Chain &C, const TaskSet &Tasks,
+                            Duration ProbeHorizon = 100 * TickMs);
+
+/// The end-to-end latency bound Σ (R_i + J_i); TimeInfinity when any
+/// stage is unbounded or the chain is empty.
+Duration chainLatencyBound(const Chain &C, const RtaResult &R);
+
+} // namespace rprosa
+
+#endif // RPROSA_RTA_CHAINS_H

@@ -1,0 +1,81 @@
+//===- rta/jitter.cpp -----------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rta/jitter.h"
+
+#include <algorithm>
+#include <memory>
+
+using namespace rprosa;
+
+Duration rprosa::maxReleaseJitter(const OverheadBounds &B) {
+  Duration Compliance = satAdd(satAdd(B.PB, B.SB), B.DB);
+  return satAdd(1, std::max(Compliance, B.IB));
+}
+
+ArrivalCurvePtr rprosa::makeReleaseCurve(ArrivalCurvePtr Alpha,
+                                         Duration Jitter) {
+  return std::make_shared<ShiftedCurve>(std::move(Alpha), Jitter);
+}
+
+std::vector<MeasuredJitter>
+rprosa::measureReleaseJitter(const ConversionResult &CR,
+                             const ArrivalSequence &Arr) {
+  std::vector<MeasuredJitter> Out;
+  const Schedule &S = CR.Sched;
+  const auto &Segs = S.segments();
+
+  for (const Arrival &A : Arr.arrivals()) {
+    MeasuredJitter M;
+    M.Msg = A.Msg.Id;
+    // Find the segment containing the arrival instant.
+    auto It = std::upper_bound(
+        Segs.begin(), Segs.end(), A.At,
+        [](Time V, const ScheduleSegment &Sg) { return V < Sg.Start; });
+    if (It == Segs.begin()) {
+      Out.push_back(M);
+      continue;
+    }
+    --It;
+    if (A.At >= It->end()) {
+      // Arrival past the covered range: no jitter observable.
+      Out.push_back(M);
+      continue;
+    }
+    const ProcState &St = It->State;
+    switch (St.Kind) {
+    case ProcStateKind::Idle:
+      // Work-conservation case: the release is pushed to the end of the
+      // Idle state (Fig. 7b).
+      M.Case = JitterCase::IdleResidue;
+      M.Jitter = It->end() - A.At;
+      break;
+    case ProcStateKind::PollingOvh:
+    case ProcStateKind::SelectionOvh:
+    case ProcStateKind::DispatchOvh: {
+      // Priority-compliance case: the scheduler already finished
+      // polling and is committed to job St.Job; the release is pushed
+      // past the start of that job's execution (Fig. 7a).
+      M.Case = JitterCase::Overlooked;
+      std::optional<Time> ExecStart = S.startOfExecution(St.Job);
+      if (ExecStart && *ExecStart > A.At)
+        M.Jitter = *ExecStart - A.At;
+      break;
+    }
+    case ProcStateKind::ReadOvh:
+    case ProcStateKind::Executes:
+    case ProcStateKind::CompletionOvh:
+      // The job will be read by the next polling phase, which precedes
+      // the next scheduling decision: no compliance violation to model.
+      break;
+    }
+    for (const ConvertedJob &CJ : CR.Jobs)
+      if (CJ.J.Msg == A.Msg.Id)
+        M.Job = CJ.J.Id;
+    Out.push_back(M);
+  }
+  return Out;
+}

@@ -1,0 +1,76 @@
+//===- rta/jitter.h - Release jitter (§4.3, Def. 4.3, Fig. 7) -------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Release jitter bridges two gaps between Rössl and aRSA's idealized
+/// model (§4.3, Fig. 7):
+///
+///  - *priority-policy compliance*: a job arriving between the polling
+///    phase and the execution phase is not considered for the current
+///    scheduling decision; delaying its modeled release past the start
+///    of the next execution phase restores compliance (≤ PB + SB + DB);
+///  - *work conservation*: a job arriving while the scheduler idles is
+///    not served instantly; delaying its release past the end of the
+///    Idle state restores work conservation (≤ IB).
+///
+/// Def. 4.3: J_i ≜ 1 + max(PB + SB + DB, IB).
+///
+/// measureReleaseJitter() extracts the *actual* jitter each job incurred
+/// in a concrete run (for the E5 experiment: measured ≤ J_i, and in a
+/// typical deployment J_i is microseconds while response bounds are
+/// milliseconds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_RTA_JITTER_H
+#define RPROSA_RTA_JITTER_H
+
+#include "rta/bounds.h"
+
+#include "convert/trace_to_schedule.h"
+#include "core/arrival_curve.h"
+#include "core/arrival_sequence.h"
+
+#include <vector>
+
+namespace rprosa {
+
+/// Def. 4.3: the maximum release jitter any job can incur.
+Duration maxReleaseJitter(const OverheadBounds &B);
+
+/// The release curve β_i of §4.3: β_i(0) = 0, β_i(Δ) = α_i(Δ + J_i)
+/// otherwise. An upper bound on the release rate in the jittered
+/// release sequence.
+ArrivalCurvePtr makeReleaseCurve(ArrivalCurvePtr Alpha, Duration Jitter);
+
+/// Which of the two Fig. 7 cases a job's measured jitter falls into.
+enum class JitterCase : std::uint8_t {
+  None,       ///< The job arrived while the scheduler was polling,
+              ///< executing, or cleaning up — no modeled delay needed.
+  IdleResidue,///< Arrived in an Idle state (work-conservation case).
+  Overlooked, ///< Arrived between polling and execution phases
+              ///< (priority-compliance case).
+};
+
+/// The measured release jitter of one job in a concrete run.
+struct MeasuredJitter {
+  JobId Job = InvalidJobId;
+  MsgId Msg = 0;
+  Duration Jitter = 0;
+  JitterCase Case = JitterCase::None;
+};
+
+/// Extracts the actual per-job jitter from a converted run: for an
+/// arrival inside an Idle segment, the remaining length of that
+/// segment; for an arrival inside the PollingOvh/SelectionOvh/
+/// DispatchOvh span of another job, the gap to the start of that job's
+/// execution; zero otherwise.
+std::vector<MeasuredJitter> measureReleaseJitter(const ConversionResult &CR,
+                                                 const ArrivalSequence &Arr);
+
+} // namespace rprosa
+
+#endif // RPROSA_RTA_JITTER_H

@@ -1,0 +1,159 @@
+//===- rta/rta_npfp.cpp ---------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rta/rta_npfp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+using namespace rprosa;
+
+bool RtaResult::allBounded() const {
+  for (const TaskRta &T : PerTask)
+    if (!T.Bounded)
+      return false;
+  return !PerTask.empty();
+}
+
+const TaskRta &RtaResult::forTask(TaskId Id) const {
+  assert(Id < PerTask.size() && "task id out of range");
+  assert(PerTask[Id].Task == Id && "per-task results are indexed by id");
+  return PerTask[Id];
+}
+
+namespace {
+
+/// One analysis run: task set + curves + supply, shared across tasks.
+class NpfpAnalysis {
+public:
+  NpfpAnalysis(const TaskSet &Tasks, const BasicActionWcets &W,
+               std::uint32_t NumSockets, const RtaConfig &Cfg)
+      : Tasks(Tasks), Cfg(Cfg) {
+    Bounds = OverheadBounds::compute(W, NumSockets);
+    Jitter = Cfg.AccountOverheads ? maxReleaseJitter(Bounds) : 0;
+    for (const Task &T : Tasks.tasks())
+      Beta.push_back(Cfg.AccountOverheads
+                         ? makeReleaseCurve(T.Curve, Jitter)
+                         : T.Curve);
+    if (Cfg.AccountOverheads)
+      Supply = std::make_unique<RosslSupply>(Beta, Bounds,
+                                             Cfg.FixedPointCap,
+                                             !Cfg.AblateCarryIn);
+    else
+      Supply = std::make_unique<IdealSupply>();
+  }
+
+  RtaResult run();
+
+private:
+  TaskRta analyzeTask(TaskId I) const;
+
+  /// Σ_{k ∈ Ks} β_k(Len) · C_k.
+  Duration workloadOf(const std::vector<TaskId> &Ks, Duration Len) const {
+    Duration Sum = 0;
+    for (TaskId K : Ks)
+      Sum = satAdd(Sum, satMul(Beta[K]->eval(Len), Tasks.task(K).Wcet));
+    return Sum;
+  }
+
+  const TaskSet &Tasks;
+  RtaConfig Cfg;
+  OverheadBounds Bounds;
+  Duration Jitter = 0;
+  std::vector<ArrivalCurvePtr> Beta;
+  std::unique_ptr<SupplyModel> Supply;
+};
+
+} // namespace
+
+TaskRta NpfpAnalysis::analyzeTask(TaskId I) const {
+  TaskRta Out;
+  Out.Task = I;
+  Out.Jitter = Jitter;
+  const Task &Ti = Tasks.task(I);
+
+  // Non-preemptive blocking: one lower-priority job may have just
+  // started (conservatively a full C_k; with the classic -1 when the
+  // analysis is configured for it).
+  Out.Blocking = Tasks.maxLowerPriorityWcet(I);
+  if (Cfg.BlockingMinusOne && Out.Blocking > 0)
+    --Out.Blocking;
+
+  // Busy-window length: least L with SBF(L) >= B_i + hep-and-own
+  // workload released within L.
+  std::vector<TaskId> HepOthers = Tasks.higherOrEqualPriorityOthers(I);
+  std::vector<TaskId> HepAll = HepOthers;
+  HepAll.push_back(I);
+  auto BusyStep = [&](Time L) {
+    Duration Work = satAdd(Out.Blocking, workloadOf(HepAll, L));
+    // A busy window is at least one instant long.
+    return std::max<Time>(1, Supply->timeToSupply(Work));
+  };
+  std::optional<Time> L = leastFixedPoint(BusyStep, 1, Cfg.FixedPointCap);
+  if (!L)
+    return Out; // Unbounded.
+  Out.BusyWindow = *L;
+
+  // Walk the release offsets A_q within the busy window.
+  Duration Rmax = 0;
+  for (std::uint64_t Q = 1; Q <= Cfg.MaxOffsets; ++Q) {
+    Duration WindowLen = minWindowAdmitting(*Beta[I], Q, Cfg.FixedPointCap);
+    if (WindowLen == TimeInfinity)
+      break; // The curve admits no q-th release at all.
+    Time Aq = WindowLen - 1; // Release offset within the busy window.
+    if (Aq >= *L)
+      break; // Later releases start a new busy window.
+
+    Duration Prior = satAdd(Out.Blocking, satMul(Q - 1, Ti.Wcet));
+
+    // Start bound: a fixed point over the higher-or-equal-priority
+    // releases up to (and including) the candidate start.
+    auto StartStep = [&](Time T) {
+      Duration Work = satAdd(Prior, workloadOf(HepOthers, satAdd(T, 1)));
+      return std::max<Time>(Aq, Supply->timeToSupply(Work));
+    };
+    std::optional<Time> S = leastFixedPoint(StartStep, Aq,
+                                            Cfg.FixedPointCap);
+    if (!S)
+      return Out; // Unbounded.
+
+    // Finish bound: the same interference (frozen at the start — jobs
+    // released after a non-preemptive start cannot precede it) plus the
+    // job's own execution.
+    Duration WorkAtStart =
+        satAdd(Prior, workloadOf(HepOthers, satAdd(*S, 1)));
+    Time F = Supply->timeToSupply(satAdd(WorkAtStart, Ti.Wcet));
+    if (F == TimeInfinity || F > Cfg.FixedPointCap)
+      return Out; // Unbounded.
+
+    Rmax = std::max<Duration>(Rmax, F - Aq);
+
+    if (Q == Cfg.MaxOffsets)
+      return Out; // Offset budget exhausted: report unbounded.
+  }
+
+  Out.Bounded = true;
+  Out.ReleaseRelativeBound = Rmax;
+  Out.ResponseBound = satAdd(Rmax, Jitter);
+  return Out;
+}
+
+RtaResult NpfpAnalysis::run() {
+  RtaResult Res;
+  Res.Bounds = Bounds;
+  for (const Task &T : Tasks.tasks())
+    Res.PerTask.push_back(analyzeTask(T.Id));
+  return Res;
+}
+
+RtaResult rprosa::analyzeNpfp(const TaskSet &Tasks,
+                              const BasicActionWcets &W,
+                              std::uint32_t NumSockets,
+                              const RtaConfig &Cfg) {
+  NpfpAnalysis A(Tasks, W, NumSockets, Cfg);
+  return A.run();
+}

@@ -1,0 +1,170 @@
+//===- rta/rta_policies.cpp -----------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rta/rta_policies.h"
+
+#include <algorithm>
+#include <memory>
+
+using namespace rprosa;
+
+namespace {
+
+/// Shared scaffolding of the order-driven (FIFO/EDF) analyses: jitter,
+/// release curves, supply, and the offset walk. The policies differ
+/// only in the per-task interference window.
+class OrderDrivenAnalysis {
+public:
+  OrderDrivenAnalysis(const TaskSet &Tasks, const BasicActionWcets &W,
+                      std::uint32_t NumSockets, const RtaConfig &Cfg)
+      : Tasks(Tasks), Cfg(Cfg) {
+    Bounds = OverheadBounds::compute(W, NumSockets);
+    Jitter = Cfg.AccountOverheads ? maxReleaseJitter(Bounds) : 0;
+    for (const Task &T : Tasks.tasks())
+      Beta.push_back(Cfg.AccountOverheads
+                         ? makeReleaseCurve(T.Curve, Jitter)
+                         : T.Curve);
+    if (Cfg.AccountOverheads)
+      Supply = std::make_unique<RosslSupply>(Beta, Bounds,
+                                             Cfg.FixedPointCap,
+                                             !Cfg.AblateCarryIn);
+    else
+      Supply = std::make_unique<IdealSupply>();
+  }
+
+  /// The interference window of task \p K against a job of task \p I
+  /// released at offset \p A: releases of K within this window may
+  /// precede the job in the policy order.
+  using WindowFn = Duration (*)(const TaskSet &, TaskId I, TaskId K,
+                                Time A, Duration Jitter);
+
+  RtaResult run(WindowFn Window) {
+    RtaResult Res;
+    Res.Bounds = Bounds;
+    for (const Task &T : Tasks.tasks())
+      Res.PerTask.push_back(analyzeTask(T.Id, Window));
+    return Res;
+  }
+
+private:
+  Duration workloadAt(TaskId I, Time A, WindowFn Window) const {
+    Duration Sum = 0;
+    for (const Task &K : Tasks.tasks())
+      Sum = satAdd(Sum, satMul(Beta[K.Id]->eval(
+                                   Window(Tasks, I, K.Id, A, Jitter)),
+                               K.Wcet));
+    return Sum;
+  }
+
+  TaskRta analyzeTask(TaskId I, WindowFn Window) const {
+    TaskRta Out;
+    Out.Task = I;
+    Out.Jitter = Jitter;
+    Out.Blocking = Tasks.maxOtherWcet(I);
+
+    // Busy-window bound: the workload formula evaluated at L (monotone
+    // in L, so the least fixed point is sound).
+    auto BusyStep = [&](Time L) {
+      Duration Work = satAdd(Out.Blocking, workloadAt(I, L, Window));
+      return std::max<Time>(1, Supply->timeToSupply(Work));
+    };
+    std::optional<Time> L = leastFixedPoint(BusyStep, 1,
+                                            Cfg.FixedPointCap);
+    if (!L)
+      return Out;
+    Out.BusyWindow = *L;
+
+    Duration Rmax = 0;
+    for (std::uint64_t Q = 1; Q <= Cfg.MaxOffsets; ++Q) {
+      Duration WindowLen = minWindowAdmitting(*Beta[I], Q,
+                                              Cfg.FixedPointCap);
+      if (WindowLen == TimeInfinity)
+        break;
+      Time Aq = WindowLen - 1;
+      if (Aq >= *L)
+        break;
+      Duration Work = satAdd(Out.Blocking, workloadAt(I, Aq, Window));
+      Time F = Supply->timeToSupply(Work);
+      if (F == TimeInfinity || F > Cfg.FixedPointCap)
+        return Out;
+      // The job cannot complete before its own release + execution.
+      F = std::max<Time>(F, satAdd(Aq, Tasks.task(I).Wcet));
+      Rmax = std::max<Duration>(Rmax, F - Aq);
+      if (Q == Cfg.MaxOffsets)
+        return Out;
+    }
+
+    Out.Bounded = true;
+    Out.ReleaseRelativeBound = Rmax;
+    Out.ResponseBound = satAdd(Rmax, Jitter);
+    return Out;
+  }
+
+  const TaskSet &Tasks;
+  RtaConfig Cfg;
+  OverheadBounds Bounds;
+  Duration Jitter = 0;
+  std::vector<ArrivalCurvePtr> Beta;
+  std::unique_ptr<SupplyModel> Supply;
+};
+
+Duration fifoWindow(const TaskSet &, TaskId, TaskId, Time A,
+                    Duration Jitter) {
+  // Releases within A + J + 1 may be read before our job.
+  return satAdd(satAdd(A, Jitter), 1);
+}
+
+Duration edfWindow(const TaskSet &Tasks, TaskId I, TaskId K, Time A,
+                   Duration Jitter) {
+  // Releases of K whose key (read + D_k) can undercut ours
+  // (read + D_i): window A + 1 + J + D_i − D_k, clamped at 0.
+  Duration Di = Tasks.task(I).Deadline;
+  Duration Dk = Tasks.task(K).Deadline;
+  Duration Base = satAdd(satAdd(A, 1), Jitter);
+  if (Dk >= Di) {
+    Duration Shrink = Dk - Di;
+    return Base > Shrink ? Base - Shrink : 0;
+  }
+  return satAdd(Base, Di - Dk);
+}
+
+} // namespace
+
+RtaResult rprosa::analyzeFifo(const TaskSet &Tasks,
+                              const BasicActionWcets &W,
+                              std::uint32_t NumSockets,
+                              const RtaConfig &Cfg) {
+  OrderDrivenAnalysis A(Tasks, W, NumSockets, Cfg);
+  return A.run(fifoWindow);
+}
+
+RtaResult rprosa::analyzeEdf(const TaskSet &Tasks,
+                             const BasicActionWcets &W,
+                             std::uint32_t NumSockets,
+                             const RtaConfig &Cfg) {
+  OrderDrivenAnalysis A(Tasks, W, NumSockets, Cfg);
+  RtaResult Res = A.run(edfWindow);
+  // Tasks without deadlines cannot be analyzed under EDF.
+  for (TaskRta &T : Res.PerTask)
+    if (Tasks.task(T.Task).Deadline == 0)
+      T.Bounded = false;
+  return Res;
+}
+
+RtaResult rprosa::analyzePolicy(const TaskSet &Tasks,
+                                const BasicActionWcets &W,
+                                std::uint32_t NumSockets,
+                                SchedPolicy Policy, const RtaConfig &Cfg) {
+  switch (Policy) {
+  case SchedPolicy::Npfp:
+    return analyzeNpfp(Tasks, W, NumSockets, Cfg);
+  case SchedPolicy::Edf:
+    return analyzeEdf(Tasks, W, NumSockets, Cfg);
+  case SchedPolicy::Fifo:
+    return analyzeFifo(Tasks, W, NumSockets, Cfg);
+  }
+  return analyzeNpfp(Tasks, W, NumSockets, Cfg);
+}

@@ -1,0 +1,66 @@
+//===- rta/sbf.cpp --------------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rta/sbf.h"
+
+#include <cassert>
+
+using namespace rprosa;
+
+RosslSupply::RosslSupply(std::vector<ArrivalCurvePtr> ReleaseCurves,
+                         const OverheadBounds &B, Time Cap,
+                         bool CarryInPerTask)
+    : ReleaseCurves(std::move(ReleaseCurves)), B(B), Cap(Cap),
+      CarryInPerTask(CarryInPerTask) {
+  for ([[maybe_unused]] const ArrivalCurvePtr &C : this->ReleaseCurves)
+    assert(C && "missing release curve");
+}
+
+std::uint64_t RosslSupply::jobBound(Duration Delta) const {
+  std::uint64_t N = 0;
+  for (const ArrivalCurvePtr &C : ReleaseCurves)
+    N += C->eval(Delta) + (CarryInPerTask ? 1 : 0);
+  return N;
+}
+
+Duration RosslSupply::trb(Duration Delta) const {
+  return satMul(jobBound(Delta), B.RB);
+}
+
+Duration RosslSupply::nrb(Duration Delta) const {
+  return satMul(jobBound(Delta), B.perJobNonReadOverhead());
+}
+
+Duration RosslSupply::blackoutBound(Duration Delta) const {
+  return satAdd(trb(Delta), nrb(Delta));
+}
+
+Time RosslSupply::timeToSupply(Duration Work) const {
+  // SBF(0) = 0, so zero work needs zero time (the fixed point below
+  // would overshoot because BlackoutBound(0) > 0 due to the carry-in).
+  if (Work == 0)
+    return 0;
+  // Least t with SBF(t) >= Work, i.e. least t with
+  // t - BlackoutBound(t) >= Work: the request-bound fixed point
+  // t <- Work + BlackoutBound(t).
+  auto Step = [&](Time T) { return satAdd(Work, blackoutBound(T)); };
+  std::optional<Time> T = leastFixedPoint(Step, Work, Cap);
+  return T ? *T : TimeInfinity;
+}
+
+Duration RosslSupply::supplyBound(Duration Delta) const {
+  // SBF(Delta) = max{W : timeToSupply(W) <= Delta}, found by binary
+  // search (SBF is monotone, and W <= Delta always).
+  Duration Lo = 0, Hi = Delta;
+  while (Lo < Hi) {
+    Duration Mid = Lo + (Hi - Lo + 1) / 2;
+    if (timeToSupply(Mid) <= Delta)
+      Lo = Mid;
+    else
+      Hi = Mid - 1;
+  }
+  return Lo;
+}

@@ -1,0 +1,84 @@
+//===- rta/sbf.h - The supply bound function of Rössl (§4.4) --------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §4.4: overheads are modeled as blackouts; the analysis needs
+///
+///   BlackoutBound(Δ) = TRB(Δ) + NRB(Δ)
+///   SBF(Δ) = max_{0 ≤ δ ≤ Δ} (δ − BlackoutBound(δ))   (clamped at 0)
+///
+/// where TRB bounds the ReadOvh blackout and NRB the PollingOvh/
+/// SelectionOvh/DispatchOvh/CompletionOvh blackout in any interval of
+/// length Δ anchored at a busy-window start. Both are obtained by
+/// bounding the number of jobs whose overhead can fall into the window:
+///
+///   NJobs(Δ) = Σ_i (β_i(Δ) + 1)
+///
+/// — the releases within the window per the release curves, plus one
+/// carry-in job per task. (Derivation: at a busy-window start nothing
+/// is pending — Def. 3.2's idling property — so a job with overhead
+/// inside the window was read inside it, hence arrived at most IB
+/// before it; β_i(Δ) = α_i(Δ + J_i) with J_i ≥ IB + 1 covers those, and
+/// the +1 absorbs the boundary and one in-flight lower-priority job.)
+///
+///   TRB(Δ) = NJobs(Δ) · RB        NRB(Δ) = NJobs(Δ) · (PB+SB+DB+CB)
+///
+/// SBF is monotone by construction (the max over δ) as aRSA requires.
+/// The inverse timeToSupply(W) = min{t : SBF(t) ≥ W} is computed by the
+/// classic request-bound fixed point t ← W + BlackoutBound(t).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_RTA_SBF_H
+#define RPROSA_RTA_SBF_H
+
+#include "rta/arsa.h"
+#include "rta/bounds.h"
+
+#include "core/arrival_curve.h"
+
+#include <vector>
+
+namespace rprosa {
+
+/// The restricted-supply model of Rössl.
+class RosslSupply : public SupplyModel {
+public:
+  /// \p ReleaseCurves are the jitter-shifted β_i, one per task. \p Cap
+  /// bounds the fixed-point search (beyond it the analysis reports
+  /// "unbounded"). \p CarryInPerTask controls the +1 carry-in job per
+  /// task in NJobs; disabling it is an ABLATION ONLY — it tightens the
+  /// bound but drops the busy-window carry-in argument the soundness
+  /// derivation needs (see the E14 experiment).
+  RosslSupply(std::vector<ArrivalCurvePtr> ReleaseCurves,
+              const OverheadBounds &B, Time Cap,
+              bool CarryInPerTask = true);
+
+  /// NJobs(Δ): the job-count bound described above.
+  std::uint64_t jobBound(Duration Delta) const;
+
+  /// TRB(Δ): blackout from ReadOvh states.
+  Duration trb(Duration Delta) const;
+
+  /// NRB(Δ): blackout from the non-read overhead states.
+  Duration nrb(Duration Delta) const;
+
+  /// BlackoutBound(Δ) = TRB(Δ) + NRB(Δ).
+  Duration blackoutBound(Duration Delta) const;
+
+  Duration supplyBound(Duration Delta) const override;
+  Time timeToSupply(Duration Work) const override;
+
+private:
+  std::vector<ArrivalCurvePtr> ReleaseCurves;
+  OverheadBounds B;
+  Time Cap;
+  bool CarryInPerTask;
+};
+
+} // namespace rprosa
+
+#endif // RPROSA_RTA_SBF_H

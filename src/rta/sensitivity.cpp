@@ -1,0 +1,129 @@
+//===- rta/sensitivity.cpp ------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rta/sensitivity.h"
+
+#include <functional>
+
+using namespace rprosa;
+
+namespace {
+
+/// Binary-searches the largest percent in [100, MaxPercent] for which
+/// \p Schedulable holds; requires antitonicity.
+SensitivityResult searchPercent(
+    const std::function<bool(std::uint64_t)> &Schedulable,
+    std::uint64_t MaxPercent) {
+  SensitivityResult R;
+  R.NominalSchedulable = Schedulable(100);
+  if (!R.NominalSchedulable)
+    return R;
+  std::uint64_t Lo = 100, Hi = MaxPercent;
+  if (Schedulable(Hi)) {
+    R.MaxScalePercent = Hi;
+    return R;
+  }
+  // Invariant: Lo schedulable, Hi not.
+  while (Lo + 1 < Hi) {
+    std::uint64_t Mid = Lo + (Hi - Lo) / 2;
+    if (Schedulable(Mid))
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+  R.MaxScalePercent = Lo;
+  return R;
+}
+
+RtaConfig quickConfig() {
+  RtaConfig Cfg;
+  // Sensitivity sweeps call the analysis hundreds of times; a tighter
+  // cap keeps them fast (an unbounded verdict below the cap is simply
+  // "not schedulable" for the search).
+  Cfg.FixedPointCap = 1 * TickSec;
+  return Cfg;
+}
+
+TaskSet scaleTaskWcet(const TaskSet &Tasks, TaskId I,
+                      std::uint64_t Percent) {
+  TaskSet Out;
+  for (const Task &T : Tasks.tasks()) {
+    Duration Wcet = T.Id == I
+                        ? std::max<Duration>(1, satMul(T.Wcet, Percent) /
+                                                    100)
+                        : T.Wcet;
+    Out.addTask(T.Name, Wcet, T.Prio, T.Curve, T.Deadline);
+  }
+  return Out;
+}
+
+BasicActionWcets scaleWcets(const BasicActionWcets &W,
+                            std::uint64_t Percent) {
+  auto S = [&](Duration D) {
+    return std::max<Duration>(1, satMul(D, Percent) / 100);
+  };
+  BasicActionWcets Out;
+  Out.FailedRead = S(W.FailedRead);
+  Out.SuccessfulRead = S(W.SuccessfulRead);
+  Out.Selection = S(W.Selection);
+  Out.Dispatch = S(W.Dispatch);
+  Out.Completion = S(W.Completion);
+  Out.Idling = S(W.Idling);
+  return Out;
+}
+
+} // namespace
+
+SensitivityResult rprosa::callbackWcetSlack(const TaskSet &Tasks,
+                                            const BasicActionWcets &W,
+                                            std::uint32_t NumSockets,
+                                            TaskId I, SchedPolicy Policy,
+                                            std::uint64_t MaxPercent) {
+  return searchPercent(
+      [&](std::uint64_t Percent) {
+        return analyzePolicy(scaleTaskWcet(Tasks, I, Percent), W,
+                             NumSockets, Policy, quickConfig())
+            .allBounded();
+      },
+      MaxPercent);
+}
+
+SensitivityResult rprosa::schedulerWcetSlack(const TaskSet &Tasks,
+                                             const BasicActionWcets &W,
+                                             std::uint32_t NumSockets,
+                                             SchedPolicy Policy,
+                                             std::uint64_t MaxPercent) {
+  return searchPercent(
+      [&](std::uint64_t Percent) {
+        return analyzePolicy(Tasks, scaleWcets(W, Percent), NumSockets,
+                             Policy, quickConfig())
+            .allBounded();
+      },
+      MaxPercent);
+}
+
+std::uint32_t rprosa::socketSlack(const TaskSet &Tasks,
+                                  const BasicActionWcets &W,
+                                  std::uint32_t MaxSockets,
+                                  SchedPolicy Policy) {
+  auto Feasible = [&](std::uint32_t Socks) {
+    return analyzePolicy(Tasks, W, Socks, Policy, quickConfig())
+        .allBounded();
+  };
+  if (!Feasible(1))
+    return 0;
+  std::uint32_t Lo = 1, Hi = MaxSockets;
+  if (Feasible(Hi))
+    return Hi;
+  while (Lo + 1 < Hi) {
+    std::uint32_t Mid = Lo + (Hi - Lo) / 2;
+    if (Feasible(Mid))
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+  return Lo;
+}

@@ -1,0 +1,61 @@
+//===- rta/sensitivity.h - Parameter sensitivity of the bounds ------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deployment-facing "what-if" analysis on top of the RTA: how much can
+/// a parameter grow before schedulability is lost? The WCETs are
+/// *assumed* inputs (§2.3) typically obtained from measurement or
+/// static analysis; their margin of error matters. For each knob the
+/// module binary-searches the largest multiplier (in percent) under
+/// which every task still has a bound:
+///
+///  - a task's callback WCET C_i,
+///  - all basic-action WCETs together (the scheduler gets slower),
+///  - the socket count (integer search).
+///
+/// Schedulability is antitone in each knob, so binary search applies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_RTA_SENSITIVITY_H
+#define RPROSA_RTA_SENSITIVITY_H
+
+#include "rta/rta_policies.h"
+
+namespace rprosa {
+
+/// The outcome of one knob's search: the largest sustainable scale, in
+/// percent of the nominal value (>= 100 when the nominal system is
+/// schedulable; 0 when even the nominal system is not).
+struct SensitivityResult {
+  std::uint64_t MaxScalePercent = 0;
+  bool NominalSchedulable = false;
+};
+
+/// Largest multiplier for task \p I's callback WCET.
+SensitivityResult callbackWcetSlack(const TaskSet &Tasks,
+                                    const BasicActionWcets &W,
+                                    std::uint32_t NumSockets, TaskId I,
+                                    SchedPolicy Policy = SchedPolicy::Npfp,
+                                    std::uint64_t MaxPercent = 100000);
+
+/// Largest multiplier applied to ALL basic-action WCETs at once.
+SensitivityResult schedulerWcetSlack(const TaskSet &Tasks,
+                                     const BasicActionWcets &W,
+                                     std::uint32_t NumSockets,
+                                     SchedPolicy Policy =
+                                         SchedPolicy::Npfp,
+                                     std::uint64_t MaxPercent = 100000);
+
+/// Largest socket count that stays schedulable (0 if none; searches up
+/// to \p MaxSockets).
+std::uint32_t socketSlack(const TaskSet &Tasks, const BasicActionWcets &W,
+                          std::uint32_t MaxSockets = 4096,
+                          SchedPolicy Policy = SchedPolicy::Npfp);
+
+} // namespace rprosa
+
+#endif // RPROSA_RTA_SENSITIVITY_H

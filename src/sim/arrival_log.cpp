@@ -1,0 +1,75 @@
+//===- sim/arrival_log.cpp ------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/arrival_log.h"
+
+#include "core/time.h"
+
+#include <sstream>
+
+using namespace rprosa;
+
+std::optional<ArrivalSequence>
+rprosa::parseArrivalLog(const std::string &Text, std::uint32_t NumSockets,
+                        CheckResult *Diags) {
+  auto Fail = [&](std::size_t LineNo, const std::string &Why)
+      -> std::optional<ArrivalSequence> {
+    if (Diags)
+      Diags->addFailure("arrival log error at line " +
+                        std::to_string(LineNo) + ": " + Why);
+    return std::nullopt;
+  };
+
+  std::istringstream In(Text);
+  std::string Line;
+  std::size_t LineNo = 0;
+  if (!std::getline(In, Line) || Line != "refinedprosa-arrivals v1")
+    return Fail(1, "missing or unknown header");
+  ++LineNo;
+
+  ArrivalSequence Arr(NumSockets);
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    std::istringstream Tok(Line);
+    std::string TimeWord;
+    if (!(Tok >> TimeWord))
+      continue; // Blank or comment-only.
+    std::optional<Duration> At = parseTimeLiteral(TimeWord);
+    if (!At)
+      return Fail(LineNo, "malformed time '" + TimeWord + "'");
+    std::uint64_t Sock = 0, Task = 0, Payload = 16;
+    if (!(Tok >> Sock >> Task))
+      return Fail(LineNo, "expected '<time> <socket> <task> [payload]'");
+    Tok >> Payload; // Optional.
+    if (Sock >= NumSockets)
+      return Fail(LineNo, "socket " + std::to_string(Sock) +
+                              " out of range (have " +
+                              std::to_string(NumSockets) + ")");
+    Arr.addArrival(*At, static_cast<SocketId>(Sock),
+                   static_cast<TaskId>(Task),
+                   static_cast<std::uint32_t>(Payload));
+  }
+  return Arr;
+}
+
+std::string rprosa::serializeArrivalLog(const ArrivalSequence &Arr) {
+  std::string Out = "refinedprosa-arrivals v1\n# time socket task "
+                    "payload\n";
+  for (const Arrival &A : Arr.arrivals()) {
+    Out += std::to_string(A.At);
+    Out += ' ';
+    Out += std::to_string(A.Socket);
+    Out += ' ';
+    Out += std::to_string(A.Msg.Task);
+    Out += ' ';
+    Out += std::to_string(A.Msg.PayloadLen);
+    Out += '\n';
+  }
+  return Out;
+}

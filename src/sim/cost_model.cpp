@@ -1,0 +1,66 @@
+//===- sim/cost_model.cpp -------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+using namespace rprosa;
+
+CostModel::CostModel(const BasicActionWcets &W, CostModelKind Kind,
+                     std::uint64_t Seed)
+    : Wcets(W), Kind(Kind), Rng(Seed) {}
+
+Duration CostModel::sample(Duration Wcet) {
+  // Durations are at least one tick: a basic action occupies time.
+  Duration Floor = 1;
+  Duration Bound = std::max(Wcet, Floor);
+  switch (Kind) {
+  case CostModelKind::AlwaysWcet:
+    return Bound;
+  case CostModelKind::Uniform:
+    return Rng.nextInRange(Floor, Bound);
+  case CostModelKind::HalfWcet:
+    return std::max<Duration>(Floor, Bound / 2);
+  case CostModelKind::ViolatingOccasionally:
+    if (Rng.nextBernoulli(1, 64))
+      return Bound + Rng.nextInRange(1, Bound + 1);
+    return Rng.nextInRange(Floor, Bound);
+  }
+  return Bound;
+}
+
+Duration CostModel::readCompletionExtra(Duration Spent) {
+  Duration Sr = Wcets.SuccessfulRead;
+  Duration Budget = Sr > Spent ? Sr - Spent : 0;
+  switch (Kind) {
+  case CostModelKind::AlwaysWcet:
+    return Budget;
+  case CostModelKind::Uniform:
+    return Budget == 0 ? 0 : Rng.nextInRange(0, Budget);
+  case CostModelKind::HalfWcet:
+    return Budget / 2;
+  case CostModelKind::ViolatingOccasionally:
+    if (Rng.nextBernoulli(1, 64))
+      return Budget + Rng.nextInRange(1, Sr + 1);
+    return Budget == 0 ? 0 : Rng.nextInRange(0, Budget);
+  }
+  return Budget;
+}
+
+std::string rprosa::toString(CostModelKind K) {
+  switch (K) {
+  case CostModelKind::AlwaysWcet:
+    return "always-wcet";
+  case CostModelKind::Uniform:
+    return "uniform";
+  case CostModelKind::HalfWcet:
+    return "half-wcet";
+  case CostModelKind::ViolatingOccasionally:
+    return "violating";
+  }
+  return "?";
+}

@@ -1,0 +1,77 @@
+//===- sim/cost_model.h - Sampled execution times for basic actions -------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper assumes every basic action and callback runs within its
+/// WCET (§2.5). The cost model is the substrate's source of *actual*
+/// durations: it samples each basic action's run time, by default never
+/// exceeding the WCET. A deliberately violating mode exists for fault
+/// injection (the WCET checker must flag such runs, and Thm. 5.1's
+/// guarantee is void for them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_SIM_COST_MODEL_H
+#define RPROSA_SIM_COST_MODEL_H
+
+#include "core/task.h"
+#include "core/wcet.h"
+#include "support/rng.h"
+
+namespace rprosa {
+
+/// How actual durations relate to the WCETs.
+enum class CostModelKind : std::uint8_t {
+  /// Every action takes exactly its WCET (the adversarial case the
+  /// analysis is calibrated against).
+  AlwaysWcet,
+  /// Uniformly distributed in [1, WCET] (a "realistic" run).
+  Uniform,
+  /// A fixed fraction of the WCET (deterministic, fast runs).
+  HalfWcet,
+  /// FAULT INJECTION: occasionally exceeds the WCET (~1 in 64 samples,
+  /// by up to 2x). Violates the assumptions of Thm. 5.1 on purpose.
+  ViolatingOccasionally,
+};
+
+/// Samples concrete durations for the basic actions of one run.
+class CostModel {
+public:
+  CostModel(const BasicActionWcets &W, CostModelKind Kind,
+            std::uint64_t Seed);
+
+  Duration failedRead() { return sample(Wcets.FailedRead); }
+  Duration successfulRead() { return sample(Wcets.SuccessfulRead); }
+  Duration selection() { return sample(Wcets.Selection); }
+  Duration dispatch() { return sample(Wcets.Dispatch); }
+  Duration completion() { return sample(Wcets.Completion); }
+  Duration idling() { return sample(Wcets.Idling); }
+  /// The callback run time of one job of \p T (bounded by C_i).
+  Duration exec(const Task &T) { return sample(T.Wcet); }
+
+  /// The extra time a *successful* read spends after the availability
+  /// poll (copying the datagram, bookkeeping). The substrate models a
+  /// successful read as: poll for \p Spent ticks (the failed-read part,
+  /// which determines the availability threshold), then copy for the
+  /// returned extra, so that the total stays within WcetSR. Requires
+  /// WcetSR >= WcetFR (checked by BasicActionWcets::validate).
+  Duration readCompletionExtra(Duration Spent);
+
+  CostModelKind kind() const { return Kind; }
+
+private:
+  Duration sample(Duration Wcet);
+
+  BasicActionWcets Wcets;
+  CostModelKind Kind;
+  SplitMix64 Rng;
+};
+
+std::string toString(CostModelKind K);
+
+} // namespace rprosa
+
+#endif // RPROSA_SIM_COST_MODEL_H

@@ -1,0 +1,55 @@
+//===- sim/environment.h - The scheduler's environment --------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The environment owns the input sockets and pre-loads them with the
+/// arrival sequence of the run (§2.3: "we model these arrivals as an
+/// arbitrary arrival sequence arr"). The scheduler interacts with it
+/// only through the read axiomatization (SimSocket::tryRead), mirroring
+/// how Rössl's only interface to the outside world is the read system
+/// call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_SIM_ENVIRONMENT_H
+#define RPROSA_SIM_ENVIRONMENT_H
+
+#include "sim/socket.h"
+
+#include "core/arrival_sequence.h"
+
+#include <optional>
+#include <vector>
+
+namespace rprosa {
+
+/// The simulated outside world: sockets loaded with arrivals.
+class Environment {
+public:
+  /// Pre-loads all arrivals of \p Arr onto the corresponding sockets.
+  explicit Environment(const ArrivalSequence &Arr);
+
+  std::uint32_t numSockets() const {
+    return static_cast<std::uint32_t>(Sockets.size());
+  }
+
+  /// Simulates a read on \p Sock returning at instant \p ReturnTime.
+  std::optional<Message> read(SocketId Sock, Time ReturnTime);
+
+  /// Earliest queued arrival instant across all sockets (nullopt when
+  /// everything has been read).
+  std::optional<Time> nextArrival() const;
+
+  /// Total messages still queued.
+  std::size_t queuedMessages() const;
+
+private:
+  std::vector<SimSocket> Sockets;
+};
+
+} // namespace rprosa
+
+#endif // RPROSA_SIM_ENVIRONMENT_H

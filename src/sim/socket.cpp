@@ -1,0 +1,35 @@
+//===- sim/socket.cpp -----------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/socket.h"
+
+#include <cassert>
+
+using namespace rprosa;
+
+void SimSocket::deliver(Time At, Message Msg) {
+  assert((Queue.empty() || Queue.back().At <= At) &&
+         "messages must be delivered in arrival order");
+  Queue.push_back(Entry{At, Msg});
+}
+
+std::optional<Message> SimSocket::tryRead(Time ReturnTime) {
+  if (!readable(ReturnTime))
+    return std::nullopt;
+  Message M = Queue.front().Msg;
+  Queue.pop_front();
+  return M;
+}
+
+bool SimSocket::readable(Time ReturnTime) const {
+  return !Queue.empty() && Queue.front().At < ReturnTime;
+}
+
+std::optional<Time> SimSocket::nextArrival() const {
+  if (Queue.empty())
+    return std::nullopt;
+  return Queue.front().At;
+}

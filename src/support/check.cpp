@@ -1,0 +1,18 @@
+//===- support/check.cpp --------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/check.h"
+
+using namespace rprosa;
+
+std::string CheckResult::describe() const {
+  std::string Out;
+  for (const std::string &F : Failures) {
+    Out += F;
+    Out += '\n';
+  }
+  return Out;
+}

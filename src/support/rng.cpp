@@ -1,0 +1,10 @@
+//===- support/rng.cpp ----------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/rng.h"
+
+// SplitMix64 is header-only; this file exists so the library has a
+// translation unit and the header gets compiled standalone at least once.

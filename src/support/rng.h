@@ -1,0 +1,67 @@
+//===- support/rng.h - Deterministic pseudo-random numbers ----------------===//
+//
+// Part of RefinedProsa-CPP, a reproduction of "RefinedProsa: Connecting
+// Response-Time Analysis with C Verification for Interrupt-Free Schedulers"
+// (PLDI 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (SplitMix64) used by the simulation
+/// substrate and the workload generators. Determinism across platforms
+/// matters here: every experiment in EXPERIMENTS.md is keyed by a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_SUPPORT_RNG_H
+#define RPROSA_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace rprosa {
+
+/// Deterministic 64-bit PRNG (SplitMix64, Steele et al. 2014).
+///
+/// Unlike std::mt19937 the output sequence is trivially portable and the
+/// state is a single word, which makes forking independent streams cheap.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  std::uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    std::uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniformly distributed in [Lo, Hi] (inclusive).
+  std::uint64_t nextInRange(std::uint64_t Lo, std::uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    std::uint64_t Span = Hi - Lo + 1;
+    if (Span == 0) // Hi - Lo spans the whole 64-bit range.
+      return next();
+    return Lo + next() % Span;
+  }
+
+  /// Returns true with probability Num/Den.
+  bool nextBernoulli(std::uint64_t Num, std::uint64_t Den) {
+    assert(Den > 0 && "zero denominator");
+    return nextInRange(1, Den) <= Num;
+  }
+
+  /// Returns a fresh, independently seeded generator. Useful for giving
+  /// each task or socket its own stream so that adding one stream does
+  /// not perturb the others.
+  SplitMix64 fork() { return SplitMix64(next()); }
+
+private:
+  std::uint64_t State;
+};
+
+} // namespace rprosa
+
+#endif // RPROSA_SUPPORT_RNG_H

@@ -1,0 +1,116 @@
+//===- support/table.cpp --------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace rprosa;
+
+TableWriter::TableWriter(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TableWriter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row width mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TableWriter::renderAscii() const {
+  std::vector<std::size_t> Widths(Header.size(), 0);
+  for (std::size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (std::size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto renderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (std::size_t I = 0; I < Row.size(); ++I) {
+      Line += Row[I];
+      if (I + 1 == Row.size())
+        break;
+      Line.append(Widths[I] - Row[I].size() + 2, ' ');
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = renderRow(Header);
+  std::size_t Total = 0;
+  for (std::size_t W : Widths)
+    Total += W + 2;
+  Out.append(Total > 2 ? Total - 2 : Total, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    Out += renderRow(Row);
+  return Out;
+}
+
+static void appendCsvCell(std::string &Out, const std::string &Cell) {
+  bool NeedsQuote = Cell.find_first_of(",\"\n") != std::string::npos;
+  if (!NeedsQuote) {
+    Out += Cell;
+    return;
+  }
+  Out += '"';
+  for (char C : Cell) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+}
+
+std::string TableWriter::renderCsv() const {
+  std::string Out;
+  auto renderRow = [&](const std::vector<std::string> &Row) {
+    for (std::size_t I = 0; I < Row.size(); ++I) {
+      if (I != 0)
+        Out += ',';
+      appendCsvCell(Out, Row[I]);
+    }
+    Out += '\n';
+  };
+  renderRow(Header);
+  for (const auto &Row : Rows)
+    renderRow(Row);
+  return Out;
+}
+
+std::string rprosa::formatWithCommas(std::uint64_t N) {
+  std::string Digits = std::to_string(N);
+  std::string Out;
+  for (std::size_t I = 0; I < Digits.size(); ++I) {
+    if (I != 0 && (Digits.size() - I) % 3 == 0)
+      Out += ',';
+    Out += Digits[I];
+  }
+  return Out;
+}
+
+std::string rprosa::formatTicksAsNs(std::uint64_t Ticks) {
+  char Buf[64];
+  if (Ticks < 1000ull) {
+    std::snprintf(Buf, sizeof(Buf), "%lluns", (unsigned long long)Ticks);
+  } else if (Ticks < 1000ull * 1000ull) {
+    std::snprintf(Buf, sizeof(Buf), "%.2fus", Ticks / 1e3);
+  } else if (Ticks < 1000ull * 1000ull * 1000ull) {
+    std::snprintf(Buf, sizeof(Buf), "%.2fms", Ticks / 1e6);
+  } else {
+    std::snprintf(Buf, sizeof(Buf), "%.3fs", Ticks / 1e9);
+  }
+  return Buf;
+}
+
+std::string rprosa::formatRatio(std::uint64_t Num, std::uint64_t Den) {
+  if (Den == 0)
+    return "inf";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.2f", double(Num) / double(Den));
+  return Buf;
+}

@@ -1,0 +1,37 @@
+//===- trace/consistency.h - Trace/arrival consistency (Def. 2.1) ---------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Def. 2.1: a timed trace (tr, ts) is *consistent* with an arrival
+/// sequence arr iff
+///  1. each job is read only after it has arrived:
+///     tr[i] = M_ReadE sock j  ⟹  ∃ t_a. j ∈ arr_sock(t_a) ∧ t_a < ts[i]
+///  2. a failed read implies no unread arrived jobs on that socket:
+///     tr[i] = M_ReadE sock ⊥ ∧ j ∈ arr_sock(t_arr) ∧ t_arr < ts[i]
+///       ⟹  j ∈ read_jobs(i)
+///
+/// Reads are matched to arrivals by message identity; the check also
+/// validates the socket and inferred task type of each read.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_TRACE_CONSISTENCY_H
+#define RPROSA_TRACE_CONSISTENCY_H
+
+#include "trace/trace.h"
+
+#include "core/arrival_sequence.h"
+#include "support/check.h"
+
+namespace rprosa {
+
+/// Checks Def. 2.1 in one forward scan (O(n + m) for n markers and m
+/// arrivals; requires non-decreasing timestamps).
+CheckResult checkConsistency(const TimedTrace &TT, const ArrivalSequence &Arr);
+
+} // namespace rprosa
+
+#endif // RPROSA_TRACE_CONSISTENCY_H

@@ -1,0 +1,40 @@
+//===- trace/functional.h - Functional correctness of traces (Def. 3.2) ---===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Def. 3.2 (tr_valid tr): a trace is functionally correct iff
+///  1. *Selected jobs come first in the policy order*: every dispatched
+///     job is pending and precedes (or ties with) every other pending
+///     job under the scheduling policy — for the paper's NPFP policy
+///     this is exactly "selected jobs have the highest priority";
+///  2. *Idling only if no jobs are pending*;
+///  3. *Jobs have unique identifiers* across all successful reads.
+///
+/// In the paper these are proven with RefinedC; here they are checked on
+/// concrete traces (executable analogue, see DESIGN.md). The policy
+/// parameter extends the check to the NP-EDF and NP-FIFO variants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_TRACE_FUNCTIONAL_H
+#define RPROSA_TRACE_FUNCTIONAL_H
+
+#include "trace/trace.h"
+
+#include "core/policy.h"
+#include "core/task.h"
+#include "support/check.h"
+
+namespace rprosa {
+
+/// Checks all three Def. 3.2 properties in one O(n log n) scan, with
+/// property 1 instantiated for \p Policy.
+CheckResult checkFunctionalCorrectness(const Trace &Tr, const TaskSet &Tasks,
+                                       SchedPolicy Policy = SchedPolicy::Npfp);
+
+} // namespace rprosa
+
+#endif // RPROSA_TRACE_FUNCTIONAL_H

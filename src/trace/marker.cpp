@@ -1,0 +1,42 @@
+//===- trace/marker.cpp ---------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/marker.h"
+
+using namespace rprosa;
+
+std::string rprosa::toString(MarkerKind K) {
+  switch (K) {
+  case MarkerKind::ReadS:
+    return "M_ReadS";
+  case MarkerKind::ReadE:
+    return "M_ReadE";
+  case MarkerKind::Selection:
+    return "M_Selection";
+  case MarkerKind::Dispatch:
+    return "M_Dispatch";
+  case MarkerKind::Execution:
+    return "M_Execution";
+  case MarkerKind::Completion:
+    return "M_Completion";
+  case MarkerKind::Idling:
+    return "M_Idling";
+  }
+  return "?";
+}
+
+std::string rprosa::toString(const MarkerEvent &E) {
+  std::string S = toString(E.Kind);
+  if (E.Kind == MarkerKind::ReadE) {
+    S += "(s" + std::to_string(E.Socket) + ", ";
+    S += E.J ? ("j" + std::to_string(E.J->Id)) : std::string("⊥");
+    S += ")";
+    return S;
+  }
+  if (E.J)
+    S += "(j" + std::to_string(E.J->Id) + ")";
+  return S;
+}

@@ -1,0 +1,80 @@
+//===- trace/marker.h - Marker events (Fig. 4) ----------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The marker alphabet of Fig. 4:
+///
+///   marker ≜ M_ReadS | M_ReadE sock j⊥ | M_Selection | M_Dispatch j
+///          | M_Execution j | M_Completion j | M_Idling
+///
+/// Marker functions are ghost code: they demarcate the start of a new
+/// basic action. M_ReadE is the "pseudo marker" recording the result of
+/// the read system call; in the STS it coalesces with the preceding
+/// M_ReadS into one Read basic action (§2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_TRACE_MARKER_H
+#define RPROSA_TRACE_MARKER_H
+
+#include "core/job.h"
+
+#include <optional>
+#include <string>
+
+namespace rprosa {
+
+enum class MarkerKind : std::uint8_t {
+  ReadS,      ///< M_ReadS: a read system call is issued.
+  ReadE,      ///< M_ReadE sock j⊥: the read returned (job or ⊥).
+  Selection,  ///< M_Selection: the selection phase begins.
+  Dispatch,   ///< M_Dispatch j: job j was selected; dispatch begins.
+  Execution,  ///< M_Execution j: the callback of j starts running.
+  Completion, ///< M_Completion j: the callback of j finished; cleanup.
+  Idling,     ///< M_Idling: no pending job; one idle cycle begins.
+};
+
+/// One event on the trace of marker functions.
+struct MarkerEvent {
+  MarkerKind Kind = MarkerKind::Idling;
+  /// The socket read (ReadE only).
+  SocketId Socket = 0;
+  /// The job the event refers to. Present for: successful ReadE (the job
+  /// just read), Dispatch, Execution, Completion. Absent for everything
+  /// else; a ReadE without a job is a failed read (j⊥ = ⊥).
+  std::optional<Job> J;
+
+  static MarkerEvent readS() { return {MarkerKind::ReadS, 0, std::nullopt}; }
+  static MarkerEvent readE(SocketId Sock, std::optional<Job> Read) {
+    return {MarkerKind::ReadE, Sock, std::move(Read)};
+  }
+  static MarkerEvent selection() {
+    return {MarkerKind::Selection, 0, std::nullopt};
+  }
+  static MarkerEvent dispatch(Job Jb) {
+    return {MarkerKind::Dispatch, 0, Jb};
+  }
+  static MarkerEvent execution(Job Jb) {
+    return {MarkerKind::Execution, 0, Jb};
+  }
+  static MarkerEvent completion(Job Jb) {
+    return {MarkerKind::Completion, 0, Jb};
+  }
+  static MarkerEvent idling() { return {MarkerKind::Idling, 0, std::nullopt}; }
+
+  bool isFailedRead() const { return Kind == MarkerKind::ReadE && !J; }
+  bool isSuccessfulRead() const {
+    return Kind == MarkerKind::ReadE && J.has_value();
+  }
+};
+
+/// Printable form ("M_ReadE(s0, j3)").
+std::string toString(const MarkerEvent &E);
+std::string toString(MarkerKind K);
+
+} // namespace rprosa
+
+#endif // RPROSA_TRACE_MARKER_H

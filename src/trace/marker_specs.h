@@ -1,0 +1,87 @@
+//===- trace/marker_specs.h - Marker-function specifications (§3.1) -------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §3.1 specifies each marker function as a separation-logic triple
+/// over two ghost assertions — current_trace tr (the trace emitted so
+/// far) and currently_pending js (the read-but-undispatched jobs) —
+/// e.g. for idling_start():
+///
+///   [[rc::parameters("tr : list marker", "js : gset job")]]
+///   [[rc::requires("current_trace tr", "currently_pending js")]]
+///   [[rc::requires("{last tr = M_Selection}", "{js = ∅}")]]
+///   [[rc::ensures("current_trace (tr ++ [M_Idling])")]]
+///
+/// MarkerSpecChecker is the executable rendering: it owns the ghost
+/// state and validates every marker call against its contract —
+/// precondition on the last trace element and the pending set,
+/// postcondition as the ghost-state update. RefinedC *proves* these
+/// triples hold for Rössl's C code; here the contracts are *checked*
+/// against each concrete call sequence, and fault-injection tests
+/// confirm each contract rejects its specific violation.
+///
+/// (The global round-robin structure of the polling phase is the
+/// protocol STS's business — Def. 3.1; the contracts here are the
+/// local, per-call obligations of §3.1.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_TRACE_MARKER_SPECS_H
+#define RPROSA_TRACE_MARKER_SPECS_H
+
+#include "trace/trace.h"
+
+#include "core/policy.h"
+#include "core/task.h"
+#include "support/check.h"
+
+#include <map>
+#include <set>
+
+namespace rprosa {
+
+/// Replays marker calls against their §3.1 contracts.
+class MarkerSpecChecker {
+public:
+  explicit MarkerSpecChecker(const TaskSet &Tasks,
+                             SchedPolicy Policy = SchedPolicy::Npfp);
+
+  /// Applies one marker call: checks its precondition, then performs
+  /// the postcondition's ghost-state update (so later contracts are
+  /// still meaningful after a violation).
+  void step(const MarkerEvent &E);
+
+  /// All contract violations found so far.
+  const CheckResult &result() const { return Result; }
+
+  /// The ghost current_trace assertion.
+  const Trace &currentTrace() const { return Tr; }
+
+  /// The ghost currently_pending assertion (jobs, in read order).
+  std::vector<Job> currentlyPending() const;
+
+private:
+  /// The policy key: a dispatch contract requires the dispatched job to
+  /// be minimal under it.
+  std::uint64_t keyOf(const Job &J) const;
+
+  void fail(std::string Why);
+
+  const TaskSet &Tasks;
+  SchedPolicy Policy;
+  CheckResult Result;
+  Trace Tr;
+  std::map<JobId, Job> Pending; // Keyed by id; read order = id order.
+  std::set<JobId> EverRead;
+};
+
+/// Replays a whole trace; passes iff every call met its contract.
+CheckResult checkMarkerSpecs(const Trace &Tr, const TaskSet &Tasks,
+                             SchedPolicy Policy = SchedPolicy::Npfp);
+
+} // namespace rprosa
+
+#endif // RPROSA_TRACE_MARKER_SPECS_H

@@ -1,0 +1,141 @@
+//===- trace/online_monitor.cpp -------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/online_monitor.h"
+
+using namespace rprosa;
+
+std::string rprosa::toString(MonitorAlert::Kind K) {
+  switch (K) {
+  case MonitorAlert::Kind::Protocol:
+    return "protocol";
+  case MonitorAlert::Kind::Contract:
+    return "contract";
+  case MonitorAlert::Kind::Wcet:
+    return "wcet";
+  case MonitorAlert::Kind::Timestamp:
+    return "timestamp";
+  }
+  return "?";
+}
+
+OnlineMonitor::OnlineMonitor(const TaskSet &Tasks,
+                             const BasicActionWcets &W,
+                             std::uint32_t NumSockets, SchedPolicy Policy,
+                             AlertFn OnAlert)
+    : Tasks(Tasks), Wcets(W), Sts(NumSockets), Contracts(Tasks, Policy),
+      Policy(Policy), OnAlert(std::move(OnAlert)) {}
+
+void OnlineMonitor::raise(MonitorAlert::Kind K, Time At,
+                          std::string Message) {
+  MonitorAlert A;
+  A.MarkerIndex = Index;
+  A.At = At;
+  A.What = K;
+  A.Message = std::move(Message);
+  if (OnAlert)
+    OnAlert(A);
+  Alerts.push_back(std::move(A));
+}
+
+void OnlineMonitor::closeSegment(Time NextStart) {
+  if (!Segment.Open || !Segment.BudgetKnown)
+    return;
+  Duration Len = NextStart >= Segment.Start ? NextStart - Segment.Start : 0;
+  if (Len > Segment.Budget)
+    raise(MonitorAlert::Kind::Wcet, NextStart,
+          Segment.What + " ran for " + std::to_string(Len) +
+              " ticks, exceeding its WCET of " +
+              std::to_string(Segment.Budget));
+  Segment.Open = false;
+}
+
+void OnlineMonitor::observe(const MarkerEvent &E, Time At) {
+  // Timestamp sanity.
+  if (HaveLast && At < LastTs)
+    raise(MonitorAlert::Kind::Timestamp, At,
+          "timestamps decrease at marker " + std::to_string(Index));
+  LastTs = At;
+  HaveLast = true;
+
+  // WCET segmentation: every marker except M_ReadE starts a new basic
+  // action (M_ReadE only fixes the in-flight read's budget; the read
+  // action ends when the next marker begins — same convention as the
+  // offline segmentation).
+  if (E.Kind == MarkerKind::ReadE) {
+    Segment.Budget = E.J ? Wcets.SuccessfulRead : Wcets.FailedRead;
+    Segment.What = E.J ? "successful read" : "failed read";
+    Segment.BudgetKnown = true;
+  } else {
+    closeSegment(At);
+    Segment.Open = true;
+    Segment.Start = At;
+    switch (E.Kind) {
+    case MarkerKind::ReadS:
+      Segment.BudgetKnown = false; // Fixed by the coming M_ReadE.
+      break;
+    case MarkerKind::Selection:
+      Segment.Budget = Wcets.Selection;
+      Segment.What = "selection";
+      Segment.BudgetKnown = true;
+      break;
+    case MarkerKind::Dispatch:
+      Segment.Budget = Wcets.Dispatch;
+      Segment.What = "dispatch";
+      Segment.BudgetKnown = true;
+      break;
+    case MarkerKind::Execution:
+      if (E.J && E.J->Task < Tasks.size()) {
+        Segment.Budget = Tasks.task(E.J->Task).Wcet;
+        Segment.What = "callback of " + Tasks.task(E.J->Task).Name;
+        Segment.BudgetKnown = true;
+      } else {
+        Segment.BudgetKnown = false;
+      }
+      break;
+    case MarkerKind::Completion:
+      Segment.Budget = Wcets.Completion;
+      Segment.What = "completion";
+      Segment.BudgetKnown = true;
+      break;
+    case MarkerKind::Idling:
+      Segment.Budget = Wcets.Idling;
+      Segment.What = "idle cycle";
+      Segment.BudgetKnown = true;
+      break;
+    case MarkerKind::ReadE:
+      break; // Unreachable (handled above).
+    }
+  }
+
+  // The scheduler protocol (Def. 3.1).
+  std::string Why;
+  if (!Sts.step(E, &Why))
+    raise(MonitorAlert::Kind::Protocol, At, Why);
+
+  // The §3.1 contracts (including Def. 3.2).
+  Contracts.step(E);
+  const auto &Failures = Contracts.result().failures();
+  while (ContractFailures < Failures.size())
+    raise(MonitorAlert::Kind::Contract, At,
+          Failures[ContractFailures++]);
+
+  ++Index;
+}
+
+void OnlineMonitor::finish(Time EndTime) { closeSegment(EndTime); }
+
+std::vector<MonitorAlert> rprosa::monitorTrace(const TimedTrace &TT,
+                                               const TaskSet &Tasks,
+                                               const BasicActionWcets &W,
+                                               std::uint32_t NumSockets,
+                                               SchedPolicy Policy) {
+  OnlineMonitor M(Tasks, W, NumSockets, Policy);
+  for (std::size_t I = 0; I < TT.size(); ++I)
+    M.observe(TT.Tr[I], TT.Ts[I]);
+  M.finish(TT.EndTime);
+  return M.alerts();
+}

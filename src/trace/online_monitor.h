@@ -1,0 +1,123 @@
+//===- trace/online_monitor.h - Incremental runtime verification ----------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline checkers validate a finished trace; OnlineMonitor
+/// consumes marker events *as they are emitted* and raises each
+/// violation at the earliest marker that manifests it. This is the
+/// runtime-verification deployment mode of the framework: a production
+/// system can feed its (cheap) marker stream into the monitor and trap
+/// on the first protocol/functional/WCET violation instead of failing
+/// an offline audit — turning the paper's proved invariants into a
+/// live watchdog.
+///
+/// Incrementally checked:
+///  - the scheduler protocol (Def. 3.1, via the STS);
+///  - the §3.1 marker-function contracts (incl. Def. 3.2);
+///  - the WCET assumptions (§2.3) on every completed basic action;
+///  - timestamp monotonicity.
+///
+/// The monitor's verdicts agree with the offline checkers on complete
+/// traces (asserted by the test suite).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_TRACE_ONLINE_MONITOR_H
+#define RPROSA_TRACE_ONLINE_MONITOR_H
+
+#include "trace/marker_specs.h"
+#include "trace/protocol.h"
+#include "trace/trace.h"
+
+#include "core/task.h"
+#include "core/wcet.h"
+
+#include <functional>
+#include <string>
+
+namespace rprosa {
+
+/// A violation surfaced by the monitor.
+struct MonitorAlert {
+  /// Index of the marker that manifested the violation.
+  std::size_t MarkerIndex = 0;
+  /// The instant it was observed.
+  Time At = 0;
+  /// Which invariant class fired.
+  enum class Kind : std::uint8_t {
+    Protocol,
+    Contract,
+    Wcet,
+    Timestamp,
+  } What = Kind::Protocol;
+  std::string Message;
+};
+
+std::string toString(MonitorAlert::Kind K);
+
+/// Feeds on (marker, timestamp) pairs; raises alerts through an
+/// optional callback and accumulates them for inspection.
+class OnlineMonitor {
+public:
+  using AlertFn = std::function<void(const MonitorAlert &)>;
+
+  OnlineMonitor(const TaskSet &Tasks, const BasicActionWcets &W,
+                std::uint32_t NumSockets,
+                SchedPolicy Policy = SchedPolicy::Npfp,
+                AlertFn OnAlert = nullptr);
+
+  /// Observes the next marker call at instant \p At.
+  void observe(const MarkerEvent &E, Time At);
+
+  /// Closes the stream at \p EndTime, checking the final pending basic
+  /// action's WCET.
+  void finish(Time EndTime);
+
+  const std::vector<MonitorAlert> &alerts() const { return Alerts; }
+  bool clean() const { return Alerts.empty(); }
+  std::size_t observed() const { return Index; }
+
+private:
+  void raise(MonitorAlert::Kind K, Time At, std::string Message);
+
+  /// Checks the duration of the basic action that \p NextStart closes.
+  void closeSegment(Time NextStart);
+
+  const TaskSet &Tasks;
+  BasicActionWcets Wcets;
+  ProtocolSts Sts;
+  MarkerSpecChecker Contracts;
+  SchedPolicy Policy;
+  AlertFn OnAlert;
+
+  std::vector<MonitorAlert> Alerts;
+  std::size_t Index = 0;
+  std::size_t ContractFailures = 0;
+  Time LastTs = 0;
+  bool HaveLast = false;
+
+  /// The in-flight basic action: its WCET budget and a label. A read
+  /// action's budget is fixed when its M_ReadE result arrives.
+  struct InFlight {
+    Time Start = 0;
+    Duration Budget = 0;
+    std::string What;
+    bool Open = false;
+    bool BudgetKnown = false;
+  } Segment;
+};
+
+/// Convenience: replays a finished timed trace through the monitor.
+std::vector<MonitorAlert> monitorTrace(const TimedTrace &TT,
+                                       const TaskSet &Tasks,
+                                       const BasicActionWcets &W,
+                                       std::uint32_t NumSockets,
+                                       SchedPolicy Policy =
+                                           SchedPolicy::Npfp);
+
+} // namespace rprosa
+
+#endif // RPROSA_TRACE_ONLINE_MONITOR_H

@@ -1,0 +1,119 @@
+//===- trace/protocol.cpp -------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/protocol.h"
+
+#include <cassert>
+
+using namespace rprosa;
+
+ProtocolSts::ProtocolSts(std::uint32_t NumSockets) : NumSockets(NumSockets) {
+  assert(NumSockets > 0 && "need at least one socket");
+}
+
+static bool reject(std::string *Why, std::string Message) {
+  if (Why)
+    *Why = std::move(Message);
+  return false;
+}
+
+bool ProtocolSts::step(const MarkerEvent &E, std::string *Why) {
+  switch (State) {
+  case Phase::PollExpectReadS:
+    if (E.Kind != MarkerKind::ReadS)
+      return reject(Why, "expected M_ReadS (polling), got " + toString(E));
+    State = Phase::PollExpectReadE;
+    break;
+
+  case Phase::PollExpectReadE: {
+    if (E.Kind != MarkerKind::ReadE)
+      return reject(Why, "expected M_ReadE, got " + toString(E));
+    if (E.Socket != CurSock)
+      return reject(Why, "read of socket " + std::to_string(E.Socket) +
+                             " out of round-robin order (expected s" +
+                             std::to_string(CurSock) + ")");
+    if (E.isSuccessfulRead())
+      AnySuccessThisRound = true;
+    ++CurSock;
+    RoundStart = false;
+    if (CurSock == NumSockets) {
+      // Round finished: another round while anything succeeded; the
+      // polling phase ends with the first all-failed round.
+      bool AllFailed = !AnySuccessThisRound;
+      CurSock = 0;
+      AnySuccessThisRound = false;
+      RoundStart = true;
+      State = AllFailed ? Phase::ExpectSelection : Phase::PollExpectReadS;
+    } else {
+      State = Phase::PollExpectReadS;
+    }
+    break;
+  }
+
+  case Phase::ExpectSelection:
+    if (E.Kind != MarkerKind::Selection)
+      return reject(Why, "expected M_Selection, got " + toString(E));
+    State = Phase::ExpectDispatchOrIdling;
+    break;
+
+  case Phase::ExpectDispatchOrIdling:
+    if (E.Kind == MarkerKind::Idling) {
+      State = Phase::PollExpectReadS;
+      break;
+    }
+    if (E.Kind == MarkerKind::Dispatch) {
+      if (!E.J)
+        return reject(Why, "M_Dispatch without a job");
+      CurJob = E.J->Id;
+      State = Phase::ExpectExecution;
+      break;
+    }
+    return reject(Why,
+                  "expected M_Dispatch or M_Idling, got " + toString(E));
+
+  case Phase::ExpectExecution:
+    if (E.Kind != MarkerKind::Execution || !E.J)
+      return reject(Why, "expected M_Execution, got " + toString(E));
+    if (E.J->Id != CurJob)
+      return reject(Why, "M_Execution of j" + std::to_string(E.J->Id) +
+                             " does not match dispatched j" +
+                             std::to_string(CurJob));
+    State = Phase::ExpectCompletion;
+    break;
+
+  case Phase::ExpectCompletion:
+    if (E.Kind != MarkerKind::Completion || !E.J)
+      return reject(Why, "expected M_Completion, got " + toString(E));
+    if (E.J->Id != CurJob)
+      return reject(Why, "M_Completion of j" + std::to_string(E.J->Id) +
+                             " does not match dispatched j" +
+                             std::to_string(CurJob));
+    CurJob = InvalidJobId;
+    State = Phase::PollExpectReadS;
+    break;
+  }
+  ++Pos;
+  return true;
+}
+
+bool ProtocolSts::atIterationBoundary() const {
+  return State == Phase::PollExpectReadS && RoundStart;
+}
+
+CheckResult rprosa::checkProtocol(const Trace &Tr, std::uint32_t NumSockets) {
+  CheckResult R;
+  ProtocolSts Sts(NumSockets);
+  for (std::size_t I = 0; I < Tr.size(); ++I) {
+    R.noteCheck();
+    std::string Why;
+    if (!Sts.step(Tr[I], &Why)) {
+      R.addFailure("protocol violation at marker " + std::to_string(I) +
+                   ": " + Why);
+      return R;
+    }
+  }
+  return R;
+}

@@ -1,0 +1,76 @@
+//===- trace/protocol.h - The scheduler-protocol STS (Fig. 5) -------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduler protocol (Def. 3.1): a trace of marker functions is
+/// well-formed iff it is accepted by the state-transition system of
+/// Fig. 5, starting in the Idling state. The paper's figure fixes two
+/// sockets for presentation; this acceptor is parametric in the socket
+/// count and additionally encodes the round-robin polling discipline of
+/// check_sockets_until_empty (rounds over all sockets; the phase ends
+/// with the first all-failed round).
+///
+/// In the paper this property is *proven* for all traces via RefinedC;
+/// here it is *checked* on each concrete trace (see DESIGN.md §1 for the
+/// substitution rationale).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_TRACE_PROTOCOL_H
+#define RPROSA_TRACE_PROTOCOL_H
+
+#include "trace/trace.h"
+
+#include "support/check.h"
+
+#include <string>
+
+namespace rprosa {
+
+/// Deterministic step machine accepting the marker-function language of
+/// the scheduler protocol.
+class ProtocolSts {
+public:
+  explicit ProtocolSts(std::uint32_t NumSockets);
+
+  /// Feeds the next marker. Returns true if the transition is allowed;
+  /// on rejection, \p Why (if non-null) receives a diagnostic and the
+  /// machine stays in its pre-step state.
+  bool step(const MarkerEvent &E, std::string *Why = nullptr);
+
+  /// True when the machine sits at the boundary between loop
+  /// iterations, i.e. a finite run may stop here (right before a new
+  /// polling phase).
+  bool atIterationBoundary() const;
+
+  /// Number of markers accepted so far.
+  std::size_t position() const { return Pos; }
+
+private:
+  enum class Phase : std::uint8_t {
+    PollExpectReadS, ///< Next must be M_ReadS.
+    PollExpectReadE, ///< Next must be M_ReadE on socket CurSock.
+    ExpectSelection, ///< The all-failed round ended; next M_Selection.
+    ExpectDispatchOrIdling,
+    ExpectExecution,  ///< Of job CurJob.
+    ExpectCompletion, ///< Of job CurJob.
+  };
+
+  std::uint32_t NumSockets;
+  Phase State = Phase::PollExpectReadS;
+  SocketId CurSock = 0;
+  bool AnySuccessThisRound = false;
+  bool RoundStart = true; ///< True right before the first read of a round.
+  JobId CurJob = InvalidJobId;
+  std::size_t Pos = 0;
+};
+
+/// Runs the acceptor over a whole trace (Def. 3.1: tr_prot tr).
+CheckResult checkProtocol(const Trace &Tr, std::uint32_t NumSockets);
+
+} // namespace rprosa
+
+#endif // RPROSA_TRACE_PROTOCOL_H

@@ -1,0 +1,221 @@
+//===- trace/serialize.cpp ------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/serialize.h"
+
+#include <sstream>
+
+using namespace rprosa;
+
+static void appendJobFields(std::string &Out, const Job &J) {
+  Out += ' ';
+  Out += std::to_string(J.Id);
+  Out += ' ';
+  Out += std::to_string(J.Msg);
+  Out += ' ';
+  Out += std::to_string(J.Task);
+  Out += ' ';
+  Out += std::to_string(J.ReadAt);
+}
+
+std::string rprosa::serializeTimedTrace(const TimedTrace &TT) {
+  std::string Out = "refinedprosa-trace v1\n";
+  for (std::size_t I = 0; I < TT.size(); ++I) {
+    const MarkerEvent &E = TT.Tr[I];
+    Out += std::to_string(TT.Ts[I]);
+    Out += ' ';
+    switch (E.Kind) {
+    case MarkerKind::ReadS:
+      Out += "ReadS";
+      break;
+    case MarkerKind::ReadE:
+      Out += "ReadE ";
+      Out += std::to_string(E.Socket);
+      if (E.J) {
+        Out += " ok";
+        appendJobFields(Out, *E.J);
+      } else {
+        Out += " fail";
+      }
+      break;
+    case MarkerKind::Selection:
+      Out += "Selection";
+      break;
+    case MarkerKind::Dispatch:
+    case MarkerKind::Execution:
+    case MarkerKind::Completion: {
+      Out += E.Kind == MarkerKind::Dispatch
+                 ? "Dispatch"
+                 : (E.Kind == MarkerKind::Execution ? "Execution"
+                                                    : "Completion");
+      if (E.J) {
+        appendJobFields(Out, *E.J);
+        Out += ' ';
+        Out += std::to_string(E.J->Socket);
+      }
+      break;
+    }
+    case MarkerKind::Idling:
+      Out += "Idling";
+      break;
+    }
+    Out += '\n';
+  }
+  Out += "end " + std::to_string(TT.EndTime) + "\n";
+  return Out;
+}
+
+namespace {
+
+/// Whitespace tokenizer over one line.
+class LineTokens {
+public:
+  explicit LineTokens(const std::string &Line) : In(Line) {}
+
+  std::optional<std::string> next() {
+    std::string Tok;
+    if (In >> Tok)
+      return Tok;
+    return std::nullopt;
+  }
+
+  std::optional<std::uint64_t> nextU64() {
+    std::optional<std::string> Tok = next();
+    if (!Tok)
+      return std::nullopt;
+    // Reject anything that is not a plain decimal number.
+    for (char C : *Tok)
+      if (C < '0' || C > '9')
+        return std::nullopt;
+    if (Tok->empty() || Tok->size() > 20)
+      return std::nullopt;
+    return std::stoull(*Tok);
+  }
+
+private:
+  std::istringstream In;
+};
+
+std::optional<Job> parseJobFields(LineTokens &T, bool WithSocket) {
+  Job J;
+  auto Id = T.nextU64();
+  auto Msg = T.nextU64();
+  auto Task = T.nextU64();
+  auto ReadAt = T.nextU64();
+  if (!Id || !Msg || !Task || !ReadAt)
+    return std::nullopt;
+  J.Id = *Id;
+  J.Msg = *Msg;
+  J.Task = static_cast<TaskId>(*Task);
+  J.ReadAt = *ReadAt;
+  if (WithSocket) {
+    auto Sock = T.nextU64();
+    if (!Sock)
+      return std::nullopt;
+    J.Socket = static_cast<SocketId>(*Sock);
+  }
+  return J;
+}
+
+} // namespace
+
+std::optional<TimedTrace> rprosa::parseTimedTrace(const std::string &Text,
+                                                  CheckResult *Diags) {
+  auto Fail = [&](std::size_t LineNo, const std::string &Why)
+      -> std::optional<TimedTrace> {
+    if (Diags)
+      Diags->addFailure("trace parse error at line " +
+                        std::to_string(LineNo) + ": " + Why);
+    return std::nullopt;
+  };
+
+  std::istringstream In(Text);
+  std::string Line;
+  std::size_t LineNo = 0;
+
+  if (!std::getline(In, Line) || Line != "refinedprosa-trace v1")
+    return Fail(1, "missing or unknown header");
+  ++LineNo;
+
+  TimedTrace TT;
+  bool SawEnd = false;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    LineTokens T(Line);
+    std::optional<std::string> First = T.next();
+    if (!First)
+      continue;
+    if (*First == "end") {
+      auto End = T.nextU64();
+      if (!End)
+        return Fail(LineNo, "malformed end time");
+      TT.EndTime = *End;
+      SawEnd = true;
+      continue;
+    }
+    if (SawEnd)
+      return Fail(LineNo, "content after the end line");
+
+    // Timestamp then marker.
+    bool Numeric = !First->empty();
+    for (char C : *First)
+      if (C < '0' || C > '9')
+        Numeric = false;
+    if (!Numeric)
+      return Fail(LineNo, "expected a timestamp");
+    Time Ts = std::stoull(*First);
+
+    std::optional<std::string> Kind = T.next();
+    if (!Kind)
+      return Fail(LineNo, "missing marker kind");
+
+    MarkerEvent E;
+    if (*Kind == "ReadS") {
+      E = MarkerEvent::readS();
+    } else if (*Kind == "ReadE") {
+      auto Sock = T.nextU64();
+      std::optional<std::string> Status = T.next();
+      if (!Sock || !Status)
+        return Fail(LineNo, "malformed ReadE");
+      if (*Status == "ok") {
+        std::optional<Job> J = parseJobFields(T, /*WithSocket=*/false);
+        if (!J)
+          return Fail(LineNo, "malformed ReadE job fields");
+        J->Socket = static_cast<SocketId>(*Sock);
+        E = MarkerEvent::readE(static_cast<SocketId>(*Sock), *J);
+      } else if (*Status == "fail") {
+        E = MarkerEvent::readE(static_cast<SocketId>(*Sock),
+                               std::nullopt);
+      } else {
+        return Fail(LineNo, "ReadE status must be ok/fail");
+      }
+    } else if (*Kind == "Selection") {
+      E = MarkerEvent::selection();
+    } else if (*Kind == "Idling") {
+      E = MarkerEvent::idling();
+    } else if (*Kind == "Dispatch" || *Kind == "Execution" ||
+               *Kind == "Completion") {
+      std::optional<Job> J = parseJobFields(T, /*WithSocket=*/true);
+      if (!J)
+        return Fail(LineNo, "malformed " + *Kind + " job fields");
+      if (*Kind == "Dispatch")
+        E = MarkerEvent::dispatch(*J);
+      else if (*Kind == "Execution")
+        E = MarkerEvent::execution(*J);
+      else
+        E = MarkerEvent::completion(*J);
+    } else {
+      return Fail(LineNo, "unknown marker kind '" + *Kind + "'");
+    }
+    TT.Tr.push_back(std::move(E));
+    TT.Ts.push_back(Ts);
+  }
+  if (!SawEnd)
+    return Fail(LineNo, "missing end line");
+  return TT;
+}

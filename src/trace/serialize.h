@@ -1,0 +1,49 @@
+//===- trace/serialize.h - Timed-trace text serialization -----------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A line-oriented text format for timed traces, so runs can be stored,
+/// diffed, and re-checked offline (see examples/trace_inspector.cpp).
+///
+///   refinedprosa-trace v1
+///   <ts> ReadS
+///   <ts> ReadE <sock> ok <jobid> <msgid> <task> <readat>
+///   <ts> ReadE <sock> fail
+///   <ts> Selection
+///   <ts> Dispatch <jobid> <msgid> <task> <readat> <sock>
+///   <ts> Execution ...            (same fields as Dispatch)
+///   <ts> Completion ...
+///   <ts> Idling
+///   end <EndTime>
+///
+/// serialize/parse round-trip exactly; parse returns diagnostics for
+/// malformed input instead of crashing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_TRACE_SERIALIZE_H
+#define RPROSA_TRACE_SERIALIZE_H
+
+#include "trace/trace.h"
+
+#include "support/check.h"
+
+#include <optional>
+#include <string>
+
+namespace rprosa {
+
+/// Renders \p TT in the v1 text format.
+std::string serializeTimedTrace(const TimedTrace &TT);
+
+/// Parses the v1 text format; nullopt on malformed input, with the
+/// reason appended to \p Diags when non-null.
+std::optional<TimedTrace> parseTimedTrace(const std::string &Text,
+                                          CheckResult *Diags = nullptr);
+
+} // namespace rprosa
+
+#endif // RPROSA_TRACE_SERIALIZE_H

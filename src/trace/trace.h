@@ -1,0 +1,69 @@
+//===- trace/trace.h - Traces and timed traces (§2.2, §2.3) ---------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A trace is the sequence of marker events a run of the scheduler
+/// emits. A *timed trace* (tr, ts) additionally maps every marker to the
+/// instant at which its marker function was called (§2.3); EndTime
+/// closes the last basic action (the simulated run ends at a marker
+/// boundary, and EndTime is the clock value at that point — the horizon
+/// up to which the scheduler is known to have run, Thm. 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_TRACE_TRACE_H
+#define RPROSA_TRACE_TRACE_H
+
+#include "trace/marker.h"
+
+#include "core/time.h"
+
+#include <set>
+#include <vector>
+
+namespace rprosa {
+
+using Trace = std::vector<MarkerEvent>;
+
+/// A trace of marker functions with one timestamp per marker.
+struct TimedTrace {
+  Trace Tr;
+  std::vector<Time> Ts;
+  /// The instant at which the run stopped; it ends the last marker's
+  /// basic action.
+  Time EndTime = 0;
+
+  std::size_t size() const { return Tr.size(); }
+  bool empty() const { return Tr.empty(); }
+
+  /// The duration of the segment started by marker \p I (up to the next
+  /// marker, or EndTime for the last one).
+  Duration segmentLen(std::size_t I) const {
+    Time Next = I + 1 < Ts.size() ? Ts[I + 1] : EndTime;
+    return Next >= Ts[I] ? Next - Ts[I] : 0;
+  }
+};
+
+/// Def. 3.2: read_jobs(i) — the jobs read by markers strictly before
+/// index \p I.
+std::vector<Job> readJobsBefore(const Trace &Tr, std::size_t I);
+
+/// Def. 3.2: pending_jobs(i) — jobs read before \p I but not dispatched
+/// before \p I.
+std::vector<Job> pendingJobsAt(const Trace &Tr, std::size_t I);
+
+/// The set of message ids read strictly before index \p I (used by the
+/// Def. 2.1 consistency check, which matches reads to arrivals by
+/// message identity).
+std::set<MsgId> readMsgIdsBefore(const Trace &Tr, std::size_t I);
+
+/// Renders a timed trace as one marker per line with timestamps;
+/// \p MaxLines truncates long traces (0 = no limit).
+std::string renderTimedTrace(const TimedTrace &TT, std::size_t MaxLines = 0);
+
+} // namespace rprosa
+
+#endif // RPROSA_TRACE_TRACE_H

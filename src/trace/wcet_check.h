@@ -1,0 +1,45 @@
+//===- trace/wcet_check.h - WCET assumptions on timed traces (§2.3) -------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §2.3: "our timing correctness property holds for all executions
+/// where the actual run times of the basic actions and callbacks stay
+/// below their WCETs", e.g.
+///
+///   ∀ i, j. tr[i] = M_Dispatch j ⟹ ts[i+1] − ts[i] ≤ WcetDisp.
+///
+/// checkWcetRespected() verifies this assumption for every basic action
+/// of a concrete timed trace (the cost model can be configured to
+/// violate it, which these checks then surface). checkTimestamps()
+/// verifies the basic sanity of the timestamp list itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_TRACE_WCET_CHECK_H
+#define RPROSA_TRACE_WCET_CHECK_H
+
+#include "trace/trace.h"
+
+#include "core/task.h"
+#include "core/wcet.h"
+#include "support/check.h"
+
+namespace rprosa {
+
+/// Checks that timestamps are non-decreasing, one per marker, and that
+/// EndTime does not precede the last marker.
+CheckResult checkTimestamps(const TimedTrace &TT);
+
+/// Checks that every basic action's duration is within its WCET:
+/// failed/successful reads vs WcetFR/WcetSR, selection vs WcetSel,
+/// dispatch vs WcetDisp, execution of a job of τ_i vs C_i, completion
+/// vs WcetCompl, and each idle cycle vs WcetIdling.
+CheckResult checkWcetRespected(const TimedTrace &TT, const TaskSet &Tasks,
+                               const BasicActionWcets &W);
+
+} // namespace rprosa
+
+#endif // RPROSA_TRACE_WCET_CHECK_H

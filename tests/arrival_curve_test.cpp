@@ -1,0 +1,136 @@
+//===- tests/arrival_curve_test.cpp - Arrival-curve unit tests ------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/arrival_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace rprosa;
+
+TEST(PeriodicCurve, CeilingSemantics) {
+  PeriodicCurve C(10);
+  EXPECT_EQ(C.eval(0), 0u);
+  EXPECT_EQ(C.eval(1), 1u);
+  EXPECT_EQ(C.eval(10), 1u);
+  EXPECT_EQ(C.eval(11), 2u);
+  EXPECT_EQ(C.eval(20), 2u);
+  EXPECT_EQ(C.eval(21), 3u);
+}
+
+TEST(LeakyBucketCurve, BurstPlusRate) {
+  LeakyBucketCurve C(/*Burst=*/3, /*Rate=*/100);
+  EXPECT_EQ(C.eval(0), 0u);
+  EXPECT_EQ(C.eval(1), 3u);
+  EXPECT_EQ(C.eval(99), 3u);
+  EXPECT_EQ(C.eval(100), 4u);
+  EXPECT_EQ(C.eval(250), 5u);
+}
+
+TEST(StaircaseCurve, StepsAndTail) {
+  StaircaseCurve C({{10, 1}, {50, 3}}, /*TailPeriod=*/100);
+  EXPECT_EQ(C.eval(0), 0u);
+  EXPECT_EQ(C.eval(5), 1u);
+  EXPECT_EQ(C.eval(10), 1u);
+  EXPECT_EQ(C.eval(11), 3u);
+  EXPECT_EQ(C.eval(50), 3u);
+  EXPECT_EQ(C.eval(149), 3u);
+  EXPECT_EQ(C.eval(150), 4u);
+}
+
+TEST(StaircaseCurve, ConstantTail) {
+  StaircaseCurve C({{10, 2}}, /*TailPeriod=*/0);
+  EXPECT_EQ(C.eval(1000000), 2u);
+}
+
+TEST(ShiftedCurve, ImplementsReleaseCurveDefinition) {
+  auto Alpha = std::make_shared<PeriodicCurve>(10);
+  ShiftedCurve Beta(Alpha, /*Shift=*/5);
+  // β(0) = 0 even though α(0+5) would be 1.
+  EXPECT_EQ(Beta.eval(0), 0u);
+  // β(Δ) = α(Δ + J) otherwise.
+  EXPECT_EQ(Beta.eval(1), Alpha->eval(6));
+  EXPECT_EQ(Beta.eval(6), Alpha->eval(11));
+  EXPECT_EQ(Beta.eval(100), Alpha->eval(105));
+}
+
+TEST(ZeroCurve, AlwaysZero) {
+  ZeroCurve C;
+  EXPECT_EQ(C.eval(0), 0u);
+  EXPECT_EQ(C.eval(1000000), 0u);
+}
+
+TEST(ArrivalCurve, ValidateAcceptsWellFormed) {
+  PeriodicCurve C(7);
+  EXPECT_TRUE(C.validate(10000).passed());
+  LeakyBucketCurve L(2, 30);
+  EXPECT_TRUE(L.validate(10000).passed());
+}
+
+namespace {
+
+/// A deliberately broken curve for validate().
+class BrokenCurve : public ArrivalCurve {
+public:
+  std::uint64_t eval(Duration Delta) const override {
+    return Delta == 0 ? 1 : 0; // Violates both axioms.
+  }
+  std::string describe() const override { return "broken"; }
+};
+
+} // namespace
+
+TEST(ArrivalCurve, ValidateRejectsBrokenCurve) {
+  BrokenCurve C;
+  CheckResult R = C.validate(1000);
+  EXPECT_FALSE(R.passed());
+}
+
+TEST(MinWindowAdmitting, PeriodicInverse) {
+  PeriodicCurve C(10);
+  // eval(1)=1, so the smallest window admitting 1 arrival is 1.
+  EXPECT_EQ(minWindowAdmitting(C, 1), 1u);
+  // eval(11)=2.
+  EXPECT_EQ(minWindowAdmitting(C, 2), 11u);
+  EXPECT_EQ(minWindowAdmitting(C, 3), 21u);
+  EXPECT_EQ(minWindowAdmitting(C, 0), 0u);
+}
+
+TEST(MinWindowAdmitting, BurstCollapses) {
+  LeakyBucketCurve C(3, 100);
+  EXPECT_EQ(minWindowAdmitting(C, 1), 1u);
+  EXPECT_EQ(minWindowAdmitting(C, 3), 1u);
+  EXPECT_EQ(minWindowAdmitting(C, 4), 100u);
+}
+
+TEST(MinWindowAdmitting, UnreachableCountIsInfinity) {
+  ZeroCurve C;
+  EXPECT_EQ(minWindowAdmitting(C, 1, /*SearchCap=*/100000), TimeInfinity);
+}
+
+TEST(MinWindowAdmitting, ConsistencyProperty) {
+  LeakyBucketCurve C(2, 35);
+  for (std::uint64_t N = 1; N <= 20; ++N) {
+    Duration W = minWindowAdmitting(C, N);
+    ASSERT_NE(W, TimeInfinity);
+    EXPECT_GE(C.eval(W), N);
+    if (W > 1) {
+      EXPECT_LT(C.eval(W - 1), N) << "window not minimal for N=" << N;
+    }
+  }
+}
+
+TEST(SatArithmetic, Saturates) {
+  EXPECT_EQ(satAdd(TimeInfinity, 1), TimeInfinity);
+  EXPECT_EQ(satAdd(1, TimeInfinity), TimeInfinity);
+  EXPECT_EQ(satAdd(~0ull - 1, 5), TimeInfinity);
+  EXPECT_EQ(satMul(TimeInfinity, 2), TimeInfinity);
+  EXPECT_EQ(satMul(0, TimeInfinity), 0u);
+  EXPECT_EQ(satMul(1ull << 40, 1ull << 40), TimeInfinity);
+  EXPECT_EQ(satAdd(2, 3), 5u);
+  EXPECT_EQ(satMul(6, 7), 42u);
+}

@@ -1,0 +1,120 @@
+//===- tests/arrival_log_test.cpp - Arrival-log + scale tests -------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/arrival_log.h"
+
+#include "adequacy/pipeline.h"
+#include "sim/workload.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+TEST(ArrivalLog, RoundTrips) {
+  ArrivalSequence Arr(3);
+  Arr.addArrival(0, 0, 0, 16);
+  Arr.addArrival(1500, 2, 1, 64);
+  Arr.addArrival(999, 1, 0, 8);
+  std::string Text = serializeArrivalLog(Arr);
+  CheckResult Diags;
+  std::optional<ArrivalSequence> Parsed = parseArrivalLog(Text, 3, &Diags);
+  ASSERT_TRUE(Parsed.has_value()) << Diags.describe();
+  const auto &A = Arr.arrivals();
+  const auto &B = Parsed->arrivals();
+  ASSERT_EQ(A.size(), B.size());
+  for (std::size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].At, B[I].At);
+    EXPECT_EQ(A[I].Socket, B[I].Socket);
+    EXPECT_EQ(A[I].Msg.Task, B[I].Msg.Task);
+    EXPECT_EQ(A[I].Msg.PayloadLen, B[I].Msg.PayloadLen);
+  }
+}
+
+TEST(ArrivalLog, AcceptsTimeSuffixesAndComments) {
+  const char *Text = "refinedprosa-arrivals v1\n"
+                     "# a recorded burst\n"
+                     "0ns   0 0 16\n"
+                     "2us   0 1      # inline comment\n"
+                     "\n"
+                     "3ms   0 0\n";
+  std::optional<ArrivalSequence> Arr = parseArrivalLog(Text, 1);
+  ASSERT_TRUE(Arr.has_value());
+  ASSERT_EQ(Arr->arrivals().size(), 3u);
+  EXPECT_EQ(Arr->arrivals()[1].At, 2000u);
+  EXPECT_EQ(Arr->arrivals()[2].At, 3000000u);
+  EXPECT_EQ(Arr->arrivals()[1].Msg.PayloadLen, 16u); // Default payload.
+}
+
+TEST(ArrivalLog, RejectsMalformed) {
+  CheckResult D1;
+  EXPECT_FALSE(parseArrivalLog("0 0 0\n", 1, &D1).has_value());
+  EXPECT_NE(D1.describe().find("header"), std::string::npos);
+
+  EXPECT_FALSE(parseArrivalLog("refinedprosa-arrivals v1\nabc 0 0\n", 1)
+                   .has_value());
+  EXPECT_FALSE(parseArrivalLog("refinedprosa-arrivals v1\n5ns 0\n", 1)
+                   .has_value());
+  CheckResult D2;
+  EXPECT_FALSE(parseArrivalLog("refinedprosa-arrivals v1\n5ns 3 0\n", 2,
+                               &D2)
+                   .has_value());
+  EXPECT_NE(D2.describe().find("out of range"), std::string::npos);
+}
+
+TEST(ArrivalLog, ReplayedLogDrivesTheFullPipeline) {
+  // Record a generated workload, replay it from text, and verify
+  // Thm. 5.1 on the replayed run.
+  ClientConfig C = makeClient(mixedTasks(), 2);
+  WorkloadSpec Spec;
+  Spec.NumSockets = 2;
+  Spec.Horizon = 5000;
+  ArrivalSequence Original = generateWorkload(C.Tasks, Spec);
+  std::optional<ArrivalSequence> Replayed =
+      parseArrivalLog(serializeArrivalLog(Original), 2);
+  ASSERT_TRUE(Replayed.has_value());
+
+  AdequacySpec ASpec;
+  ASpec.Client = C;
+  ASpec.Arr = *Replayed;
+  ASpec.Limits.Horizon = 60000;
+  AdequacyReport Rep = runAdequacy(ASpec);
+  EXPECT_TRUE(Rep.assumptionsHold()) << Rep.summary();
+  EXPECT_TRUE(Rep.theoremHolds());
+}
+
+TEST(Scale, LongRunStaysLinearish) {
+  // A soak test: ~500k markers through the full pipeline. Guards
+  // against accidentally quadratic checkers (the per-index helpers are
+  // O(n); the checkers must not call them per marker).
+  ClientConfig C = makeClient(mixedTasks(), 2);
+  WorkloadSpec Spec;
+  Spec.NumSockets = 2;
+  Spec.Horizon = 400000;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  AdequacySpec ASpec;
+  ASpec.Client = C;
+  ASpec.Arr = generateWorkload(C.Tasks, Spec);
+  ASpec.Limits.Horizon = 500000;
+
+  auto Start = std::chrono::steady_clock::now();
+  AdequacyReport Rep = runAdequacy(ASpec);
+  auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+
+  EXPECT_TRUE(Rep.assumptionsHold());
+  EXPECT_TRUE(Rep.invariantsHold());
+  EXPECT_TRUE(Rep.conclusionHolds());
+  EXPECT_GT(Rep.TT.size(), 100000u) << "soak run too small to be a test";
+  // Generous budget: the pipeline handles ~1M markers/s even in debug-
+  // ish builds; 30s means something went quadratic.
+  EXPECT_LT(Elapsed, 30000) << "pipeline took " << Elapsed << "ms";
+}

@@ -1,0 +1,126 @@
+//===- tests/baseline_test.cpp - Tick-based baseline tests (§6) -----------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/tick_rta.h"
+#include "baseline/tick_scheduler.h"
+
+#include "sim/workload.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+namespace {
+
+TickConfig smallTicks() {
+  TickConfig Cfg;
+  Cfg.Quantum = 100;
+  Cfg.OverheadPerQuantum = 10;
+  return Cfg;
+}
+
+} // namespace
+
+TEST(TickScheduler, CompletesASingleJob) {
+  TaskSet TS;
+  addPeriodicTask(TS, "t", /*Wcet=*/150, /*Prio=*/1, /*Period=*/10000);
+  ArrivalSequence Arr(1);
+  Arr.addArrival(0, 0, 0);
+  TickRunResult R = runTickScheduler(TS, Arr, /*Horizon=*/2000,
+                                     smallTicks());
+  ASSERT_EQ(R.Jobs.size(), 1u);
+  EXPECT_TRUE(R.Jobs[0].Completed);
+  // 150 ticks of service at 90 useful per 100-quantum: done within the
+  // second quantum's service.
+  EXPECT_LE(R.Jobs[0].CompletedAt, 300u);
+  EXPECT_TRUE(R.Sched.validateStructure().passed());
+}
+
+TEST(TickScheduler, PreemptsLowerPriority) {
+  TaskSet TS;
+  TaskId Lo = addPeriodicTask(TS, "lo", 500, 1, 100000);
+  TaskId Hi = addPeriodicTask(TS, "hi", 50, 2, 100000);
+  ArrivalSequence Arr(1);
+  Arr.addArrival(0, 0, Lo);
+  Arr.addArrival(150, 0, Hi); // Arrives while lo runs.
+  TickRunResult R = runTickScheduler(TS, Arr, 5000, smallTicks());
+  ASSERT_EQ(R.Jobs.size(), 2u);
+  ASSERT_TRUE(R.Jobs[0].Completed);
+  ASSERT_TRUE(R.Jobs[1].Completed);
+  // The high-priority job finishes before the (earlier) low one:
+  // preemptive behaviour the NPFP Rössl cannot exhibit.
+  EXPECT_LT(R.Jobs[1].CompletedAt, R.Jobs[0].CompletedAt);
+}
+
+TEST(TickScheduler, ChargesQuantumOverhead) {
+  TaskSet TS;
+  addPeriodicTask(TS, "t", 10, 1, 100000);
+  ArrivalSequence Arr(1);
+  TickConfig Cfg = smallTicks();
+  TickRunResult R = runTickScheduler(TS, Arr, 1000, Cfg);
+  // Ten quanta, each with 10 overhead ticks: 100 blackout total.
+  EXPECT_EQ(R.Sched.blackoutIn(0, 1000), 100u);
+}
+
+TEST(TickSupply, QuantizedSupply) {
+  TickSupply S(smallTicks(), /*Cap=*/1000000);
+  EXPECT_EQ(S.supplyBound(0), 0u);
+  EXPECT_EQ(S.supplyBound(99), 0u);
+  // One full quantum minus alignment: still 0.
+  EXPECT_EQ(S.supplyBound(100), 0u);
+  EXPECT_EQ(S.supplyBound(200), 90u);
+  EXPECT_EQ(S.timeToSupply(0), 0u);
+  // 90 useful needs 1 quantum + 1 alignment quantum.
+  EXPECT_EQ(S.timeToSupply(90), 200u);
+  EXPECT_EQ(S.timeToSupply(91), 300u);
+  // Inverse property.
+  for (Duration W : {1ull, 90ull, 500ull})
+    EXPECT_GE(S.supplyBound(S.timeToSupply(W)), W);
+}
+
+TEST(TickRta, BoundsAreSoundOnSimulatedRuns) {
+  TaskSet TS = mixedTasks();
+  TickConfig Cfg = smallTicks();
+  RtaResult R = analyzeTick(TS, Cfg);
+  ASSERT_TRUE(R.allBounded());
+
+  for (std::uint64_t Seed : {1ull, 2ull, 3ull}) {
+    WorkloadSpec Spec;
+    Spec.Horizon = 5000;
+    Spec.Seed = Seed;
+    Spec.Style = Seed % 2 ? WorkloadStyle::Random
+                          : WorkloadStyle::GreedyDense;
+    ArrivalSequence Arr = generateWorkload(TS, Spec);
+    TickRunResult Run = runTickScheduler(TS, Arr, 60000, Cfg);
+    for (const TickJobResult &J : Run.Jobs) {
+      Duration Bound = R.forTask(J.Task).ResponseBound;
+      if (J.ArrivalAt + Bound >= 60000)
+        continue; // Outside the horizon: no claim.
+      ASSERT_TRUE(J.Completed)
+          << "m" << J.Msg << " (task " << J.Task << ") not completed";
+      EXPECT_LE(J.CompletedAt - J.ArrivalAt, Bound)
+          << "m" << J.Msg << " seed " << Seed;
+    }
+  }
+}
+
+TEST(TickRta, JitterIsOneQuantum) {
+  TaskSet TS = mixedTasks();
+  RtaResult R = analyzeTick(TS, smallTicks());
+  for (const TaskRta &T : R.PerTask)
+    EXPECT_EQ(T.Jitter, 100u);
+}
+
+TEST(TickRta, DetectsOverload) {
+  TaskSet TS;
+  addPeriodicTask(TS, "hog", /*Wcet=*/95, /*Prio=*/1, /*Period=*/100);
+  // 95% execution demand but only 90% useful supply.
+  RtaResult R = analyzeTick(TS, smallTicks(), /*FixedPointCap=*/100000);
+  EXPECT_FALSE(R.allBounded());
+}

@@ -1,0 +1,155 @@
+//===- tests/caesium_parser_test.cpp - Frontend parser tests --------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "caesium/parser.h"
+
+#include "caesium/interp.h"
+#include "caesium/print.h"
+#include "caesium/rossl_program.h"
+#include "sim/workload.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::caesium;
+using namespace rprosa::testutil;
+
+TEST(CaesiumParser, RoundTripsTheRosslProgram) {
+  // parse(print(P)) prints identically to P — the frontend inverts the
+  // printer.
+  for (std::uint32_t Socks : {1u, 2u, 4u}) {
+    StmtPtr P = buildRosslProgram(Socks);
+    std::string Src = printStmt(*P);
+    CheckResult Diags;
+    std::optional<StmtPtr> Parsed = parseProgram(Src, &Diags);
+    ASSERT_TRUE(Parsed.has_value()) << Diags.describe();
+    EXPECT_EQ(printStmt(**Parsed), Src) << Socks << " sockets";
+  }
+}
+
+TEST(CaesiumParser, ParsedSourceRunsIdenticallyToBuiltAst) {
+  // The parsed Rössl source is trace-equivalent to the built AST (and
+  // hence, by E12, to the native scheduler).
+  ClientConfig C = makeClient(mixedTasks(), 2);
+  WorkloadSpec Spec;
+  Spec.NumSockets = 2;
+  Spec.Horizon = 3000;
+  ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+  RunLimits Limits;
+  Limits.Horizon = 5000;
+
+  StmtPtr Built = buildRosslProgram(2);
+  std::optional<StmtPtr> Parsed = parseProgram(printStmt(*Built));
+  ASSERT_TRUE(Parsed.has_value());
+
+  Environment EnvA(Arr);
+  CostModel CostsA(C.Wcets, CostModelKind::Uniform, 5);
+  CaesiumMachine MA(C, EnvA, CostsA);
+  TimedTrace TA = MA.run(Built, Limits);
+
+  Environment EnvB(Arr);
+  CostModel CostsB(C.Wcets, CostModelKind::Uniform, 5);
+  CaesiumMachine MB(C, EnvB, CostsB);
+  TimedTrace TB = MB.run(*Parsed, Limits);
+
+  ASSERT_EQ(TA.size(), TB.size());
+  for (std::size_t I = 0; I < TA.size(); ++I) {
+    EXPECT_EQ(TA.Tr[I].Kind, TB.Tr[I].Kind) << I;
+    EXPECT_EQ(TA.Ts[I], TB.Ts[I]) << I;
+  }
+  EXPECT_EQ(TA.EndTime, TB.EndTime);
+}
+
+TEST(CaesiumParser, HandWrittenSchedulerSource) {
+  // A single-socket scheduler written directly as text.
+  const char *Src = R"(
+    // hand-written single-socket Rössl
+    while (fuel()) {
+      r1 = 1;
+      while (r1) {
+        r1 = 0;
+        r2 = read(r0, buf0);
+        if (!(r2 == -1)) {
+          npfp_enqueue(&sched, buf0);
+          free(buf0);
+          r1 = 1;
+        }
+      }
+      selection_start();
+      r3 = npfp_dequeue(&sched, buf1);
+      if (r3) {
+        dispatch_start(buf1);
+        execution_start(buf1);
+        completion_start(buf1);
+        free(buf1);
+      } else {
+        idling_start();
+      }
+    }
+  )";
+  CheckResult Diags;
+  std::optional<StmtPtr> P = parseProgram(Src, &Diags);
+  ASSERT_TRUE(P.has_value()) << Diags.describe();
+
+  ClientConfig C = makeClient(figure3Tasks(), 1);
+  ArrivalSequence Arr(1);
+  Arr.addArrival(0, 0, 0);
+  Arr.addArrival(5, 0, 1);
+  Environment Env(Arr);
+  CostModel Costs(C.Wcets, CostModelKind::AlwaysWcet, 1);
+  CaesiumMachine M(C, Env, Costs);
+  RunLimits Limits;
+  Limits.Horizon = 500;
+  TimedTrace Embedded = M.run(*P, Limits);
+
+  TimedTrace Native = runRossl(C, Arr, 500);
+  ASSERT_EQ(Embedded.size(), Native.size());
+  for (std::size_t I = 0; I < Native.size(); ++I)
+    EXPECT_EQ(Embedded.Ts[I], Native.Ts[I]) << I;
+}
+
+TEST(CaesiumParser, ExpressionForms) {
+  // Exercise the pure expression grammar via round trips.
+  for (const char *Src : {
+           "r1 = ((r0 + 2) < 7);\n",
+           "r2 = !(r1 == -1);\n",
+           "r3 = (10 - (r2 + 1));\n",
+           "r4 = fuel();\n",
+       }) {
+    CheckResult Diags;
+    std::optional<StmtPtr> P = parseProgram(Src, &Diags);
+    ASSERT_TRUE(P.has_value()) << Src << "\n" << Diags.describe();
+    EXPECT_EQ(printStmt(**P), Src);
+  }
+}
+
+TEST(CaesiumParser, RejectsMalformedInput) {
+  for (const char *Bad : {
+           "while (fuel()) { r0 = 1;", // Unclosed brace.
+           "r0 = ;",                   // Missing expression.
+           "read(r0, buf0);",          // read needs an assignment.
+           "r0 = read(buf0, r1);",     // Swapped argument kinds.
+           "frobnicate();",            // Unknown call.
+           "r0 = (1 ? 2);",            // Bad operator.
+           "npfp_enqueue(sched, buf0);", // Missing '&'.
+           "r0 = 1 @;",                // Bad character.
+       }) {
+    CheckResult Diags;
+    EXPECT_FALSE(parseProgram(Bad, &Diags).has_value()) << Bad;
+    EXPECT_FALSE(Diags.passed()) << Bad;
+  }
+}
+
+TEST(CaesiumParser, CommentsAndWhitespace) {
+  const char *Src = "// leading comment\n"
+                    "   r0 = 1;   # trailing comment style two\n"
+                    "\n\n  r1 = (r0 + 1);";
+  std::optional<StmtPtr> P = parseProgram(Src);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(printStmt(**P), "r0 = 1;\nr1 = (r0 + 1);\n");
+}

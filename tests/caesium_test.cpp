@@ -1,0 +1,232 @@
+//===- tests/caesium_test.cpp - Deep-embedding semantics tests (Fig. 6) ---===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "caesium/interp.h"
+#include "caesium/print.h"
+#include "caesium/rossl_program.h"
+
+#include "sim/workload.h"
+#include "trace/consistency.h"
+#include "trace/functional.h"
+#include "trace/protocol.h"
+#include "trace/wcet_check.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::caesium;
+using namespace rprosa::testutil;
+
+namespace {
+
+/// Runs the embedded Rössl program and returns its timed trace.
+TimedTrace runEmbedded(const ClientConfig &Client,
+                       const ArrivalSequence &Arr, Time Horizon,
+                       CostModelKind Cost = CostModelKind::AlwaysWcet,
+                       std::uint64_t Seed = 1) {
+  Environment Env(Arr);
+  CostModel Costs(Client.Wcets, Cost, Seed);
+  CaesiumMachine M(Client, Env, Costs);
+  RunLimits Limits;
+  Limits.Horizon = Horizon;
+  return M.run(buildRosslProgram(Client.NumSockets), Limits);
+}
+
+/// Structural equality of two timed traces (kinds, sockets, jobs,
+/// timestamps, end time).
+void expectTracesEqual(const TimedTrace &A, const TimedTrace &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (std::size_t I = 0; I < A.size(); ++I) {
+    const MarkerEvent &E1 = A.Tr[I];
+    const MarkerEvent &E2 = B.Tr[I];
+    ASSERT_EQ(E1.Kind, E2.Kind) << "marker " << I;
+    EXPECT_EQ(A.Ts[I], B.Ts[I]) << "timestamp " << I;
+    EXPECT_EQ(E1.Socket, E2.Socket) << "marker " << I;
+    ASSERT_EQ(E1.J.has_value(), E2.J.has_value()) << "marker " << I;
+    if (E1.J) {
+      EXPECT_EQ(E1.J->Id, E2.J->Id) << "marker " << I;
+      EXPECT_EQ(E1.J->Msg, E2.J->Msg) << "marker " << I;
+      EXPECT_EQ(E1.J->Task, E2.J->Task) << "marker " << I;
+      EXPECT_EQ(E1.J->ReadAt, E2.J->ReadAt) << "marker " << I;
+    }
+  }
+  EXPECT_EQ(A.EndTime, B.EndTime);
+}
+
+} // namespace
+
+TEST(CaesiumExpr, Evaluation) {
+  // Exercise the pure fragment through a tiny program: r1 = (2+3) < 7.
+  ClientConfig C = makeClient(figure3Tasks(), 1);
+  ArrivalSequence Arr(1);
+  Environment Env(Arr);
+  CostModel Costs(C.Wcets, CostModelKind::AlwaysWcet, 1);
+  CaesiumMachine M(C, Env, Costs);
+  StmtPtr Prog = Stmt::seq({
+      Stmt::setReg(1, Expr::less(Expr::add(Expr::lit(2), Expr::lit(3)),
+                                 Expr::lit(7))),
+      Stmt::setReg(2, Expr::eq(Expr::lit(4), Expr::lit(4))),
+      Stmt::setReg(3, Expr::notE(Expr::reg(2))),
+      Stmt::setReg(4, Expr::sub(Expr::lit(10), Expr::lit(4))),
+  });
+  RunLimits Limits;
+  TimedTrace TT = M.run(Prog, Limits);
+  EXPECT_TRUE(TT.empty()); // No markers: pure computation.
+}
+
+TEST(CaesiumRead, FailureEmitsBottomAndMinusOne) {
+  ClientConfig C = makeClient(figure3Tasks(), 1);
+  ArrivalSequence Arr(1); // Empty socket.
+  Environment Env(Arr);
+  CostModel Costs(C.Wcets, CostModelKind::AlwaysWcet, 1);
+  CaesiumMachine M(C, Env, Costs);
+  StmtPtr Prog = Stmt::seq({
+      Stmt::setReg(0, Expr::lit(0)),
+      Stmt::readE(0, 0, 2),
+  });
+  RunLimits Limits;
+  TimedTrace TT = M.run(Prog, Limits);
+  ASSERT_EQ(TT.size(), 2u);
+  EXPECT_EQ(TT.Tr[0].Kind, MarkerKind::ReadS);
+  EXPECT_TRUE(TT.Tr[1].isFailedRead());
+  // READ-STEP-FAILURE leaves the id counter untouched.
+  EXPECT_EQ(M.nextJobId(), 1u);
+}
+
+TEST(CaesiumRead, SuccessAssignsFreshIds) {
+  ClientConfig C = makeClient(figure3Tasks(), 1);
+  ArrivalSequence Arr(1);
+  Arr.addArrival(0, 0, /*Task=*/0);
+  Arr.addArrival(0, 0, /*Task=*/0); // Identical data!
+  Environment Env(Arr);
+  CostModel Costs(C.Wcets, CostModelKind::AlwaysWcet, 1);
+  CaesiumMachine M(C, Env, Costs);
+  StmtPtr Prog = Stmt::seq({
+      Stmt::setReg(0, Expr::lit(0)),
+      Stmt::readE(0, 0, 2),
+      Stmt::readE(0, 0, 2),
+  });
+  RunLimits Limits;
+  TimedTrace TT = M.run(Prog, Limits);
+  ASSERT_EQ(TT.size(), 4u);
+  ASSERT_TRUE(TT.Tr[1].isSuccessfulRead());
+  ASSERT_TRUE(TT.Tr[3].isSuccessfulRead());
+  // Identical payloads, distinct ids (the point of σ_trace.idx).
+  EXPECT_EQ(TT.Tr[1].J->Id, 1u);
+  EXPECT_EQ(TT.Tr[3].J->Id, 2u);
+  EXPECT_EQ(M.nextJobId(), 3u);
+}
+
+TEST(CaesiumDispatch, ResolvesFifoAmongEqualData) {
+  // Two identical-data messages; the embedded program must dispatch the
+  // earlier-read id first (footnote 5's id_map FIFO discipline).
+  ClientConfig C = makeClient(figure3Tasks(), 1);
+  ArrivalSequence Arr(1);
+  Arr.addArrival(0, 0, /*Task=*/0);
+  Arr.addArrival(0, 0, /*Task=*/0);
+  TimedTrace TT = runEmbedded(C, Arr, 1000);
+  std::vector<JobId> Dispatched;
+  for (const MarkerEvent &E : TT.Tr)
+    if (E.Kind == MarkerKind::Dispatch)
+      Dispatched.push_back(E.J->Id);
+  ASSERT_EQ(Dispatched.size(), 2u);
+  EXPECT_EQ(Dispatched[0], 1u);
+  EXPECT_EQ(Dispatched[1], 2u);
+}
+
+TEST(CaesiumProgram, SatisfiesAllTraceInvariants) {
+  ClientConfig C = makeClient(mixedTasks(), 2);
+  WorkloadSpec Spec;
+  Spec.NumSockets = 2;
+  Spec.Horizon = 4000;
+  ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+  TimedTrace TT = runEmbedded(C, Arr, 6000);
+  EXPECT_TRUE(checkProtocol(TT.Tr, 2).passed());
+  EXPECT_TRUE(checkFunctionalCorrectness(TT.Tr, C.Tasks).passed());
+  EXPECT_TRUE(checkConsistency(TT, Arr).passed());
+  EXPECT_TRUE(checkTimestamps(TT).passed());
+  EXPECT_TRUE(checkWcetRespected(TT, C.Tasks, C.Wcets).passed());
+}
+
+namespace {
+
+struct DiffCase {
+  std::uint32_t Sockets;
+  std::uint64_t Seed;
+  CostModelKind Cost;
+  WorkloadStyle Style;
+};
+
+class CaesiumDifferential : public ::testing::TestWithParam<DiffCase> {};
+
+} // namespace
+
+TEST_P(CaesiumDifferential, EmbeddedTraceEqualsNativeTrace) {
+  const DiffCase &P = GetParam();
+  ClientConfig C = makeClient(mixedTasks(), P.Sockets);
+  WorkloadSpec Spec;
+  Spec.NumSockets = P.Sockets;
+  Spec.Horizon = 4000;
+  Spec.Seed = P.Seed;
+  Spec.Style = P.Style;
+  ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+
+  TimedTrace Native = runRossl(C, Arr, 8000, P.Cost, P.Seed);
+  TimedTrace Embedded = runEmbedded(C, Arr, 8000, P.Cost, P.Seed);
+  expectTracesEqual(Native, Embedded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CaesiumDifferential,
+    ::testing::Values(
+        DiffCase{1, 1, CostModelKind::AlwaysWcet, WorkloadStyle::Random},
+        DiffCase{1, 2, CostModelKind::Uniform, WorkloadStyle::GreedyDense},
+        DiffCase{2, 3, CostModelKind::AlwaysWcet,
+                 WorkloadStyle::GreedyDense},
+        DiffCase{2, 4, CostModelKind::Uniform, WorkloadStyle::Random},
+        DiffCase{4, 5, CostModelKind::HalfWcet, WorkloadStyle::Random},
+        DiffCase{8, 6, CostModelKind::Uniform, WorkloadStyle::Sparse}),
+    [](const auto &Info) {
+      return "s" + std::to_string(Info.param.Sockets) + "_seed" +
+             std::to_string(Info.param.Seed);
+    });
+
+TEST(CaesiumDifferentialExtra, DuplicatePayloadsStillMatch) {
+  // Hand-built arrival sequence where every message has identical data:
+  // the id_map discipline must still match the native queue.
+  TaskSet TS;
+  addPeriodicTask(TS, "t", 20, 1, 50);
+  ClientConfig C = makeClient(std::move(TS), 1);
+  ArrivalSequence Arr(1);
+  for (Time T = 0; T < 500; T += 60)
+    Arr.addArrival(T, 0, 0, /*PayloadLen=*/16); // All the same data.
+  TimedTrace Native = runRossl(C, Arr, 2000);
+  TimedTrace Embedded = runEmbedded(C, Arr, 2000);
+  expectTracesEqual(Native, Embedded);
+}
+
+TEST(CaesiumPrint, RosslProgramLooksLikeFigure2) {
+  std::string Src = printStmt(*buildRosslProgram(2));
+  // The printed program contains the Fig. 2 landmarks.
+  EXPECT_NE(Src.find("while (fuel())"), std::string::npos) << Src;
+  EXPECT_NE(Src.find("read(r0, buf0)"), std::string::npos);
+  EXPECT_NE(Src.find("npfp_enqueue(&sched, buf0);"), std::string::npos);
+  EXPECT_NE(Src.find("selection_start();"), std::string::npos);
+  EXPECT_NE(Src.find("npfp_dequeue(&sched, buf1)"), std::string::npos);
+  EXPECT_NE(Src.find("dispatch_start(buf1);"), std::string::npos);
+  EXPECT_NE(Src.find("idling_start();"), std::string::npos);
+  EXPECT_NE(Src.find("free(buf1);"), std::string::npos);
+}
+
+TEST(CaesiumPrint, ExprForms) {
+  ExprPtr E = Expr::less(Expr::add(Expr::reg(1), Expr::lit(2)),
+                         Expr::lit(7));
+  EXPECT_EQ(printExpr(*E), "((r1 + 2) < 7)");
+  EXPECT_EQ(printExpr(*Expr::notE(Expr::eq(Expr::reg(0), Expr::lit(0)))),
+            "!(r0 == 0)");
+}

@@ -1,0 +1,148 @@
+//===- tests/consistency_test.cpp - Def. 2.1 consistency tests ------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/consistency.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+namespace {
+
+/// An arrival sequence with one message (id 1, task 0) at t=5 on s0.
+ArrivalSequence oneArrival(Time At = 5) {
+  ArrivalSequence Arr(1);
+  Message M;
+  M.Id = 1;
+  M.Task = 0;
+  Arr.addArrival(At, 0, M);
+  return Arr;
+}
+
+} // namespace
+
+TEST(Consistency, AcceptsReadAfterArrival) {
+  ArrivalSequence Arr = oneArrival(5);
+  // Read returns at t=10 > 5.
+  TimedTrace TT = TraceBuilder()
+                      .successRead(0, mkJob(1, 0, /*Msg=*/1), 10)
+                      .finish();
+  EXPECT_TRUE(checkConsistency(TT, Arr).passed());
+}
+
+TEST(Consistency, RejectsReadBeforeArrival) {
+  ArrivalSequence Arr = oneArrival(50);
+  // M_ReadE lands at t=10 < 50 (arrival must be strictly earlier).
+  TimedTrace TT = TraceBuilder()
+                      .successRead(0, mkJob(1, 0, /*Msg=*/1), 10)
+                      .finish();
+  CheckResult R = checkConsistency(TT, Arr);
+  ASSERT_FALSE(R.passed());
+  EXPECT_NE(R.describe().find("cond. 1"), std::string::npos);
+}
+
+TEST(Consistency, RejectsReadAtExactArrivalInstant) {
+  ArrivalSequence Arr = oneArrival(10);
+  TimedTrace TT = TraceBuilder()
+                      .successRead(0, mkJob(1, 0, /*Msg=*/1), 10)
+                      .finish();
+  // ts[M_ReadE] = 10 = t_a: Def. 2.1 requires t_a < ts[i].
+  EXPECT_FALSE(checkConsistency(TT, Arr).passed());
+}
+
+TEST(Consistency, RejectsReadOfUnknownMessage) {
+  ArrivalSequence Arr = oneArrival();
+  TimedTrace TT = TraceBuilder()
+                      .successRead(0, mkJob(1, 0, /*Msg=*/777), 10)
+                      .finish();
+  CheckResult R = checkConsistency(TT, Arr);
+  ASSERT_FALSE(R.passed());
+  EXPECT_NE(R.describe().find("never arrives"), std::string::npos);
+}
+
+TEST(Consistency, RejectsReadFromWrongSocket) {
+  ArrivalSequence Arr(2);
+  Message M;
+  M.Id = 1;
+  M.Task = 0;
+  Arr.addArrival(5, /*Socket=*/1, M);
+  TimedTrace TT = TraceBuilder()
+                      .successRead(/*Sock=*/0, mkJob(1, 0, 1), 10)
+                      .finish();
+  EXPECT_FALSE(checkConsistency(TT, Arr).passed());
+}
+
+TEST(Consistency, RejectsTaskMismatch) {
+  ArrivalSequence Arr = oneArrival(); // Message of task 0.
+  TimedTrace TT = TraceBuilder()
+                      .successRead(0, mkJob(1, /*Task=*/3, /*Msg=*/1), 10)
+                      .finish();
+  EXPECT_FALSE(checkConsistency(TT, Arr).passed());
+}
+
+TEST(Consistency, FailedReadWithNoPendingArrivalsIsFine) {
+  ArrivalSequence Arr = oneArrival(/*At=*/100);
+  // Failed read returns at t=4 < 100: nothing was pending.
+  TimedTrace TT = TraceBuilder().failedRead(0, 4).finish();
+  EXPECT_TRUE(checkConsistency(TT, Arr).passed());
+}
+
+TEST(Consistency, RejectsFailedReadWithUnreadArrival) {
+  ArrivalSequence Arr = oneArrival(/*At=*/5);
+  // Failed read returns at t=20 although message 1 arrived at 5 and was
+  // never read: Def. 2.1 condition 2.
+  TimedTrace TT = TraceBuilder().failedRead(0, 20).finish();
+  CheckResult R = checkConsistency(TT, Arr);
+  ASSERT_FALSE(R.passed());
+  EXPECT_NE(R.describe().find("cond. 2"), std::string::npos);
+}
+
+TEST(Consistency, FailedReadAfterTheMessageWasReadIsFine) {
+  ArrivalSequence Arr = oneArrival(5);
+  TimedTrace TT = TraceBuilder()
+                      .successRead(0, mkJob(1, 0, 1), 10)
+                      .failedRead(0, 20)
+                      .finish();
+  EXPECT_TRUE(checkConsistency(TT, Arr).passed());
+}
+
+TEST(Consistency, RejectsDoubleReadOfSameMessage) {
+  ArrivalSequence Arr = oneArrival(5);
+  TimedTrace TT = TraceBuilder()
+                      .successRead(0, mkJob(1, 0, 1), 10)
+                      .successRead(0, mkJob(2, 0, 1), 10)
+                      .finish();
+  EXPECT_FALSE(checkConsistency(TT, Arr).passed());
+}
+
+TEST(Consistency, ArrivalExactlyAtFailedReadReturnIsNotPending) {
+  ArrivalSequence Arr = oneArrival(/*At=*/4);
+  // Failed read returns at t=4; the arrival at t=4 is not strictly
+  // earlier, so condition 2 does not apply to it.
+  TimedTrace TT = TraceBuilder().failedRead(0, 4).finish();
+  EXPECT_TRUE(checkConsistency(TT, Arr).passed());
+}
+
+TEST(Consistency, MultiSocketScenario) {
+  ArrivalSequence Arr(2);
+  Message A, B;
+  A.Id = 1;
+  A.Task = 0;
+  B.Id = 2;
+  B.Task = 0;
+  Arr.addArrival(3, 0, A);
+  Arr.addArrival(4, 1, B);
+  TimedTrace TT = TraceBuilder()
+                      .successRead(0, mkJob(1, 0, 1), 10) // ReadE at 10.
+                      .successRead(1, mkJob(2, 0, 2), 10) // ReadE at 20.
+                      .failedRead(0, 4)
+                      .failedRead(1, 4)
+                      .finish();
+  EXPECT_TRUE(checkConsistency(TT, Arr).passed());
+}

@@ -1,0 +1,109 @@
+//===- tests/cost_model_test.cpp - Cost-model unit tests ------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/cost_model.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+namespace {
+
+class CostModelModes : public ::testing::TestWithParam<CostModelKind> {};
+
+} // namespace
+
+TEST_P(CostModelModes, NonViolatingModesRespectWcets) {
+  if (GetParam() == CostModelKind::ViolatingOccasionally)
+    GTEST_SKIP() << "violating mode is allowed to exceed";
+  BasicActionWcets W = tinyWcets();
+  CostModel C(W, GetParam(), /*Seed=*/3);
+  Task T;
+  T.Wcet = 17;
+  for (int I = 0; I < 500; ++I) {
+    EXPECT_LE(C.failedRead(), W.FailedRead);
+    EXPECT_LE(C.successfulRead(), W.SuccessfulRead);
+    EXPECT_LE(C.selection(), W.Selection);
+    EXPECT_LE(C.dispatch(), W.Dispatch);
+    EXPECT_LE(C.completion(), W.Completion);
+    EXPECT_LE(C.idling(), W.Idling);
+    EXPECT_LE(C.exec(T), T.Wcet);
+  }
+}
+
+TEST_P(CostModelModes, DurationsArePositive) {
+  BasicActionWcets W = tinyWcets();
+  CostModel C(W, GetParam(), /*Seed=*/3);
+  for (int I = 0; I < 200; ++I) {
+    EXPECT_GE(C.failedRead(), 1u);
+    EXPECT_GE(C.selection(), 1u);
+    EXPECT_GE(C.idling(), 1u);
+  }
+}
+
+TEST_P(CostModelModes, ReadCompletionExtraStaysInBudget) {
+  if (GetParam() == CostModelKind::ViolatingOccasionally)
+    GTEST_SKIP() << "violating mode is allowed to exceed";
+  BasicActionWcets W = tinyWcets();
+  CostModel C(W, GetParam(), /*Seed=*/9);
+  for (int I = 0; I < 500; ++I) {
+    Duration Spent = C.failedRead();
+    Duration Extra = C.readCompletionExtra(Spent);
+    EXPECT_LE(Spent + Extra, W.SuccessfulRead)
+        << "successful read total exceeds WcetSR";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, CostModelModes,
+    ::testing::Values(CostModelKind::AlwaysWcet, CostModelKind::Uniform,
+                      CostModelKind::HalfWcet,
+                      CostModelKind::ViolatingOccasionally),
+    [](const auto &Info) {
+      std::string Name = toString(Info.param);
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+TEST(CostModel, AlwaysWcetIsExact) {
+  BasicActionWcets W = tinyWcets();
+  CostModel C(W, CostModelKind::AlwaysWcet, 1);
+  EXPECT_EQ(C.failedRead(), W.FailedRead);
+  EXPECT_EQ(C.successfulRead(), W.SuccessfulRead);
+  EXPECT_EQ(C.selection(), W.Selection);
+  EXPECT_EQ(C.readCompletionExtra(W.FailedRead),
+            W.SuccessfulRead - W.FailedRead);
+}
+
+TEST(CostModel, HalfWcetIsDeterministic) {
+  BasicActionWcets W = tinyWcets();
+  CostModel A(W, CostModelKind::HalfWcet, 1);
+  CostModel B(W, CostModelKind::HalfWcet, 2);
+  EXPECT_EQ(A.failedRead(), B.failedRead());
+  EXPECT_EQ(A.idling(), W.Idling / 2);
+}
+
+TEST(CostModel, ViolatingModeEventuallyViolates) {
+  BasicActionWcets W = tinyWcets();
+  CostModel C(W, CostModelKind::ViolatingOccasionally, 5);
+  bool Violated = false;
+  for (int I = 0; I < 2000 && !Violated; ++I)
+    Violated = C.selection() > W.Selection;
+  EXPECT_TRUE(Violated) << "fault injection mode never exceeded a WCET";
+}
+
+TEST(CostModel, UniformIsSeedDeterministic) {
+  BasicActionWcets W = tinyWcets();
+  CostModel A(W, CostModelKind::Uniform, 123);
+  CostModel B(W, CostModelKind::Uniform, 123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.idling(), B.idling());
+}

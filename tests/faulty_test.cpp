@@ -1,0 +1,109 @@
+//===- tests/faulty_test.cpp - Fault-injection scheduler tests (E15) ------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rossl/faulty.h"
+
+#include "sim/workload.h"
+#include "trace/consistency.h"
+#include "trace/functional.h"
+#include "trace/marker_specs.h"
+#include "trace/protocol.h"
+#include "trace/wcet_check.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+namespace {
+
+struct BuggyRun {
+  ClientConfig Client;
+  ArrivalSequence Arr{1};
+  TimedTrace TT;
+};
+
+BuggyRun runBuggy(SchedulerBug Bug, std::uint32_t Socks = 3) {
+  BuggyRun R;
+  R.Client = makeClient(mixedTasks(), Socks);
+  WorkloadSpec Spec;
+  Spec.NumSockets = Socks;
+  Spec.Horizon = 5000;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  R.Arr = generateWorkload(R.Client.Tasks, Spec);
+  Environment Env(R.Arr);
+  CostModel Costs(R.Client.Wcets, CostModelKind::AlwaysWcet, 1);
+  FaultyScheduler Sched(R.Client, Env, Costs, Bug);
+  RunLimits Limits;
+  Limits.Horizon = 10000;
+  R.TT = Sched.run(Limits);
+  return R;
+}
+
+} // namespace
+
+TEST(Faulty, EarlyPollingExitViolatesProtocol) {
+  BuggyRun R = runBuggy(SchedulerBug::EarlyPollingExit);
+  // A round with a success flows straight into selection: the polling
+  // phase no longer ends with an all-failed round.
+  EXPECT_FALSE(checkProtocol(R.TT.Tr, 3).passed());
+}
+
+TEST(Faulty, PriorityInversionViolatesFunctional) {
+  BuggyRun R = runBuggy(SchedulerBug::PriorityInversion);
+  EXPECT_TRUE(checkProtocol(R.TT.Tr, 3).passed())
+      << "inversion is protocol-conformant";
+  EXPECT_FALSE(
+      checkFunctionalCorrectness(R.TT.Tr, R.Client.Tasks).passed());
+  EXPECT_FALSE(checkMarkerSpecs(R.TT.Tr, R.Client.Tasks).passed());
+}
+
+TEST(Faulty, SkipCompletionMarkerViolatesProtocolAndWcet) {
+  BuggyRun R = runBuggy(SchedulerBug::SkipCompletionMarker);
+  EXPECT_FALSE(checkProtocol(R.TT.Tr, 3).passed());
+}
+
+TEST(Faulty, DoubleDispatchViolatesFunctional) {
+  BuggyRun R = runBuggy(SchedulerBug::DoubleDispatch);
+  EXPECT_FALSE(
+      checkFunctionalCorrectness(R.TT.Tr, R.Client.Tasks).passed());
+}
+
+TEST(Faulty, IgnoreLastSocketViolatesProtocol) {
+  BuggyRun R = runBuggy(SchedulerBug::IgnoreLastSocket);
+  // Rounds are one read short: the round-robin order breaks.
+  EXPECT_FALSE(checkProtocol(R.TT.Tr, 3).passed());
+}
+
+TEST(Faulty, OversleepIdlingOnlyWcetSees) {
+  // A purely *temporal* bug: functionally the traces are perfect.
+  BuggyRun R = runBuggy(SchedulerBug::OversleepIdling, 1);
+  EXPECT_TRUE(checkProtocol(R.TT.Tr, 1).passed());
+  EXPECT_TRUE(
+      checkFunctionalCorrectness(R.TT.Tr, R.Client.Tasks).passed());
+  EXPECT_FALSE(
+      checkWcetRespected(R.TT, R.Client.Tasks, R.Client.Wcets).passed())
+      << "only the WCET assumption catches oversleeping";
+}
+
+TEST(Faulty, EveryBugIsCaughtBySomeChecker) {
+  for (SchedulerBug Bug :
+       {SchedulerBug::EarlyPollingExit, SchedulerBug::PriorityInversion,
+        SchedulerBug::SkipCompletionMarker, SchedulerBug::DoubleDispatch,
+        SchedulerBug::IgnoreLastSocket, SchedulerBug::OversleepIdling}) {
+    BuggyRun R = runBuggy(Bug);
+    bool Caught =
+        !checkProtocol(R.TT.Tr, 3).passed() ||
+        !checkFunctionalCorrectness(R.TT.Tr, R.Client.Tasks).passed() ||
+        !checkMarkerSpecs(R.TT.Tr, R.Client.Tasks).passed() ||
+        !checkConsistency(R.TT, R.Arr).passed() ||
+        !checkWcetRespected(R.TT, R.Client.Tasks, R.Client.Wcets)
+             .passed();
+    EXPECT_TRUE(Caught) << toString(Bug) << " escaped every checker";
+  }
+}

@@ -1,0 +1,183 @@
+//===- tests/integration_test.cpp - End-to-end curated scenarios ----------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/pipeline.h"
+
+#include "sim/workload.h"
+#include "trace/basic_actions.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+namespace {
+
+/// Renders the kinds of the first markers for debugging mismatches.
+std::string kindsOf(const Trace &Tr, std::size_t N) {
+  std::string Out;
+  for (std::size_t I = 0; I < N && I < Tr.size(); ++I)
+    Out += toString(Tr[I]) + " ";
+  return Out;
+}
+
+} // namespace
+
+TEST(Integration, Figure3ExactEventSequence) {
+  // The run of Fig. 3: one socket; j1 (tau1) has arrived before the
+  // poll; j2 (tau2, higher priority) arrives while j1 is being read.
+  ClientConfig C = makeClient(figure3Tasks(), 1);
+  ArrivalSequence Arr(1);
+  Arr.addArrival(0, 0, /*Task=*/0);
+  Arr.addArrival(5, 0, /*Task=*/1); // During the first (10-tick) read.
+  TimedTrace TT = runRossl(C, Arr, 500);
+
+  // Expected marker prefix, exactly as the figure narrates: read j1,
+  // read j2 (arrived meanwhile), failed read ends polling, selection
+  // picks j2, dispatch/execute/complete j2, then the next iteration
+  // serves j1, then the system idles.
+  ASSERT_GE(TT.size(), 16u) << kindsOf(TT.Tr, 20);
+  std::size_t I = 0;
+  auto expect = [&](MarkerKind K) {
+    ASSERT_LT(I, TT.size());
+    EXPECT_EQ(TT.Tr[I].Kind, K) << "marker " << I << ": "
+                                << toString(TT.Tr[I]);
+    ++I;
+  };
+  expect(MarkerKind::ReadS);
+  expect(MarkerKind::ReadE); // j1.
+  EXPECT_EQ(TT.Tr[1].J->Task, 0u);
+  expect(MarkerKind::ReadS);
+  expect(MarkerKind::ReadE); // j2.
+  EXPECT_EQ(TT.Tr[3].J->Task, 1u);
+  expect(MarkerKind::ReadS);
+  expect(MarkerKind::ReadE); // Failed: polling ends.
+  EXPECT_TRUE(TT.Tr[5].isFailedRead());
+  expect(MarkerKind::Selection);
+  expect(MarkerKind::Dispatch); // j2 first (higher priority).
+  EXPECT_EQ(TT.Tr[7].J->Task, 1u);
+  expect(MarkerKind::Execution);
+  expect(MarkerKind::Completion);
+  expect(MarkerKind::ReadS); // Next iteration: poll fails...
+  expect(MarkerKind::ReadE);
+  EXPECT_TRUE(TT.Tr[11].isFailedRead());
+  expect(MarkerKind::Selection);
+  expect(MarkerKind::Dispatch); // ...then j1 runs.
+  EXPECT_EQ(TT.Tr[13].J->Task, 0u);
+  expect(MarkerKind::Execution);
+  expect(MarkerKind::Completion);
+}
+
+TEST(Integration, Figure3ResponseTimes) {
+  ClientConfig C = makeClient(figure3Tasks(), 1);
+  ArrivalSequence Arr(1);
+  Arr.addArrival(0, 0, 0);
+  Arr.addArrival(5, 0, 1);
+  AdequacySpec Spec;
+  Spec.Client = C;
+  Spec.Arr = Arr;
+  Spec.Limits.Horizon = 2000;
+  AdequacyReport Rep = runAdequacy(Spec);
+  ASSERT_TRUE(Rep.assumptionsHold()) << Rep.summary();
+  ASSERT_TRUE(Rep.theoremHolds()) << Rep.summary();
+
+  // j2 (tau2) completes before j1 (tau1) despite arriving later — the
+  // priority inversion the figure illustrates.
+  ASSERT_EQ(Rep.Jobs.size(), 2u);
+  const JobVerdict &J1 = Rep.Jobs[0];
+  const JobVerdict &J2 = Rep.Jobs[1];
+  ASSERT_TRUE(J1.Completed && J2.Completed);
+  EXPECT_LT(J2.CompletedAt, J1.CompletedAt);
+  EXPECT_GT(J2.ResponseTime, 0u);
+}
+
+TEST(Integration, SixtyFourSockets) {
+  // A deployment with 64 sockets: polling overhead dominates; the
+  // pipeline must still be sound end to end.
+  TaskSet TS;
+  addPeriodicTask(TS, "t", /*Wcet=*/100, /*Prio=*/1, /*Period=*/20000);
+  ClientConfig C = makeClient(std::move(TS), 64);
+  WorkloadSpec Spec;
+  Spec.NumSockets = 64;
+  Spec.Horizon = 40000;
+  ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+  AdequacySpec ASpec;
+  ASpec.Client = C;
+  ASpec.Arr = Arr;
+  ASpec.Limits.Horizon = 120000;
+  AdequacyReport Rep = runAdequacy(ASpec);
+  EXPECT_TRUE(Rep.assumptionsHold()) << Rep.summary();
+  EXPECT_TRUE(Rep.invariantsHold()) << Rep.summary();
+  EXPECT_TRUE(Rep.conclusionHolds()) << Rep.summary();
+}
+
+TEST(Integration, SaturatedBurstScenario) {
+  // Greedy-dense bursts on two sockets: the §1.1 motivation (pile-ups
+  // cause bursts of scheduling overhead). Soundness must survive.
+  TaskSet TS;
+  addBurstyTask(TS, "burst", /*Wcet=*/30, /*Prio=*/2, /*Burst=*/4,
+                /*Rate=*/600);
+  addPeriodicTask(TS, "base", /*Wcet=*/60, /*Prio=*/1, /*Period=*/800);
+  ClientConfig C = makeClient(std::move(TS), 2);
+  WorkloadSpec Spec;
+  Spec.NumSockets = 2;
+  Spec.Horizon = 8000;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+  AdequacySpec ASpec;
+  ASpec.Client = C;
+  ASpec.Arr = Arr;
+  ASpec.Limits.Horizon = 100000;
+  AdequacyReport Rep = runAdequacy(ASpec);
+  EXPECT_TRUE(Rep.assumptionsHold()) << Rep.summary();
+  EXPECT_TRUE(Rep.conclusionHolds()) << Rep.summary();
+}
+
+TEST(Integration, LongIdlePeriodsAreHandled) {
+  // Sparse arrivals with long idle stretches between them.
+  TaskSet TS;
+  addPeriodicTask(TS, "rare", /*Wcet=*/40, /*Prio=*/1, /*Period=*/5000);
+  ClientConfig C = makeClient(std::move(TS), 1);
+  ArrivalSequence Arr(1);
+  Arr.addArrival(0, 0, 0);
+  Arr.addArrival(5000, 0, 0);
+  Arr.addArrival(10000, 0, 0);
+  AdequacySpec ASpec;
+  ASpec.Client = C;
+  ASpec.Arr = Arr;
+  ASpec.Limits.Horizon = 20000;
+  AdequacyReport Rep = runAdequacy(ASpec);
+  EXPECT_TRUE(Rep.theoremHolds()) << Rep.summary();
+  for (const JobVerdict &V : Rep.Jobs)
+    EXPECT_TRUE(V.Completed);
+
+  // The schedule must contain substantial Idle time.
+  Duration Idle = 0;
+  for (const ScheduleSegment &S : Rep.Conv.Sched.segments())
+    if (S.State.isIdle())
+      Idle += S.Len;
+  EXPECT_GT(Idle, 10000u);
+}
+
+TEST(Integration, BasicActionsRoundTripOnBigRun) {
+  ClientConfig C = makeClient(mixedTasks(), 4);
+  WorkloadSpec Spec;
+  Spec.NumSockets = 4;
+  Spec.Horizon = 10000;
+  ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+  TimedTrace TT = runRossl(C, Arr, 15000, CostModelKind::Uniform, 9);
+  std::vector<BasicAction> Actions = segmentBasicActions(TT);
+  ASSERT_FALSE(Actions.empty());
+  // Marker coverage: actions tile the marker sequence exactly.
+  EXPECT_EQ(Actions.front().FirstMarker, 0u);
+  EXPECT_EQ(Actions.back().EndMarker, TT.size());
+  for (std::size_t I = 1; I < Actions.size(); ++I) {
+    EXPECT_EQ(Actions[I].FirstMarker, Actions[I - 1].EndMarker);
+    EXPECT_EQ(Actions[I].Start, Actions[I - 1].End);
+  }
+}

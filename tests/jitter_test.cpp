@@ -1,0 +1,113 @@
+//===- tests/jitter_test.cpp - Release-jitter tests (§4.3, Fig. 7) --------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rta/jitter.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+TEST(Jitter, Definition43) {
+  OverheadBounds B = OverheadBounds::compute(tinyWcets(), 2);
+  // PB=8 SB=3 DB=2 -> compliance term 13; IB=8+3+8=19.
+  EXPECT_EQ(B.PB + B.SB + B.DB, 13u);
+  EXPECT_EQ(B.IB, 19u);
+  EXPECT_EQ(maxReleaseJitter(B), 20u); // 1 + max(13, 19).
+}
+
+TEST(Jitter, ComplianceTermDominatesWithManySockets) {
+  OverheadBounds B = OverheadBounds::compute(tinyWcets(), 64);
+  EXPECT_EQ(maxReleaseJitter(B), 1 + B.IB); // IB = PB+SB+Idling > PB+SB+DB
+  // With tiny idling but large dispatch the other branch wins.
+  BasicActionWcets W = tinyWcets();
+  W.Dispatch = 100;
+  OverheadBounds B2 = OverheadBounds::compute(W, 2);
+  EXPECT_EQ(maxReleaseJitter(B2), 1 + B2.PB + B2.SB + 100);
+}
+
+TEST(Jitter, ReleaseCurveShiftsWindows) {
+  auto Alpha = std::make_shared<PeriodicCurve>(100);
+  ArrivalCurvePtr Beta = makeReleaseCurve(Alpha, 20);
+  EXPECT_EQ(Beta->eval(0), 0u);
+  EXPECT_EQ(Beta->eval(1), Alpha->eval(21));
+  EXPECT_EQ(Beta->eval(81), Alpha->eval(101));
+}
+
+namespace {
+
+struct JitterSweepCase {
+  std::uint32_t Sockets;
+  std::uint64_t Seed;
+  WorkloadStyle Style;
+};
+
+class JitterSweep : public ::testing::TestWithParam<JitterSweepCase> {};
+
+} // namespace
+
+TEST_P(JitterSweep, MeasuredJitterNeverExceedsBound) {
+  const JitterSweepCase &P = GetParam();
+  ClientConfig C = makeClient(mixedTasks(), P.Sockets);
+  WorkloadSpec Spec;
+  Spec.NumSockets = P.Sockets;
+  Spec.Horizon = 5000;
+  Spec.Seed = P.Seed;
+  Spec.Style = P.Style;
+  ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+  TimedTrace TT = runRossl(C, Arr, 8000, CostModelKind::AlwaysWcet,
+                           P.Seed);
+  ConversionResult CR = convertTraceToSchedule(TT, P.Sockets);
+
+  OverheadBounds B = OverheadBounds::compute(C.Wcets, P.Sockets);
+  Duration J = maxReleaseJitter(B);
+  for (const MeasuredJitter &M : measureReleaseJitter(CR, Arr))
+    EXPECT_LE(M.Jitter, J) << "msg m" << M.Msg << " case "
+                           << int(M.Case);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JitterSweep,
+    ::testing::Values(JitterSweepCase{1, 1, WorkloadStyle::Random},
+                      JitterSweepCase{1, 2, WorkloadStyle::GreedyDense},
+                      JitterSweepCase{2, 3, WorkloadStyle::Random},
+                      JitterSweepCase{2, 4, WorkloadStyle::Sparse},
+                      JitterSweepCase{4, 5, WorkloadStyle::Random},
+                      JitterSweepCase{8, 6, WorkloadStyle::GreedyDense}),
+    [](const auto &Info) {
+      return "s" + std::to_string(Info.param.Sockets) + "_seed" +
+             std::to_string(Info.param.Seed);
+    });
+
+TEST(Jitter, IdleArrivalMeasuresIdleResidue) {
+  // One task, one arrival landing mid-idle: the measured case must be
+  // IdleResidue with a positive jitter.
+  TaskSet TS;
+  addPeriodicTask(TS, "t", 20, 1, 10000);
+  ClientConfig C = makeClient(std::move(TS), 1);
+  ArrivalSequence Arr(1);
+  Arr.addArrival(100, 0, 0); // Lands well into the initial idle period.
+  TimedTrace TT = runRossl(C, Arr, 1000);
+  ConversionResult CR = convertTraceToSchedule(TT, 1);
+  std::vector<MeasuredJitter> MJ = measureReleaseJitter(CR, Arr);
+  ASSERT_EQ(MJ.size(), 1u);
+  EXPECT_EQ(MJ[0].Case, JitterCase::IdleResidue);
+  EXPECT_GT(MJ[0].Jitter, 0u);
+  OverheadBounds B = OverheadBounds::compute(C.Wcets, 1);
+  EXPECT_LE(MJ[0].Jitter, maxReleaseJitter(B));
+}
+
+TEST(Jitter, TypicalDeploymentIsMicroseconds) {
+  // The §2.4 claim: "the jitter bound amounts to just a few
+  // microseconds".
+  OverheadBounds B =
+      OverheadBounds::compute(BasicActionWcets::typicalDeployment(), 4);
+  Duration J = maxReleaseJitter(B);
+  EXPECT_LT(J, 10 * TickUs);
+  EXPECT_GT(J, 100u); // And it is not trivially zero.
+}

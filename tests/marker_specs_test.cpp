@@ -1,0 +1,171 @@
+//===- tests/marker_specs_test.cpp - §3.1 contract tests ------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/marker_specs.h"
+
+#include "sim/workload.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+namespace {
+
+TaskSet twoPrio() {
+  TaskSet TS;
+  addPeriodicTask(TS, "lo", 50, 1, 1000);
+  addPeriodicTask(TS, "hi", 30, 2, 1000);
+  return TS;
+}
+
+} // namespace
+
+TEST(MarkerSpecs, AcceptSimulatedRuns) {
+  for (std::uint32_t Socks : {1u, 2u, 4u}) {
+    ClientConfig C = makeClient(mixedTasks(), Socks);
+    WorkloadSpec Spec;
+    Spec.NumSockets = Socks;
+    Spec.Horizon = 4000;
+    Spec.Seed = Socks;
+    ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+    TimedTrace TT = runRossl(C, Arr, 6000);
+    CheckResult R = checkMarkerSpecs(TT.Tr, C.Tasks);
+    EXPECT_TRUE(R.passed()) << Socks << " sockets:\n" << R.describe();
+  }
+}
+
+TEST(MarkerSpecs, AcceptAllPolicies) {
+  TaskSet TS;
+  TS.addTask("a", 30, 2, std::make_shared<PeriodicCurve>(500), 200);
+  TS.addTask("b", 40, 1, std::make_shared<PeriodicCurve>(700), 900);
+  for (SchedPolicy P :
+       {SchedPolicy::Npfp, SchedPolicy::Edf, SchedPolicy::Fifo}) {
+    ClientConfig C = makeClient(TS, 2);
+    C.Policy = P;
+    WorkloadSpec Spec;
+    Spec.NumSockets = 2;
+    Spec.Horizon = 3000;
+    ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+    TimedTrace TT = runRossl(C, Arr, 5000);
+    CheckResult R = checkMarkerSpecs(TT.Tr, C.Tasks, P);
+    EXPECT_TRUE(R.passed()) << toString(P) << ":\n" << R.describe();
+  }
+}
+
+TEST(MarkerSpecs, IdlingContractRequiresEmptyPending) {
+  // The paper's worked example: idling_start() requires js = ∅.
+  TaskSet TS = twoPrio();
+  Job J = mkJob(1, 0);
+  Trace Tr = {
+      MarkerEvent::readS(), MarkerEvent::readE(0, J),
+      MarkerEvent::readS(), MarkerEvent::readE(0, std::nullopt),
+      MarkerEvent::selection(), MarkerEvent::idling(),
+  };
+  CheckResult R = checkMarkerSpecs(Tr, TS);
+  ASSERT_FALSE(R.passed());
+  EXPECT_NE(R.describe().find("currently_pending is not empty"),
+            std::string::npos);
+}
+
+TEST(MarkerSpecs, IdlingContractRequiresSelectionBefore) {
+  TaskSet TS = twoPrio();
+  Trace Tr = {MarkerEvent::readS(),
+              MarkerEvent::readE(0, std::nullopt),
+              MarkerEvent::idling()};
+  CheckResult R = checkMarkerSpecs(Tr, TS);
+  ASSERT_FALSE(R.passed());
+  EXPECT_NE(R.describe().find("idling_start"), std::string::npos);
+}
+
+TEST(MarkerSpecs, DispatchContractRequiresMinimalKey) {
+  TaskSet TS = twoPrio();
+  Job Lo = mkJob(1, 0), Hi = mkJob(2, 1);
+  Trace Tr = {
+      MarkerEvent::readS(), MarkerEvent::readE(0, Lo),
+      MarkerEvent::readS(), MarkerEvent::readE(0, Hi),
+      MarkerEvent::readS(), MarkerEvent::readE(0, std::nullopt),
+      MarkerEvent::selection(), MarkerEvent::dispatch(Lo),
+  };
+  CheckResult R = checkMarkerSpecs(Tr, TS);
+  ASSERT_FALSE(R.passed());
+  EXPECT_NE(R.describe().find("precedes the dispatched job"),
+            std::string::npos);
+}
+
+TEST(MarkerSpecs, DispatchContractRequiresPendingJob) {
+  TaskSet TS = twoPrio();
+  Trace Tr = {MarkerEvent::readS(),
+              MarkerEvent::readE(0, std::nullopt),
+              MarkerEvent::selection(),
+              MarkerEvent::dispatch(mkJob(9, 0))};
+  CheckResult R = checkMarkerSpecs(Tr, TS);
+  ASSERT_FALSE(R.passed());
+  EXPECT_NE(R.describe().find("not in currently_pending"),
+            std::string::npos);
+}
+
+TEST(MarkerSpecs, FreshnessContract) {
+  TaskSet TS = twoPrio();
+  Job J = mkJob(1, 0);
+  Trace Tr = {
+      MarkerEvent::readS(), MarkerEvent::readE(0, J),
+      MarkerEvent::readS(), MarkerEvent::readE(0, J), // Reused id!
+  };
+  CheckResult R = checkMarkerSpecs(Tr, TS);
+  ASSERT_FALSE(R.passed());
+  EXPECT_NE(R.describe().find("not fresh"), std::string::npos);
+}
+
+TEST(MarkerSpecs, ExecutionAndCompletionBindToDispatchedJob) {
+  TaskSet TS = twoPrio();
+  Job J = mkJob(1, 0), Other = mkJob(2, 1);
+  Trace Tr = {
+      MarkerEvent::readS(),     MarkerEvent::readE(0, J),
+      MarkerEvent::readS(),     MarkerEvent::readE(0, std::nullopt),
+      MarkerEvent::selection(), MarkerEvent::dispatch(J),
+      MarkerEvent::execution(Other), // Wrong job.
+  };
+  EXPECT_FALSE(checkMarkerSpecs(Tr, TS).passed());
+
+  Trace Tr2 = {
+      MarkerEvent::readS(),     MarkerEvent::readE(0, J),
+      MarkerEvent::readS(),     MarkerEvent::readE(0, std::nullopt),
+      MarkerEvent::selection(), MarkerEvent::dispatch(J),
+      MarkerEvent::execution(J), MarkerEvent::completion(Other),
+  };
+  EXPECT_FALSE(checkMarkerSpecs(Tr2, TS).passed());
+}
+
+TEST(MarkerSpecs, GhostStateIsObservable) {
+  TaskSet TS = twoPrio();
+  MarkerSpecChecker C(TS);
+  Job J = mkJob(1, 0);
+  C.step(MarkerEvent::readS());
+  C.step(MarkerEvent::readE(0, J));
+  EXPECT_EQ(C.currentTrace().size(), 2u);
+  ASSERT_EQ(C.currentlyPending().size(), 1u);
+  EXPECT_EQ(C.currentlyPending()[0].Id, 1u);
+  C.step(MarkerEvent::readS());
+  C.step(MarkerEvent::readE(0, std::nullopt));
+  C.step(MarkerEvent::selection());
+  C.step(MarkerEvent::dispatch(J));
+  EXPECT_TRUE(C.currentlyPending().empty());
+  EXPECT_TRUE(C.result().passed()) << C.result().describe();
+}
+
+TEST(MarkerSpecs, SelectionRequiresFailedRead) {
+  TaskSet TS = twoPrio();
+  Job J = mkJob(1, 0);
+  Trace Tr = {MarkerEvent::readS(), MarkerEvent::readE(0, J),
+              MarkerEvent::selection()}; // After a *successful* read.
+  CheckResult R = checkMarkerSpecs(Tr, TS);
+  ASSERT_FALSE(R.passed());
+  EXPECT_NE(R.describe().find("ends with a failed read"),
+            std::string::npos);
+}

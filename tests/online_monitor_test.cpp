@@ -1,0 +1,151 @@
+//===- tests/online_monitor_test.cpp - Runtime-verification tests ---------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/online_monitor.h"
+
+#include "rossl/faulty.h"
+#include "sim/workload.h"
+#include "trace/functional.h"
+#include "trace/protocol.h"
+#include "trace/wcet_check.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+namespace {
+
+TimedTrace goodRun(const ClientConfig &C, std::uint64_t Seed,
+                   CostModelKind Cost = CostModelKind::Uniform) {
+  WorkloadSpec Spec;
+  Spec.NumSockets = C.NumSockets;
+  Spec.Horizon = 4000;
+  Spec.Seed = Seed;
+  ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+  return runRossl(C, Arr, 7000, Cost, Seed);
+}
+
+} // namespace
+
+TEST(OnlineMonitor, CleanOnCorrectRuns) {
+  for (std::uint32_t Socks : {1u, 2u, 4u}) {
+    ClientConfig C = makeClient(mixedTasks(), Socks);
+    TimedTrace TT = goodRun(C, Socks);
+    std::vector<MonitorAlert> Alerts =
+        monitorTrace(TT, C.Tasks, C.Wcets, Socks);
+    EXPECT_TRUE(Alerts.empty())
+        << Socks << " sockets, first alert: "
+        << (Alerts.empty() ? "" : Alerts[0].Message);
+  }
+}
+
+TEST(OnlineMonitor, AgreesWithOfflineCheckersOnBuggyRuns) {
+  // For every fault-injection variant: monitor-clean iff the offline
+  // protocol+functional+WCET checks all pass.
+  for (SchedulerBug Bug :
+       {SchedulerBug::EarlyPollingExit, SchedulerBug::PriorityInversion,
+        SchedulerBug::SkipCompletionMarker, SchedulerBug::DoubleDispatch,
+        SchedulerBug::IgnoreLastSocket, SchedulerBug::OversleepIdling}) {
+    ClientConfig C = makeClient(mixedTasks(), 3);
+    WorkloadSpec Spec;
+    Spec.NumSockets = 3;
+    Spec.Horizon = 4000;
+    Spec.Style = WorkloadStyle::GreedyDense;
+    ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+    Environment Env(Arr);
+    CostModel Costs(C.Wcets, CostModelKind::AlwaysWcet, 1);
+    FaultyScheduler Sched(C, Env, Costs, Bug);
+    RunLimits Limits;
+    Limits.Horizon = 8000;
+    TimedTrace TT = Sched.run(Limits);
+
+    bool OfflineClean =
+        checkProtocol(TT.Tr, 3).passed() &&
+        checkFunctionalCorrectness(TT.Tr, C.Tasks).passed() &&
+        checkWcetRespected(TT, C.Tasks, C.Wcets).passed();
+    bool OnlineClean = monitorTrace(TT, C.Tasks, C.Wcets, 3).empty();
+    EXPECT_EQ(OnlineClean, OfflineClean) << toString(Bug);
+    EXPECT_FALSE(OnlineClean) << toString(Bug) << " escaped the monitor";
+  }
+}
+
+TEST(OnlineMonitor, AlertsFireAtTheEarliestMarker) {
+  // Craft a priority inversion at a known index and check the alert
+  // points at the dispatch marker.
+  TaskSet TS;
+  addPeriodicTask(TS, "lo", 50, 1, 1000);
+  addPeriodicTask(TS, "hi", 30, 2, 1000);
+  OnlineMonitor M(TS, tinyWcets(), 1);
+  Job Lo = mkJob(1, 0), Hi = mkJob(2, 1);
+  Time T = 0;
+  auto Feed = [&](MarkerEvent E, Duration Len) {
+    M.observe(E, T);
+    T += Len;
+  };
+  Feed(MarkerEvent::readS(), 10);
+  Feed(MarkerEvent::readE(0, Lo), 0);
+  Feed(MarkerEvent::readS(), 10);
+  Feed(MarkerEvent::readE(0, Hi), 0);
+  Feed(MarkerEvent::readS(), 4);
+  Feed(MarkerEvent::readE(0, std::nullopt), 0);
+  Feed(MarkerEvent::selection(), 3);
+  EXPECT_TRUE(M.clean());
+  Feed(MarkerEvent::dispatch(Lo), 2); // Inversion!
+  ASSERT_FALSE(M.clean());
+  EXPECT_EQ(M.alerts()[0].MarkerIndex, 7u);
+  EXPECT_EQ(M.alerts()[0].What, MonitorAlert::Kind::Contract);
+}
+
+TEST(OnlineMonitor, WcetOverrunDetectedWhenSegmentCloses) {
+  TaskSet TS;
+  addPeriodicTask(TS, "t", 50, 1, 1000);
+  OnlineMonitor M(TS, tinyWcets(), 1);
+  M.observe(MarkerEvent::readS(), 0);
+  M.observe(MarkerEvent::readE(0, std::nullopt), 5); // FR=4 exceeded...
+  EXPECT_TRUE(M.clean()) << "...but only visible when the next marker "
+                            "closes the segment";
+  M.observe(MarkerEvent::selection(), 5);
+  ASSERT_FALSE(M.clean());
+  EXPECT_EQ(M.alerts()[0].What, MonitorAlert::Kind::Wcet);
+}
+
+TEST(OnlineMonitor, FinishClosesTheLastSegment) {
+  TaskSet TS;
+  addPeriodicTask(TS, "t", 50, 1, 1000);
+  OnlineMonitor M(TS, tinyWcets(), 1);
+  M.observe(MarkerEvent::readS(), 0);
+  M.observe(MarkerEvent::readE(0, std::nullopt), 4);
+  M.observe(MarkerEvent::selection(), 4);
+  M.observe(MarkerEvent::idling(), 7);
+  EXPECT_TRUE(M.clean());
+  M.finish(7 + 9); // Idle cycle of 9 > WcetIdling = 8.
+  ASSERT_FALSE(M.clean());
+  EXPECT_EQ(M.alerts()[0].What, MonitorAlert::Kind::Wcet);
+}
+
+TEST(OnlineMonitor, TimestampRegressionIsFlagged) {
+  TaskSet TS;
+  addPeriodicTask(TS, "t", 50, 1, 1000);
+  OnlineMonitor M(TS, tinyWcets(), 1);
+  M.observe(MarkerEvent::readS(), 100);
+  M.observe(MarkerEvent::readE(0, std::nullopt), 90); // Goes backward.
+  ASSERT_FALSE(M.clean());
+  EXPECT_EQ(M.alerts()[0].What, MonitorAlert::Kind::Timestamp);
+}
+
+TEST(OnlineMonitor, CallbackReceivesAlerts) {
+  TaskSet TS;
+  addPeriodicTask(TS, "t", 50, 1, 1000);
+  std::size_t Fired = 0;
+  OnlineMonitor M(TS, tinyWcets(), 1, SchedPolicy::Npfp,
+                  [&](const MonitorAlert &) { ++Fired; });
+  M.observe(MarkerEvent::idling(), 0); // Contract + protocol violation.
+  EXPECT_GT(Fired, 0u);
+  EXPECT_EQ(Fired, M.alerts().size());
+}

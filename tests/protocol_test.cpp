@@ -1,0 +1,166 @@
+//===- tests/protocol_test.cpp - Scheduler-protocol STS tests (Fig. 5) ----===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/protocol.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+namespace {
+
+/// One idle iteration on \p N sockets.
+void appendIdleIteration(Trace &Tr, std::uint32_t N) {
+  for (SocketId S = 0; S < N; ++S) {
+    Tr.push_back(MarkerEvent::readS());
+    Tr.push_back(MarkerEvent::readE(S, std::nullopt));
+  }
+  Tr.push_back(MarkerEvent::selection());
+  Tr.push_back(MarkerEvent::idling());
+}
+
+/// One iteration reading and executing \p J (arriving on socket 0) on
+/// \p N sockets.
+void appendJobIteration(Trace &Tr, std::uint32_t N, const Job &J) {
+  // Round 1: success on socket 0, failures elsewhere.
+  Tr.push_back(MarkerEvent::readS());
+  Tr.push_back(MarkerEvent::readE(0, J));
+  for (SocketId S = 1; S < N; ++S) {
+    Tr.push_back(MarkerEvent::readS());
+    Tr.push_back(MarkerEvent::readE(S, std::nullopt));
+  }
+  // Round 2: all failed, ending the polling phase.
+  for (SocketId S = 0; S < N; ++S) {
+    Tr.push_back(MarkerEvent::readS());
+    Tr.push_back(MarkerEvent::readE(S, std::nullopt));
+  }
+  Tr.push_back(MarkerEvent::selection());
+  Tr.push_back(MarkerEvent::dispatch(J));
+  Tr.push_back(MarkerEvent::execution(J));
+  Tr.push_back(MarkerEvent::completion(J));
+}
+
+} // namespace
+
+TEST(Protocol, AcceptsEmptyTrace) {
+  EXPECT_TRUE(checkProtocol({}, 1).passed());
+}
+
+TEST(Protocol, AcceptsIdleIterations) {
+  for (std::uint32_t N : {1u, 2u, 5u}) {
+    Trace Tr;
+    appendIdleIteration(Tr, N);
+    appendIdleIteration(Tr, N);
+    EXPECT_TRUE(checkProtocol(Tr, N).passed()) << N << " sockets";
+  }
+}
+
+TEST(Protocol, AcceptsJobIterations) {
+  for (std::uint32_t N : {1u, 2u, 4u}) {
+    Trace Tr;
+    appendJobIteration(Tr, N, mkJob(1, 0));
+    appendIdleIteration(Tr, N);
+    appendJobIteration(Tr, N, mkJob(2, 1));
+    EXPECT_TRUE(checkProtocol(Tr, N).passed()) << N << " sockets";
+  }
+}
+
+TEST(Protocol, RejectsSelectionWithoutFinalFailedRound) {
+  Trace Tr;
+  Tr.push_back(MarkerEvent::readS());
+  Tr.push_back(MarkerEvent::readE(0, mkJob(1, 0)));
+  // Selection directly after a successful round: the polling phase can
+  // only end with an all-failed round.
+  Tr.push_back(MarkerEvent::selection());
+  EXPECT_FALSE(checkProtocol(Tr, 1).passed());
+}
+
+TEST(Protocol, RejectsOutOfOrderSockets) {
+  Trace Tr;
+  Tr.push_back(MarkerEvent::readS());
+  Tr.push_back(MarkerEvent::readE(1, std::nullopt)); // Socket 1 first.
+  EXPECT_FALSE(checkProtocol(Tr, 2).passed());
+}
+
+TEST(Protocol, RejectsDanglingReadE) {
+  Trace Tr;
+  Tr.push_back(MarkerEvent::readE(0, std::nullopt));
+  EXPECT_FALSE(checkProtocol(Tr, 1).passed());
+}
+
+TEST(Protocol, RejectsExecutionOfDifferentJob) {
+  Trace Tr;
+  appendJobIteration(Tr, 1, mkJob(1, 0));
+  // Corrupt: execution of j2 after dispatch of j1.
+  Trace Bad(Tr.begin(), Tr.end());
+  for (MarkerEvent &E : Bad)
+    if (E.Kind == MarkerKind::Execution)
+      E.J = mkJob(2, 0);
+  EXPECT_FALSE(checkProtocol(Bad, 1).passed());
+}
+
+TEST(Protocol, RejectsCompletionOfDifferentJob) {
+  Trace Tr;
+  appendJobIteration(Tr, 1, mkJob(1, 0));
+  for (MarkerEvent &E : Tr)
+    if (E.Kind == MarkerKind::Completion)
+      E.J = mkJob(9, 0);
+  EXPECT_FALSE(checkProtocol(Tr, 1).passed());
+}
+
+TEST(Protocol, RejectsIdlingAfterDispatch) {
+  Trace Tr;
+  Tr.push_back(MarkerEvent::readS());
+  Tr.push_back(MarkerEvent::readE(0, std::nullopt));
+  Tr.push_back(MarkerEvent::selection());
+  Tr.push_back(MarkerEvent::dispatch(mkJob(1, 0)));
+  Tr.push_back(MarkerEvent::idling());
+  EXPECT_FALSE(checkProtocol(Tr, 1).passed());
+}
+
+TEST(Protocol, RejectsDoubleSelection) {
+  Trace Tr;
+  Tr.push_back(MarkerEvent::readS());
+  Tr.push_back(MarkerEvent::readE(0, std::nullopt));
+  Tr.push_back(MarkerEvent::selection());
+  Tr.push_back(MarkerEvent::selection());
+  EXPECT_FALSE(checkProtocol(Tr, 1).passed());
+}
+
+TEST(Protocol, RejectsMissingExecution) {
+  Trace Tr;
+  Tr.push_back(MarkerEvent::readS());
+  Tr.push_back(MarkerEvent::readE(0, std::nullopt));
+  Tr.push_back(MarkerEvent::selection());
+  Tr.push_back(MarkerEvent::dispatch(mkJob(1, 0)));
+  Tr.push_back(MarkerEvent::completion(mkJob(1, 0)));
+  EXPECT_FALSE(checkProtocol(Tr, 1).passed());
+}
+
+TEST(Protocol, StsStopsAtFirstViolation) {
+  ProtocolSts Sts(1);
+  EXPECT_TRUE(Sts.step(MarkerEvent::readS()));
+  std::string Why;
+  EXPECT_FALSE(Sts.step(MarkerEvent::selection(), &Why));
+  EXPECT_FALSE(Why.empty());
+  // The machine stays put: the expected event still works.
+  EXPECT_TRUE(Sts.step(MarkerEvent::readE(0, std::nullopt)));
+  EXPECT_EQ(Sts.position(), 2u);
+}
+
+TEST(Protocol, IterationBoundaryDetection) {
+  ProtocolSts Sts(1);
+  EXPECT_TRUE(Sts.atIterationBoundary());
+  Sts.step(MarkerEvent::readS());
+  EXPECT_FALSE(Sts.atIterationBoundary());
+  Sts.step(MarkerEvent::readE(0, std::nullopt));
+  Sts.step(MarkerEvent::selection());
+  Sts.step(MarkerEvent::idling());
+  EXPECT_TRUE(Sts.atIterationBoundary());
+}

@@ -1,0 +1,103 @@
+//===- tests/render_test.cpp - Timeline renderer + curve combinator tests -===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/arrival_curve.h"
+#include "core/schedule_render.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace rprosa;
+
+TEST(ScheduleRender, GlyphsAreDistinct) {
+  std::set<char> Seen;
+  for (ProcStateKind K :
+       {ProcStateKind::Idle, ProcStateKind::Executes, ProcStateKind::ReadOvh,
+        ProcStateKind::PollingOvh, ProcStateKind::SelectionOvh,
+        ProcStateKind::DispatchOvh, ProcStateKind::CompletionOvh})
+    EXPECT_TRUE(Seen.insert(timelineGlyph(K)).second);
+}
+
+TEST(ScheduleRender, DominantStatePerBucket) {
+  Schedule S(0);
+  S.append(ProcState::idle(), 50);
+  S.append(ProcState::executes(1), 50);
+  std::string Out = renderScheduleTimeline(S, /*Width=*/10);
+  // First five columns idle, last five executing.
+  std::size_t RowStart = Out.find('\n') + 1;
+  std::string Row = Out.substr(RowStart, 10);
+  EXPECT_EQ(Row, ".....#####");
+  EXPECT_NE(Out.find("legend:"), std::string::npos);
+}
+
+TEST(ScheduleRender, EmptyScheduleDoesNotCrash) {
+  Schedule S(0);
+  EXPECT_NE(renderScheduleTimeline(S).find("empty"), std::string::npos);
+}
+
+TEST(ScheduleRender, SubRangeZoom) {
+  Schedule S(0);
+  S.append(ProcState::idle(), 100);
+  S.append(ProcState::executes(1), 100);
+  std::string Out = renderScheduleTimeline(S, 10, /*From=*/100, /*To=*/200);
+  std::size_t RowStart = Out.find('\n') + 1;
+  EXPECT_EQ(Out.substr(RowStart, 10), "##########");
+}
+
+TEST(CurveCombinators, PeriodicJitter) {
+  PeriodicJitterCurve C(/*Period=*/100, /*Jit=*/30);
+  EXPECT_EQ(C.eval(0), 0u);
+  // ⌈(1+30)/100⌉ = 1; ⌈(70+30)/100⌉ = 1; ⌈(71+30)/100⌉ = 2.
+  EXPECT_EQ(C.eval(1), 1u);
+  EXPECT_EQ(C.eval(70), 1u);
+  EXPECT_EQ(C.eval(71), 2u);
+  EXPECT_TRUE(C.validate(10000).passed());
+}
+
+TEST(CurveCombinators, SumAddsPointwise) {
+  SumCurve C({std::make_shared<PeriodicCurve>(100),
+              std::make_shared<PeriodicCurve>(50)});
+  EXPECT_EQ(C.eval(0), 0u);
+  EXPECT_EQ(C.eval(1), 2u);
+  EXPECT_EQ(C.eval(100), 1u + 2u);
+  EXPECT_TRUE(C.validate(10000).passed());
+}
+
+TEST(CurveCombinators, MinTightens) {
+  // Burst limit min long-run rate: small windows capped by the bucket,
+  // large windows by the periodic bound.
+  auto Bucket = std::make_shared<LeakyBucketCurve>(3, 100);
+  auto Rate = std::make_shared<PeriodicCurve>(50);
+  MinCurve C(Bucket, Rate);
+  EXPECT_EQ(C.eval(1), 1u);   // min(3, 1).
+  EXPECT_EQ(C.eval(151), 4u); // min(3+1, 4).
+  EXPECT_LE(C.eval(1000), Bucket->eval(1000));
+  EXPECT_LE(C.eval(1000), Rate->eval(1000));
+  EXPECT_TRUE(C.validate(10000).passed());
+}
+
+TEST(CurveCombinators, ScaleMultiplies) {
+  ScaledCurve C(std::make_shared<PeriodicCurve>(100), 4);
+  EXPECT_EQ(C.eval(0), 0u);
+  EXPECT_EQ(C.eval(1), 4u);
+  EXPECT_EQ(C.eval(101), 8u);
+  EXPECT_TRUE(C.validate(10000).passed());
+}
+
+TEST(CurveCombinators, ComposeWithMinWindow) {
+  // minWindowAdmitting must work through combinators.
+  SumCurve C({std::make_shared<PeriodicCurve>(100),
+              std::make_shared<LeakyBucketCurve>(2, 300)});
+  for (std::uint64_t N = 1; N <= 12; ++N) {
+    Duration W = minWindowAdmitting(C, N);
+    ASSERT_NE(W, TimeInfinity);
+    EXPECT_GE(C.eval(W), N);
+    if (W > 1) {
+      EXPECT_LT(C.eval(W - 1), N);
+    }
+  }
+}

@@ -1,0 +1,111 @@
+//===- tests/report_test.cpp - Reporting helper tests ---------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/report.h"
+
+#include "sim/workload.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+namespace {
+
+AdequacyReport standardRun() {
+  AdequacySpec Spec;
+  Spec.Client = makeClient(mixedTasks(), 2);
+  WorkloadSpec WSpec;
+  WSpec.NumSockets = 2;
+  WSpec.Horizon = 6000;
+  WSpec.Style = WorkloadStyle::GreedyDense;
+  Spec.Arr = generateWorkload(Spec.Client.Tasks, WSpec);
+  Spec.Limits.Horizon = 60000;
+  return runAdequacy(Spec);
+}
+
+} // namespace
+
+TEST(ResponseStats, PercentilesAreOrdered) {
+  AdequacyReport Rep = standardRun();
+  ResponseStats S = responseStats(Rep);
+  ASSERT_GT(S.Count, 0u);
+  EXPECT_LE(S.Min, S.P50);
+  EXPECT_LE(S.P50, S.P90);
+  EXPECT_LE(S.P90, S.P99);
+  EXPECT_LE(S.P99, S.Max);
+  EXPECT_GT(S.Max, 0u);
+}
+
+TEST(ResponseStats, PerTaskFiltersSamples) {
+  AdequacyReport Rep = standardRun();
+  std::uint64_t Total = 0;
+  TaskSet TS = mixedTasks();
+  for (TaskId T = 0; T < TS.size(); ++T)
+    Total += responseStats(Rep, T).Count;
+  EXPECT_EQ(Total, responseStats(Rep).Count);
+}
+
+TEST(ResponseStats, EmptyReportIsZero) {
+  AdequacyReport Rep;
+  ResponseStats S = responseStats(Rep);
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_EQ(S.Max, 0u);
+}
+
+TEST(ResponseHistogram, RendersBucketsAndCounts) {
+  AdequacyReport Rep = standardRun();
+  TaskSet TS = mixedTasks();
+  std::string H = renderResponseHistogram(Rep, TS, 0, /*Buckets=*/8);
+  EXPECT_NE(H.find("response times of ctrl"), std::string::npos) << H;
+  // 8 bucket rows.
+  std::size_t Rows = 0;
+  for (std::size_t P = H.find("  ["); P != std::string::npos;
+       P = H.find("  [", P + 1))
+    ++Rows;
+  EXPECT_EQ(Rows, 8u);
+  // Every completed ctrl job lands in some bucket: the counts sum up.
+  ResponseStats S = responseStats(Rep, 0);
+  std::uint64_t Sum = 0;
+  std::istringstream In(H);
+  std::string Line;
+  std::getline(In, Line); // Header.
+  while (std::getline(In, Line)) {
+    std::size_t Space = Line.rfind(' ');
+    ASSERT_NE(Space, std::string::npos);
+    Sum += std::stoull(Line.substr(Space + 1));
+  }
+  EXPECT_EQ(Sum, S.Count);
+}
+
+TEST(ResponseHistogram, HandlesMissingTask) {
+  AdequacyReport Rep = standardRun();
+  TaskSet TS = mixedTasks();
+  EXPECT_NE(renderResponseHistogram(Rep, TS, 99).find("no such task"),
+            std::string::npos);
+}
+
+TEST(ResponseHistogram, HandlesNoCompletions) {
+  AdequacyReport Rep; // No jobs at all.
+  TaskSet TS = mixedTasks();
+  EXPECT_NE(renderResponseHistogram(Rep, TS, 0).find("no completed"),
+            std::string::npos);
+}
+
+TEST(Report, SummaryOnVacuousRun) {
+  AdequacySpec Spec;
+  Spec.Client = makeClient(mixedTasks(), 1);
+  Spec.Client.Wcets.Selection = 0; // Breaks the static checks.
+  Spec.Limits.Horizon = 1000;
+  AdequacyReport Rep = runAdequacy(Spec);
+  EXPECT_FALSE(Rep.assumptionsHold());
+  EXPECT_NE(Rep.summary().find("vacuous"), std::string::npos)
+      << Rep.summary();
+}

@@ -1,0 +1,180 @@
+//===- tests/rta_test.cpp - NPFP response-time analysis tests (§4) --------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rta/rta_npfp.h"
+
+#include "convert/trace_to_schedule.h"
+#include "sim/workload.h"
+
+#include <algorithm>
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+TEST(Rta, SingleTaskBoundCoversExecutionAndOverheads) {
+  TaskSet TS;
+  addPeriodicTask(TS, "t", /*Wcet=*/50, /*Prio=*/1, /*Period=*/10000);
+  RtaResult R = analyzeNpfp(TS, tinyWcets(), 1);
+  ASSERT_TRUE(R.allBounded());
+  const TaskRta &T = R.forTask(0);
+  // At the very least the job's own execution plus its jitter.
+  EXPECT_GE(T.ResponseBound, 50u + T.Jitter);
+  // And it accounts for overheads: strictly more than the bare C_i.
+  EXPECT_GT(T.ResponseBound, 50u);
+  EXPECT_EQ(T.Blocking, 0u);
+}
+
+TEST(Rta, LowerPriorityBlocksNonPreemptively) {
+  TaskSet TS;
+  addPeriodicTask(TS, "lo", /*Wcet=*/500, /*Prio=*/1, /*Period=*/10000);
+  TaskId Hi = addPeriodicTask(TS, "hi", /*Wcet=*/50, /*Prio=*/2,
+                              /*Period=*/10000);
+  RtaResult R = analyzeNpfp(TS, tinyWcets(), 1);
+  ASSERT_TRUE(R.allBounded());
+  EXPECT_EQ(R.forTask(Hi).Blocking, 500u);
+  // The high-priority bound must absorb the blocking.
+  EXPECT_GE(R.forTask(Hi).ResponseBound, 500u + 50u);
+}
+
+TEST(Rta, HigherPriorityInterferes) {
+  TaskSet TS;
+  TaskId Lo = addPeriodicTask(TS, "lo", /*Wcet=*/50, /*Prio=*/1,
+                              /*Period=*/10000);
+  addPeriodicTask(TS, "hi", /*Wcet=*/100, /*Prio=*/2, /*Period=*/10000);
+  RtaResult R = analyzeNpfp(TS, tinyWcets(), 1);
+  ASSERT_TRUE(R.allBounded());
+  // lo suffers at least one hi execution of interference.
+  EXPECT_GE(R.forTask(Lo).ResponseBound, 100u + 50u);
+}
+
+TEST(Rta, BoundGrowsWithSocketCount) {
+  Duration Prev = 0;
+  for (std::uint32_t Socks : {1u, 4u, 16u, 64u}) {
+    TaskSet TS;
+    addPeriodicTask(TS, "t", 50, 1, 10000);
+    RtaResult R = analyzeNpfp(TS, tinyWcets(), Socks);
+    ASSERT_TRUE(R.allBounded()) << Socks;
+    Duration Bound = R.forTask(0).ResponseBound;
+    EXPECT_GT(Bound, Prev) << "PB scales with sockets (E7)";
+    Prev = Bound;
+  }
+}
+
+TEST(Rta, OverheadAwareBoundDominatesNaive) {
+  TaskSet TS = mixedTasks();
+  RtaConfig Aware;
+  RtaConfig Naive;
+  Naive.AccountOverheads = false;
+  RtaResult RA = analyzeNpfp(TS, tinyWcets(), 2, Aware);
+  RtaResult RN = analyzeNpfp(TS, tinyWcets(), 2, Naive);
+  ASSERT_TRUE(RA.allBounded());
+  ASSERT_TRUE(RN.allBounded());
+  for (const Task &T : TS.tasks()) {
+    EXPECT_GE(RA.forTask(T.Id).ResponseBound,
+              RN.forTask(T.Id).ResponseBound)
+        << "overhead-aware must be at least as pessimistic";
+    EXPECT_EQ(RN.forTask(T.Id).Jitter, 0u);
+  }
+}
+
+TEST(Rta, DetectsOverload) {
+  // Demand > capacity: one job of 100 every 50 ticks.
+  TaskSet TS;
+  addPeriodicTask(TS, "hog", /*Wcet=*/100, /*Prio=*/1, /*Period=*/50);
+  RtaConfig Cfg;
+  Cfg.FixedPointCap = 100000;
+  RtaResult R = analyzeNpfp(TS, tinyWcets(), 1, Cfg);
+  EXPECT_FALSE(R.allBounded());
+  EXPECT_FALSE(R.forTask(0).Bounded);
+}
+
+TEST(Rta, OverheadsCanTipOverload) {
+  // Feasible without overheads, infeasible with them: C=70 every 100
+  // ticks is fine ideally (70% util), but the per-job overhead of
+  // RB+PB+SB+DB+CB = 18+8+3+2+5 = 36 on 2 sockets pushes demand past
+  // 100% of the supply.
+  TaskSet TS;
+  addPeriodicTask(TS, "edge", /*Wcet=*/70, /*Prio=*/1, /*Period=*/100);
+  RtaConfig Cfg;
+  Cfg.FixedPointCap = 200000;
+  RtaResult Aware = analyzeNpfp(TS, tinyWcets(), 2, Cfg);
+  RtaConfig NaiveCfg = Cfg;
+  NaiveCfg.AccountOverheads = false;
+  RtaResult Naive = analyzeNpfp(TS, tinyWcets(), 2, NaiveCfg);
+  EXPECT_TRUE(Naive.allBounded());
+  EXPECT_FALSE(Aware.allBounded())
+      << "the naive analysis claims schedulability that overheads void";
+}
+
+TEST(Rta, BurstyCurveIncreasesBound) {
+  TaskSet Calm;
+  addPeriodicTask(Calm, "t", 50, 1, 1000);
+  TaskSet Bursty;
+  addBurstyTask(Bursty, "t", 50, 1, /*Burst=*/5, /*Rate=*/1000);
+  RtaResult RC = analyzeNpfp(Calm, tinyWcets(), 1);
+  RtaResult RB = analyzeNpfp(Bursty, tinyWcets(), 1);
+  ASSERT_TRUE(RC.allBounded());
+  ASSERT_TRUE(RB.allBounded());
+  EXPECT_GT(RB.forTask(0).ResponseBound, RC.forTask(0).ResponseBound)
+      << "a 5-burst must pile up delay";
+}
+
+TEST(Rta, JitterMatchesDefinition) {
+  TaskSet TS = mixedTasks();
+  RtaResult R = analyzeNpfp(TS, tinyWcets(), 2);
+  OverheadBounds B = OverheadBounds::compute(tinyWcets(), 2);
+  for (const TaskRta &T : R.PerTask) {
+    EXPECT_EQ(T.Jitter, maxReleaseJitter(B));
+    if (T.Bounded) {
+      EXPECT_EQ(T.ResponseBound, T.ReleaseRelativeBound + T.Jitter);
+    }
+  }
+}
+
+TEST(Rta, ResultAccessors) {
+  TaskSet TS = mixedTasks();
+  RtaResult R = analyzeNpfp(TS, tinyWcets(), 2);
+  EXPECT_EQ(R.PerTask.size(), TS.size());
+  for (TaskId I = 0; I < TS.size(); ++I)
+    EXPECT_EQ(R.forTask(I).Task, I);
+}
+
+TEST(Rta, DeterministicAcrossCalls) {
+  TaskSet TS = mixedTasks();
+  RtaResult A = analyzeNpfp(TS, tinyWcets(), 2);
+  RtaResult B = analyzeNpfp(TS, tinyWcets(), 2);
+  for (TaskId I = 0; I < TS.size(); ++I)
+    EXPECT_EQ(A.forTask(I).ResponseBound, B.forTask(I).ResponseBound);
+}
+
+TEST(Rta, AnalyzedBusyWindowDominatesObservedBusyPeriods) {
+  // The busy-window fixed point of the lowest-priority task accounts
+  // for the whole workload (hep = everyone), so no observed busy
+  // period may outlast it.
+  ClientConfig C = makeClient(mixedTasks(), 2);
+  WorkloadSpec Spec;
+  Spec.NumSockets = 2;
+  Spec.Horizon = 6000;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+  TimedTrace TT = runRossl(C, Arr, 10000);
+  ConversionResult CR = convertTraceToSchedule(TT, 2);
+
+  RtaResult R = analyzeNpfp(C.Tasks, C.Wcets, 2);
+  ASSERT_TRUE(R.allBounded());
+  Duration MaxL = 0;
+  for (const TaskRta &T : R.PerTask)
+    MaxL = std::max(MaxL, T.BusyWindow);
+
+  for (const auto &[From, To] : CR.Sched.busyPeriods())
+    EXPECT_LE(To - From, MaxL)
+        << "observed busy period [" << From << ", " << To
+        << ") outlasts the analyzed busy window";
+}

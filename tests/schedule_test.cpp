@@ -1,0 +1,146 @@
+//===- tests/schedule_test.cpp - Schedule container unit tests ------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+
+namespace {
+
+/// Idle(5) Exec(j1,10) ReadOvh(j2,3) Exec(j2,7), starting at t=100.
+Schedule sampleSchedule() {
+  Schedule S(100);
+  S.append(ProcState::idle(), 5);
+  S.append(ProcState::executes(1), 10);
+  S.append(ProcState::overhead(ProcStateKind::ReadOvh, 2), 3);
+  S.append(ProcState::executes(2), 7);
+  return S;
+}
+
+} // namespace
+
+TEST(Schedule, AppendCoalescesEqualStates) {
+  Schedule S(0);
+  S.append(ProcState::idle(), 5);
+  S.append(ProcState::idle(), 3);
+  EXPECT_EQ(S.segments().size(), 1u);
+  EXPECT_EQ(S.segments()[0].Len, 8u);
+}
+
+TEST(Schedule, AppendIgnoresZeroLength) {
+  Schedule S(0);
+  S.append(ProcState::idle(), 0);
+  EXPECT_TRUE(S.empty());
+}
+
+TEST(Schedule, TimesAndLength) {
+  Schedule S = sampleSchedule();
+  EXPECT_EQ(S.startTime(), 100u);
+  EXPECT_EQ(S.endTime(), 125u);
+  EXPECT_EQ(S.length(), 25u);
+}
+
+TEST(Schedule, StateAt) {
+  Schedule S = sampleSchedule();
+  EXPECT_TRUE(S.stateAt(100).isIdle());
+  EXPECT_TRUE(S.stateAt(104).isIdle());
+  EXPECT_TRUE(S.stateAt(105).isExecuting());
+  EXPECT_EQ(S.stateAt(105).Job, 1u);
+  EXPECT_EQ(S.stateAt(115).Kind, ProcStateKind::ReadOvh);
+  EXPECT_EQ(S.stateAt(124).Job, 2u);
+  // Outside the covered range: Idle.
+  EXPECT_TRUE(S.stateAt(99).isIdle());
+  EXPECT_TRUE(S.stateAt(125).isIdle());
+}
+
+TEST(Schedule, BlackoutAndSupplyPartitionTime) {
+  Schedule S = sampleSchedule();
+  // Within the covered range, every instant is blackout or supply.
+  Duration B = S.blackoutIn(100, 125);
+  Duration Sup = S.supplyIn(100, 125);
+  EXPECT_EQ(B, 3u); // Only the ReadOvh segment.
+  EXPECT_EQ(B + Sup, 25u);
+}
+
+TEST(Schedule, SupplyOutsideRangeCountsAsIdle) {
+  Schedule S = sampleSchedule();
+  // [90, 100) is uncovered: pure supply.
+  EXPECT_EQ(S.supplyIn(90, 100), 10u);
+  EXPECT_EQ(S.blackoutIn(90, 100), 0u);
+}
+
+TEST(Schedule, ServiceInWindow) {
+  Schedule S = sampleSchedule();
+  EXPECT_EQ(S.serviceIn(1, 100, 125), 10u);
+  EXPECT_EQ(S.serviceIn(1, 110, 112), 2u);
+  EXPECT_EQ(S.serviceIn(2, 100, 125), 7u);
+  EXPECT_EQ(S.serviceIn(99, 100, 125), 0u);
+}
+
+TEST(Schedule, CompletionAndStartTimes) {
+  Schedule S = sampleSchedule();
+  ASSERT_TRUE(S.completionTime(1).has_value());
+  EXPECT_EQ(*S.completionTime(1), 115u);
+  ASSERT_TRUE(S.startOfExecution(2).has_value());
+  EXPECT_EQ(*S.startOfExecution(2), 118u);
+  EXPECT_FALSE(S.completionTime(99).has_value());
+}
+
+TEST(Schedule, ExecutedJobsInOrder) {
+  Schedule S = sampleSchedule();
+  std::vector<JobId> J = S.executedJobs();
+  ASSERT_EQ(J.size(), 2u);
+  EXPECT_EQ(J[0], 1u);
+  EXPECT_EQ(J[1], 2u);
+}
+
+TEST(Schedule, ValidateStructurePasses) {
+  EXPECT_TRUE(sampleSchedule().validateStructure().passed());
+}
+
+TEST(ProcState, Categories) {
+  EXPECT_TRUE(ProcState::idle().providesSupply());
+  EXPECT_FALSE(ProcState::idle().isOverhead());
+  EXPECT_TRUE(ProcState::executes(1).providesSupply());
+  ProcState Ovh = ProcState::overhead(ProcStateKind::PollingOvh, 3);
+  EXPECT_TRUE(Ovh.isOverhead());
+  EXPECT_FALSE(Ovh.providesSupply());
+}
+
+TEST(ProcState, Printing) {
+  EXPECT_EQ(toString(ProcState::idle()), "Idle");
+  EXPECT_EQ(toString(ProcState::executes(3)), "Executes(j3)");
+  EXPECT_EQ(toString(ProcState::overhead(ProcStateKind::PollingOvh, 7)),
+            "PollingOvh(j7)");
+}
+
+TEST(Schedule, BusyPeriodsMergeAdjacentNonIdle) {
+  Schedule S(0);
+  S.append(ProcState::idle(), 10);
+  S.append(ProcState::overhead(ProcStateKind::ReadOvh, 1), 5);
+  S.append(ProcState::executes(1), 20);
+  S.append(ProcState::idle(), 7);
+  S.append(ProcState::executes(2), 3);
+  auto Periods = S.busyPeriods();
+  ASSERT_EQ(Periods.size(), 2u);
+  EXPECT_EQ(Periods[0], (std::pair<Time, Time>{10, 35}));
+  EXPECT_EQ(Periods[1], (std::pair<Time, Time>{42, 45}));
+}
+
+TEST(Schedule, BusyWindowAnchors) {
+  Schedule S(5);
+  S.append(ProcState::idle(), 10);
+  S.append(ProcState::executes(1), 20);
+  S.append(ProcState::idle(), 7);
+  S.append(ProcState::executes(2), 3);
+  auto Anchors = S.busyWindowAnchors();
+  ASSERT_EQ(Anchors.size(), 3u);
+  EXPECT_EQ(Anchors[0], 5u);  // Schedule start.
+  EXPECT_EQ(Anchors[1], 15u); // First idle->busy edge.
+  EXPECT_EQ(Anchors[2], 42u); // Second idle->busy edge.
+}

@@ -1,0 +1,131 @@
+//===- tests/sensitivity_chains_test.cpp - What-if analysis tests ---------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rta/chains.h"
+#include "rta/sensitivity.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+namespace {
+
+/// A comfortably schedulable two-task system.
+TaskSet easySystem() {
+  TaskSet TS;
+  addPeriodicTask(TS, "hi", 50, 2, 2000);
+  addPeriodicTask(TS, "lo", 100, 1, 4000);
+  return TS;
+}
+
+} // namespace
+
+TEST(Sensitivity, SchedulableSystemHasSlack) {
+  TaskSet TS = easySystem();
+  SensitivityResult R = callbackWcetSlack(TS, tinyWcets(), 1, 0);
+  EXPECT_TRUE(R.NominalSchedulable);
+  EXPECT_GT(R.MaxScalePercent, 100u);
+}
+
+TEST(Sensitivity, SlackIsABoundary) {
+  // At the reported scale the system is schedulable; just past it, not.
+  TaskSet TS = easySystem();
+  SensitivityResult R = callbackWcetSlack(TS, tinyWcets(), 1, 0,
+                                          SchedPolicy::Npfp,
+                                          /*MaxPercent=*/20000);
+  ASSERT_TRUE(R.NominalSchedulable);
+  ASSERT_GT(R.MaxScalePercent, 100u);
+  ASSERT_LT(R.MaxScalePercent, 20000u) << "search cap hit; boundary "
+                                          "check not meaningful";
+  auto ScaledSchedulable = [&](std::uint64_t Percent) {
+    TaskSet Scaled;
+    for (const Task &T : TS.tasks())
+      Scaled.addTask(T.Name,
+                     T.Id == 0 ? std::max<Duration>(1, T.Wcet * Percent /
+                                                           100)
+                               : T.Wcet,
+                     T.Prio, T.Curve, T.Deadline);
+    RtaConfig Cfg;
+    Cfg.FixedPointCap = 1 * TickSec;
+    return analyzeNpfp(Scaled, tinyWcets(), 1, Cfg).allBounded();
+  };
+  EXPECT_TRUE(ScaledSchedulable(R.MaxScalePercent));
+  EXPECT_FALSE(ScaledSchedulable(R.MaxScalePercent + 2));
+}
+
+TEST(Sensitivity, UnschedulableSystemReportsZero) {
+  TaskSet TS;
+  addPeriodicTask(TS, "hog", 100, 1, 50); // Overloaded from the start.
+  SensitivityResult R = callbackWcetSlack(TS, tinyWcets(), 1, 0);
+  EXPECT_FALSE(R.NominalSchedulable);
+  EXPECT_EQ(R.MaxScalePercent, 0u);
+}
+
+TEST(Sensitivity, SchedulerWcetSlackShrinksWithSockets) {
+  TaskSet TS = easySystem();
+  SensitivityResult S1 = schedulerWcetSlack(TS, tinyWcets(), 1);
+  SensitivityResult S16 = schedulerWcetSlack(TS, tinyWcets(), 16);
+  ASSERT_TRUE(S1.NominalSchedulable);
+  ASSERT_TRUE(S16.NominalSchedulable);
+  EXPECT_GT(S1.MaxScalePercent, S16.MaxScalePercent)
+      << "more sockets leave less margin for a slower scheduler";
+}
+
+TEST(Sensitivity, SocketSlack) {
+  TaskSet TS = easySystem();
+  std::uint32_t Max = socketSlack(TS, tinyWcets(), /*MaxSockets=*/512);
+  EXPECT_GE(Max, 1u);
+  // The boundary property (when below the cap).
+  if (Max < 512) {
+    RtaConfig Cfg;
+    Cfg.FixedPointCap = 1 * TickSec;
+    EXPECT_TRUE(analyzeNpfp(TS, tinyWcets(), Max, Cfg).allBounded());
+    EXPECT_FALSE(
+        analyzeNpfp(TS, tinyWcets(), Max + 1, Cfg).allBounded());
+  }
+}
+
+TEST(Chains, LatencyBoundIsSumOfStages) {
+  TaskSet TS = easySystem();
+  RtaResult R = analyzeNpfp(TS, tinyWcets(), 1);
+  ASSERT_TRUE(R.allBounded());
+  Chain C{"pipeline", {0, 1}};
+  EXPECT_EQ(chainLatencyBound(C, R),
+            R.forTask(0).ResponseBound + R.forTask(1).ResponseBound);
+}
+
+TEST(Chains, UnboundedStagePoisonsTheChain) {
+  TaskSet TS;
+  addPeriodicTask(TS, "ok", 50, 2, 2000);
+  addPeriodicTask(TS, "hog", 100, 1, 50);
+  RtaResult R = analyzeNpfp(TS, tinyWcets(), 1,
+                            RtaConfig{.FixedPointCap = 100000});
+  Chain C{"bad", {0, 1}};
+  EXPECT_EQ(chainLatencyBound(C, R), TimeInfinity);
+}
+
+TEST(Chains, WellFormednessChecksCurveDomination) {
+  TaskSet TS;
+  addPeriodicTask(TS, "fast", 10, 2, 100);  // One per 100.
+  addPeriodicTask(TS, "slow", 10, 1, 1000); // One per 1000.
+  // fast → slow: slow's curve does NOT admit fast's traffic.
+  Chain Bad{"downhill", {0, 1}};
+  EXPECT_FALSE(chainWellFormed(Bad, TS, 10000).passed());
+  // slow → fast is fine.
+  Chain Good{"uphill", {1, 0}};
+  EXPECT_TRUE(chainWellFormed(Good, TS, 10000).passed());
+}
+
+TEST(Chains, RejectsEmptyAndUnknown) {
+  TaskSet TS = easySystem();
+  EXPECT_FALSE(chainWellFormed(Chain{"empty", {}}, TS).passed());
+  EXPECT_FALSE(chainWellFormed(Chain{"ghost", {7}}, TS).passed());
+  RtaResult R = analyzeNpfp(TS, tinyWcets(), 1);
+  EXPECT_EQ(chainLatencyBound(Chain{"empty", {}}, R), TimeInfinity);
+}

@@ -1,0 +1,84 @@
+//===- tests/socket_env_test.cpp - Socket/environment unit tests ----------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/environment.h"
+#include "sim/socket.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+
+namespace {
+
+Message msg(MsgId Id, TaskId Task = 0) {
+  Message M;
+  M.Id = Id;
+  M.Task = Task;
+  return M;
+}
+
+} // namespace
+
+TEST(SimSocket, ReadRequiresStrictlyEarlierArrival) {
+  SimSocket S;
+  S.deliver(10, msg(1));
+  // Def. 2.1: a read returning at t sees arrivals with t_a < t.
+  EXPECT_FALSE(S.tryRead(10).has_value());
+  auto M = S.tryRead(11);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->Id, 1u);
+}
+
+TEST(SimSocket, ReadIsFifo) {
+  SimSocket S;
+  S.deliver(1, msg(1));
+  S.deliver(2, msg(2));
+  EXPECT_EQ(S.tryRead(100)->Id, 1u);
+  EXPECT_EQ(S.tryRead(100)->Id, 2u);
+  EXPECT_FALSE(S.tryRead(100).has_value());
+}
+
+TEST(SimSocket, ReadablePeeksWithoutPopping) {
+  SimSocket S;
+  S.deliver(5, msg(1));
+  EXPECT_FALSE(S.readable(5));
+  EXPECT_TRUE(S.readable(6));
+  EXPECT_EQ(S.queued(), 1u);
+}
+
+TEST(SimSocket, NextArrival) {
+  SimSocket S;
+  EXPECT_FALSE(S.nextArrival().has_value());
+  S.deliver(42, msg(1));
+  ASSERT_TRUE(S.nextArrival().has_value());
+  EXPECT_EQ(*S.nextArrival(), 42u);
+}
+
+TEST(Environment, LoadsArrivalsOntoSockets) {
+  ArrivalSequence Arr(2);
+  Arr.addArrival(10, 0, /*Task=*/0);
+  Arr.addArrival(20, 1, /*Task=*/0);
+  Arr.addArrival(30, 0, /*Task=*/0);
+  Environment Env(Arr);
+  EXPECT_EQ(Env.numSockets(), 2u);
+  EXPECT_EQ(Env.queuedMessages(), 3u);
+  ASSERT_TRUE(Env.nextArrival().has_value());
+  EXPECT_EQ(*Env.nextArrival(), 10u);
+
+  // Socket 1 has only the t=20 message.
+  EXPECT_FALSE(Env.read(1, 20).has_value());
+  EXPECT_TRUE(Env.read(1, 21).has_value());
+  EXPECT_EQ(Env.queuedMessages(), 2u);
+}
+
+TEST(Environment, SocketsAreIndependent) {
+  ArrivalSequence Arr(2);
+  Arr.addArrival(10, 0, /*Task=*/0);
+  Environment Env(Arr);
+  // Reading socket 1 never returns socket 0's message.
+  EXPECT_FALSE(Env.read(1, 1000).has_value());
+  EXPECT_TRUE(Env.read(0, 1000).has_value());
+}

@@ -1,0 +1,128 @@
+//===- tests/spec_parser_test.cpp - System-spec parser tests --------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/spec_parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+
+TEST(TimeLiteral, SuffixesAndDefaults) {
+  EXPECT_EQ(parseTimeLiteral("42"), 42u);
+  EXPECT_EQ(parseTimeLiteral("42ns"), 42u);
+  EXPECT_EQ(parseTimeLiteral("3us"), 3000u);
+  EXPECT_EQ(parseTimeLiteral("7ms"), 7000000u);
+  EXPECT_EQ(parseTimeLiteral("2s"), 2000000000u);
+}
+
+TEST(TimeLiteral, RejectsGarbage) {
+  EXPECT_FALSE(parseTimeLiteral("").has_value());
+  EXPECT_FALSE(parseTimeLiteral("ms").has_value());
+  EXPECT_FALSE(parseTimeLiteral("12parsecs").has_value());
+  EXPECT_FALSE(parseTimeLiteral("-5ms").has_value());
+  EXPECT_FALSE(parseTimeLiteral("1.5ms").has_value());
+}
+
+namespace {
+
+const char *GoodSpec = R"(
+# a comment
+system testbox
+sockets 2
+policy edf
+wcets fr 4 sr 10 sel 3 disp 2 compl 5 idle 8
+task a wcet 30us prio 2 deadline 1ms curve periodic 10ms
+task b wcet 50us prio 1 deadline 5ms curve bucket 3 20ms
+task c wcet 10us prio 3 deadline 2ms curve periodic-jitter 5ms 100us
+)";
+
+} // namespace
+
+TEST(SpecParser, ParsesFullSpec) {
+  CheckResult Diags;
+  std::optional<SystemSpec> Spec = parseSystemSpec(GoodSpec, &Diags);
+  ASSERT_TRUE(Spec.has_value()) << Diags.describe();
+  EXPECT_EQ(Spec->Name, "testbox");
+  EXPECT_EQ(Spec->Client.NumSockets, 2u);
+  EXPECT_EQ(Spec->Client.Policy, SchedPolicy::Edf);
+  EXPECT_EQ(Spec->Client.Wcets.FailedRead, 4u);
+  EXPECT_EQ(Spec->Client.Wcets.Idling, 8u);
+  ASSERT_EQ(Spec->Client.Tasks.size(), 3u);
+  const Task &A = Spec->Client.Tasks.task(0);
+  EXPECT_EQ(A.Name, "a");
+  EXPECT_EQ(A.Wcet, 30000u);
+  EXPECT_EQ(A.Prio, 2u);
+  EXPECT_EQ(A.Deadline, 1000000u);
+  EXPECT_EQ(A.Curve->eval(1), 1u);
+  // The parsed client passes validation end to end.
+  EXPECT_TRUE(validateClient(Spec->Client).passed());
+}
+
+TEST(SpecParser, DefaultsArePolicyNpfpAndUnnamed) {
+  std::optional<SystemSpec> Spec = parseSystemSpec(
+      "sockets 1\nwcets fr 4 sr 10 sel 3 disp 2 compl 5 idle 8\n"
+      "task t wcet 5 prio 1 curve periodic 100\n");
+  ASSERT_TRUE(Spec.has_value());
+  EXPECT_EQ(Spec->Name, "unnamed");
+  EXPECT_EQ(Spec->Client.Policy, SchedPolicy::Npfp);
+  EXPECT_EQ(Spec->Client.NumSockets, 1u);
+}
+
+TEST(SpecParser, RejectsMissingWcets) {
+  CheckResult Diags;
+  EXPECT_FALSE(parseSystemSpec("sockets 1\n"
+                               "task t wcet 5 prio 1 curve periodic 100\n",
+                               &Diags)
+                   .has_value());
+  EXPECT_NE(Diags.describe().find("wcets"), std::string::npos);
+}
+
+TEST(SpecParser, RejectsNoTasks) {
+  EXPECT_FALSE(parseSystemSpec(
+                   "sockets 1\nwcets fr 4 sr 10 sel 3 disp 2 compl 5 "
+                   "idle 8\n")
+                   .has_value());
+}
+
+TEST(SpecParser, RejectsUnknownDirective) {
+  CheckResult Diags;
+  EXPECT_FALSE(parseSystemSpec("frobnicate 3\n", &Diags).has_value());
+  EXPECT_NE(Diags.describe().find("frobnicate"), std::string::npos);
+}
+
+TEST(SpecParser, RejectsBadCurve) {
+  CheckResult Diags;
+  EXPECT_FALSE(
+      parseSystemSpec("sockets 1\nwcets fr 4 sr 10 sel 3 disp 2 compl "
+                      "5 idle 8\ntask t wcet 5 prio 1 curve spline 3\n",
+                      &Diags)
+          .has_value());
+  EXPECT_NE(Diags.describe().find("spline"), std::string::npos);
+}
+
+TEST(SpecParser, RejectsTaskWithoutWcet) {
+  EXPECT_FALSE(parseSystemSpec(
+                   "sockets 1\nwcets fr 4 sr 10 sel 3 disp 2 compl 5 "
+                   "idle 8\ntask t prio 1 curve periodic 100\n")
+                   .has_value());
+}
+
+TEST(SpecParser, RejectsBadPolicy) {
+  EXPECT_FALSE(parseSystemSpec("policy round-robin\n").has_value());
+}
+
+TEST(SpecParser, RejectsBadSocketCount) {
+  EXPECT_FALSE(parseSystemSpec("sockets 0\n").has_value());
+  EXPECT_FALSE(parseSystemSpec("sockets 1000000\n").has_value());
+}
+
+TEST(SpecParser, CommentsAndBlanksIgnored) {
+  std::optional<SystemSpec> Spec = parseSystemSpec(
+      "# header\n\n   \nsockets 1 # trailing\nwcets fr 4 sr 10 sel 3 "
+      "disp 2 compl 5 idle 8\ntask t wcet 5 prio 1 curve periodic "
+      "100\n");
+  EXPECT_TRUE(Spec.has_value());
+}

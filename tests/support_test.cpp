@@ -1,0 +1,126 @@
+//===- tests/support_test.cpp - Unit tests for the support library --------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace rprosa;
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I < 16; ++I)
+    AnyDifferent |= A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(SplitMix64, RangeIsInclusive) {
+  SplitMix64 R(7);
+  std::set<std::uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    std::uint64_t V = R.nextInRange(3, 5);
+    EXPECT_GE(V, 3u);
+    EXPECT_LE(V, 5u);
+    Seen.insert(V);
+  }
+  // All three values should appear over 1000 draws.
+  EXPECT_EQ(Seen.size(), 3u);
+}
+
+TEST(SplitMix64, DegenerateRange) {
+  SplitMix64 R(7);
+  EXPECT_EQ(R.nextInRange(9, 9), 9u);
+}
+
+TEST(SplitMix64, BernoulliExtremes) {
+  SplitMix64 R(7);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_TRUE(R.nextBernoulli(1, 1));
+    EXPECT_FALSE(R.nextBernoulli(0, 1));
+  }
+}
+
+TEST(SplitMix64, ForkIsIndependent) {
+  SplitMix64 A(5);
+  SplitMix64 B = A.fork();
+  // The fork must not replay the parent's stream.
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(CheckResult, DefaultPasses) {
+  CheckResult R;
+  EXPECT_TRUE(R.passed());
+  EXPECT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(R.describe(), "");
+}
+
+TEST(CheckResult, FailureCarriesMessage) {
+  CheckResult R = CheckResult::failure("boom");
+  EXPECT_FALSE(R.passed());
+  ASSERT_EQ(R.failures().size(), 1u);
+  EXPECT_EQ(R.failures()[0], "boom");
+  EXPECT_EQ(R.describe(), "boom\n");
+}
+
+TEST(CheckResult, MergeAccumulates) {
+  CheckResult A = CheckResult::failure("one");
+  A.noteCheck(3);
+  CheckResult B = CheckResult::failure("two");
+  B.noteCheck(2);
+  A.merge(B);
+  EXPECT_EQ(A.failures().size(), 2u);
+  EXPECT_EQ(A.checksPerformed(), 5u);
+}
+
+TEST(TableWriter, AsciiAlignsColumns) {
+  TableWriter T({"a", "long-header"});
+  T.addRow({"xxxx", "1"});
+  std::string Out = T.renderAscii();
+  // Header, separator, one row.
+  EXPECT_NE(Out.find("a     long-header"), std::string::npos);
+  EXPECT_NE(Out.find("xxxx  1"), std::string::npos);
+}
+
+TEST(TableWriter, CsvQuotesSpecials) {
+  TableWriter T({"k", "v"});
+  T.addRow({"a,b", "say \"hi\""});
+  std::string Out = T.renderCsv();
+  EXPECT_NE(Out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(Out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(formatWithCommas(0), "0");
+  EXPECT_EQ(formatWithCommas(999), "999");
+  EXPECT_EQ(formatWithCommas(1000), "1,000");
+  EXPECT_EQ(formatWithCommas(1234567), "1,234,567");
+  // Regression: sizes with remainder 2 used to underflow the grouping.
+  EXPECT_EQ(formatWithCommas(10290), "10,290");
+  EXPECT_EQ(formatWithCommas(12), "12");
+}
+
+TEST(Format, TicksAsNs) {
+  EXPECT_EQ(formatTicksAsNs(5), "5ns");
+  EXPECT_EQ(formatTicksAsNs(1500), "1.50us");
+  EXPECT_EQ(formatTicksAsNs(2500000), "2.50ms");
+  EXPECT_EQ(formatTicksAsNs(3000000000ull), "3.000s");
+}
+
+TEST(Format, Ratio) {
+  EXPECT_EQ(formatRatio(3, 2), "1.50");
+  EXPECT_EQ(formatRatio(1, 0), "inf");
+}

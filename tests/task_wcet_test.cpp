@@ -1,0 +1,106 @@
+//===- tests/task_wcet_test.cpp - TaskSet and WCET-table unit tests -------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/task.h"
+#include "core/wcet.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+TEST(TaskSet, DenseIdsInInsertionOrder) {
+  TaskSet TS;
+  TaskId A = addPeriodicTask(TS, "a", 10, 1, 100);
+  TaskId B = addPeriodicTask(TS, "b", 20, 2, 100);
+  EXPECT_EQ(A, 0u);
+  EXPECT_EQ(B, 1u);
+  EXPECT_EQ(TS.task(A).Name, "a");
+  EXPECT_EQ(TS.task(B).Wcet, 20u);
+}
+
+TEST(TaskSet, PriorityPartitions) {
+  TaskSet TS;
+  TaskId Lo = addPeriodicTask(TS, "lo", 10, 1, 100);
+  TaskId Mid = addPeriodicTask(TS, "mid", 20, 2, 100);
+  TaskId Mid2 = addPeriodicTask(TS, "mid2", 30, 2, 100);
+  TaskId Hi = addPeriodicTask(TS, "hi", 40, 3, 100);
+
+  EXPECT_EQ(TS.higherPriority(Mid), std::vector<TaskId>{Hi});
+  EXPECT_EQ(TS.lowerPriority(Mid), std::vector<TaskId>{Lo});
+  std::vector<TaskId> HepOthers = TS.higherOrEqualPriorityOthers(Mid);
+  EXPECT_EQ(HepOthers.size(), 2u); // mid2 and hi.
+  EXPECT_TRUE(TS.higherPriority(Hi).empty());
+  EXPECT_TRUE(TS.lowerPriority(Lo).empty());
+  (void)Mid2;
+}
+
+TEST(TaskSet, MaxLowerPriorityWcet) {
+  TaskSet TS;
+  addPeriodicTask(TS, "lo1", 50, 1, 100);
+  addPeriodicTask(TS, "lo2", 70, 2, 100);
+  TaskId Hi = addPeriodicTask(TS, "hi", 10, 3, 100);
+  EXPECT_EQ(TS.maxLowerPriorityWcet(Hi), 70u);
+  EXPECT_EQ(TS.maxLowerPriorityWcet(0), 0u); // Lowest has no lp tasks.
+}
+
+TEST(TaskSet, ValidateRejectsEmpty) {
+  TaskSet TS;
+  EXPECT_FALSE(TS.validate().passed());
+}
+
+TEST(TaskSet, ValidateRejectsZeroWcet) {
+  TaskSet TS;
+  TS.addTask("z", /*Wcet=*/0, 1, std::make_shared<PeriodicCurve>(10));
+  EXPECT_FALSE(TS.validate().passed());
+}
+
+TEST(TaskSet, ValidateRejectsMissingCurve) {
+  TaskSet TS;
+  TS.addTask("z", 10, 1, nullptr);
+  EXPECT_FALSE(TS.validate().passed());
+}
+
+TEST(TaskSet, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(mixedTasks().validate().passed());
+}
+
+TEST(BasicActionWcets, ValidateEnforcesThm51SideConditions) {
+  EXPECT_TRUE(tinyWcets().validate().passed());
+  EXPECT_TRUE(BasicActionWcets::typicalDeployment().validate().passed());
+
+  BasicActionWcets W = tinyWcets();
+  W.FailedRead = 1; // Must be > 1.
+  EXPECT_FALSE(W.validate().passed());
+
+  W = tinyWcets();
+  W.SuccessfulRead = 0;
+  EXPECT_FALSE(W.validate().passed());
+
+  W = tinyWcets();
+  W.Selection = 0;
+  EXPECT_FALSE(W.validate().passed());
+
+  W = tinyWcets();
+  W.Dispatch = 0;
+  EXPECT_FALSE(W.validate().passed());
+
+  W = tinyWcets();
+  W.Completion = 0;
+  EXPECT_FALSE(W.validate().passed());
+
+  W = tinyWcets();
+  W.Idling = 0;
+  EXPECT_FALSE(W.validate().passed());
+}
+
+TEST(BasicActionWcets, ValidateEnforcesSrGeFr) {
+  BasicActionWcets W = tinyWcets();
+  W.SuccessfulRead = W.FailedRead - 1;
+  EXPECT_FALSE(W.validate().passed());
+}

@@ -1,0 +1,108 @@
+//===- tests/wcet_check_test.cpp - WCET-respect checker tests (§2.3) ------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/wcet_check.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+namespace {
+
+TaskSet oneTask(Duration Wcet = 50) {
+  TaskSet TS;
+  addPeriodicTask(TS, "t", Wcet, 1, 1000);
+  return TS;
+}
+
+/// A full job iteration with configurable segment lengths.
+TimedTrace iterationTrace(Duration ReadLen, Duration PollLen,
+                          Duration SelLen, Duration DispLen,
+                          Duration ExecLen, Duration ComplLen) {
+  Job J = mkJob(1, 0);
+  return TraceBuilder()
+      .successRead(0, J, ReadLen)
+      .failedRead(0, PollLen)
+      .at(MarkerEvent::selection(), SelLen)
+      .at(MarkerEvent::dispatch(J), DispLen)
+      .at(MarkerEvent::execution(J), ExecLen)
+      .at(MarkerEvent::completion(J), ComplLen)
+      .finish();
+}
+
+} // namespace
+
+TEST(WcetCheck, AcceptsInBoundTrace) {
+  // tinyWcets: FR=4 SR=10 Sel=3 Disp=2 Compl=5 Idling=8; C=50.
+  TimedTrace TT = iterationTrace(10, 4, 3, 2, 50, 5);
+  EXPECT_TRUE(checkWcetRespected(TT, oneTask(), tinyWcets()).passed());
+}
+
+TEST(WcetCheck, FlagsEachOverrunKind) {
+  struct Case {
+    TimedTrace TT;
+    const char *What;
+  };
+  std::vector<Case> Cases = {
+      {iterationTrace(11, 4, 3, 2, 50, 5), "successful read"},
+      {iterationTrace(10, 5, 3, 2, 50, 5), "failed read"},
+      {iterationTrace(10, 4, 4, 2, 50, 5), "selection"},
+      {iterationTrace(10, 4, 3, 3, 50, 5), "dispatch"},
+      {iterationTrace(10, 4, 3, 2, 51, 5), "callback"},
+      {iterationTrace(10, 4, 3, 2, 50, 6), "completion"},
+  };
+  for (const Case &C : Cases) {
+    CheckResult R = checkWcetRespected(C.TT, oneTask(), tinyWcets());
+    EXPECT_FALSE(R.passed()) << C.What << " overrun not flagged";
+  }
+}
+
+TEST(WcetCheck, FlagsIdleOverrun) {
+  TimedTrace Ok = TraceBuilder()
+                      .failedRead(0, 4)
+                      .at(MarkerEvent::selection(), 3)
+                      .at(MarkerEvent::idling(), 8)
+                      .finish();
+  EXPECT_TRUE(checkWcetRespected(Ok, oneTask(), tinyWcets()).passed());
+  TimedTrace Bad = TraceBuilder()
+                       .failedRead(0, 4)
+                       .at(MarkerEvent::selection(), 3)
+                       .at(MarkerEvent::idling(), 9)
+                       .finish();
+  EXPECT_FALSE(checkWcetRespected(Bad, oneTask(), tinyWcets()).passed());
+}
+
+TEST(WcetCheck, BoundaryExactWcetPasses) {
+  // Every segment at exactly its WCET must pass (<=, not <).
+  TimedTrace TT = iterationTrace(10, 4, 3, 2, 50, 5);
+  EXPECT_TRUE(checkWcetRespected(TT, oneTask(50), tinyWcets()).passed());
+}
+
+TEST(Timestamps, AcceptsMonotone) {
+  TimedTrace TT = iterationTrace(10, 4, 3, 2, 50, 5);
+  EXPECT_TRUE(checkTimestamps(TT).passed());
+}
+
+TEST(Timestamps, RejectsDecreasing) {
+  TimedTrace TT = iterationTrace(10, 4, 3, 2, 50, 5);
+  std::swap(TT.Ts[1], TT.Ts[3]);
+  EXPECT_FALSE(checkTimestamps(TT).passed());
+}
+
+TEST(Timestamps, RejectsLengthMismatch) {
+  TimedTrace TT = iterationTrace(10, 4, 3, 2, 50, 5);
+  TT.Ts.pop_back();
+  EXPECT_FALSE(checkTimestamps(TT).passed());
+}
+
+TEST(Timestamps, RejectsEndTimeBeforeLastMarker) {
+  TimedTrace TT = iterationTrace(10, 4, 3, 2, 50, 5);
+  TT.EndTime = TT.Ts.back() - 1;
+  EXPECT_FALSE(checkTimestamps(TT).passed());
+}

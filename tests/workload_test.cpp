@@ -1,0 +1,125 @@
+//===- tests/workload_test.cpp - Workload-generator property tests --------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The central property: every generated workload *exactly* satisfies
+/// Eq. 2 (ArrivalSequence::respectsCurves), across styles, seeds, and
+/// curve shapes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/workload.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+namespace {
+
+struct WorkloadCase {
+  WorkloadStyle Style;
+  std::uint64_t Seed;
+};
+
+class WorkloadProperty : public ::testing::TestWithParam<WorkloadCase> {};
+
+} // namespace
+
+TEST_P(WorkloadProperty, GeneratedSequencesRespectCurves) {
+  TaskSet TS = mixedTasks();
+  WorkloadSpec Spec;
+  Spec.NumSockets = 2;
+  Spec.Horizon = 20000;
+  Spec.Seed = GetParam().Seed;
+  Spec.Style = GetParam().Style;
+  ArrivalSequence Arr = generateWorkload(TS, Spec);
+  EXPECT_TRUE(Arr.respectsCurves(TS).passed())
+      << "style=" << int(Spec.Style) << " seed=" << Spec.Seed;
+  EXPECT_TRUE(Arr.uniqueMsgIds().passed());
+}
+
+TEST_P(WorkloadProperty, ArrivalsStayInHorizon) {
+  TaskSet TS = mixedTasks();
+  WorkloadSpec Spec;
+  Spec.NumSockets = 2;
+  Spec.Horizon = 5000;
+  Spec.Seed = GetParam().Seed;
+  Spec.Style = GetParam().Style;
+  ArrivalSequence Arr = generateWorkload(TS, Spec);
+  for (const Arrival &A : Arr.arrivals())
+    EXPECT_LT(A.At, Spec.Horizon);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StylesAndSeeds, WorkloadProperty,
+    ::testing::Values(WorkloadCase{WorkloadStyle::Random, 1},
+                      WorkloadCase{WorkloadStyle::Random, 2},
+                      WorkloadCase{WorkloadStyle::Random, 99},
+                      WorkloadCase{WorkloadStyle::GreedyDense, 1},
+                      WorkloadCase{WorkloadStyle::GreedyDense, 7},
+                      WorkloadCase{WorkloadStyle::Sparse, 1},
+                      WorkloadCase{WorkloadStyle::Sparse, 42}),
+    [](const auto &Info) {
+      const char *Style =
+          Info.param.Style == WorkloadStyle::Random
+              ? "random"
+              : (Info.param.Style == WorkloadStyle::GreedyDense ? "greedy"
+                                                                : "sparse");
+      return std::string(Style) + "_seed" +
+             std::to_string(Info.param.Seed);
+    });
+
+TEST(Workload, GreedyDenseIsAtMaximumRate) {
+  // A periodic task generated greedily must arrive exactly every period.
+  TaskSet TS;
+  addPeriodicTask(TS, "p", 10, 1, /*Period=*/100);
+  WorkloadSpec Spec;
+  Spec.Horizon = 1000;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  ArrivalSequence Arr = generateWorkload(TS, Spec);
+  const auto &A = Arr.arrivals();
+  ASSERT_EQ(A.size(), 10u);
+  for (std::size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A[I].At, I * 100);
+}
+
+TEST(Workload, GreedyDenseEmitsFullBurstsAtOnce) {
+  TaskSet TS;
+  addBurstyTask(TS, "b", 10, 1, /*Burst=*/3, /*Rate=*/100);
+  WorkloadSpec Spec;
+  Spec.Horizon = 150;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  ArrivalSequence Arr = generateWorkload(TS, Spec);
+  // Three arrivals at t=0 (the burst), then one per rate.
+  ASSERT_GE(Arr.arrivals().size(), 3u);
+  EXPECT_EQ(Arr.arrivals()[0].At, 0u);
+  EXPECT_EQ(Arr.arrivals()[1].At, 0u);
+  EXPECT_EQ(Arr.arrivals()[2].At, 0u);
+}
+
+TEST(Workload, MaxArrivalsPerTaskCaps) {
+  TaskSet TS;
+  addPeriodicTask(TS, "p", 10, 1, 10);
+  WorkloadSpec Spec;
+  Spec.Horizon = 100000;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  Spec.MaxArrivalsPerTask = 5;
+  ArrivalSequence Arr = generateWorkload(TS, Spec);
+  EXPECT_EQ(Arr.arrivals().size(), 5u);
+}
+
+TEST(Workload, TaskSocketMappingIsHonored) {
+  TaskSet TS = mixedTasks();
+  WorkloadSpec Spec;
+  Spec.NumSockets = 3;
+  Spec.Horizon = 3000;
+  std::vector<SocketId> Map = {2, 0, 1};
+  ArrivalSequence Arr = generateWorkload(TS, Map, Spec);
+  for (const Arrival &A : Arr.arrivals())
+    EXPECT_EQ(A.Socket, Map[A.Msg.Task]);
+}
