@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arsa_preconditions.dir/arsa_preconditions.cpp.o"
+  "CMakeFiles/arsa_preconditions.dir/arsa_preconditions.cpp.o.d"
+  "arsa_preconditions"
+  "arsa_preconditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arsa_preconditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for arsa_preconditions.
+# This may be replaced when dependencies are built.

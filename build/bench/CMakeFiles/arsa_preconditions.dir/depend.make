@@ -1,0 +1,2 @@
+# Empty dependencies file for arsa_preconditions.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bug_detection.dir/bug_detection.cpp.o"
+  "CMakeFiles/bug_detection.dir/bug_detection.cpp.o.d"
+  "bug_detection"
+  "bug_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bug_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

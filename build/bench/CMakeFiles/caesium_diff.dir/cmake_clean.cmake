@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caesium_diff.dir/caesium_diff.cpp.o"
+  "CMakeFiles/caesium_diff.dir/caesium_diff.cpp.o.d"
+  "caesium_diff"
+  "caesium_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caesium_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

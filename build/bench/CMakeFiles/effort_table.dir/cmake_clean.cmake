@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effort_table.dir/effort_table.cpp.o"
+  "CMakeFiles/effort_table.dir/effort_table.cpp.o.d"
+  "effort_table"
+  "effort_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effort_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

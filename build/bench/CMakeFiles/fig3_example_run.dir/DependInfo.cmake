@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_example_run.cpp" "bench/CMakeFiles/fig3_example_run.dir/fig3_example_run.cpp.o" "gcc" "bench/CMakeFiles/fig3_example_run.dir/fig3_example_run.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adequacy/CMakeFiles/rp_adequacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/caesium/CMakeFiles/rp_caesium.dir/DependInfo.cmake"
+  "/root/repo/build/src/rta/CMakeFiles/rp_rta.dir/DependInfo.cmake"
+  "/root/repo/build/src/convert/CMakeFiles/rp_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/rossl/CMakeFiles/rp_rossl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_example_run.dir/fig3_example_run.cpp.o"
+  "CMakeFiles/fig3_example_run.dir/fig3_example_run.cpp.o.d"
+  "fig3_example_run"
+  "fig3_example_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_example_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

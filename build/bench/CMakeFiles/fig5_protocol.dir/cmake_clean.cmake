@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_protocol.dir/fig5_protocol.cpp.o"
+  "CMakeFiles/fig5_protocol.dir/fig5_protocol.cpp.o.d"
+  "fig5_protocol"
+  "fig5_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_jitter.dir/fig7_jitter.cpp.o"
+  "CMakeFiles/fig7_jitter.dir/fig7_jitter.cpp.o.d"
+  "fig7_jitter"
+  "fig7_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

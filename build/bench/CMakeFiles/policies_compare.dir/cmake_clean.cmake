@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policies_compare.dir/policies_compare.cpp.o"
+  "CMakeFiles/policies_compare.dir/policies_compare.cpp.o.d"
+  "policies_compare"
+  "policies_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policies_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbf_curves.dir/sbf_curves.cpp.o"
+  "CMakeFiles/sbf_curves.dir/sbf_curves.cpp.o.d"
+  "sbf_curves"
+  "sbf_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbf_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sockets_sweep.dir/sockets_sweep.cpp.o"
+  "CMakeFiles/sockets_sweep.dir/sockets_sweep.cpp.o.d"
+  "sockets_sweep"
+  "sockets_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sockets_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

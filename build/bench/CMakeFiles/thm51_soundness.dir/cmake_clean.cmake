@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm51_soundness.dir/thm51_soundness.cpp.o"
+  "CMakeFiles/thm51_soundness.dir/thm51_soundness.cpp.o.d"
+  "thm51_soundness"
+  "thm51_soundness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm51_soundness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tick_vs_eventdriven.dir/tick_vs_eventdriven.cpp.o"
+  "CMakeFiles/tick_vs_eventdriven.dir/tick_vs_eventdriven.cpp.o.d"
+  "tick_vs_eventdriven"
+  "tick_vs_eventdriven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tick_vs_eventdriven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsound_naive.dir/unsound_naive.cpp.o"
+  "CMakeFiles/unsound_naive.dir/unsound_naive.cpp.o.d"
+  "unsound_naive"
+  "unsound_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsound_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

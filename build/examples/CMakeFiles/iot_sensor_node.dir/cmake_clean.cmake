@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_sensor_node.dir/iot_sensor_node.cpp.o"
+  "CMakeFiles/iot_sensor_node.dir/iot_sensor_node.cpp.o.d"
+  "iot_sensor_node"
+  "iot_sensor_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_sensor_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_audit.dir/overhead_audit.cpp.o"
+  "CMakeFiles/overhead_audit.dir/overhead_audit.cpp.o.d"
+  "overhead_audit"
+  "overhead_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros2_executor.dir/ros2_executor.cpp.o"
+  "CMakeFiles/ros2_executor.dir/ros2_executor.cpp.o.d"
+  "ros2_executor"
+  "ros2_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros2_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_analyze.dir/rp_analyze.cpp.o"
+  "CMakeFiles/rp_analyze.dir/rp_analyze.cpp.o.d"
+  "rp_analyze"
+  "rp_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_adequacy.dir/pipeline.cpp.o"
+  "CMakeFiles/rp_adequacy.dir/pipeline.cpp.o.d"
+  "CMakeFiles/rp_adequacy.dir/report.cpp.o"
+  "CMakeFiles/rp_adequacy.dir/report.cpp.o.d"
+  "CMakeFiles/rp_adequacy.dir/spec_parser.cpp.o"
+  "CMakeFiles/rp_adequacy.dir/spec_parser.cpp.o.d"
+  "librp_adequacy.a"
+  "librp_adequacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_adequacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rp_adequacy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_baseline.dir/tick_rta.cpp.o"
+  "CMakeFiles/rp_baseline.dir/tick_rta.cpp.o.d"
+  "CMakeFiles/rp_baseline.dir/tick_scheduler.cpp.o"
+  "CMakeFiles/rp_baseline.dir/tick_scheduler.cpp.o.d"
+  "librp_baseline.a"
+  "librp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

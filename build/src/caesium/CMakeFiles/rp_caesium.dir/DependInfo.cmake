@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/caesium/ast.cpp" "src/caesium/CMakeFiles/rp_caesium.dir/ast.cpp.o" "gcc" "src/caesium/CMakeFiles/rp_caesium.dir/ast.cpp.o.d"
+  "/root/repo/src/caesium/interp.cpp" "src/caesium/CMakeFiles/rp_caesium.dir/interp.cpp.o" "gcc" "src/caesium/CMakeFiles/rp_caesium.dir/interp.cpp.o.d"
+  "/root/repo/src/caesium/parser.cpp" "src/caesium/CMakeFiles/rp_caesium.dir/parser.cpp.o" "gcc" "src/caesium/CMakeFiles/rp_caesium.dir/parser.cpp.o.d"
+  "/root/repo/src/caesium/print.cpp" "src/caesium/CMakeFiles/rp_caesium.dir/print.cpp.o" "gcc" "src/caesium/CMakeFiles/rp_caesium.dir/print.cpp.o.d"
+  "/root/repo/src/caesium/rossl_program.cpp" "src/caesium/CMakeFiles/rp_caesium.dir/rossl_program.cpp.o" "gcc" "src/caesium/CMakeFiles/rp_caesium.dir/rossl_program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rossl/CMakeFiles/rp_rossl.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

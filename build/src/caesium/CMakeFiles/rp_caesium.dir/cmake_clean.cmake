@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_caesium.dir/ast.cpp.o"
+  "CMakeFiles/rp_caesium.dir/ast.cpp.o.d"
+  "CMakeFiles/rp_caesium.dir/interp.cpp.o"
+  "CMakeFiles/rp_caesium.dir/interp.cpp.o.d"
+  "CMakeFiles/rp_caesium.dir/parser.cpp.o"
+  "CMakeFiles/rp_caesium.dir/parser.cpp.o.d"
+  "CMakeFiles/rp_caesium.dir/print.cpp.o"
+  "CMakeFiles/rp_caesium.dir/print.cpp.o.d"
+  "CMakeFiles/rp_caesium.dir/rossl_program.cpp.o"
+  "CMakeFiles/rp_caesium.dir/rossl_program.cpp.o.d"
+  "librp_caesium.a"
+  "librp_caesium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_caesium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/convert/extend.cpp" "src/convert/CMakeFiles/rp_convert.dir/extend.cpp.o" "gcc" "src/convert/CMakeFiles/rp_convert.dir/extend.cpp.o.d"
+  "/root/repo/src/convert/trace_to_schedule.cpp" "src/convert/CMakeFiles/rp_convert.dir/trace_to_schedule.cpp.o" "gcc" "src/convert/CMakeFiles/rp_convert.dir/trace_to_schedule.cpp.o.d"
+  "/root/repo/src/convert/validity.cpp" "src/convert/CMakeFiles/rp_convert.dir/validity.cpp.o" "gcc" "src/convert/CMakeFiles/rp_convert.dir/validity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_convert.dir/extend.cpp.o"
+  "CMakeFiles/rp_convert.dir/extend.cpp.o.d"
+  "CMakeFiles/rp_convert.dir/trace_to_schedule.cpp.o"
+  "CMakeFiles/rp_convert.dir/trace_to_schedule.cpp.o.d"
+  "CMakeFiles/rp_convert.dir/validity.cpp.o"
+  "CMakeFiles/rp_convert.dir/validity.cpp.o.d"
+  "librp_convert.a"
+  "librp_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

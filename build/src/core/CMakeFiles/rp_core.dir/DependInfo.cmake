@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arrival_curve.cpp" "src/core/CMakeFiles/rp_core.dir/arrival_curve.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/arrival_curve.cpp.o.d"
+  "/root/repo/src/core/arrival_sequence.cpp" "src/core/CMakeFiles/rp_core.dir/arrival_sequence.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/arrival_sequence.cpp.o.d"
+  "/root/repo/src/core/processor_state.cpp" "src/core/CMakeFiles/rp_core.dir/processor_state.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/processor_state.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/rp_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/schedule_render.cpp" "src/core/CMakeFiles/rp_core.dir/schedule_render.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/schedule_render.cpp.o.d"
+  "/root/repo/src/core/task.cpp" "src/core/CMakeFiles/rp_core.dir/task.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/task.cpp.o.d"
+  "/root/repo/src/core/time.cpp" "src/core/CMakeFiles/rp_core.dir/time.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/time.cpp.o.d"
+  "/root/repo/src/core/wcet.cpp" "src/core/CMakeFiles/rp_core.dir/wcet.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/wcet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_core.dir/arrival_curve.cpp.o"
+  "CMakeFiles/rp_core.dir/arrival_curve.cpp.o.d"
+  "CMakeFiles/rp_core.dir/arrival_sequence.cpp.o"
+  "CMakeFiles/rp_core.dir/arrival_sequence.cpp.o.d"
+  "CMakeFiles/rp_core.dir/processor_state.cpp.o"
+  "CMakeFiles/rp_core.dir/processor_state.cpp.o.d"
+  "CMakeFiles/rp_core.dir/schedule.cpp.o"
+  "CMakeFiles/rp_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/rp_core.dir/schedule_render.cpp.o"
+  "CMakeFiles/rp_core.dir/schedule_render.cpp.o.d"
+  "CMakeFiles/rp_core.dir/task.cpp.o"
+  "CMakeFiles/rp_core.dir/task.cpp.o.d"
+  "CMakeFiles/rp_core.dir/time.cpp.o"
+  "CMakeFiles/rp_core.dir/time.cpp.o.d"
+  "CMakeFiles/rp_core.dir/wcet.cpp.o"
+  "CMakeFiles/rp_core.dir/wcet.cpp.o.d"
+  "librp_core.a"
+  "librp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

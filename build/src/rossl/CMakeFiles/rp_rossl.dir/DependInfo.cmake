@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rossl/client.cpp" "src/rossl/CMakeFiles/rp_rossl.dir/client.cpp.o" "gcc" "src/rossl/CMakeFiles/rp_rossl.dir/client.cpp.o.d"
+  "/root/repo/src/rossl/faulty.cpp" "src/rossl/CMakeFiles/rp_rossl.dir/faulty.cpp.o" "gcc" "src/rossl/CMakeFiles/rp_rossl.dir/faulty.cpp.o.d"
+  "/root/repo/src/rossl/job_queue.cpp" "src/rossl/CMakeFiles/rp_rossl.dir/job_queue.cpp.o" "gcc" "src/rossl/CMakeFiles/rp_rossl.dir/job_queue.cpp.o.d"
+  "/root/repo/src/rossl/markers.cpp" "src/rossl/CMakeFiles/rp_rossl.dir/markers.cpp.o" "gcc" "src/rossl/CMakeFiles/rp_rossl.dir/markers.cpp.o.d"
+  "/root/repo/src/rossl/npfp_queue.cpp" "src/rossl/CMakeFiles/rp_rossl.dir/npfp_queue.cpp.o" "gcc" "src/rossl/CMakeFiles/rp_rossl.dir/npfp_queue.cpp.o.d"
+  "/root/repo/src/rossl/scheduler.cpp" "src/rossl/CMakeFiles/rp_rossl.dir/scheduler.cpp.o" "gcc" "src/rossl/CMakeFiles/rp_rossl.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_rossl.dir/client.cpp.o"
+  "CMakeFiles/rp_rossl.dir/client.cpp.o.d"
+  "CMakeFiles/rp_rossl.dir/faulty.cpp.o"
+  "CMakeFiles/rp_rossl.dir/faulty.cpp.o.d"
+  "CMakeFiles/rp_rossl.dir/job_queue.cpp.o"
+  "CMakeFiles/rp_rossl.dir/job_queue.cpp.o.d"
+  "CMakeFiles/rp_rossl.dir/markers.cpp.o"
+  "CMakeFiles/rp_rossl.dir/markers.cpp.o.d"
+  "CMakeFiles/rp_rossl.dir/npfp_queue.cpp.o"
+  "CMakeFiles/rp_rossl.dir/npfp_queue.cpp.o.d"
+  "CMakeFiles/rp_rossl.dir/scheduler.cpp.o"
+  "CMakeFiles/rp_rossl.dir/scheduler.cpp.o.d"
+  "librp_rossl.a"
+  "librp_rossl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_rossl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

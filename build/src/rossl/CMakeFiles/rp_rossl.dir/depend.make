@@ -1,0 +1,2 @@
+# Empty dependencies file for rp_rossl.
+# This may be replaced when dependencies are built.

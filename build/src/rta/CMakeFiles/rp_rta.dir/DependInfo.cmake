@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rta/arsa.cpp" "src/rta/CMakeFiles/rp_rta.dir/arsa.cpp.o" "gcc" "src/rta/CMakeFiles/rp_rta.dir/arsa.cpp.o.d"
+  "/root/repo/src/rta/bounds.cpp" "src/rta/CMakeFiles/rp_rta.dir/bounds.cpp.o" "gcc" "src/rta/CMakeFiles/rp_rta.dir/bounds.cpp.o.d"
+  "/root/repo/src/rta/chains.cpp" "src/rta/CMakeFiles/rp_rta.dir/chains.cpp.o" "gcc" "src/rta/CMakeFiles/rp_rta.dir/chains.cpp.o.d"
+  "/root/repo/src/rta/compliance.cpp" "src/rta/CMakeFiles/rp_rta.dir/compliance.cpp.o" "gcc" "src/rta/CMakeFiles/rp_rta.dir/compliance.cpp.o.d"
+  "/root/repo/src/rta/jitter.cpp" "src/rta/CMakeFiles/rp_rta.dir/jitter.cpp.o" "gcc" "src/rta/CMakeFiles/rp_rta.dir/jitter.cpp.o.d"
+  "/root/repo/src/rta/rta_npfp.cpp" "src/rta/CMakeFiles/rp_rta.dir/rta_npfp.cpp.o" "gcc" "src/rta/CMakeFiles/rp_rta.dir/rta_npfp.cpp.o.d"
+  "/root/repo/src/rta/rta_policies.cpp" "src/rta/CMakeFiles/rp_rta.dir/rta_policies.cpp.o" "gcc" "src/rta/CMakeFiles/rp_rta.dir/rta_policies.cpp.o.d"
+  "/root/repo/src/rta/sbf.cpp" "src/rta/CMakeFiles/rp_rta.dir/sbf.cpp.o" "gcc" "src/rta/CMakeFiles/rp_rta.dir/sbf.cpp.o.d"
+  "/root/repo/src/rta/sensitivity.cpp" "src/rta/CMakeFiles/rp_rta.dir/sensitivity.cpp.o" "gcc" "src/rta/CMakeFiles/rp_rta.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/convert/CMakeFiles/rp_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_rta.dir/arsa.cpp.o"
+  "CMakeFiles/rp_rta.dir/arsa.cpp.o.d"
+  "CMakeFiles/rp_rta.dir/bounds.cpp.o"
+  "CMakeFiles/rp_rta.dir/bounds.cpp.o.d"
+  "CMakeFiles/rp_rta.dir/chains.cpp.o"
+  "CMakeFiles/rp_rta.dir/chains.cpp.o.d"
+  "CMakeFiles/rp_rta.dir/compliance.cpp.o"
+  "CMakeFiles/rp_rta.dir/compliance.cpp.o.d"
+  "CMakeFiles/rp_rta.dir/jitter.cpp.o"
+  "CMakeFiles/rp_rta.dir/jitter.cpp.o.d"
+  "CMakeFiles/rp_rta.dir/rta_npfp.cpp.o"
+  "CMakeFiles/rp_rta.dir/rta_npfp.cpp.o.d"
+  "CMakeFiles/rp_rta.dir/rta_policies.cpp.o"
+  "CMakeFiles/rp_rta.dir/rta_policies.cpp.o.d"
+  "CMakeFiles/rp_rta.dir/sbf.cpp.o"
+  "CMakeFiles/rp_rta.dir/sbf.cpp.o.d"
+  "CMakeFiles/rp_rta.dir/sensitivity.cpp.o"
+  "CMakeFiles/rp_rta.dir/sensitivity.cpp.o.d"
+  "librp_rta.a"
+  "librp_rta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_rta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

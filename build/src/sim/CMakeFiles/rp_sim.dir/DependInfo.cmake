@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/arrival_log.cpp" "src/sim/CMakeFiles/rp_sim.dir/arrival_log.cpp.o" "gcc" "src/sim/CMakeFiles/rp_sim.dir/arrival_log.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/rp_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/rp_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/environment.cpp" "src/sim/CMakeFiles/rp_sim.dir/environment.cpp.o" "gcc" "src/sim/CMakeFiles/rp_sim.dir/environment.cpp.o.d"
+  "/root/repo/src/sim/socket.cpp" "src/sim/CMakeFiles/rp_sim.dir/socket.cpp.o" "gcc" "src/sim/CMakeFiles/rp_sim.dir/socket.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/rp_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/rp_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_sim.dir/arrival_log.cpp.o"
+  "CMakeFiles/rp_sim.dir/arrival_log.cpp.o.d"
+  "CMakeFiles/rp_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/rp_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/rp_sim.dir/environment.cpp.o"
+  "CMakeFiles/rp_sim.dir/environment.cpp.o.d"
+  "CMakeFiles/rp_sim.dir/socket.cpp.o"
+  "CMakeFiles/rp_sim.dir/socket.cpp.o.d"
+  "CMakeFiles/rp_sim.dir/workload.cpp.o"
+  "CMakeFiles/rp_sim.dir/workload.cpp.o.d"
+  "librp_sim.a"
+  "librp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_support.dir/check.cpp.o"
+  "CMakeFiles/rp_support.dir/check.cpp.o.d"
+  "CMakeFiles/rp_support.dir/rng.cpp.o"
+  "CMakeFiles/rp_support.dir/rng.cpp.o.d"
+  "CMakeFiles/rp_support.dir/table.cpp.o"
+  "CMakeFiles/rp_support.dir/table.cpp.o.d"
+  "librp_support.a"
+  "librp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/basic_actions.cpp" "src/trace/CMakeFiles/rp_trace.dir/basic_actions.cpp.o" "gcc" "src/trace/CMakeFiles/rp_trace.dir/basic_actions.cpp.o.d"
+  "/root/repo/src/trace/consistency.cpp" "src/trace/CMakeFiles/rp_trace.dir/consistency.cpp.o" "gcc" "src/trace/CMakeFiles/rp_trace.dir/consistency.cpp.o.d"
+  "/root/repo/src/trace/functional.cpp" "src/trace/CMakeFiles/rp_trace.dir/functional.cpp.o" "gcc" "src/trace/CMakeFiles/rp_trace.dir/functional.cpp.o.d"
+  "/root/repo/src/trace/marker.cpp" "src/trace/CMakeFiles/rp_trace.dir/marker.cpp.o" "gcc" "src/trace/CMakeFiles/rp_trace.dir/marker.cpp.o.d"
+  "/root/repo/src/trace/marker_specs.cpp" "src/trace/CMakeFiles/rp_trace.dir/marker_specs.cpp.o" "gcc" "src/trace/CMakeFiles/rp_trace.dir/marker_specs.cpp.o.d"
+  "/root/repo/src/trace/online_monitor.cpp" "src/trace/CMakeFiles/rp_trace.dir/online_monitor.cpp.o" "gcc" "src/trace/CMakeFiles/rp_trace.dir/online_monitor.cpp.o.d"
+  "/root/repo/src/trace/protocol.cpp" "src/trace/CMakeFiles/rp_trace.dir/protocol.cpp.o" "gcc" "src/trace/CMakeFiles/rp_trace.dir/protocol.cpp.o.d"
+  "/root/repo/src/trace/serialize.cpp" "src/trace/CMakeFiles/rp_trace.dir/serialize.cpp.o" "gcc" "src/trace/CMakeFiles/rp_trace.dir/serialize.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/rp_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/rp_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/wcet_check.cpp" "src/trace/CMakeFiles/rp_trace.dir/wcet_check.cpp.o" "gcc" "src/trace/CMakeFiles/rp_trace.dir/wcet_check.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

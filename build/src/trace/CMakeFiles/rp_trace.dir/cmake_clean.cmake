@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_trace.dir/basic_actions.cpp.o"
+  "CMakeFiles/rp_trace.dir/basic_actions.cpp.o.d"
+  "CMakeFiles/rp_trace.dir/consistency.cpp.o"
+  "CMakeFiles/rp_trace.dir/consistency.cpp.o.d"
+  "CMakeFiles/rp_trace.dir/functional.cpp.o"
+  "CMakeFiles/rp_trace.dir/functional.cpp.o.d"
+  "CMakeFiles/rp_trace.dir/marker.cpp.o"
+  "CMakeFiles/rp_trace.dir/marker.cpp.o.d"
+  "CMakeFiles/rp_trace.dir/marker_specs.cpp.o"
+  "CMakeFiles/rp_trace.dir/marker_specs.cpp.o.d"
+  "CMakeFiles/rp_trace.dir/online_monitor.cpp.o"
+  "CMakeFiles/rp_trace.dir/online_monitor.cpp.o.d"
+  "CMakeFiles/rp_trace.dir/protocol.cpp.o"
+  "CMakeFiles/rp_trace.dir/protocol.cpp.o.d"
+  "CMakeFiles/rp_trace.dir/serialize.cpp.o"
+  "CMakeFiles/rp_trace.dir/serialize.cpp.o.d"
+  "CMakeFiles/rp_trace.dir/trace.cpp.o"
+  "CMakeFiles/rp_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/rp_trace.dir/wcet_check.cpp.o"
+  "CMakeFiles/rp_trace.dir/wcet_check.cpp.o.d"
+  "librp_trace.a"
+  "librp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

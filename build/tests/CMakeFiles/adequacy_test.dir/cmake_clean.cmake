@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adequacy_test.dir/adequacy_test.cpp.o"
+  "CMakeFiles/adequacy_test.dir/adequacy_test.cpp.o.d"
+  "adequacy_test"
+  "adequacy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adequacy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

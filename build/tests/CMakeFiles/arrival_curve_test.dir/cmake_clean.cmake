@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrival_curve_test.dir/arrival_curve_test.cpp.o"
+  "CMakeFiles/arrival_curve_test.dir/arrival_curve_test.cpp.o.d"
+  "arrival_curve_test"
+  "arrival_curve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrival_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

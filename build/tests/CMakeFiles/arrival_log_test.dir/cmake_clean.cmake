@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrival_log_test.dir/arrival_log_test.cpp.o"
+  "CMakeFiles/arrival_log_test.dir/arrival_log_test.cpp.o.d"
+  "arrival_log_test"
+  "arrival_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrival_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

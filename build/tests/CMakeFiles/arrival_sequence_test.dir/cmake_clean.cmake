@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrival_sequence_test.dir/arrival_sequence_test.cpp.o"
+  "CMakeFiles/arrival_sequence_test.dir/arrival_sequence_test.cpp.o.d"
+  "arrival_sequence_test"
+  "arrival_sequence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrival_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

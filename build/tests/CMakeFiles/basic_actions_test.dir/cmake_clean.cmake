@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basic_actions_test.dir/basic_actions_test.cpp.o"
+  "CMakeFiles/basic_actions_test.dir/basic_actions_test.cpp.o.d"
+  "basic_actions_test"
+  "basic_actions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basic_actions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

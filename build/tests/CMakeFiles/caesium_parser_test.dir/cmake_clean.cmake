@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caesium_parser_test.dir/caesium_parser_test.cpp.o"
+  "CMakeFiles/caesium_parser_test.dir/caesium_parser_test.cpp.o.d"
+  "caesium_parser_test"
+  "caesium_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caesium_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

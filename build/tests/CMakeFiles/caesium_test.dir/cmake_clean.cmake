@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caesium_test.dir/caesium_test.cpp.o"
+  "CMakeFiles/caesium_test.dir/caesium_test.cpp.o.d"
+  "caesium_test"
+  "caesium_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caesium_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extend_test.dir/extend_test.cpp.o"
+  "CMakeFiles/extend_test.dir/extend_test.cpp.o.d"
+  "extend_test"
+  "extend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marker_specs_test.dir/marker_specs_test.cpp.o"
+  "CMakeFiles/marker_specs_test.dir/marker_specs_test.cpp.o.d"
+  "marker_specs_test"
+  "marker_specs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marker_specs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

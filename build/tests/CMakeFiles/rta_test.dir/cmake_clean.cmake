@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rta_test.dir/rta_test.cpp.o"
+  "CMakeFiles/rta_test.dir/rta_test.cpp.o.d"
+  "rta_test"
+  "rta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

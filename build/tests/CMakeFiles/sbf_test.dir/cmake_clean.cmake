@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbf_test.dir/sbf_test.cpp.o"
+  "CMakeFiles/sbf_test.dir/sbf_test.cpp.o.d"
+  "sbf_test"
+  "sbf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

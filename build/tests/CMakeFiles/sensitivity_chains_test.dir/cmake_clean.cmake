@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_chains_test.dir/sensitivity_chains_test.cpp.o"
+  "CMakeFiles/sensitivity_chains_test.dir/sensitivity_chains_test.cpp.o.d"
+  "sensitivity_chains_test"
+  "sensitivity_chains_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_chains_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_env_test.dir/socket_env_test.cpp.o"
+  "CMakeFiles/socket_env_test.dir/socket_env_test.cpp.o.d"
+  "socket_env_test"
+  "socket_env_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

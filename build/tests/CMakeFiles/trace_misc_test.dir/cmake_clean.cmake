@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_misc_test.dir/trace_misc_test.cpp.o"
+  "CMakeFiles/trace_misc_test.dir/trace_misc_test.cpp.o.d"
+  "trace_misc_test"
+  "trace_misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

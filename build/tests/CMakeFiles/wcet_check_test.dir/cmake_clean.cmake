@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_check_test.dir/wcet_check_test.cpp.o"
+  "CMakeFiles/wcet_check_test.dir/wcet_check_test.cpp.o.d"
+  "wcet_check_test"
+  "wcet_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
