@@ -16,6 +16,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/mutants.h"
+#include "analysis/verifier.h"
+#include "caesium/interp.h"
+#include "caesium/rossl_program.h"
 #include "rossl/faulty.h"
 #include "sim/workload.h"
 #include "support/table.h"
@@ -27,6 +31,8 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 using namespace rprosa;
 
@@ -56,6 +62,130 @@ CheckOutcome runChecks(const TimedTrace &TT, const ClientConfig &C,
 }
 
 const char *mark(bool Passed) { return Passed ? "pass" : "CAUGHT"; }
+
+/// One row of the static-vs-runtime comparison over the embedded
+/// mutation corpus (analysis/mutants.h).
+struct MutantRow {
+  std::string Name;
+  bool StaticCaught = false;   ///< verifyProtocol rejected it.
+  bool RuntimeCaught = false;  ///< checkProtocol rejected a concrete run.
+  bool RuntimeRan = false;     ///< False: would trap the machine.
+  std::size_t CexMarkers = 0;  ///< Counterexample length (static).
+};
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S)
+    if (C == '"' || C == '\\')
+      Out += std::string("\\") + C;
+    else
+      Out += C;
+  return Out;
+}
+
+/// Emits the comparison as BENCH_bug_detection.json next to the
+/// binary, for downstream tooling.
+void writeJson(const std::vector<MutantRow> &Rows, bool CorrectClean) {
+  std::FILE *F = std::fopen("BENCH_bug_detection.json", "w");
+  if (!F) {
+    std::printf("(could not write BENCH_bug_detection.json)\n");
+    return;
+  }
+  std::fprintf(F, "{\n  \"experiment\": \"E15-bug-detection\",\n");
+  std::fprintf(F, "  \"correct_program_clean\": %s,\n",
+               CorrectClean ? "true" : "false");
+  std::fprintf(F, "  \"mutants\": [\n");
+  for (std::size_t I = 0; I < Rows.size(); ++I) {
+    const MutantRow &R = Rows[I];
+    std::fprintf(F,
+                 "    {\"name\": \"%s\", \"static_caught\": %s, "
+                 "\"runtime_ran\": %s, \"runtime_caught\": %s, "
+                 "\"counterexample_markers\": %zu}%s\n",
+                 jsonEscape(R.Name).c_str(), R.StaticCaught ? "true" : "false",
+                 R.RuntimeRan ? "true" : "false",
+                 R.RuntimeCaught ? "true" : "false", R.CexMarkers,
+                 I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote BENCH_bug_detection.json\n");
+}
+
+/// The embedded-mutant half of the experiment: the static verifier
+/// (all traces at once) vs the runtime monitor (one concrete trace).
+bool runMutantComparison() {
+  using namespace rprosa::analysis;
+  namespace cs = rprosa::caesium;
+
+  const std::uint32_t N = 3;
+  ClientConfig C;
+  C.Tasks.addTask("hi", 600 * TickNs, 2,
+                  std::make_shared<PeriodicCurve>(10 * TickUs));
+  C.Tasks.addTask("lo", 1500 * TickNs, 1,
+                  std::make_shared<LeakyBucketCurve>(2, 25 * TickUs));
+  C.NumSockets = N;
+  C.Wcets = BasicActionWcets::typicalDeployment();
+
+  WorkloadSpec Spec;
+  Spec.NumSockets = N;
+  Spec.Horizon = 200 * TickUs;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+  RunLimits Limits;
+  Limits.Horizon = 400 * TickUs;
+
+  bool Ok = true;
+  TableWriter T({"embedded program", "static verifyProtocol",
+                 "runtime ProtocolSts", "cex markers", "verdict"});
+
+  Verdict Clean = verifyProtocol(cs::buildRosslProgram(N), N);
+  {
+    Environment Env(Arr);
+    CostModel Costs(C.Wcets, CostModelKind::AlwaysWcet, 1);
+    cs::CaesiumMachine M(C, Env, Costs);
+    bool RuntimeClean =
+        checkProtocol(M.run(cs::buildRosslProgram(N), Limits).Tr, N)
+            .passed();
+    T.addRow({"correct Roessl", Clean.verified() ? "verified" : "FALSE ALARM",
+              RuntimeClean ? "pass" : "FALSE ALARM", "-",
+              Clean.verified() && RuntimeClean ? "clean" : "FALSE ALARM"});
+    Ok &= Clean.verified() && RuntimeClean;
+  }
+
+  std::vector<MutantRow> Rows;
+  for (const Mutant &Mu : protocolMutantCorpus(N)) {
+    MutantRow R;
+    R.Name = Mu.Name;
+    Verdict V = verifyProtocol(Mu.Program, N);
+    R.StaticCaught = !V.verified();
+    R.CexMarkers = V.MarkerPrefix.size();
+    R.RuntimeRan = Mu.InterpreterSafe;
+    if (Mu.InterpreterSafe) {
+      Environment Env(Arr);
+      CostModel Costs(C.Wcets, CostModelKind::AlwaysWcet, 1);
+      cs::CaesiumMachine M(C, Env, Costs);
+      R.RuntimeCaught =
+          !checkProtocol(M.run(Mu.Program, Limits).Tr, N).passed();
+    }
+    T.addRow({R.Name, R.StaticCaught ? "caught" : "MISSED",
+              !R.RuntimeRan ? "n/a (traps machine)"
+                            : (R.RuntimeCaught ? "caught" : "missed"),
+              std::to_string(R.CexMarkers),
+              R.StaticCaught ? "caught" : "ESCAPED"});
+    // The static analyzer must catch every mutant; the runtime monitor
+    // must agree wherever it can run at all.
+    Ok &= R.StaticCaught && (!R.RuntimeRan || R.RuntimeCaught);
+    Rows.push_back(R);
+  }
+
+  std::printf("%s\n", T.renderAscii().c_str());
+  std::printf("the static column quantifies over every socket behaviour "
+              "at once; 'n/a (traps machine)' rows are bugs only the "
+              "static analyzer can examine — running them would violate "
+              "the machine's preconditions before any trace exists.\n\n");
+  writeJson(Rows, Clean.verified());
+  return Ok;
+}
 
 } // namespace
 
@@ -114,12 +244,17 @@ int main() {
   std::printf("%s\n", T.renderAscii().c_str());
   std::printf("paper analogue: the RefinedC-proved invariants exclude "
               "exactly these bug classes; a variant that escaped every "
-              "checker would make the verification vacuous.\n");
+              "checker would make the verification vacuous.\n\n");
+
+  std::printf("--- static analyzer vs runtime monitor (embedded mutation "
+              "corpus) ---\n\n");
+  Ok &= runMutantComparison();
+
   if (!Ok) {
     std::printf("E15 FAILED\n");
     return 1;
   }
   std::printf("E15 reproduced: the correct scheduler is clean and every "
-              "bug is caught.\n");
+              "bug is caught, both at runtime and statically.\n");
   return 0;
 }

@@ -1,0 +1,159 @@
+//===- examples/rp_verify.cpp - Static protocol verification CLI ----------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The RefinedC-role front-end: statically verify that a scheduler
+/// written in the deep embedding satisfies the scheduler protocol
+/// (Def. 3.1) on *every* trace, and run the lint passes:
+///
+///   rp_verify                       # sweep buildRosslProgram(N),
+///                                   # N in {1,2,4,8}, plus the mutant
+///                                   # corpus as a self-check
+///   rp_verify <file.rossl> [N]      # parse the C-like source (the
+///                                   # print.h syntax) and verify it
+///                                   # for N sockets (default 2)
+///
+/// Exit code 0 iff every expected-clean program verifies clean and
+/// every mutant is rejected (file mode: iff the file verifies clean).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/lint.h"
+#include "analysis/mutants.h"
+#include "analysis/verifier.h"
+
+#include "caesium/parser.h"
+#include "caesium/rossl_program.h"
+#include "support/table.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace rprosa;
+using namespace rprosa::analysis;
+using namespace rprosa::caesium;
+
+namespace {
+
+const char *kindName(VerdictKind K) {
+  switch (K) {
+  case VerdictKind::Verified:
+    return "verified";
+  case VerdictKind::ProtocolViolation:
+    return "PROTOCOL VIOLATION";
+  case VerdictKind::Defect:
+    return "DEFECT";
+  case VerdictKind::ResourceLimit:
+    return "inconclusive";
+  }
+  return "?";
+}
+
+/// Analyzer + lints on one program; prints one table row.
+struct Analysis {
+  Verdict V;
+  std::vector<LintFinding> Lints;
+};
+
+Analysis analyze(const StmtPtr &Program, std::uint32_t NumSockets) {
+  Analysis A;
+  Cfg G = buildCfg(Program);
+  A.V = verifyProtocol(G, NumSockets);
+  // Dead-branch lint needs complete coverage, which only a finished
+  // clean exploration provides.
+  A.Lints = runLints(G, A.V.verified() ? &A.V : nullptr);
+  return A;
+}
+
+int sweepMode() {
+  std::printf("=== rp_verify: static protocol verification of the "
+              "embedded Roessl program ===\n\n");
+
+  bool Ok = true;
+  TableWriter Sweep({"sockets", "states", "transitions", "verdict",
+                     "lint findings"});
+  for (std::uint32_t N : {1u, 2u, 4u, 8u}) {
+    Analysis A = analyze(buildRosslProgram(N), N);
+    Sweep.addRow({std::to_string(N), std::to_string(A.V.StatesExplored),
+                  std::to_string(A.V.TransitionsExplored),
+                  kindName(A.V.Kind), std::to_string(A.Lints.size())});
+    if (!A.V.verified() || !A.Lints.empty()) {
+      Ok = false;
+      std::printf("%s\n%s", A.V.describe().c_str(),
+                  describe(A.Lints).c_str());
+    }
+  }
+  std::printf("%s\n", Sweep.renderAscii().c_str());
+  std::printf("a 'verified' row proves: every marker sequence this "
+              "program can emit, for every socket behaviour and queue "
+              "content, is accepted by the Fig. 5 protocol STS — the "
+              "executable stand-in for the paper's RefinedC proof "
+              "(exhaustive over the finite abstract state space, no "
+              "fuel horizon).\n\n");
+
+  TableWriter Mut({"mutant", "verdict", "markers to violation",
+                   "rejecting diagnostic"});
+  for (const Mutant &M : protocolMutantCorpus(2)) {
+    Analysis A = analyze(M.Program, 2);
+    bool Caught = !A.V.verified();
+    Ok &= Caught;
+    std::string Diag = A.V.Diagnostic.substr(0, 48);
+    if (A.V.Diagnostic.size() > 48)
+      Diag += "...";
+    Mut.addRow({M.Name, Caught ? "caught" : "MISSED",
+                std::to_string(A.V.MarkerPrefix.size()), Diag});
+  }
+  std::printf("%s\n", Mut.renderAscii().c_str());
+  std::printf("every mutant must be caught: the corpus is the "
+              "soundness evidence that a clean verdict is not "
+              "vacuous.\n");
+  return Ok ? 0 : 1;
+}
+
+int fileMode(const char *Path, std::uint32_t NumSockets) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "rp_verify: cannot open %s\n", Path);
+    return 2;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  CheckResult Diags;
+  std::optional<StmtPtr> Program = parseProgram(Buf.str(), &Diags);
+  if (!Program) {
+    std::fprintf(stderr, "rp_verify: parse error in %s:\n%s", Path,
+                 Diags.describe().c_str());
+    return 2;
+  }
+
+  Analysis A = analyze(*Program, NumSockets);
+  std::printf("%s: %s (%zu states, %zu transitions, %u sockets)\n", Path,
+              kindName(A.V.Kind), A.V.StatesExplored,
+              A.V.TransitionsExplored, NumSockets);
+  if (!A.V.verified())
+    std::printf("%s\n", A.V.describe().c_str());
+  if (!A.Lints.empty())
+    std::printf("%s", describe(A.Lints).c_str());
+  return A.V.verified() && A.Lints.empty() ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc <= 1)
+    return sweepMode();
+  std::uint32_t NumSockets = 2;
+  if (Argc >= 3)
+    NumSockets = static_cast<std::uint32_t>(std::strtoul(Argv[2], nullptr, 10));
+  if (NumSockets == 0) {
+    std::fprintf(stderr, "rp_verify: socket count must be >= 1\n");
+    return 2;
+  }
+  return fileMode(Argv[1], NumSockets);
+}

@@ -1,0 +1,242 @@
+//===- analysis/cfg.cpp ---------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/cfg.h"
+
+#include "caesium/print.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rprosa;
+using namespace rprosa::analysis;
+using namespace rprosa::caesium;
+
+std::string CfgNode::label() const {
+  switch (K) {
+  case Kind::Entry:
+    return "entry";
+  case Kind::Exit:
+    return "exit";
+  case Kind::Assign:
+    return "r" + std::to_string(Dst) + " = " + printExpr(*E);
+  case Kind::Branch:
+    return "branch " + printExpr(*E);
+  case Kind::Read:
+    return "r" + std::to_string(Dst) + " = read(r" + std::to_string(Reg) +
+           ", buf" + std::to_string(Buf) + ")";
+  case Kind::Trace:
+    switch (Fn) {
+    case TraceFn::TrSelection:
+      return "selection_start()";
+    case TraceFn::TrDisp:
+      return "dispatch_start(buf" + std::to_string(Buf) + ")";
+    case TraceFn::TrExec:
+      return "execution_start(buf" + std::to_string(Buf) + ")";
+    case TraceFn::TrCompl:
+      return "completion_start(buf" + std::to_string(Buf) + ")";
+    case TraceFn::TrIdling:
+      return "idling_start()";
+    }
+    return "trace?";
+  case Kind::Enqueue:
+    return "npfp_enqueue(&sched, buf" + std::to_string(Buf) + ")";
+  case Kind::Dequeue:
+    return "r" + std::to_string(Dst) + " = npfp_dequeue(&sched, buf" +
+           std::to_string(Buf) + ")";
+  case Kind::Free:
+    return "free(buf" + std::to_string(Buf) + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Backwards lowering: lower(S, Succ) returns the entry node of the
+/// subgraph for S whose every terminating path continues at Succ.
+class Lowerer {
+public:
+  Cfg G;
+
+  NodeId add(CfgNode N) {
+    G.Nodes.push_back(std::move(N));
+    return static_cast<NodeId>(G.Nodes.size() - 1);
+  }
+
+  NodeId lower(const Stmt &S, NodeId Succ) {
+    switch (S.K) {
+    case Stmt::Kind::Seq: {
+      NodeId Next = Succ;
+      for (auto It = S.Children.rbegin(); It != S.Children.rend(); ++It)
+        Next = lower(**It, Next);
+      return Next;
+    }
+    case Stmt::Kind::SetReg: {
+      CfgNode N;
+      N.K = CfgNode::Kind::Assign;
+      N.Dst = S.Dst;
+      N.E = S.E;
+      N.Succ = Succ;
+      return add(std::move(N));
+    }
+    case Stmt::Kind::If: {
+      NodeId ThenEntry = lower(*S.Children[0], Succ);
+      NodeId ElseEntry =
+          S.Children.size() > 1 ? lower(*S.Children[1], Succ) : Succ;
+      CfgNode N;
+      N.K = CfgNode::Kind::Branch;
+      N.E = S.E;
+      N.Succ = ThenEntry;
+      N.FalseSucc = ElseEntry;
+      return add(std::move(N));
+    }
+    case Stmt::Kind::While: {
+      // Reserve the branch node first: the body loops back to it.
+      CfgNode Placeholder;
+      Placeholder.K = CfgNode::Kind::Branch;
+      Placeholder.E = S.E;
+      NodeId W = add(std::move(Placeholder));
+      NodeId BodyEntry = lower(*S.Children[0], W);
+      G.Nodes[W].Succ = BodyEntry;
+      G.Nodes[W].FalseSucc = Succ;
+      return W;
+    }
+    case Stmt::Kind::ReadE: {
+      CfgNode N;
+      N.K = CfgNode::Kind::Read;
+      N.Reg = S.Reg;
+      N.Buf = S.Buf;
+      N.Dst = S.Dst;
+      N.Succ = Succ;
+      return add(std::move(N));
+    }
+    case Stmt::Kind::TraceE: {
+      CfgNode N;
+      N.K = CfgNode::Kind::Trace;
+      N.Fn = S.Fn;
+      N.Buf = S.Buf;
+      N.Succ = Succ;
+      return add(std::move(N));
+    }
+    case Stmt::Kind::Enqueue: {
+      CfgNode N;
+      N.K = CfgNode::Kind::Enqueue;
+      N.Buf = S.Buf;
+      N.Succ = Succ;
+      return add(std::move(N));
+    }
+    case Stmt::Kind::Dequeue: {
+      CfgNode N;
+      N.K = CfgNode::Kind::Dequeue;
+      N.Buf = S.Buf;
+      N.Dst = S.Dst;
+      N.Succ = Succ;
+      return add(std::move(N));
+    }
+    case Stmt::Kind::FreeBuf: {
+      CfgNode N;
+      N.K = CfgNode::Kind::Free;
+      N.Buf = S.Buf;
+      N.Succ = Succ;
+      return add(std::move(N));
+    }
+    }
+    assert(false && "unknown statement kind");
+    return InvalidNode;
+  }
+};
+
+void scanExprRegs(const Expr &E, std::uint32_t &MaxReg) {
+  if (E.K == Expr::Kind::Reg)
+    MaxReg = std::max(MaxReg, E.Reg + 1);
+  if (E.L)
+    scanExprRegs(*E.L, MaxReg);
+  if (E.R)
+    scanExprRegs(*E.R, MaxReg);
+}
+
+} // namespace
+
+Cfg rprosa::analysis::buildCfg(const StmtPtr &Program) {
+  assert(Program && "null program");
+  Lowerer L;
+  NodeId Entry = L.add(CfgNode{}); // Kind::Entry by default.
+  CfgNode ExitNode;
+  ExitNode.K = CfgNode::Kind::Exit;
+  NodeId Exit = L.add(std::move(ExitNode));
+  NodeId ProgEntry = L.lower(*Program, Exit);
+  L.G.Nodes[Entry].Succ = ProgEntry;
+  L.G.Entry = Entry;
+  L.G.Exit = Exit;
+  L.G.Root = Program;
+  return std::move(L.G);
+}
+
+std::uint32_t Cfg::numRegs() const {
+  std::uint32_t Max = 0;
+  for (const CfgNode &N : Nodes) {
+    if (N.E)
+      scanExprRegs(*N.E, Max);
+    switch (N.K) {
+    case CfgNode::Kind::Assign:
+    case CfgNode::Kind::Dequeue:
+      Max = std::max(Max, N.Dst + 1);
+      break;
+    case CfgNode::Kind::Read:
+      Max = std::max({Max, N.Dst + 1, N.Reg + 1});
+      break;
+    default:
+      break;
+    }
+  }
+  return Max;
+}
+
+std::uint32_t Cfg::numBufs() const {
+  std::uint32_t Max = 0;
+  for (const CfgNode &N : Nodes)
+    switch (N.K) {
+    case CfgNode::Kind::Read:
+    case CfgNode::Kind::Enqueue:
+    case CfgNode::Kind::Dequeue:
+    case CfgNode::Kind::Free:
+      Max = std::max(Max, N.Buf + 1);
+      break;
+    case CfgNode::Kind::Trace:
+      if (N.Fn == TraceFn::TrDisp || N.Fn == TraceFn::TrExec ||
+          N.Fn == TraceFn::TrCompl)
+        Max = std::max(Max, N.Buf + 1);
+      break;
+    default:
+      break;
+    }
+  return Max;
+}
+
+std::vector<NodeId> Cfg::successors(NodeId N) const {
+  const CfgNode &Node = Nodes[N];
+  std::vector<NodeId> Out;
+  if (Node.Succ != InvalidNode)
+    Out.push_back(Node.Succ);
+  if (Node.K == CfgNode::Kind::Branch && Node.FalseSucc != InvalidNode)
+    Out.push_back(Node.FalseSucc);
+  return Out;
+}
+
+std::string Cfg::dump() const {
+  std::string Out;
+  for (NodeId I = 0; I < Nodes.size(); ++I) {
+    const CfgNode &N = Nodes[I];
+    Out += "n" + std::to_string(I) + ": " + N.label();
+    if (N.K == CfgNode::Kind::Branch)
+      Out += " -> n" + std::to_string(N.Succ) + " / n" +
+             std::to_string(N.FalseSucc);
+    else if (N.Succ != InvalidNode)
+      Out += " -> n" + std::to_string(N.Succ);
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,99 @@
+//===- analysis/cfg.h - Control-flow graph over the Caesium AST -----------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static-analysis substrate: the deeply-embedded `Stmt` tree
+/// (caesium/ast.h) lowered into an explicit control-flow graph. Each
+/// node is one atomic effect of the Fig. 6 semantics (an assignment, a
+/// two-way branch, a read system call, a marker call, a scheduler-state
+/// builtin); structured control flow (Seq/If/While) disappears into
+/// edges. The verifier (verifier.h) explores this graph in product with
+/// the protocol STS, and the lint passes (lint.h) run dataflow and
+/// reachability over it.
+///
+/// Nondeterminism is *not* encoded as extra edges: a Read node has one
+/// successor, and the analysis branches on its two outcomes
+/// (READ-STEP-SUCCESS / READ-STEP-FAILURE); likewise Dequeue (hit /
+/// miss). Only Branch nodes have two successors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_ANALYSIS_CFG_H
+#define RPROSA_ANALYSIS_CFG_H
+
+#include "caesium/ast.h"
+
+#include <string>
+#include <vector>
+
+namespace rprosa::analysis {
+
+/// Index of a node in Cfg::Nodes.
+using NodeId = std::uint32_t;
+inline constexpr NodeId InvalidNode = static_cast<NodeId>(-1);
+
+/// One atomic step of the lowered program.
+struct CfgNode {
+  enum class Kind : std::uint8_t {
+    Entry,   ///< The unique entry; no effect.
+    Exit,    ///< The unique exit; a run may also stop anywhere (finite
+             ///< prefixes), but reaching Exit ends every path.
+    Assign,  ///< reg(Dst) := E.
+    Branch,  ///< if (E) goto Succ else goto FalseSucc.
+    Read,    ///< The read system call on socket reg(Reg) into Buf;
+             ///< reg(Dst) := length or -1; emits M_ReadS + M_ReadE.
+    Trace,   ///< A marker call (Fn; buffer Buf for TrDisp/TrExec/TrCompl).
+    Enqueue, ///< npfp_enqueue(&sched, Buf).
+    Dequeue, ///< npfp_dequeue(&sched) into Buf; reg(Dst) := 1/0.
+    Free,    ///< free(Buf).
+  };
+
+  Kind K = Kind::Entry;
+  caesium::ExprPtr E;           ///< Assign value / Branch condition.
+  caesium::RegId Dst = 0;       ///< Assign / Read / Dequeue result register.
+  caesium::RegId Reg = 0;       ///< Read socket register.
+  caesium::BufId Buf = 0;       ///< Read/Trace/Enqueue/Dequeue/Free buffer.
+  caesium::TraceFn Fn = caesium::TraceFn::TrIdling; ///< Trace only.
+
+  NodeId Succ = InvalidNode;      ///< Fallthrough / branch-taken successor.
+  NodeId FalseSucc = InvalidNode; ///< Branch-not-taken successor.
+
+  /// One-line C-like rendering ("r2 = read(r0, buf0)") for diagnostics
+  /// and counterexample trails.
+  std::string label() const;
+};
+
+/// The lowered program. Node 0 is Entry; Exit is the unique sink.
+struct Cfg {
+  std::vector<CfgNode> Nodes;
+  NodeId Entry = 0;
+  NodeId Exit = 0;
+  /// Keeps the source AST alive (nodes share its Expr subtrees).
+  caesium::StmtPtr Root;
+
+  std::size_t size() const { return Nodes.size(); }
+  const CfgNode &operator[](NodeId N) const { return Nodes[N]; }
+
+  /// 1 + the highest register id mentioned anywhere in the program.
+  std::uint32_t numRegs() const;
+  /// 1 + the highest buffer id mentioned anywhere in the program.
+  std::uint32_t numBufs() const;
+
+  /// The successors of \p N (0, 1, or 2 of them).
+  std::vector<NodeId> successors(NodeId N) const;
+
+  /// Multi-line text dump (one node per line, with edges) for tests and
+  /// debugging.
+  std::string dump() const;
+};
+
+/// Lowers \p Program into a Cfg. Every statement kind of the embedding
+/// is supported; the result always has exactly one Entry and one Exit.
+Cfg buildCfg(const caesium::StmtPtr &Program);
+
+} // namespace rprosa::analysis
+
+#endif // RPROSA_ANALYSIS_CFG_H

@@ -1,0 +1,166 @@
+//===- analysis/mutants.cpp -----------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/mutants.h"
+
+using namespace rprosa::analysis;
+using namespace rprosa::caesium;
+
+namespace {
+
+/// Which single edit to apply to the Fig. 2 loop. Mirrors
+/// buildRosslProgram (rossl_program.cpp); keep the two in sync.
+struct Mutation {
+  bool DropCompletion = false;     ///< Omit completion_start().
+  bool DropDispatchMarker = false; ///< Omit dispatch_start().
+  bool SwapDispatchExec = false;   ///< execution_start() before dispatch.
+  bool DoubleRead = false;         ///< Read each socket twice per slot.
+  bool SkipSelection = false;      ///< Omit selection_start().
+  bool IdleAlways = false;         ///< idling_start() even after dispatch.
+  bool IgnoreLastSocket = false;   ///< Poll only sockets 0..N-2.
+};
+
+StmtPtr buildMutatedRossl(std::uint32_t NumSockets, const Mutation &Mu) {
+  constexpr RegId Sock = 0, AnySuccess = 1, ReadResult = 2, HaveJob = 3;
+  constexpr BufId RecvBuf = 0, DispBuf = 1;
+
+  std::int64_t Bound = static_cast<std::int64_t>(NumSockets);
+  if (Mu.IgnoreLastSocket)
+    Bound -= 1;
+
+  std::vector<StmtPtr> Slot;
+  Slot.push_back(Stmt::readE(Sock, RecvBuf, ReadResult));
+  if (Mu.DoubleRead)
+    Slot.push_back(Stmt::readE(Sock, RecvBuf, ReadResult));
+  Slot.push_back(Stmt::ifThen(
+      Expr::notE(Expr::eq(Expr::reg(ReadResult), Expr::lit(-1))),
+      Stmt::seq({
+          Stmt::enqueue(RecvBuf),
+          Stmt::freeBuf(RecvBuf),
+          Stmt::setReg(AnySuccess, Expr::lit(1)),
+      })));
+  Slot.push_back(Stmt::setReg(Sock, Expr::add(Expr::reg(Sock), Expr::lit(1))));
+
+  StmtPtr OneRound = Stmt::seq({
+      Stmt::setReg(Sock, Expr::lit(0)),
+      Stmt::whileLoop(Expr::less(Expr::reg(Sock), Expr::lit(Bound)),
+                      Stmt::seq(std::move(Slot))),
+  });
+
+  StmtPtr Polling = Stmt::seq({
+      Stmt::setReg(AnySuccess, Expr::lit(1)),
+      Stmt::whileLoop(Expr::reg(AnySuccess),
+                      Stmt::seq({
+                          Stmt::setReg(AnySuccess, Expr::lit(0)),
+                          OneRound,
+                      })),
+  });
+
+  std::vector<StmtPtr> Dispatched;
+  if (Mu.SwapDispatchExec) {
+    Dispatched.push_back(Stmt::traceE(TraceFn::TrExec, DispBuf));
+    Dispatched.push_back(Stmt::traceE(TraceFn::TrDisp, DispBuf));
+  } else {
+    if (!Mu.DropDispatchMarker)
+      Dispatched.push_back(Stmt::traceE(TraceFn::TrDisp, DispBuf));
+    Dispatched.push_back(Stmt::traceE(TraceFn::TrExec, DispBuf));
+  }
+  if (!Mu.DropCompletion)
+    Dispatched.push_back(Stmt::traceE(TraceFn::TrCompl, DispBuf));
+  Dispatched.push_back(Stmt::freeBuf(DispBuf));
+  if (Mu.IdleAlways)
+    Dispatched.push_back(Stmt::traceE(TraceFn::TrIdling));
+
+  std::vector<StmtPtr> SelectAndRun;
+  if (!Mu.SkipSelection)
+    SelectAndRun.push_back(Stmt::traceE(TraceFn::TrSelection));
+  SelectAndRun.push_back(Stmt::dequeue(DispBuf, HaveJob));
+  SelectAndRun.push_back(Stmt::ifThen(Expr::reg(HaveJob),
+                                      Stmt::seq(std::move(Dispatched)),
+                                      Stmt::traceE(TraceFn::TrIdling)));
+
+  return Stmt::whileLoop(
+      Expr::fuel(),
+      Stmt::seq({Polling, Stmt::seq(std::move(SelectAndRun))}));
+}
+
+Mutant make(std::string Name, std::string Description, Mutation Mu,
+            std::uint32_t NumSockets, bool InterpreterSafe = true) {
+  return {std::move(Name), std::move(Description),
+          buildMutatedRossl(NumSockets, Mu), InterpreterSafe};
+}
+
+} // namespace
+
+std::vector<Mutant>
+rprosa::analysis::protocolMutantCorpus(std::uint32_t NumSockets) {
+  std::vector<Mutant> Corpus;
+
+  {
+    Mutation Mu;
+    Mu.DropCompletion = true;
+    Corpus.push_back(make("dropped-completion",
+                          "the completion marker is never emitted: the "
+                          "next polling phase starts while the STS still "
+                          "expects M_Completion",
+                          Mu, NumSockets));
+  }
+  {
+    Mutation Mu;
+    Mu.DropDispatchMarker = true;
+    Corpus.push_back(make("dropped-dispatch",
+                          "execution starts without a dispatch marker: "
+                          "M_Execution arrives where M_Dispatch or "
+                          "M_Idling is expected",
+                          Mu, NumSockets, /*InterpreterSafe=*/false));
+  }
+  {
+    Mutation Mu;
+    Mu.SwapDispatchExec = true;
+    Corpus.push_back(make("reordered-dispatch",
+                          "dispatch and execution markers are swapped: "
+                          "the job 'executes' before it is dispatched",
+                          Mu, NumSockets, /*InterpreterSafe=*/false));
+  }
+  {
+    Mutation Mu;
+    Mu.DoubleRead = true;
+    Corpus.push_back(make("double-read",
+                          "each socket is read twice per round-robin "
+                          "slot, breaking the polling discipline",
+                          Mu, NumSockets));
+  }
+  {
+    Mutation Mu;
+    Mu.SkipSelection = true;
+    Corpus.push_back(make("skipped-selection",
+                          "the selection marker is omitted: dispatch or "
+                          "idling arrives while the STS expects "
+                          "M_Selection",
+                          Mu, NumSockets));
+  }
+  {
+    Mutation Mu;
+    Mu.IdleAlways = true;
+    Corpus.push_back(make("unconditional-idling",
+                          "an idling marker is also emitted after a "
+                          "successful dispatch cycle, where the STS "
+                          "expects the next polling read",
+                          Mu, NumSockets));
+  }
+  {
+    Mutation Mu;
+    Mu.IgnoreLastSocket = true;
+    Corpus.push_back(make("ignore-last-socket",
+                          "the polling loop stops one socket early (the "
+                          "ROS2 wait-set starvation bug, §1.1): the "
+                          "round-robin order is violated — and with one "
+                          "socket, polling is skipped entirely",
+                          Mu, NumSockets));
+  }
+
+  return Corpus;
+}

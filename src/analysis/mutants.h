@@ -1,0 +1,46 @@
+//===- analysis/mutants.h - Protocol-violating Rössl variants -------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A corpus of deliberately broken variants of the embedded Rössl
+/// program (rossl_program.h), each a single protocol-violating edit —
+/// the deep-embedding analogue of rossl/faulty.h's native buggy
+/// schedulers. The corpus is the soundness evidence for the static
+/// verifier: verifyProtocol must reject every mutant with a
+/// counterexample whose marker prefix the *runtime* ProtocolSts rejects
+/// with the same diagnostic, and must accept the unmutated program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_ANALYSIS_MUTANTS_H
+#define RPROSA_ANALYSIS_MUTANTS_H
+
+#include "caesium/ast.h"
+
+#include <string>
+#include <vector>
+
+namespace rprosa::analysis {
+
+struct Mutant {
+  std::string Name;
+  std::string Description;
+  caesium::StmtPtr Program;
+  /// False when running the mutant under the CaesiumMachine would trip
+  /// a machine precondition (an execution marker with no dispatched
+  /// job) before any trace can be checked — those bugs are detectable
+  /// only statically, which is part of the point.
+  bool InterpreterSafe = true;
+};
+
+/// The corpus for \p NumSockets sockets. Every mutant violates the
+/// scheduler protocol (Def. 3.1) on some reachable path, for every
+/// socket count ≥ 1.
+std::vector<Mutant> protocolMutantCorpus(std::uint32_t NumSockets);
+
+} // namespace rprosa::analysis
+
+#endif // RPROSA_ANALYSIS_MUTANTS_H

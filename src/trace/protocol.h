@@ -49,6 +49,23 @@ public:
   /// Number of markers accepted so far.
   std::size_t position() const { return Pos; }
 
+  /// A finite fingerprint of the acceptor's control state: phase,
+  /// round-robin cursor, round flags, and *whether* a job is currently
+  /// dispatched (not which one). Two acceptors with equal keys accept
+  /// exactly the same marker languages going forward, provided future
+  /// Execution/Completion markers carry the job the acceptor recorded
+  /// at its Dispatch — which every generator driving this STS does by
+  /// construction. Position is deliberately excluded (it never affects
+  /// transitions), so the key space is finite: the static verifier
+  /// (analysis/verifier.h) uses it to cache product states.
+  std::uint64_t abstractKey() const {
+    return static_cast<std::uint64_t>(State) |
+           (static_cast<std::uint64_t>(CurSock) << 8) |
+           (static_cast<std::uint64_t>(AnySuccessThisRound) << 40) |
+           (static_cast<std::uint64_t>(RoundStart) << 41) |
+           (static_cast<std::uint64_t>(CurJob != InvalidJobId) << 42);
+  }
+
 private:
   enum class Phase : std::uint8_t {
     PollExpectReadS, ///< Next must be M_ReadS.

@@ -1,0 +1,394 @@
+//===- tests/analysis_test.cpp - Static protocol verifier tests -----------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static-analysis subsystem end to end: CFG lowering, the
+/// exhaustive product model check (clean on the real Rössl program,
+/// counterexamples on every mutant), agreement of the counterexamples
+/// with the runtime ProtocolSts, the lint passes, and static/runtime
+/// agreement over fuzzed interpreter runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/cfg.h"
+#include "analysis/lint.h"
+#include "analysis/mutants.h"
+#include "analysis/verifier.h"
+
+#include "caesium/interp.h"
+#include "caesium/rossl_program.h"
+#include "sim/workload.h"
+#include "support/rng.h"
+#include "trace/protocol.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::analysis;
+using namespace rprosa::caesium;
+using namespace rprosa::testutil;
+
+namespace {
+
+/// Replays a counterexample's marker prefix against a fresh runtime
+/// acceptor: everything before the last marker must be accepted, the
+/// last marker rejected, and the runtime diagnostic must equal the
+/// static one.
+void expectRuntimeRejects(const Verdict &V, std::uint32_t NumSockets) {
+  ASSERT_EQ(V.Kind, VerdictKind::ProtocolViolation);
+  ASSERT_FALSE(V.MarkerPrefix.empty());
+  ProtocolSts Sts(NumSockets);
+  for (std::size_t I = 0; I + 1 < V.MarkerPrefix.size(); ++I) {
+    std::string Why;
+    ASSERT_TRUE(Sts.step(V.MarkerPrefix[I], &Why))
+        << "marker " << I << " of the prefix rejected: " << Why;
+  }
+  std::string Why;
+  EXPECT_FALSE(Sts.step(V.MarkerPrefix.back(), &Why));
+  EXPECT_EQ(Why, V.Diagnostic);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CFG construction
+//===----------------------------------------------------------------------===//
+
+TEST(Cfg, LowersStraightLine) {
+  StmtPtr P = Stmt::seq({
+      Stmt::setReg(0, Expr::lit(3)),
+      Stmt::setReg(1, Expr::add(Expr::reg(0), Expr::lit(1))),
+  });
+  Cfg G = buildCfg(P);
+  EXPECT_EQ(G[G.Entry].K, CfgNode::Kind::Entry);
+  EXPECT_EQ(G[G.Exit].K, CfgNode::Kind::Exit);
+  // entry -> r0=3 -> r1=r0+1 -> exit.
+  NodeId A = G[G.Entry].Succ;
+  ASSERT_EQ(G[A].K, CfgNode::Kind::Assign);
+  EXPECT_EQ(G[A].Dst, 0u);
+  NodeId B = G[A].Succ;
+  ASSERT_EQ(G[B].K, CfgNode::Kind::Assign);
+  EXPECT_EQ(G[B].Dst, 1u);
+  EXPECT_EQ(G[B].Succ, G.Exit);
+  EXPECT_EQ(G.numRegs(), 2u);
+  EXPECT_EQ(G.numBufs(), 0u);
+}
+
+TEST(Cfg, LowersIfElse) {
+  StmtPtr P = Stmt::ifThen(Expr::reg(0), Stmt::setReg(1, Expr::lit(1)),
+                           Stmt::setReg(1, Expr::lit(2)));
+  Cfg G = buildCfg(P);
+  NodeId B = G[G.Entry].Succ;
+  ASSERT_EQ(G[B].K, CfgNode::Kind::Branch);
+  ASSERT_NE(G[B].Succ, G[B].FalseSucc);
+  EXPECT_EQ(G[G[B].Succ].K, CfgNode::Kind::Assign);
+  EXPECT_EQ(G[G[B].FalseSucc].K, CfgNode::Kind::Assign);
+  // Both arms rejoin at Exit.
+  EXPECT_EQ(G[G[B].Succ].Succ, G.Exit);
+  EXPECT_EQ(G[G[B].FalseSucc].Succ, G.Exit);
+}
+
+TEST(Cfg, LowersWhileWithBackEdge) {
+  StmtPtr P = Stmt::whileLoop(Expr::less(Expr::reg(0), Expr::lit(3)),
+                              Stmt::setReg(0, Expr::add(Expr::reg(0),
+                                                        Expr::lit(1))));
+  Cfg G = buildCfg(P);
+  NodeId W = G[G.Entry].Succ;
+  ASSERT_EQ(G[W].K, CfgNode::Kind::Branch);
+  NodeId Body = G[W].Succ;
+  ASSERT_EQ(G[Body].K, CfgNode::Kind::Assign);
+  EXPECT_EQ(G[Body].Succ, W) << "loop body must branch back to the head";
+  EXPECT_EQ(G[W].FalseSucc, G.Exit);
+}
+
+TEST(Cfg, LowersRosslProgram) {
+  Cfg G = buildCfg(buildRosslProgram(2));
+  EXPECT_EQ(G.numRegs(), 4u);
+  EXPECT_EQ(G.numBufs(), 2u);
+  // One read, one dequeue, one enqueue, five marker calls.
+  std::size_t Reads = 0, Deqs = 0, Enqs = 0, Traces = 0;
+  for (NodeId N = 0; N < G.size(); ++N)
+    switch (G[N].K) {
+    case CfgNode::Kind::Read:
+      ++Reads;
+      break;
+    case CfgNode::Kind::Dequeue:
+      ++Deqs;
+      break;
+    case CfgNode::Kind::Enqueue:
+      ++Enqs;
+      break;
+    case CfgNode::Kind::Trace:
+      ++Traces;
+      break;
+    default:
+      break;
+    }
+  EXPECT_EQ(Reads, 1u);
+  EXPECT_EQ(Deqs, 1u);
+  EXPECT_EQ(Enqs, 1u);
+  EXPECT_EQ(Traces, 5u);
+  // The dump names every node and is stable enough to grep.
+  std::string D = G.dump();
+  EXPECT_NE(D.find("npfp_dequeue"), std::string::npos);
+  EXPECT_NE(D.find("dispatch_start(buf1)"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// The model check: clean verdicts
+//===----------------------------------------------------------------------===//
+
+TEST(Verifier, RosslIsCleanForSocketSweep) {
+  for (std::uint32_t N : {1u, 2u, 4u}) {
+    Verdict V = verifyProtocol(buildRosslProgram(N), N);
+    EXPECT_TRUE(V.verified())
+        << "N=" << N << ": " << V.describe();
+    EXPECT_GT(V.StatesExplored, 0u);
+    EXPECT_GT(V.TransitionsExplored, V.StatesExplored)
+        << "nondeterministic branching must outnumber states";
+  }
+}
+
+TEST(Verifier, RosslHasNoLintFindings) {
+  for (std::uint32_t N : {1u, 2u, 4u}) {
+    Cfg G = buildCfg(buildRosslProgram(N));
+    Verdict V = verifyProtocol(G, N);
+    ASSERT_TRUE(V.verified());
+    std::vector<LintFinding> Fs = runLints(G, &V);
+    EXPECT_TRUE(Fs.empty()) << describe(Fs);
+  }
+}
+
+TEST(Verifier, StateSpaceIsFuelFree) {
+  // The same verdict regardless of how generous the would-be fuel is:
+  // the exploration is a fixpoint over abstract states, not a bounded
+  // unrolling, so re-running it is deterministic and finite.
+  Verdict A = verifyProtocol(buildRosslProgram(2), 2);
+  Verdict B = verifyProtocol(buildRosslProgram(2), 2);
+  EXPECT_EQ(A.StatesExplored, B.StatesExplored);
+  EXPECT_EQ(A.TransitionsExplored, B.TransitionsExplored);
+}
+
+TEST(Verifier, EmptyProgramIsClean) {
+  Verdict V = verifyProtocol(Stmt::seq({}), 1);
+  EXPECT_TRUE(V.verified());
+}
+
+//===----------------------------------------------------------------------===//
+// The model check: counterexamples
+//===----------------------------------------------------------------------===//
+
+TEST(Verifier, EveryMutantYieldsReplayableCounterexample) {
+  for (std::uint32_t N : {1u, 2u, 4u}) {
+    for (const Mutant &M : protocolMutantCorpus(N)) {
+      Verdict V = verifyProtocol(M.Program, N);
+      ASSERT_EQ(V.Kind, VerdictKind::ProtocolViolation)
+          << M.Name << " (N=" << N << "): " << V.describe();
+      EXPECT_FALSE(V.Trail.empty()) << M.Name;
+      expectRuntimeRejects(V, N);
+    }
+  }
+}
+
+TEST(Verifier, CounterexampleIsMinimalForSkippedSelection) {
+  // With one socket the shortest violating run is: one failed read
+  // (ends the polling phase), then the dequeue and its miss-path idling
+  // marker where M_Selection was expected — 3 markers in total.
+  std::vector<Mutant> Corpus = protocolMutantCorpus(1);
+  const Mutant *Skip = nullptr;
+  for (const Mutant &M : Corpus)
+    if (M.Name == "skipped-selection")
+      Skip = &M;
+  ASSERT_NE(Skip, nullptr);
+  Verdict V = verifyProtocol(Skip->Program, 1);
+  ASSERT_EQ(V.Kind, VerdictKind::ProtocolViolation);
+  EXPECT_EQ(V.MarkerPrefix.size(), 3u) << V.describe();
+}
+
+TEST(Verifier, DispatchOfNeverFilledBufferIsADefect) {
+  // A protocol-conformant polling phase followed by a dispatch of buf1,
+  // which nothing ever filled: the machine would assert ("dispatch of
+  // an empty buffer"); the verifier reports the defect statically. The
+  // polling loop must be the real one so that no competing *protocol*
+  // violation exists on any path.
+  StmtPtr Poll = Stmt::seq({
+      Stmt::setReg(1, Expr::lit(1)),
+      Stmt::whileLoop(
+          Expr::reg(1),
+          Stmt::seq({
+              Stmt::setReg(1, Expr::lit(0)),
+              Stmt::setReg(0, Expr::lit(0)),
+              Stmt::whileLoop(
+                  Expr::less(Expr::reg(0), Expr::lit(1)),
+                  Stmt::seq({
+                      Stmt::readE(0, 0, 2),
+                      Stmt::ifThen(Expr::notE(Expr::eq(Expr::reg(2),
+                                                       Expr::lit(-1))),
+                                   Stmt::seq({
+                                       Stmt::enqueue(0),
+                                       Stmt::freeBuf(0),
+                                       Stmt::setReg(1, Expr::lit(1)),
+                                   })),
+                      Stmt::setReg(0, Expr::add(Expr::reg(0),
+                                                Expr::lit(1))),
+                  })),
+          })),
+  });
+  StmtPtr P = Stmt::seq({
+      Poll,
+      Stmt::traceE(TraceFn::TrSelection),
+      Stmt::traceE(TraceFn::TrDisp, 1),
+  });
+  Verdict V = verifyProtocol(P, 1);
+  EXPECT_EQ(V.Kind, VerdictKind::Defect) << V.describe();
+  EXPECT_NE(V.Diagnostic.find("empty buffer"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Static verdicts vs the runtime monitor
+//===----------------------------------------------------------------------===//
+
+TEST(Agreement, InterpreterSafeMutantsAreCaughtAtRuntimeToo) {
+  // Each statically-rejected mutant that the machine can execute must
+  // also produce a concrete trace the runtime ProtocolSts rejects — the
+  // static verdict is not crying wolf.
+  const std::uint32_t N = 2;
+  ClientConfig C = makeClient(figure3Tasks(), N);
+  WorkloadSpec Spec;
+  Spec.NumSockets = N;
+  Spec.Horizon = 4000;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+  for (const Mutant &M : protocolMutantCorpus(N)) {
+    if (!M.InterpreterSafe)
+      continue;
+    Environment Env(Arr);
+    CostModel Costs(C.Wcets, CostModelKind::AlwaysWcet, 1);
+    CaesiumMachine Machine(C, Env, Costs);
+    RunLimits Limits;
+    Limits.Horizon = 8000;
+    TimedTrace TT = Machine.run(M.Program, Limits);
+    EXPECT_FALSE(checkProtocol(TT.Tr, N).passed())
+        << M.Name << ": runtime monitor missed the statically-detected "
+        << "violation";
+  }
+}
+
+TEST(Agreement, FuzzedRunsOfVerifiedProgramAllPassRuntimeCheck) {
+  // The clean static verdict quantifies over all socket behaviours;
+  // 100 randomized concrete runs must therefore all be accepted by the
+  // runtime acceptor (static verdict => runtime verdict, per run).
+  SplitMix64 Rng(2026);
+  for (int Round = 0; Round < 100; ++Round) {
+    std::uint32_t N = static_cast<std::uint32_t>(Rng.nextInRange(1, 4));
+    StmtPtr Program = buildRosslProgram(N);
+    static bool VerifiedFor[5] = {};
+    if (!VerifiedFor[N]) {
+      ASSERT_TRUE(verifyProtocol(Program, N).verified());
+      VerifiedFor[N] = true;
+    }
+
+    ClientConfig C = makeClient(Rng.next() % 2 ? figure3Tasks()
+                                               : mixedTasks(),
+                                N);
+    WorkloadSpec Spec;
+    Spec.NumSockets = N;
+    Spec.Horizon = 1000 + Rng.nextInRange(0, 3000);
+    Spec.Seed = Rng.next();
+    Spec.Style = static_cast<WorkloadStyle>(Rng.nextInRange(0, 2));
+    ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+
+    Environment Env(Arr);
+    CostModel Costs(C.Wcets,
+                    Rng.next() % 2 ? CostModelKind::AlwaysWcet
+                                   : CostModelKind::Uniform,
+                    Rng.next());
+    CaesiumMachine Machine(C, Env, Costs);
+    RunLimits Limits;
+    Limits.Horizon = Spec.Horizon * 2;
+    TimedTrace TT = Machine.run(Program, Limits);
+    CheckResult R = checkProtocol(TT.Tr, N);
+    EXPECT_TRUE(R.passed())
+        << "round " << Round << " (N=" << N << "): " << R.describe();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Lint passes
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, MarkerBalanceCatchesDroppedCompletion) {
+  for (const Mutant &M : protocolMutantCorpus(2))
+    if (M.Name == "dropped-completion") {
+      std::vector<LintFinding> Fs = lintMarkerBalance(buildCfg(M.Program));
+      ASSERT_FALSE(Fs.empty());
+      EXPECT_EQ(Fs[0].Pass, "marker-balance");
+      return;
+    }
+  FAIL() << "mutant not found";
+}
+
+TEST(Lint, DefBeforeUseCatchesUnassignedRegister) {
+  StmtPtr P = Stmt::setReg(1, Expr::add(Expr::reg(5), Expr::lit(1)));
+  std::vector<LintFinding> Fs = lintDefBeforeUse(buildCfg(P));
+  ASSERT_FALSE(Fs.empty());
+  EXPECT_NE(Fs[0].Message.find("r5"), std::string::npos);
+}
+
+TEST(Lint, DefBeforeUseCatchesNeverFilledBuffer) {
+  StmtPtr P = Stmt::seq({Stmt::enqueue(3)});
+  std::vector<LintFinding> Fs = lintDefBeforeUse(buildCfg(P));
+  ASSERT_FALSE(Fs.empty());
+  EXPECT_NE(Fs[0].Message.find("buf3"), std::string::npos);
+}
+
+TEST(Lint, FuelTerminationCatchesWhileTrue) {
+  StmtPtr P = Stmt::whileLoop(Expr::lit(1), Stmt::setReg(0, Expr::lit(0)));
+  std::vector<LintFinding> Fs = lintFuelTermination(buildCfg(P));
+  ASSERT_EQ(Fs.size(), 1u);
+  EXPECT_EQ(Fs[0].Pass, "fuel-termination");
+}
+
+TEST(Lint, FuelTerminationCatchesInvariantCondition) {
+  // while (r0 < 3) { r1 = r1 + 1; } — the body never changes r0.
+  StmtPtr P = Stmt::seq({
+      Stmt::setReg(0, Expr::lit(0)),
+      Stmt::whileLoop(Expr::less(Expr::reg(0), Expr::lit(3)),
+                      Stmt::setReg(1, Expr::add(Expr::reg(1),
+                                                Expr::lit(1)))),
+  });
+  std::vector<LintFinding> Fs = lintFuelTermination(buildCfg(P));
+  ASSERT_EQ(Fs.size(), 1u);
+}
+
+TEST(Lint, FuelTerminationAcceptsFuelAndProgressLoops) {
+  EXPECT_TRUE(lintFuelTermination(buildCfg(buildRosslProgram(3))).empty());
+}
+
+TEST(Lint, DeadBranchCatchesConstantCondition) {
+  StmtPtr P = Stmt::ifThen(Expr::lit(0), Stmt::setReg(0, Expr::lit(7)));
+  Cfg G = buildCfg(P);
+  Verdict V = verifyProtocol(G, 1);
+  ASSERT_TRUE(V.verified());
+  std::vector<LintFinding> Fs = lintDeadBranches(G, V);
+  ASSERT_FALSE(Fs.empty());
+  bool SawNeverTrue = false, SawUnreachable = false;
+  for (const LintFinding &F : Fs) {
+    SawNeverTrue |= F.Message.find("true") != std::string::npos;
+    SawUnreachable |= F.Message.find("unreachable") != std::string::npos;
+  }
+  EXPECT_TRUE(SawNeverTrue);
+  EXPECT_TRUE(SawUnreachable);
+}
+
+TEST(Lint, MachineRangeCatchesOversizedPrograms) {
+  StmtPtr P = Stmt::setReg(9, Expr::lit(1));
+  std::vector<LintFinding> Fs = lintMachineRange(buildCfg(P));
+  ASSERT_EQ(Fs.size(), 1u);
+  EXPECT_EQ(Fs[0].Pass, "machine-range");
+}
