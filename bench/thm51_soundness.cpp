@@ -21,6 +21,8 @@
 
 #include "adequacy/pipeline.h"
 #include "adequacy/report.h"
+#include "analysis/timing/segment_costs.h"
+#include "caesium/rossl_program.h"
 #include "sim/workload.h"
 #include "support/table.h"
 
@@ -82,6 +84,102 @@ const char *styleName(WorkloadStyle S) {
     return "sparse";
   }
   return "?";
+}
+
+/// The end-to-end "derived inputs" section: the WCET tables feeding the
+/// §4 RTA come from the static segment-cost pass (analysis/timing) over
+/// the embedded scheduler instead of being hand-supplied. With zero
+/// instruction costs the derived table must coincide with the hand
+/// table (the native scheduler folds non-marker work into its
+/// basic-action WCETs); with unit instruction costs the derived table
+/// is strictly more conservative — Thm. 5.1 must hold either way.
+bool runStaticInputsSection() {
+  using namespace rprosa::analysis;
+  std::printf("--- Thm. 5.1 from statically derived timing inputs "
+              "(analysis/timing -> §4 RTA) ---\n\n");
+
+  bool Ok = true;
+  TableWriter T({"sockets", "instr model", "wcets vs hand", "rta source",
+                 "jobs", "in-horizon", "violations", "worst obs/bound"});
+
+  for (std::uint32_t Socks : {1u, 2u, 4u}) {
+    for (bool UnitInstr : {false, true}) {
+      AdequacySpec Spec;
+      Spec.Client.Tasks = makeTasks(0);
+      Spec.Client.NumSockets = Socks;
+      Spec.Client.Policy = SchedPolicy::Npfp;
+      Spec.Client.Wcets = BasicActionWcets::typicalDeployment();
+      WorkloadSpec WSpec;
+      WSpec.NumSockets = Socks;
+      WSpec.Horizon = 400 * TickUs;
+      WSpec.Seed = 7 + Socks;
+      WSpec.Style = WorkloadStyle::GreedyDense;
+      Spec.Arr = generateWorkload(Spec.Client.Tasks, WSpec);
+      Spec.Seed = 7 + Socks;
+      Spec.Limits.Horizon = 2 * TickMs;
+
+      StaticCostParams P;
+      P.Wcets = Spec.Client.Wcets;
+      P.Instr = UnitInstr ? InstructionCosts::unit() : InstructionCosts{};
+      for (const Task &Tk : Spec.Client.Tasks.tasks())
+        P.MaxCallbackWcet = std::max(P.MaxCallbackWcet, Tk.Wcet);
+      TimingResult R = analyzeTiming(
+          buildCfg(caesium::buildRosslProgram(Socks)), P, Socks);
+      if (!R.allBounded()) {
+        std::printf("static pass UNBOUNDED at %u sockets\n", Socks);
+        return false;
+      }
+      TimingInputs In = R.toRtaInputs(Spec.Client.Tasks,
+                                      Spec.Client.Wcets);
+      Spec.StaticTiming = In;
+
+      // Zero instruction costs must reproduce the hand table exactly;
+      // unit costs must only ever grow it.
+      BasicActionWcets H = Spec.Client.Wcets, D = In.Wcets;
+      bool Eq = D.FailedRead == H.FailedRead &&
+                D.SuccessfulRead == H.SuccessfulRead &&
+                D.Selection == H.Selection && D.Dispatch == H.Dispatch &&
+                D.Completion == H.Completion && D.Idling == H.Idling;
+      bool Geq = D.FailedRead >= H.FailedRead &&
+                 D.SuccessfulRead >= H.SuccessfulRead &&
+                 D.Selection >= H.Selection && D.Dispatch >= H.Dispatch &&
+                 D.Completion >= H.Completion && D.Idling >= H.Idling;
+      Ok &= UnitInstr ? Geq : Eq;
+
+      AdequacyReport Rep = runAdequacy(Spec);
+      bool Sound = Rep.assumptionsHold() && Rep.invariantsHold() &&
+                   Rep.conclusionHolds();
+      Ok &= Sound && Rep.Rta.Source == TimingSource::StaticAnalysis;
+      if (!Sound)
+        std::printf("UNSOUND CONFIG (derived inputs):\n%s\n",
+                    Rep.summary().c_str());
+
+      std::uint64_t InHorizon = 0, Violations = 0;
+      double WorstRatio = 0;
+      for (const JobVerdict &V : Rep.Jobs) {
+        InHorizon += V.WithinHorizon;
+        Violations += !V.Holds;
+        if (V.Completed && V.Bound != TimeInfinity && V.Bound > 0)
+          WorstRatio = std::max(WorstRatio,
+                                double(V.ResponseTime) / double(V.Bound));
+      }
+      Ok &= Violations == 0;
+      char Ratio[32];
+      std::snprintf(Ratio, sizeof(Ratio), "%.2f", WorstRatio);
+      T.addRow({std::to_string(Socks), UnitInstr ? "unit" : "zero",
+                UnitInstr ? (Geq ? ">= hand (sound)" : "BELOW HAND")
+                          : (Eq ? "== hand" : "MISMATCH"),
+                toString(Rep.Rta.Source), std::to_string(Rep.Jobs.size()),
+                std::to_string(InHorizon), std::to_string(Violations),
+                Ratio});
+    }
+  }
+  std::printf("%s\n", T.renderAscii().c_str());
+  std::printf("the 'static-analysis' rows run the identical pipeline "
+              "with every overhead WCET and callback WCET derived by "
+              "the segment-cost pass — Thm. 5.1 end to end without a "
+              "hand-supplied timing table.\n\n");
+  return Ok;
 }
 
 } // namespace
@@ -169,10 +267,14 @@ int main() {
               "worst obs/bound ratio near 1 under always-WCET dense "
               "load shows the bound is not vacuous.\n");
 
+  std::printf("\n");
+  AllSound &= runStaticInputsSection();
+
   if (!AllSound || TotalViolations != 0) {
     std::printf("E3 FAILED\n");
     return 1;
   }
-  std::printf("E3 reproduced: Theorem 5.1 held on every run.\n");
+  std::printf("E3 reproduced: Theorem 5.1 held on every run, including "
+              "the runs whose timing inputs were statically derived.\n");
   return 0;
 }

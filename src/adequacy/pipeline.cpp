@@ -77,10 +77,16 @@ AdequacyReport rprosa::runAdequacy(const AdequacySpec &Spec) {
                                  Spec.Client.Wcets, Spec.Client.NumSockets,
                                  Spec.Client.Policy);
 
-  // 6: the RTA matching the client's policy.
-  Rep.Rta = analyzePolicy(Spec.Client.Tasks, Spec.Client.Wcets,
-                          Spec.Client.NumSockets, Spec.Client.Policy,
-                          Spec.Rta);
+  // 6: the RTA matching the client's policy. With StaticTiming set the
+  // NPFP analysis runs from the derived timing inputs instead of the
+  // hand-supplied tables.
+  if (Spec.StaticTiming && Spec.Client.Policy == SchedPolicy::Npfp)
+    Rep.Rta = analyzeNpfp(Spec.Client.Tasks, *Spec.StaticTiming,
+                          Spec.Client.NumSockets, Spec.Rta);
+  else
+    Rep.Rta = analyzePolicy(Spec.Client.Tasks, Spec.Client.Wcets,
+                            Spec.Client.NumSockets, Spec.Client.Policy,
+                            Spec.Rta);
 
   // 7: per-job verdicts (completion by message identity: job ids are
   // assigned at read time, arrivals are identified by MsgId).

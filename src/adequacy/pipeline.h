@@ -40,6 +40,7 @@
 #include "sim/cost_model.h"
 #include "support/check.h"
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,11 @@ struct AdequacySpec {
   std::uint64_t Seed = 1;
   RunLimits Limits;
   RtaConfig Rta;
+  /// When set, step 6's RTA draws its overhead WCETs and callback WCETs
+  /// from these (e.g. statically derived by analysis/timing) instead of
+  /// Client.Wcets / the task table. NPFP-only: other policies fall back
+  /// to the hand-supplied tables.
+  std::optional<TimingInputs> StaticTiming;
 };
 
 /// The Thm. 5.1 verdict for one job (arrival).

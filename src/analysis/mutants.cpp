@@ -21,7 +21,21 @@ struct Mutation {
   bool SkipSelection = false;      ///< Omit selection_start().
   bool IdleAlways = false;         ///< idling_start() even after dispatch.
   bool IgnoreLastSocket = false;   ///< Poll only sockets 0..N-2.
+  // Timing mutations: protocol-clean, but a bounded spin loop burns
+  // instruction cost inside one segment.
+  std::uint32_t FailedReadBackoff = 0; ///< Spin trips after a failed read.
+  std::uint32_t DispatchPad = 0;       ///< Spin trips between TrDisp/TrExec.
 };
+
+/// `r := 0; while (r < Trips) r := r + 1` — pure instruction cost on a
+/// spare register, invisible to the protocol.
+StmtPtr spinLoop(RegId R, std::uint32_t Trips) {
+  return Stmt::seq({
+      Stmt::setReg(R, Expr::lit(0)),
+      Stmt::whileLoop(Expr::less(Expr::reg(R), Expr::lit(Trips)),
+                      Stmt::setReg(R, Expr::add(Expr::reg(R), Expr::lit(1)))),
+  });
+}
 
 StmtPtr buildMutatedRossl(std::uint32_t NumSockets, const Mutation &Mu) {
   constexpr RegId Sock = 0, AnySuccess = 1, ReadResult = 2, HaveJob = 3;
@@ -35,13 +49,16 @@ StmtPtr buildMutatedRossl(std::uint32_t NumSockets, const Mutation &Mu) {
   Slot.push_back(Stmt::readE(Sock, RecvBuf, ReadResult));
   if (Mu.DoubleRead)
     Slot.push_back(Stmt::readE(Sock, RecvBuf, ReadResult));
+  constexpr RegId BackoffCtr = 4, PadCtr = 5;
   Slot.push_back(Stmt::ifThen(
       Expr::notE(Expr::eq(Expr::reg(ReadResult), Expr::lit(-1))),
       Stmt::seq({
           Stmt::enqueue(RecvBuf),
           Stmt::freeBuf(RecvBuf),
           Stmt::setReg(AnySuccess, Expr::lit(1)),
-      })));
+      }),
+      Mu.FailedReadBackoff ? spinLoop(BackoffCtr, Mu.FailedReadBackoff)
+                           : nullptr));
   Slot.push_back(Stmt::setReg(Sock, Expr::add(Expr::reg(Sock), Expr::lit(1))));
 
   StmtPtr OneRound = Stmt::seq({
@@ -66,6 +83,8 @@ StmtPtr buildMutatedRossl(std::uint32_t NumSockets, const Mutation &Mu) {
   } else {
     if (!Mu.DropDispatchMarker)
       Dispatched.push_back(Stmt::traceE(TraceFn::TrDisp, DispBuf));
+    if (Mu.DispatchPad)
+      Dispatched.push_back(spinLoop(PadCtr, Mu.DispatchPad));
     Dispatched.push_back(Stmt::traceE(TraceFn::TrExec, DispBuf));
   }
   if (!Mu.DropCompletion)
@@ -159,6 +178,33 @@ rprosa::analysis::protocolMutantCorpus(std::uint32_t NumSockets) {
                           "ROS2 wait-set starvation bug, §1.1): the "
                           "round-robin order is violated — and with one "
                           "socket, polling is skipped entirely",
+                          Mu, NumSockets));
+  }
+
+  return Corpus;
+}
+
+std::vector<Mutant>
+rprosa::analysis::timingMutantCorpus(std::uint32_t NumSockets) {
+  std::vector<Mutant> Corpus;
+
+  {
+    Mutation Mu;
+    Mu.FailedReadBackoff = 4;
+    Corpus.push_back(make("read-retry-backoff",
+                          "a bounded spin loop after every failed read "
+                          "(a naive backoff): markers untouched, but the "
+                          "failed-read segment grows by the spin cost",
+                          Mu, NumSockets));
+  }
+  {
+    Mutation Mu;
+    Mu.DispatchPad = 8;
+    Corpus.push_back(make("padded-dispatch",
+                          "a bounded spin loop between the dispatch and "
+                          "execution markers (bookkeeping crept into the "
+                          "dispatch path): protocol-clean, but the "
+                          "dispatch segment bound grows",
                           Mu, NumSockets));
   }
 

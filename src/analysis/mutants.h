@@ -41,6 +41,15 @@ struct Mutant {
 /// socket count ≥ 1.
 std::vector<Mutant> protocolMutantCorpus(std::uint32_t NumSockets);
 
+/// The *timing* corpus: variants that keep the marker discipline intact
+/// — verifyProtocol accepts them — but spend extra non-marker work
+/// inside one segment, so only the static timing pass
+/// (timing/segment_costs.h) tells them apart from the reference
+/// program, via a grown segment bound with a witness path through the
+/// inserted nodes. The evidence the corpus provides: protocol safety
+/// alone says nothing about time.
+std::vector<Mutant> timingMutantCorpus(std::uint32_t NumSockets);
+
 } // namespace rprosa::analysis
 
 #endif // RPROSA_ANALYSIS_MUTANTS_H

@@ -1,0 +1,173 @@
+//===- analysis/timing/loop_bounds.cpp ------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/timing/loop_bounds.h"
+
+#include <algorithm>
+#include <optional>
+
+using namespace rprosa;
+using namespace rprosa::analysis;
+using namespace rprosa::caesium;
+
+namespace {
+
+/// Reachability over the CFG edge relation: Out[A] contains B iff a
+/// non-empty path A -> ... -> B exists. Programs are tiny (tens of
+/// nodes), so a per-node BFS is fine.
+std::vector<std::vector<bool>> reachability(const Cfg &G) {
+  std::size_t N = G.size();
+  std::vector<std::vector<bool>> Reach(N, std::vector<bool>(N, false));
+  for (NodeId A = 0; A < N; ++A) {
+    std::vector<NodeId> Work = G.successors(A);
+    while (!Work.empty()) {
+      NodeId B = Work.back();
+      Work.pop_back();
+      if (Reach[A][B])
+        continue;
+      Reach[A][B] = true;
+      for (NodeId S : G.successors(B))
+        Work.push_back(S);
+    }
+  }
+  return Reach;
+}
+
+bool mentionsFuel(const Expr &E) {
+  if (E.K == Expr::Kind::Fuel)
+    return true;
+  return (E.L && mentionsFuel(*E.L)) || (E.R && mentionsFuel(*E.R));
+}
+
+/// Matches `reg(R) + c` / `c + reg(R)` with literal c >= 1.
+std::optional<Value> positiveStep(const Expr &E, RegId R) {
+  if (E.K != Expr::Kind::Add || !E.L || !E.R)
+    return std::nullopt;
+  const Expr *Lit = nullptr;
+  if (E.L->K == Expr::Kind::Reg && E.L->Reg == R &&
+      E.R->K == Expr::Kind::Lit)
+    Lit = E.R.get();
+  else if (E.R->K == Expr::Kind::Reg && E.R->Reg == R &&
+           E.L->K == Expr::Kind::Lit)
+    Lit = E.L.get();
+  if (!Lit || Lit->Lit < 1)
+    return std::nullopt;
+  return Lit->Lit;
+}
+
+/// The counter pattern: the condition is `reg(R) < K` (literal K); the
+/// register is only ever written by Assign nodes (never a Read or
+/// Dequeue result); every in-cycle write adds a positive literal; every
+/// out-of-cycle write is a literal. The trip bound then follows from
+/// the smallest possible entry value and the smallest step.
+std::optional<std::uint64_t> counterBound(const Cfg &G, const LoopBound &L) {
+  const CfgNode &Head = G[L.Head];
+  const Expr &Cond = *Head.E;
+  if (Cond.K != Expr::Kind::Less || !Cond.L || !Cond.R ||
+      Cond.L->K != Expr::Kind::Reg || Cond.R->K != Expr::Kind::Lit)
+    return std::nullopt;
+  RegId R = Cond.L->Reg;
+  Value K = Cond.R->Lit;
+
+  std::vector<bool> InCycle(G.size(), false);
+  for (NodeId N : L.CycleNodes)
+    InCycle[N] = true;
+
+  Value MinStep = 0;
+  bool HaveStep = false;
+  std::optional<Value> MinEntry; // Smallest literal written outside.
+  bool WrittenOutside = false;
+  for (NodeId N = 0; N < G.size(); ++N) {
+    const CfgNode &Node = G[N];
+    bool Writes = (Node.K == CfgNode::Kind::Assign ||
+                   Node.K == CfgNode::Kind::Read ||
+                   Node.K == CfgNode::Kind::Dequeue) &&
+                  Node.Dst == R;
+    // Read also clobbers nothing unless Dst matches; a Read/Dequeue
+    // destination makes the register's value data-dependent — give up.
+    if (!Writes)
+      continue;
+    if (Node.K != CfgNode::Kind::Assign)
+      return std::nullopt;
+    if (InCycle[N]) {
+      std::optional<Value> Step = positiveStep(*Node.E, R);
+      if (!Step)
+        return std::nullopt;
+      MinStep = HaveStep ? std::min(MinStep, *Step) : *Step;
+      HaveStep = true;
+    } else {
+      if (Node.E->K != Expr::Kind::Lit)
+        return std::nullopt;
+      WrittenOutside = true;
+      MinEntry = MinEntry ? std::min(*MinEntry, Node.E->Lit) : Node.E->Lit;
+    }
+  }
+  if (!HaveStep)
+    return std::nullopt; // No in-cycle increment: not a counter loop.
+  // Registers zero-fill, so with no outside write the entry value is 0;
+  // with outside writes the smallest literal is the worst case (the
+  // zero-fill path may additionally apply if some path skips them, so
+  // keep the minimum with 0 unless every path is dominated — we don't
+  // track dominance and conservatively include 0 whenever the register
+  // could be unwritten, i.e. always).
+  Value Entry = WrittenOutside ? std::min<Value>(*MinEntry, 0) : 0;
+  if (Entry >= K)
+    return 0; // May still enter via Maybe; one trip per re-test at most.
+  std::uint64_t Span = static_cast<std::uint64_t>(K - Entry);
+  std::uint64_t Step = static_cast<std::uint64_t>(MinStep);
+  return (Span + Step - 1) / Step;
+}
+
+} // namespace
+
+std::vector<LoopBound> rprosa::analysis::inferLoopBounds(const Cfg &G) {
+  std::vector<std::vector<bool>> Reach = reachability(G);
+  std::vector<LoopBound> Out;
+  for (NodeId N = 0; N < G.size(); ++N) {
+    if (G[N].K != CfgNode::Kind::Branch)
+      continue;
+    if (!Reach[N][N])
+      continue; // Not on any cycle.
+    LoopBound L;
+    L.Head = N;
+    for (NodeId X = 0; X < G.size(); ++X)
+      if (X == N || (Reach[N][X] && Reach[X][N]))
+        L.CycleNodes.push_back(X);
+    for (NodeId X : L.CycleNodes)
+      if (G[X].K == CfgNode::Kind::Read || G[X].K == CfgNode::Kind::Trace)
+        L.ContainsMarker = true;
+    L.FuelGoverned = G[N].E && mentionsFuel(*G[N].E);
+    if (std::optional<std::uint64_t> Trips = counterBound(G, L)) {
+      L.HasCounterBound = true;
+      L.MaxTrips = *Trips;
+    }
+    Out.push_back(std::move(L));
+  }
+  return Out;
+}
+
+const LoopBound *
+rprosa::analysis::findLoop(const std::vector<LoopBound> &Loops, NodeId Head) {
+  for (const LoopBound &L : Loops)
+    if (L.Head == Head)
+      return &L;
+  return nullptr;
+}
+
+std::string LoopBound::describe(const Cfg &G) const {
+  std::string S = "n" + std::to_string(Head) + " [" + G[Head].label() + "]: ";
+  if (FuelGoverned)
+    S += "fuel-governed";
+  else if (HasCounterBound)
+    S += "counter-bounded, <= " + std::to_string(MaxTrips) + " trips";
+  else if (ContainsMarker)
+    S += "marker-carrying";
+  else
+    S += "UNBOUNDED (no fuel, no marker, no counter pattern)";
+  if (ContainsMarker && (FuelGoverned || HasCounterBound))
+    S += ", marker-carrying";
+  return S;
+}

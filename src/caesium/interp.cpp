@@ -144,17 +144,25 @@ void CaesiumMachine::exec(const Stmt &S) {
     break;
   case Stmt::Kind::SetReg:
     assert(S.Dst < Regs.size() && "register out of range");
+    Clock.advance(Costs.instr().Assign);
     Regs[S.Dst] = eval(*S.E);
     break;
   case Stmt::Kind::If:
+    Clock.advance(Costs.instr().Branch);
     if (eval(*S.E) != 0)
       exec(*S.Children[0]);
     else if (S.Children.size() > 1)
       exec(*S.Children[1]);
     break;
   case Stmt::Kind::While:
-    while (eval(*S.E) != 0)
+    // One Branch charge per condition evaluation, including the final
+    // false one — matching the CFG, where the loop-head Branch node is
+    // traversed trips+1 times.
+    Clock.advance(Costs.instr().Branch);
+    while (eval(*S.E) != 0) {
       exec(*S.Children[0]);
+      Clock.advance(Costs.instr().Branch);
+    }
     break;
   case Stmt::Kind::ReadE:
     stepRead(S);
@@ -163,6 +171,7 @@ void CaesiumMachine::exec(const Stmt &S) {
     stepTrace(S);
     break;
   case Stmt::Kind::Enqueue: {
+    Clock.advance(Costs.instr().Enqueue);
     assert(S.Buf < Heap.size() && Heap[S.Buf].Msg &&
            "enqueue of an empty buffer");
     const Message &M = *Heap[S.Buf].Msg;
@@ -172,6 +181,7 @@ void CaesiumMachine::exec(const Stmt &S) {
     break;
   }
   case Stmt::Kind::Dequeue: {
+    Clock.advance(Costs.instr().Dequeue);
     if (PendingByPrio.empty()) {
       Regs[S.Dst] = 0;
       break;
@@ -186,6 +196,7 @@ void CaesiumMachine::exec(const Stmt &S) {
     break;
   }
   case Stmt::Kind::FreeBuf:
+    Clock.advance(Costs.instr().Free);
     assert(S.Buf < Heap.size() && "buffer out of range");
     Heap[S.Buf].Msg.reset();
     break;

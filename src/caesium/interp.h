@@ -27,7 +27,10 @@
 /// Time: each rule advances the virtual clock by the same cost-model
 /// samples, in the same order, as the native scheduler — so a program
 /// equivalent to Fig. 2 produces a bit-identical timed trace (the
-/// differential tests assert this).
+/// differential tests assert this). Non-marker statements additionally
+/// charge the cost model's InstructionCosts (zero by default, which
+/// preserves the bit-identical property; the static timing analysis
+/// uses nonzero costs to make every CFG node observable on the clock).
 ///
 //===----------------------------------------------------------------------===//
 

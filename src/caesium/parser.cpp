@@ -7,6 +7,7 @@
 #include "caesium/parser.h"
 
 #include <cctype>
+#include <cstdint>
 #include <vector>
 
 using namespace rprosa;
@@ -71,10 +72,24 @@ public:
         continue;
       }
       if (std::isdigit(static_cast<unsigned char>(C))) {
+        // Overflow-checked accumulation: literals beyond the Value range
+        // are a diagnostic, not a silent wrap.
+        constexpr std::uint64_t Max = INT64_MAX;
         std::uint64_t N = 0;
+        bool TooBig = false;
         while (I < Src.size() &&
-               std::isdigit(static_cast<unsigned char>(Src[I])))
-          N = N * 10 + static_cast<std::uint64_t>(Src[I++] - '0');
+               std::isdigit(static_cast<unsigned char>(Src[I]))) {
+          auto D = static_cast<std::uint64_t>(Src[I++] - '0');
+          if (N > (Max - D) / 10)
+            TooBig = true;
+          else
+            N = N * 10 + D;
+        }
+        if (TooBig) {
+          Err = "line " + std::to_string(Line) +
+                ": numeric literal too large";
+          return false;
+        }
         Push(Tok::Number, "", N);
         continue;
       }
@@ -190,17 +205,58 @@ private:
                         std::to_string(peek().Line) + ": " + Why);
   }
 
+  /// Checked digit-string parse of a register/buffer suffix. Indices are
+  /// capped well below RegId's range: downstream (the interpreter, the
+  /// abstract domains) allocates index+1 slots, so an absurd index like
+  /// r4000000000 must be a diagnostic, not an allocation. std::stoul
+  /// would throw out_of_range on long digit strings — never used here.
+  static constexpr std::uint64_t MaxIndex = 4095;
+
   std::optional<std::uint64_t> regOrBufIndex(Tok K, const char *What) {
     if (!at(K)) {
       fail(std::string("expected ") + What);
       return std::nullopt;
     }
-    return std::stoull(advance().Text);
+    const Token &T = peek();
+    std::uint64_t N = 0;
+    bool TooBig = false;
+    for (char C : T.Text) {
+      auto D = static_cast<std::uint64_t>(C - '0');
+      if (N > (MaxIndex - D) / 10) {
+        TooBig = true;
+        break;
+      }
+      N = N * 10 + D;
+    }
+    if (TooBig || N > MaxIndex) {
+      fail(std::string(What) + " index '" + T.Text +
+           "' exceeds the maximum " + std::to_string(MaxIndex));
+      return std::nullopt;
+    }
+    advance();
+    return N;
   }
+
+  /// RAII recursion limiter: grammar nesting (blocks, '!' chains, parens)
+  /// is user input, so it must not be able to overflow the stack.
+  static constexpr unsigned MaxDepth = 256;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser &P) : P(P) { ++P.Depth; }
+    ~DepthGuard() { --P.Depth; }
+    bool ok() const { return P.Depth <= MaxDepth; }
+    Parser &P;
+  };
 
   /// primary := number | -number | rN | fuel() | '(' expr op expr ')'
   ///          | '!' primary
   std::optional<ExprPtr> expr() {
+    DepthGuard G(*this);
+    if (!G.ok()) {
+      fail("expression nesting exceeds the maximum depth of " +
+           std::to_string(MaxDepth));
+      return std::nullopt;
+    }
     if (at(Tok::Number))
       return Expr::lit(static_cast<Value>(advance().Num));
     if (at(Tok::Minus)) {
@@ -211,8 +267,13 @@ private:
       }
       return Expr::lit(-static_cast<Value>(advance().Num));
     }
-    if (at(Tok::Reg))
-      return Expr::reg(static_cast<RegId>(std::stoul(advance().Text)));
+    if (at(Tok::Reg)) {
+      std::optional<std::uint64_t> R = regOrBufIndex(Tok::Reg,
+                                                     "a register");
+      if (!R)
+        return std::nullopt;
+      return Expr::reg(static_cast<RegId>(*R));
+    }
     if (at(Tok::Bang)) {
       advance();
       std::optional<ExprPtr> Inner = expr();
@@ -290,6 +351,12 @@ private:
   }
 
   std::optional<StmtPtr> stmt() {
+    DepthGuard G(*this);
+    if (!G.ok()) {
+      fail("statement nesting exceeds the maximum depth of " +
+           std::to_string(MaxDepth));
+      return std::nullopt;
+    }
     // Control flow.
     if (at(Tok::Ident) && peek().Text == "while") {
       advance();
@@ -346,13 +413,21 @@ private:
         advance();
         if (!expect(Tok::LParen, "'('"))
           return std::nullopt;
+        // dispatch/execution/completion name the job's buffer; the
+        // others take no argument (mirrors the printer exactly).
+        bool WantsBuf = *Fn == TraceFn::TrDisp ||
+                        *Fn == TraceFn::TrExec ||
+                        *Fn == TraceFn::TrCompl;
         BufId Buf = 0;
-        if (at(Tok::Buf)) {
+        if (WantsBuf) {
           std::optional<std::uint64_t> B =
               regOrBufIndex(Tok::Buf, "a buffer");
           if (!B)
             return std::nullopt;
           Buf = static_cast<BufId>(*B);
+        } else if (at(Tok::Buf)) {
+          fail("'" + W + "' takes no argument");
+          return std::nullopt;
         }
         if (!expect(Tok::RParen, "')'") || !expect(Tok::Semi, "';'"))
           return std::nullopt;
@@ -381,7 +456,11 @@ private:
     // Assignments: rN = expr; | rN = read(rM, bufK); |
     //              rN = npfp_dequeue(&sched, bufK);
     if (at(Tok::Reg)) {
-      RegId Dst = static_cast<RegId>(std::stoul(advance().Text));
+      std::optional<std::uint64_t> DstIdx = regOrBufIndex(Tok::Reg,
+                                                          "a register");
+      if (!DstIdx)
+        return std::nullopt;
+      RegId Dst = static_cast<RegId>(*DstIdx);
       if (!expect(Tok::Assign, "'='"))
         return std::nullopt;
       if (at(Tok::Ident) && peek().Text == "read") {
@@ -422,6 +501,7 @@ private:
   std::vector<Token> Toks;
   CheckResult *Diags;
   std::size_t Pos = 0;
+  unsigned Depth = 0;
 };
 
 } // namespace

@@ -19,3 +19,13 @@ OverheadBounds OverheadBounds::compute(const BasicActionWcets &W,
   B.IB = satAdd(satAdd(B.PB, B.SB), W.Idling);
   return B;
 }
+
+std::string rprosa::toString(TimingSource S) {
+  switch (S) {
+  case TimingSource::HandSupplied:
+    return "hand-supplied";
+  case TimingSource::StaticAnalysis:
+    return "static-analysis";
+  }
+  return "?";
+}

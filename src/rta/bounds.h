@@ -28,8 +28,12 @@
 #ifndef RPROSA_RTA_BOUNDS_H
 #define RPROSA_RTA_BOUNDS_H
 
+#include "core/ids.h"
 #include "core/time.h"
 #include "core/wcet.h"
+
+#include <string>
+#include <vector>
 
 namespace rprosa {
 
@@ -50,6 +54,39 @@ struct OverheadBounds {
   /// (PollingOvh + SelectionOvh + DispatchOvh + CompletionOvh).
   Duration perJobNonReadOverhead() const {
     return satAdd(satAdd(PB, SB), satAdd(DB, CB));
+  }
+};
+
+/// Where the timing inputs of an analysis run came from. The paper
+/// takes WCETs as trusted parameters (§2.3); the static timing pass
+/// (analysis/timing) derives them from the verified CFG instead.
+enum class TimingSource : std::uint8_t {
+  HandSupplied,   ///< The classical mode: trusted WCET tables.
+  StaticAnalysis, ///< Derived by the static segment-cost analysis.
+};
+
+std::string toString(TimingSource S);
+
+/// A complete set of timing inputs for the RTA: basic-action WCETs plus
+/// optional per-task callback-WCET overrides, tagged with provenance.
+/// Every analysis entry point that takes (BasicActionWcets, NumSockets)
+/// has an overload taking TimingInputs, so statically derived bounds
+/// flow end to end without touching the hand-supplied tables.
+struct TimingInputs {
+  BasicActionWcets Wcets;
+  /// Callback WCETs indexed by TaskId; tasks beyond the vector keep
+  /// their hand-supplied Task::Wcet.
+  std::vector<Duration> CallbackWcets;
+  TimingSource Source = TimingSource::HandSupplied;
+
+  static TimingInputs handSupplied(const BasicActionWcets &W) {
+    return {W, {}, TimingSource::HandSupplied};
+  }
+
+  /// The callback WCET of task \p Id, falling back to \p Fallback
+  /// (the task's own C_i) when no override is present.
+  Duration callbackWcet(TaskId Id, Duration Fallback) const {
+    return Id < CallbackWcets.size() ? CallbackWcets[Id] : Fallback;
   }
 };
 

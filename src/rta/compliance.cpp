@@ -159,3 +159,12 @@ CheckResult rprosa::checkReleaseCurve(const ReleaseSequence &Rel,
   }
   return R;
 }
+
+CheckResult rprosa::checkReleaseCurve(const ReleaseSequence &Rel,
+                                      const TaskSet &Tasks,
+                                      const TimingInputs &In,
+                                      std::uint32_t NumSockets) {
+  Duration J =
+      maxReleaseJitter(OverheadBounds::compute(In.Wcets, NumSockets));
+  return checkReleaseCurve(Rel, Tasks, J);
+}

@@ -89,6 +89,14 @@ CheckResult checkPolicyCompliance(const ConversionResult &CR,
 CheckResult checkReleaseCurve(const ReleaseSequence &Rel,
                               const TaskSet &Tasks, Duration MaxJitter);
 
+/// The same check with the jitter bound J_i derived from
+/// provenance-tagged timing inputs (Def. 4.3 over
+/// OverheadBounds::compute(In.Wcets, NumSockets)) — the entry point for
+/// statically derived WCET tables.
+CheckResult checkReleaseCurve(const ReleaseSequence &Rel,
+                              const TaskSet &Tasks, const TimingInputs &In,
+                              std::uint32_t NumSockets);
+
 } // namespace rprosa
 
 #endif // RPROSA_RTA_COMPLIANCE_H

@@ -157,3 +157,18 @@ RtaResult rprosa::analyzeNpfp(const TaskSet &Tasks,
   NpfpAnalysis A(Tasks, W, NumSockets, Cfg);
   return A.run();
 }
+
+RtaResult rprosa::analyzeNpfp(const TaskSet &Tasks, const TimingInputs &In,
+                              std::uint32_t NumSockets,
+                              const RtaConfig &Cfg) {
+  // Rebuild the task set with the callback-WCET overrides; ids are
+  // dense and assigned in insertion order, so they are preserved.
+  TaskSet Derived;
+  for (const Task &T : Tasks.tasks())
+    Derived.addTask(T.Name, In.callbackWcet(T.Id, T.Wcet), T.Prio, T.Curve,
+                    T.Deadline);
+  NpfpAnalysis A(Derived, In.Wcets, NumSockets, Cfg);
+  RtaResult R = A.run();
+  R.Source = In.Source;
+  return R;
+}

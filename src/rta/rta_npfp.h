@@ -92,6 +92,8 @@ struct TaskRta {
 struct RtaResult {
   std::vector<TaskRta> PerTask;
   OverheadBounds Bounds;
+  /// Provenance of the WCET inputs the run used.
+  TimingSource Source = TimingSource::HandSupplied;
 
   bool allBounded() const;
   const TaskRta &forTask(TaskId Id) const;
@@ -100,6 +102,14 @@ struct RtaResult {
 /// Runs the analysis on \p Tasks for a deployment with \p NumSockets
 /// input sockets and the given basic-action WCETs.
 RtaResult analyzeNpfp(const TaskSet &Tasks, const BasicActionWcets &W,
+                      std::uint32_t NumSockets, const RtaConfig &Cfg = {});
+
+/// The same analysis with provenance-tagged timing inputs: the
+/// basic-action WCETs come from \p In, and each task's callback WCET is
+/// overridden by In.callbackWcet (statically derived bounds flow in
+/// here; with TimingInputs::handSupplied this is identical to the
+/// overload above).
+RtaResult analyzeNpfp(const TaskSet &Tasks, const TimingInputs &In,
                       std::uint32_t NumSockets, const RtaConfig &Cfg = {});
 
 } // namespace rprosa

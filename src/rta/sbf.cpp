@@ -19,6 +19,13 @@ RosslSupply::RosslSupply(std::vector<ArrivalCurvePtr> ReleaseCurves,
     assert(C && "missing release curve");
 }
 
+RosslSupply::RosslSupply(std::vector<ArrivalCurvePtr> ReleaseCurves,
+                         const TimingInputs &In, std::uint32_t NumSockets,
+                         Time Cap, bool CarryInPerTask)
+    : RosslSupply(std::move(ReleaseCurves),
+                  OverheadBounds::compute(In.Wcets, NumSockets), Cap,
+                  CarryInPerTask) {}
+
 std::uint64_t RosslSupply::jobBound(Duration Delta) const {
   std::uint64_t N = 0;
   for (const ArrivalCurvePtr &C : ReleaseCurves)

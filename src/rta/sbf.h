@@ -57,6 +57,14 @@ public:
               const OverheadBounds &B, Time Cap,
               bool CarryInPerTask = true);
 
+  /// Convenience: derives the overhead bounds from provenance-tagged
+  /// timing inputs (OverheadBounds::compute over In.Wcets), so a
+  /// statically derived WCET table can feed the supply model without
+  /// the caller computing bounds by hand.
+  RosslSupply(std::vector<ArrivalCurvePtr> ReleaseCurves,
+              const TimingInputs &In, std::uint32_t NumSockets, Time Cap,
+              bool CarryInPerTask = true);
+
   /// NJobs(Δ): the job-count bound described above.
   std::uint64_t jobBound(Duration Delta) const;
 

@@ -11,8 +11,8 @@
 using namespace rprosa;
 
 CostModel::CostModel(const BasicActionWcets &W, CostModelKind Kind,
-                     std::uint64_t Seed)
-    : Wcets(W), Kind(Kind), Rng(Seed) {}
+                     std::uint64_t Seed, const InstructionCosts &Instr)
+    : Wcets(W), Kind(Kind), Rng(Seed), Instr(Instr) {}
 
 Duration CostModel::sample(Duration Wcet) {
   // Durations are at least one tick: a basic action occupies time.

@@ -37,11 +37,35 @@ enum class CostModelKind : std::uint8_t {
   ViolatingOccasionally,
 };
 
+/// Deterministic per-statement costs of the deep embedding's *non-marker*
+/// steps (assignments, branch tests, the scheduler-queue builtins, frees).
+/// The native C++ scheduler folds these into its basic-action WCETs; the
+/// embedded interpreter can charge them explicitly so that the static
+/// timing analysis (analysis/timing) has observable instruction-level
+/// costs to bound. All zero by default, which keeps the embedded machine
+/// bit-identical to the native scheduler (the E12 differential tests).
+struct InstructionCosts {
+  Duration Assign = 0;  ///< One SetReg statement.
+  Duration Branch = 0;  ///< One If/While condition evaluation.
+  Duration Enqueue = 0; ///< npfp_enqueue(&sched, buf).
+  Duration Dequeue = 0; ///< npfp_dequeue(&sched, buf).
+  Duration Free = 0;    ///< free(buf).
+
+  bool allZero() const {
+    return Assign == 0 && Branch == 0 && Enqueue == 0 && Dequeue == 0 &&
+           Free == 0;
+  }
+
+  /// One tick per statement: the smallest model under which every
+  /// non-marker step is visible on the clock (tests and benches).
+  static InstructionCosts unit() { return {1, 1, 1, 1, 1}; }
+};
+
 /// Samples concrete durations for the basic actions of one run.
 class CostModel {
 public:
   CostModel(const BasicActionWcets &W, CostModelKind Kind,
-            std::uint64_t Seed);
+            std::uint64_t Seed, const InstructionCosts &Instr = {});
 
   Duration failedRead() { return sample(Wcets.FailedRead); }
   Duration successfulRead() { return sample(Wcets.SuccessfulRead); }
@@ -62,12 +86,17 @@ public:
 
   CostModelKind kind() const { return Kind; }
 
+  /// The deterministic non-marker statement costs this run charges
+  /// (zero unless explicitly configured).
+  const InstructionCosts &instr() const { return Instr; }
+
 private:
   Duration sample(Duration Wcet);
 
   BasicActionWcets Wcets;
   CostModelKind Kind;
   SplitMix64 Rng;
+  InstructionCosts Instr;
 };
 
 std::string toString(CostModelKind K);

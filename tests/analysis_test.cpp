@@ -16,7 +16,10 @@
 #include "analysis/cfg.h"
 #include "analysis/lint.h"
 #include "analysis/mutants.h"
+#include "analysis/timing/segment_costs.h"
 #include "analysis/verifier.h"
+
+#include "sim/environment.h"
 
 #include "caesium/interp.h"
 #include "caesium/rossl_program.h"
@@ -283,7 +286,8 @@ TEST(Agreement, FuzzedRunsOfVerifiedProgramAllPassRuntimeCheck) {
   // The clean static verdict quantifies over all socket behaviours;
   // 100 randomized concrete runs must therefore all be accepted by the
   // runtime acceptor (static verdict => runtime verdict, per run).
-  SplitMix64 Rng(2026);
+  const std::uint64_t Seed = fuzzSeed(2026);
+  SplitMix64 Rng(Seed);
   for (int Round = 0; Round < 100; ++Round) {
     std::uint32_t N = static_cast<std::uint32_t>(Rng.nextInRange(1, 4));
     StmtPtr Program = buildRosslProgram(N);
@@ -314,7 +318,118 @@ TEST(Agreement, FuzzedRunsOfVerifiedProgramAllPassRuntimeCheck) {
     TimedTrace TT = Machine.run(Program, Limits);
     CheckResult R = checkProtocol(TT.Tr, N);
     EXPECT_TRUE(R.passed())
-        << "round " << Round << " (N=" << N << "): " << R.describe();
+        << "round " << Round << " (N=" << N
+        << "); replay: RPROSA_FUZZ_SEED=" << Seed << "\n"
+        << R.describe();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Timing mutants: protocol-clean, caught only by the cost analysis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+StaticCostParams timingTestParams() {
+  StaticCostParams P;
+  P.Wcets = tinyWcets();
+  P.Instr = InstructionCosts::unit();
+  P.MaxCallbackWcet = 80;
+  return P;
+}
+
+} // namespace
+
+TEST(TimingMutants, ProtocolVerifierAcceptsBoth) {
+  // The whole point of the corpus: the Def. 3.1 verifier cannot tell
+  // the mutants from the reference — only the cost pass can.
+  for (std::uint32_t N : {1u, 2u, 4u})
+    for (const Mutant &M : timingMutantCorpus(N)) {
+      Verdict V = verifyProtocol(M.Program, N);
+      EXPECT_TRUE(V.verified()) << M.Name << " (N=" << N << "): "
+                                << V.describe();
+      EXPECT_TRUE(M.InterpreterSafe) << M.Name;
+    }
+}
+
+TEST(TimingMutants, CostPassFlagsEachWithWitnessPath) {
+  const std::uint32_t N = 2;
+  TimingResult Ref = analyzeTiming(buildCfg(buildRosslProgram(N)),
+                                   timingTestParams(), N);
+  for (const Mutant &M : timingMutantCorpus(N)) {
+    TimingResult Got = analyzeTiming(buildCfg(M.Program),
+                                     timingTestParams(), N);
+    ASSERT_TRUE(Got.allBounded()) << M.Name;
+    std::vector<TimingDiff> Diffs = diffTiming(Ref, Got);
+    ASSERT_EQ(Diffs.size(), 1u)
+        << M.Name << " must inflate exactly one segment class";
+    const TimingDiff &D = Diffs[0];
+    EXPECT_GT(D.GotHi, D.RefHi) << M.Name;
+    ASSERT_FALSE(D.Witness.empty()) << M.Name;
+
+    // The witness trail is replayable evidence: it must walk through
+    // the injected spin loop (its counter register names it).
+    std::string Trail;
+    for (const std::string &L : D.Witness)
+      Trail += L + "\n";
+    if (M.Name == "read-retry-backoff") {
+      EXPECT_EQ(D.Class, SegmentClass::FailedRead) << M.Name;
+      EXPECT_NE(Trail.find("r4"), std::string::npos) << Trail;
+      // The spin sits on the failed-read path only: the successful
+      // flavor takes the then-branch, so its bound is untouched.
+      EXPECT_EQ(Got.seg(SegmentClass::SuccessfulRead).I.Hi,
+                Ref.seg(SegmentClass::SuccessfulRead).I.Hi);
+    } else {
+      ASSERT_EQ(M.Name, "padded-dispatch");
+      EXPECT_EQ(D.Class, SegmentClass::Dispatch) << M.Name;
+      EXPECT_NE(Trail.find("r5"), std::string::npos) << Trail;
+      EXPECT_EQ(Got.seg(SegmentClass::FailedRead).I.Hi,
+                Ref.seg(SegmentClass::FailedRead).I.Hi);
+    }
+  }
+}
+
+TEST(TimingMutants, ObservedCostsConfirmTheStaticDiff) {
+  // Cross-validation: running each mutant must produce segment costs
+  // that (a) exceed the reference program's static bound for the
+  // flagged class — the regression is real — and (b) stay inside the
+  // mutant's own static interval — the grown bound is sound.
+  const std::uint32_t N = 2;
+  TimingResult Ref = analyzeTiming(buildCfg(buildRosslProgram(N)),
+                                   timingTestParams(), N);
+  ClientConfig C = makeClient(mixedTasks(), N);
+  WorkloadSpec Spec;
+  Spec.NumSockets = N;
+  Spec.Horizon = 3000;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+
+  for (const Mutant &M : timingMutantCorpus(N)) {
+    TimingResult Got = analyzeTiming(buildCfg(M.Program),
+                                     timingTestParams(), N);
+    std::vector<TimingDiff> Diffs = diffTiming(Ref, Got);
+    ASSERT_EQ(Diffs.size(), 1u) << M.Name;
+    SegmentClass Flagged = Diffs[0].Class;
+
+    Environment Env(Arr);
+    CostModel Costs(C.Wcets, CostModelKind::AlwaysWcet, 1,
+                    InstructionCosts::unit());
+    CaesiumMachine Machine(C, Env, Costs);
+    RunLimits Limits;
+    Limits.Horizon = 6000;
+    TimedTrace TT = Machine.run(M.Program, Limits);
+
+    Duration ObservedMax = 0;
+    for (const ObservedSegment &S : observedSegments(TT)) {
+      ASSERT_TRUE(Got.seg(S.Class).I.contains(S.Len))
+          << M.Name << ": " << toString(S.Class) << " observed "
+          << S.Len << " outside the mutant's own static interval";
+      if (S.Class == Flagged)
+        ObservedMax = std::max(ObservedMax, S.Len);
+    }
+    EXPECT_GT(ObservedMax, Ref.seg(Flagged).I.Hi)
+        << M.Name << ": the flagged regression must be observable";
+    EXPECT_LE(ObservedMax, Got.seg(Flagged).I.Hi) << M.Name;
   }
 }
 

@@ -10,6 +10,7 @@
 #include "caesium/print.h"
 #include "caesium/rossl_program.h"
 #include "sim/workload.h"
+#include "support/rng.h"
 
 #include "test_util.h"
 
@@ -143,6 +144,148 @@ TEST(CaesiumParser, RejectsMalformedInput) {
     EXPECT_FALSE(parseProgram(Bad, &Diags).has_value()) << Bad;
     EXPECT_FALSE(Diags.passed()) << Bad;
   }
+}
+
+TEST(CaesiumParser, RejectsTruncatedStatements) {
+  // Every prefix of a valid statement must produce a diagnostic, never
+  // a crash or a silent partial parse.
+  const std::string Full = "while (fuel()) { r2 = read(r0, buf0); }";
+  for (std::size_t Len = 1; Len < Full.size(); ++Len) {
+    std::string Prefix = Full.substr(0, Len);
+    CheckResult Diags;
+    std::optional<StmtPtr> P = parseProgram(Prefix, &Diags);
+    if (P.has_value())
+      continue; // Some prefixes ("while (fuel()) ...") can't be valid,
+                // but e.g. none here are — guard anyway.
+    EXPECT_FALSE(Diags.passed()) << "prefix: " << Prefix;
+    EXPECT_FALSE(Diags.describe().empty()) << "prefix: " << Prefix;
+  }
+}
+
+TEST(CaesiumParser, RejectsUnknownMarkersAndCalls) {
+  for (const char *Bad : {
+           "dispatch_stop(buf0);",        // No such marker.
+           "selection_start(buf0);",      // Arity: takes no argument.
+           "dispatch_start();",           // Arity: needs a buffer.
+           "r0 = npfp_dequeue(sched, buf0);", // Missing '&'.
+           "idling_start(r0);",           // Arity again.
+       }) {
+    CheckResult Diags;
+    EXPECT_FALSE(parseProgram(Bad, &Diags).has_value()) << Bad;
+    EXPECT_FALSE(Diags.passed()) << Bad;
+  }
+}
+
+TEST(CaesiumParser, RejectsHugeRegisterAndBufferIndices) {
+  // Register/buffer indices cap at 4095: downstream allocates index+1
+  // slots, so an attacker-controlled index must not size an allocation.
+  for (const char *Bad : {
+           "r99999999999999999999999 = 1;", // Overflows uint64 too.
+           "r4096 = 1;",                    // One past the cap.
+           "r0 = read(r0, buf4096);",
+           "r0 = read(r18446744073709551617, buf0);",
+       }) {
+    CheckResult Diags;
+    EXPECT_FALSE(parseProgram(Bad, &Diags).has_value()) << Bad;
+    EXPECT_NE(Diags.describe().find("exceeds the maximum 4095"),
+              std::string::npos)
+        << Bad << "\n" << Diags.describe();
+  }
+  // The cap itself is fine.
+  EXPECT_TRUE(parseProgram("r4095 = 1;").has_value());
+}
+
+TEST(CaesiumParser, RejectsHugeNumericLiterals) {
+  CheckResult Diags;
+  EXPECT_FALSE(
+      parseProgram("r0 = 99999999999999999999;", &Diags).has_value());
+  EXPECT_NE(Diags.describe().find("numeric literal too large"),
+            std::string::npos)
+      << Diags.describe();
+  // INT64_MAX itself still lexes.
+  EXPECT_TRUE(parseProgram("r0 = 9223372036854775807;").has_value());
+}
+
+TEST(CaesiumParser, RejectsPathologicallyDeepNesting) {
+  // 300 levels of '!' / parens / blocks exceed the recursion cap (256)
+  // and must fail with a depth diagnostic, not a stack overflow.
+  std::string Bangs = "r0 = ";
+  for (int I = 0; I < 300; ++I)
+    Bangs += "!";
+  Bangs += "r1;";
+  std::string Parens = "r0 = ";
+  for (int I = 0; I < 300; ++I)
+    Parens += "(";
+  Parens += "1";
+  for (int I = 0; I < 300; ++I)
+    Parens += " + 1)";
+  Parens += ";";
+  std::string Blocks;
+  for (int I = 0; I < 300; ++I)
+    Blocks += "if (r0) { ";
+  Blocks += "r1 = 1;";
+  for (int I = 0; I < 300; ++I)
+    Blocks += " }";
+  for (const std::string &Bad : {Bangs, Parens, Blocks}) {
+    CheckResult Diags;
+    EXPECT_FALSE(parseProgram(Bad, &Diags).has_value());
+    EXPECT_NE(Diags.describe().find("exceeds the maximum depth"),
+              std::string::npos)
+        << Diags.describe();
+  }
+  // 200 deep is inside the cap.
+  std::string Ok = "r0 = ";
+  for (int I = 0; I < 200; ++I)
+    Ok += "!";
+  Ok += "r1;";
+  EXPECT_TRUE(parseProgram(Ok).has_value());
+}
+
+TEST(CaesiumParser, TokenSoupFuzzNeverCrashes) {
+  // Random token sequences: the parser must either parse or diagnose.
+  // Runs under the sanitizer CI configuration, so any lexer/parser
+  // over-read or overflow trips ASan/UBSan here.
+  static const char *Toks[] = {
+      "while", "if",   "else", "fuel",  "read", "free", "npfp_enqueue",
+      "npfp_dequeue",  "selection_start", "dispatch_start",
+      "execution_start", "completion_start", "idling_start", "&sched",
+      "r0",    "r1",   "buf0", "buf1",  "(",    ")",    "{",
+      "}",     ";",    "=",    "==",    "<",    "+",    "-",
+      "!",     "-1",   "0",    "1",     "4095", "9223372036854775807",
+      ",",     "@",    "//x",  "#y",
+  };
+  const std::uint64_t Seed = fuzzSeed(31337);
+  SplitMix64 Rng(Seed);
+  for (int Round = 0; Round < 200; ++Round) {
+    std::string Src;
+    std::size_t Len = Rng.nextInRange(1, 40);
+    for (std::size_t I = 0; I < Len; ++I) {
+      Src += Toks[Rng.nextInRange(0, std::size(Toks) - 1)];
+      Src += Rng.nextBernoulli(1, 6) ? "\n" : " ";
+    }
+    CheckResult Diags;
+    std::optional<StmtPtr> P = parseProgram(Src, &Diags);
+    if (!P.has_value()) {
+      EXPECT_FALSE(Diags.passed())
+          << "round " << Round << "; replay: RPROSA_FUZZ_SEED=" << Seed
+          << "\n" << Src;
+    }
+  }
+}
+
+TEST(CaesiumParser, ByteSoupFuzzNeverCrashes) {
+  // Arbitrary bytes (not just plausible tokens) through the lexer.
+  const std::uint64_t Seed = fuzzSeed(271828);
+  SplitMix64 Rng(Seed);
+  for (int Round = 0; Round < 200; ++Round) {
+    std::string Src;
+    std::size_t Len = Rng.nextInRange(0, 64);
+    for (std::size_t I = 0; I < Len; ++I)
+      Src += static_cast<char>(Rng.nextInRange(1, 255));
+    CheckResult Diags;
+    (void)parseProgram(Src, &Diags); // Must not crash or hang.
+  }
+  SUCCEED() << "replay: RPROSA_FUZZ_SEED=" << Seed;
 }
 
 TEST(CaesiumParser, CommentsAndWhitespace) {

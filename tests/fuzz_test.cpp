@@ -67,7 +67,8 @@ class RandomSystems : public ::testing::TestWithParam<std::uint64_t> {};
 } // namespace
 
 TEST_P(RandomSystems, FullPipelineInvariantsHold) {
-  SplitMix64 Rng(GetParam() * 7919 + 13);
+  const std::uint64_t Base = fuzzSeed(0);
+  SplitMix64 Rng(GetParam() * 7919 + 13 + Base);
   AdequacySpec Spec;
   Spec.Client.Tasks = randomTasks(Rng);
   Spec.Client.NumSockets =
@@ -87,27 +88,27 @@ TEST_P(RandomSystems, FullPipelineInvariantsHold) {
   WorkloadSpec WSpec;
   WSpec.NumSockets = Spec.Client.NumSockets;
   WSpec.Horizon = 6000;
-  WSpec.Seed = GetParam();
+  WSpec.Seed = GetParam() + Base;
   WSpec.Style = Rng.nextBernoulli(1, 2) ? WorkloadStyle::Random
                                         : WorkloadStyle::GreedyDense;
   Spec.Arr = generateWorkload(Spec.Client.Tasks, WSpec);
   Spec.Cost = Rng.nextBernoulli(1, 2) ? CostModelKind::AlwaysWcet
                                       : CostModelKind::Uniform;
-  Spec.Seed = GetParam();
+  Spec.Seed = GetParam() + Base;
   Spec.Limits.Horizon = 100000;
 
+  std::string Replay = "param " + std::to_string(GetParam()) +
+                       ", replay: RPROSA_FUZZ_SEED=" +
+                       std::to_string(Base) + " (base seed)";
   AdequacyReport Rep = runAdequacy(Spec);
-  EXPECT_TRUE(Rep.assumptionsHold())
-      << "seed " << GetParam() << "\n" << Rep.summary();
-  EXPECT_TRUE(Rep.invariantsHold())
-      << "seed " << GetParam() << "\n" << Rep.summary();
-  EXPECT_TRUE(Rep.conclusionHolds())
-      << "seed " << GetParam() << "\n" << Rep.summary();
+  EXPECT_TRUE(Rep.assumptionsHold()) << Replay << "\n" << Rep.summary();
+  EXPECT_TRUE(Rep.invariantsHold()) << Replay << "\n" << Rep.summary();
+  EXPECT_TRUE(Rep.conclusionHolds()) << Replay << "\n" << Rep.summary();
   // The §3.1 contracts agree with the other checkers on good traces.
   EXPECT_TRUE(checkMarkerSpecs(Rep.TT.Tr, Spec.Client.Tasks,
                                Spec.Client.Policy)
                   .passed())
-      << "seed " << GetParam();
+      << Replay;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomSystems,
@@ -144,7 +145,8 @@ TEST(FuzzMutation, CheckersCatchStructuralMutations) {
   TimedTrace TT = runRossl(C, Arr, 7000);
   ASSERT_TRUE(checkProtocol(TT.Tr, 2).passed());
 
-  SplitMix64 Rng(99);
+  const std::uint64_t Seed = fuzzSeed(99);
+  SplitMix64 Rng(Seed);
   std::uint64_t Mutants = 0, Caught = 0;
   for (int K = 0; K < 300; ++K) {
     Trace M = TT.Tr;
@@ -160,13 +162,15 @@ TEST(FuzzMutation, CheckersCatchStructuralMutations) {
   // Structural mutations of marker kinds are essentially always
   // protocol violations; allow a small semantic-no-op margin.
   EXPECT_GE(Caught * 100, Mutants * 95)
-      << Caught << "/" << Mutants << " mutants caught";
+      << Caught << "/" << Mutants
+      << " mutants caught; replay: RPROSA_FUZZ_SEED=" << Seed;
 }
 
 TEST(FuzzCurves, RandomCurveStacksStayConsistent) {
   // Random compositions of combinators keep the curve axioms and agree
   // with minWindowAdmitting.
-  SplitMix64 Rng(4242);
+  const std::uint64_t Seed = fuzzSeed(4242);
+  SplitMix64 Rng(Seed);
   for (int K = 0; K < 40; ++K) {
     ArrivalCurvePtr C = std::make_shared<PeriodicCurve>(
         Rng.nextInRange(5, 500));
@@ -189,14 +193,16 @@ TEST(FuzzCurves, RandomCurveStacksStayConsistent) {
         break;
       }
     }
-    ASSERT_TRUE(C->validate(5000).passed()) << C->describe();
+    std::string Replay =
+        "; replay: RPROSA_FUZZ_SEED=" + std::to_string(Seed);
+    ASSERT_TRUE(C->validate(5000).passed()) << C->describe() << Replay;
     for (std::uint64_t N : {1ull, 3ull, 9ull}) {
       Duration W = minWindowAdmitting(*C, N, 1u << 26);
       if (W == TimeInfinity)
         continue;
-      EXPECT_GE(C->eval(W), N) << C->describe();
+      EXPECT_GE(C->eval(W), N) << C->describe() << Replay;
       if (W > 1) {
-        EXPECT_LT(C->eval(W - 1), N) << C->describe();
+        EXPECT_LT(C->eval(W - 1), N) << C->describe() << Replay;
       }
     }
   }
@@ -205,7 +211,8 @@ TEST(FuzzCurves, RandomCurveStacksStayConsistent) {
 TEST(FuzzQueues, PolicyQueuesMatchReferenceSort) {
   // Differential check of the queues against a reference: drain order
   // equals a stable sort by the policy key.
-  SplitMix64 Rng(777);
+  const std::uint64_t Seed = fuzzSeed(777);
+  SplitMix64 Rng(Seed);
   TaskSet TS;
   TS.addTask("a", 10, 3, std::make_shared<PeriodicCurve>(100), 40);
   TS.addTask("b", 10, 1, std::make_shared<PeriodicCurve>(100), 250);
@@ -241,8 +248,10 @@ TEST(FuzzQueues, PolicyQueuesMatchReferenceSort) {
                        });
       for (const Job &Expected : Ref) {
         std::optional<Job> Got = Q->dequeue();
-        ASSERT_TRUE(Got.has_value()) << toString(P);
-        EXPECT_EQ(Got->Id, Expected.Id) << toString(P);
+        ASSERT_TRUE(Got.has_value())
+            << toString(P) << "; replay: RPROSA_FUZZ_SEED=" << Seed;
+        EXPECT_EQ(Got->Id, Expected.Id)
+            << toString(P) << "; replay: RPROSA_FUZZ_SEED=" << Seed;
       }
       EXPECT_FALSE(Q->dequeue().has_value());
     }

@@ -18,9 +18,24 @@
 #include "sim/environment.h"
 #include "sim/workload.h"
 
+#include <cstdlib>
 #include <memory>
 
 namespace rprosa::testutil {
+
+/// The base seed of a randomized (fuzz-style) test: \p Default unless
+/// the environment overrides it via RPROSA_FUZZ_SEED. Every randomized
+/// loop derives its per-iteration seeds from this value and names it in
+/// failure messages, so a CI failure replays locally with
+///   RPROSA_FUZZ_SEED=<seed> ctest -R <test>
+inline std::uint64_t fuzzSeed(std::uint64_t Default) {
+  const char *Env = std::getenv("RPROSA_FUZZ_SEED");
+  if (!Env || !*Env)
+    return Default;
+  char *End = nullptr;
+  std::uint64_t S = std::strtoull(Env, &End, 10);
+  return End && *End == '\0' ? S : Default;
+}
 
 /// Small, round WCETs that keep hand computations easy: FR=4, SR=10,
 /// Sel=3, Disp=2, Compl=5, Idling=8.
