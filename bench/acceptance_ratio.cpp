@@ -20,9 +20,14 @@
 /// many inputs, made visible. Sanity-checked: the aware analysis never
 /// accepts a set the naive one rejects (its supply is never better).
 ///
+/// Generation is serial and seeded (reproducible grids); the 4 × sets ×
+/// buckets analysis points then go through SweepRunner as one batch.
+/// Verdicts are index-addressed, so the table is identical under
+/// --serial. RPROSA_BENCH_SMOKE=1 shrinks the per-bucket sample.
+///
 //===----------------------------------------------------------------------===//
 
-#include "rta/rta_npfp.h"
+#include "rta/sweep.h"
 #include "support/rng.h"
 #include "support/table.h"
 
@@ -59,30 +64,60 @@ TaskSet randomTaskSet(double U, SplitMix64 &Rng) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("=== E16: acceptance ratio vs execution utilization "
               "(schedulability study) ===\n\n");
 
   BasicActionWcets W = BasicActionWcets::typicalDeployment();
-  const int SetsPerBucket = 40;
+  const int SetsPerBucket = envFlag("RPROSA_BENCH_SMOKE") ? 6 : 40;
+  const int NumBuckets = 9;
+
+  // Per generated set, four analysis points: naive, aware@1/4/16.
+  RtaConfig Cfg;
+  Cfg.FixedPointCap = 1 * TickSec;
+  RtaConfig NaiveCfg = Cfg;
+  NaiveCfg.AccountOverheads = false;
+  std::vector<SweepPoint> Points;
+  Points.reserve(std::size_t(NumBuckets) * SetsPerBucket * 4);
+  for (int Bucket = 1; Bucket <= NumBuckets; ++Bucket) {
+    double U = Bucket / 10.0;
+    SplitMix64 Rng(1000 + Bucket);
+    for (int K = 0; K < SetsPerBucket; ++K) {
+      TaskSet TS = randomTaskSet(U, Rng);
+      struct Variant {
+        const RtaConfig *C;
+        std::uint32_t Socks;
+      };
+      const Variant Variants[] = {
+          {&NaiveCfg, 1}, {&Cfg, 1}, {&Cfg, 4}, {&Cfg, 16}};
+      for (const Variant &V : Variants) {
+        SweepPoint P;
+        P.Tasks = TS;
+        P.Cfg = *V.C;
+        P.Sbf.Wcets = W;
+        P.Sbf.NumSockets = V.Socks;
+        Points.push_back(std::move(P));
+      }
+    }
+  }
+
+  SweepOptions Opts;
+  Opts.Threads = threadsFromArgs(argc, argv);
+  SweepRunner Runner(Opts);
+  std::vector<char> Ok = Runner.runSchedulable(Points);
 
   TableWriter T({"utilization", "naive", "aware s=1", "aware s=4",
                  "aware s=16"});
   bool DominanceOk = true;
-  for (int Bucket = 1; Bucket <= 9; ++Bucket) {
+  std::size_t Next = 0;
+  for (int Bucket = 1; Bucket <= NumBuckets; ++Bucket) {
     double U = Bucket / 10.0;
-    SplitMix64 Rng(1000 + Bucket);
     int Naive = 0, S1 = 0, S4 = 0, S16 = 0;
     for (int K = 0; K < SetsPerBucket; ++K) {
-      TaskSet TS = randomTaskSet(U, Rng);
-      RtaConfig Cfg;
-      Cfg.FixedPointCap = 1 * TickSec;
-      RtaConfig NaiveCfg = Cfg;
-      NaiveCfg.AccountOverheads = false;
-      bool N = analyzeNpfp(TS, W, 1, NaiveCfg).allBounded();
-      bool A1 = analyzeNpfp(TS, W, 1, Cfg).allBounded();
-      bool A4 = analyzeNpfp(TS, W, 4, Cfg).allBounded();
-      bool A16 = analyzeNpfp(TS, W, 16, Cfg).allBounded();
+      bool N = Ok[Next++];
+      bool A1 = Ok[Next++];
+      bool A4 = Ok[Next++];
+      bool A16 = Ok[Next++];
       Naive += N;
       S1 += A1;
       S4 += A4;

@@ -24,6 +24,10 @@
 ///   rp_verify --timing <file> [N]   # segment-cost table for a .rossl
 ///                                   # source
 ///
+/// The --timing sweep fans its socket counts and mutant corpus out over
+/// a thread pool; pass --serial (or --threads=N) anywhere to pin the
+/// parallelism. Output bytes are identical regardless of thread count.
+///
 /// Exit code 0 iff every expected-clean program verifies clean and
 /// every mutant is rejected (file mode: iff the file verifies clean;
 /// timing mode: iff every reachable segment class is bounded and every
@@ -38,10 +42,12 @@
 
 #include "caesium/parser.h"
 #include "caesium/rossl_program.h"
+#include "support/parallel.h"
 #include "support/table.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -165,17 +171,36 @@ StaticCostParams timingParams() {
   return P;
 }
 
-int timingSweepMode() {
+int timingSweepMode(unsigned Threads) {
   std::printf("=== rp_verify --timing: static segment-cost analysis of "
               "the embedded Roessl program ===\n\n");
+
+  // Both sweeps below fan out over a thread pool (--serial forces one
+  // thread). Every unit writes only its own slot and all text is
+  // rendered in input order afterwards, so the output bytes are
+  // independent of the thread count.
+  ThreadPool Pool(Threads);
   bool Ok = true;
-  for (std::uint32_t N : {1u, 2u, 4u}) {
+
+  const std::vector<std::uint32_t> Sockets = {1, 2, 4};
+  struct SocketResult {
+    std::string Block;
+    bool Bounded = false;
+  };
+  std::vector<SocketResult> PerSocket(Sockets.size());
+  Pool.parallelFor(Sockets.size(), [&](std::size_t Idx) {
+    std::uint32_t N = Sockets[Idx];
     TimingResult R =
         analyzeTiming(buildCfg(buildRosslProgram(N)), timingParams(), N);
-    std::printf("--- %u socket(s), %llu paths explored ---\n%s\n", N,
-                static_cast<unsigned long long>(R.PathsExplored),
-                R.describeTable().c_str());
-    Ok &= R.allBounded();
+    PerSocket[Idx].Block = "--- " + std::to_string(N) + " socket(s), " +
+                           std::to_string(R.PathsExplored) +
+                           " paths explored ---\n" + R.describeTable() +
+                           "\n";
+    PerSocket[Idx].Bounded = R.allBounded();
+  });
+  for (const SocketResult &S : PerSocket) {
+    std::printf("%s", S.Block.c_str());
+    Ok &= S.Bounded;
   }
   std::printf("a bounded row derives: every run of the program (under "
               "the trusted WCET/instruction-cost tables, excluding the "
@@ -185,28 +210,44 @@ int timingSweepMode() {
 
   TimingResult Ref =
       analyzeTiming(buildCfg(buildRosslProgram(2)), timingParams(), 2);
-  TableWriter Mut({"timing mutant", "protocol", "flagged segment",
-                   "ref hi", "mutant hi"});
-  for (const Mutant &M : timingMutantCorpus(2)) {
+  std::vector<Mutant> Corpus = timingMutantCorpus(2);
+  struct MutantResult {
+    std::vector<std::vector<std::string>> Rows;
+    std::string WitnessText;
+    bool Caught = false;
+  };
+  std::vector<MutantResult> PerMutant(Corpus.size());
+  Pool.parallelFor(Corpus.size(), [&](std::size_t Idx) {
+    const Mutant &M = Corpus[Idx];
+    MutantResult &Out = PerMutant[Idx];
     Cfg G = buildCfg(M.Program);
     Verdict V = verifyProtocol(G, 2);
     TimingResult Got = analyzeTiming(G, timingParams(), 2);
     std::vector<TimingDiff> Diffs = diffTiming(Ref, Got);
-    bool Caught = V.verified() && !Diffs.empty();
-    Ok &= Caught;
+    Out.Caught = V.verified() && !Diffs.empty();
     if (Diffs.empty()) {
-      Mut.addRow({M.Name, kindName(V.Kind), "MISSED", "-", "-"});
-      continue;
+      Out.Rows.push_back({M.Name, kindName(V.Kind), "MISSED", "-", "-"});
+      return;
     }
     for (const TimingDiff &D : Diffs) {
-      Mut.addRow({M.Name, kindName(V.Kind), toString(D.Class),
-                  std::to_string(D.RefHi), std::to_string(D.GotHi)});
+      Out.Rows.push_back({M.Name, kindName(V.Kind), toString(D.Class),
+                          std::to_string(D.RefHi),
+                          std::to_string(D.GotHi)});
       std::string Trail;
       for (const std::string &L : D.Witness)
         Trail += (Trail.empty() ? "" : " -> ") + L;
-      std::printf("%s / %s witness: %s\n", M.Name.c_str(),
-                  toString(D.Class).c_str(), Trail.c_str());
+      Out.WitnessText +=
+          M.Name + " / " + toString(D.Class) + " witness: " + Trail + "\n";
     }
+  });
+
+  TableWriter Mut({"timing mutant", "protocol", "flagged segment",
+                   "ref hi", "mutant hi"});
+  for (const MutantResult &R : PerMutant) {
+    Ok &= R.Caught;
+    for (const std::vector<std::string> &Row : R.Rows)
+      Mut.addRow(Row);
+    std::printf("%s", R.WitnessText.c_str());
   }
   std::printf("\n%s\n", Mut.renderAscii().c_str());
   std::printf("each timing mutant is protocol-clean — the Def. 3.1 "
@@ -244,21 +285,30 @@ int timingFileMode(const char *Path, std::uint32_t NumSockets) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  if (Argc <= 1)
+  // Threading flags (--serial, --threads=N) may appear anywhere; the
+  // remaining arguments keep their positional meaning.
+  unsigned Threads = threadsFromArgs(Argc, Argv);
+  std::vector<char *> Pos;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--serial") != 0 &&
+        std::strncmp(Argv[I], "--threads=", 10) != 0)
+      Pos.push_back(Argv[I]);
+
+  if (Pos.empty())
     return sweepMode();
 
-  bool Timing = std::string(Argv[1]) == "--timing";
+  bool Timing = std::string(Pos[0]) == "--timing";
   const char *Path = nullptr;
   const char *SockArg = nullptr;
   if (Timing) {
-    if (Argc >= 3)
-      Path = Argv[2];
-    if (Argc >= 4)
-      SockArg = Argv[3];
+    if (Pos.size() >= 2)
+      Path = Pos[1];
+    if (Pos.size() >= 3)
+      SockArg = Pos[2];
   } else {
-    Path = Argv[1];
-    if (Argc >= 3)
-      SockArg = Argv[2];
+    Path = Pos[0];
+    if (Pos.size() >= 2)
+      SockArg = Pos[1];
   }
 
   std::uint32_t NumSockets = 2;
@@ -271,6 +321,7 @@ int main(int Argc, char **Argv) {
   }
 
   if (Timing)
-    return Path ? timingFileMode(Path, NumSockets) : timingSweepMode();
+    return Path ? timingFileMode(Path, NumSockets)
+                : timingSweepMode(Threads);
   return fileMode(Path, NumSockets);
 }

@@ -16,7 +16,7 @@ std::optional<Time> rprosa::leastFixedPoint(
   // number of iterations.
   while (true) {
     Time Next = F(T);
-    if (Next == TimeInfinity || Next > Cap)
+    if (exceedsCap(Next, Cap))
       return std::nullopt;
     if (Next == T)
       return T;

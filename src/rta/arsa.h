@@ -29,6 +29,17 @@
 
 namespace rprosa {
 
+/// The one divergence predicate of every fixed-point search. The cap is
+/// *inclusive*: a bound of exactly Cap is still accepted, only bounds
+/// strictly beyond it (or saturated to TimeInfinity) mean "unbounded".
+/// Every cap comparison in the analyses must go through this helper so
+/// the boundary cannot drift between call sites — and it must be
+/// applied to the *final* candidate bound, after any completion floors
+/// (max with release + WCET) have been folded in.
+inline bool exceedsCap(Time T, Time Cap) {
+  return T == TimeInfinity || T > Cap;
+}
+
 /// Iterates T ← F(T) from \p Start until a fixed point is reached;
 /// returns nullopt if the iterate exceeds \p Cap (divergence) or F ever
 /// returns TimeInfinity. F must be monotone and satisfy F(T) >= Start

@@ -6,8 +6,9 @@
 
 #include "rta/rta_npfp.h"
 
+#include "support/check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <memory>
 
 using namespace rprosa;
@@ -20,8 +21,11 @@ bool RtaResult::allBounded() const {
 }
 
 const TaskRta &RtaResult::forTask(TaskId Id) const {
-  assert(Id < PerTask.size() && "task id out of range");
-  assert(PerTask[Id].Task == Id && "per-task results are indexed by id");
+  // Armed in every build type: an out-of-range id in a Release binary
+  // would otherwise read past the vector and hand the caller garbage
+  // bounds (experiment drivers run Release).
+  RPROSA_CHECK(Id < PerTask.size(), "task id out of range for this result");
+  RPROSA_CHECK(PerTask[Id].Task == Id, "per-task results are indexed by id");
   return PerTask[Id];
 }
 
@@ -127,7 +131,7 @@ TaskRta NpfpAnalysis::analyzeTask(TaskId I) const {
     Duration WorkAtStart =
         satAdd(Prior, workloadOf(HepOthers, satAdd(*S, 1)));
     Time F = Supply->timeToSupply(satAdd(WorkAtStart, Ti.Wcet));
-    if (F == TimeInfinity || F > Cfg.FixedPointCap)
+    if (exceedsCap(F, Cfg.FixedPointCap))
       return Out; // Unbounded.
 
     Rmax = std::max<Duration>(Rmax, F - Aq);

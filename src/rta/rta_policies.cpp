@@ -88,10 +88,14 @@ private:
         break;
       Duration Work = satAdd(Out.Blocking, workloadAt(I, Aq, Window));
       Time F = Supply->timeToSupply(Work);
-      if (F == TimeInfinity || F > Cfg.FixedPointCap)
-        return Out;
       // The job cannot complete before its own release + execution.
+      // The floor must be folded in *before* the cap check: a finish
+      // bound pushed past the cap (or saturated) by the floor is just
+      // as unbounded as one the supply inverse produced directly, and
+      // checking first used to let such a bound through as "Bounded".
       F = std::max<Time>(F, satAdd(Aq, Tasks.task(I).Wcet));
+      if (exceedsCap(F, Cfg.FixedPointCap))
+        return Out;
       Rmax = std::max<Duration>(Rmax, F - Aq);
       if (Q == Cfg.MaxOffsets)
         return Out;

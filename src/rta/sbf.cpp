@@ -50,12 +50,21 @@ Time RosslSupply::timeToSupply(Duration Work) const {
   // would overshoot because BlackoutBound(0) > 0 due to the carry-in).
   if (Work == 0)
     return 0;
+  {
+    std::lock_guard<std::mutex> L(MemoM);
+    auto It = TimeToSupplyMemo.find(Work);
+    if (It != TimeToSupplyMemo.end())
+      return It->second;
+  }
   // Least t with SBF(t) >= Work, i.e. least t with
   // t - BlackoutBound(t) >= Work: the request-bound fixed point
   // t <- Work + BlackoutBound(t).
   auto Step = [&](Time T) { return satAdd(Work, blackoutBound(T)); };
   std::optional<Time> T = leastFixedPoint(Step, Work, Cap);
-  return T ? *T : TimeInfinity;
+  Time Out = T ? *T : TimeInfinity;
+  std::lock_guard<std::mutex> L(MemoM);
+  TimeToSupplyMemo.emplace(Work, Out);
+  return Out;
 }
 
 Duration RosslSupply::supplyBound(Duration Delta) const {

@@ -40,6 +40,8 @@
 
 #include "core/arrival_curve.h"
 
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 namespace rprosa {
@@ -85,6 +87,15 @@ private:
   OverheadBounds B;
   Time Cap;
   bool CarryInPerTask;
+
+  /// timeToSupply is the innermost loop of every fixed-point search and
+  /// is repeatedly queried at the same Work values (the Kleene iterates
+  /// revisit each other's results, and supplyBound bisects over it).
+  /// The model is immutable after construction, so the inverse is pure;
+  /// this memo caches it. Mutex-guarded: one RosslSupply may be shared
+  /// across sweep threads (sbf_curves, the SweepRunner ports).
+  mutable std::mutex MemoM;
+  mutable std::unordered_map<Duration, Time> TimeToSupplyMemo;
 };
 
 } // namespace rprosa

@@ -6,37 +6,12 @@
 
 #include "rta/sensitivity.h"
 
+#include <algorithm>
 #include <functional>
 
 using namespace rprosa;
 
 namespace {
-
-/// Binary-searches the largest percent in [100, MaxPercent] for which
-/// \p Schedulable holds; requires antitonicity.
-SensitivityResult searchPercent(
-    const std::function<bool(std::uint64_t)> &Schedulable,
-    std::uint64_t MaxPercent) {
-  SensitivityResult R;
-  R.NominalSchedulable = Schedulable(100);
-  if (!R.NominalSchedulable)
-    return R;
-  std::uint64_t Lo = 100, Hi = MaxPercent;
-  if (Schedulable(Hi)) {
-    R.MaxScalePercent = Hi;
-    return R;
-  }
-  // Invariant: Lo schedulable, Hi not.
-  while (Lo + 1 < Hi) {
-    std::uint64_t Mid = Lo + (Hi - Lo) / 2;
-    if (Schedulable(Mid))
-      Lo = Mid;
-    else
-      Hi = Mid;
-  }
-  R.MaxScalePercent = Lo;
-  return R;
-}
 
 RtaConfig quickConfig() {
   RtaConfig Cfg;
@@ -55,6 +30,8 @@ TaskSet scaleTaskWcet(const TaskSet &Tasks, TaskId I,
                         ? std::max<Duration>(1, satMul(T.Wcet, Percent) /
                                                     100)
                         : T.Wcet;
+    // Curves are shared, not copied: probes of the same search hit the
+    // runner's memoized evaluations.
     Out.addTask(T.Name, Wcet, T.Prio, T.Curve, T.Deadline);
   }
   return Out;
@@ -75,20 +52,112 @@ BasicActionWcets scaleWcets(const BasicActionWcets &W,
   return Out;
 }
 
+/// Finds the largest x in [Lo, Hi] with Schedulable(x), given
+/// Schedulable(Lo) and !Schedulable(Hi), by K-section: each round
+/// evaluates K evenly spaced interior probes as one parallel batch and
+/// keeps the bracket between the last schedulable and the first
+/// unschedulable probe. Antitonicity makes the boundary unique, so the
+/// result is exactly the binary-search answer for any K >= 1.
+std::uint64_t bracketLargestSchedulable(
+    SweepRunner &Runner,
+    const std::function<SweepPoint(std::uint64_t)> &PointAt,
+    std::uint64_t Lo, std::uint64_t Hi) {
+  std::uint64_t K = std::max<std::uint64_t>(1, Runner.threads());
+  while (Lo + 1 < Hi) {
+    std::vector<std::uint64_t> Probes;
+    for (std::uint64_t J = 1; J <= K && Probes.size() < Hi - Lo - 1;
+         ++J) {
+      std::uint64_t P = Lo + (Hi - Lo) * J / (K + 1);
+      P = std::min(std::max(P, Lo + 1), Hi - 1);
+      if (Probes.empty() || Probes.back() != P)
+        Probes.push_back(P);
+    }
+    std::vector<SweepPoint> Points;
+    Points.reserve(Probes.size());
+    for (std::uint64_t P : Probes)
+      Points.push_back(PointAt(P));
+    std::vector<char> Ok = Runner.runSchedulable(Points);
+    // Antitone: Ok is a (possibly empty) prefix of ones.
+    std::uint64_t NewLo = Lo, NewHi = Hi;
+    for (std::size_t J = 0; J < Probes.size(); ++J) {
+      if (Ok[J])
+        NewLo = Probes[J];
+      else {
+        NewHi = Probes[J];
+        break;
+      }
+    }
+    Lo = NewLo;
+    Hi = NewHi;
+  }
+  return Lo;
+}
+
+SensitivityResult searchPercent(
+    SweepRunner &Runner,
+    const std::function<SweepPoint(std::uint64_t)> &PointAt,
+    std::uint64_t MaxPercent) {
+  SensitivityResult R;
+  std::vector<char> Ends =
+      Runner.runSchedulable({PointAt(100), PointAt(MaxPercent)});
+  R.NominalSchedulable = Ends[0];
+  if (!R.NominalSchedulable)
+    return R;
+  if (Ends[1]) {
+    R.MaxScalePercent = MaxPercent;
+    return R;
+  }
+  R.MaxScalePercent = bracketLargestSchedulable(Runner, PointAt, 100,
+                                                MaxPercent);
+  return R;
+}
+
 } // namespace
+
+SensitivityResult rprosa::callbackWcetSlack(SweepRunner &Runner,
+                                            const TaskSet &Tasks,
+                                            const BasicActionWcets &W,
+                                            std::uint32_t NumSockets,
+                                            TaskId I, SchedPolicy Policy,
+                                            std::uint64_t MaxPercent) {
+  auto PointAt = [&](std::uint64_t Percent) {
+    SweepPoint P;
+    P.Tasks = scaleTaskWcet(Tasks, I, Percent);
+    P.Cfg = quickConfig();
+    P.Sbf.Wcets = W;
+    P.Sbf.NumSockets = NumSockets;
+    P.Policy = Policy;
+    return P;
+  };
+  return searchPercent(Runner, PointAt, MaxPercent);
+}
 
 SensitivityResult rprosa::callbackWcetSlack(const TaskSet &Tasks,
                                             const BasicActionWcets &W,
                                             std::uint32_t NumSockets,
                                             TaskId I, SchedPolicy Policy,
                                             std::uint64_t MaxPercent) {
-  return searchPercent(
-      [&](std::uint64_t Percent) {
-        return analyzePolicy(scaleTaskWcet(Tasks, I, Percent), W,
-                             NumSockets, Policy, quickConfig())
-            .allBounded();
-      },
-      MaxPercent);
+  SweepRunner Runner;
+  return callbackWcetSlack(Runner, Tasks, W, NumSockets, I, Policy,
+                           MaxPercent);
+}
+
+SensitivityResult rprosa::schedulerWcetSlack(SweepRunner &Runner,
+                                             const TaskSet &Tasks,
+                                             const BasicActionWcets &W,
+                                             std::uint32_t NumSockets,
+                                             SchedPolicy Policy,
+                                             std::uint64_t MaxPercent) {
+  auto PointAt = [&](std::uint64_t Percent) {
+    SweepPoint P;
+    P.Tasks = Tasks;
+    P.Cfg = quickConfig();
+    P.Sbf.Wcets = scaleWcets(W, Percent);
+    P.Sbf.NumSockets = NumSockets;
+    P.Policy = Policy;
+    return P;
+  };
+  return searchPercent(Runner, PointAt, MaxPercent);
 }
 
 SensitivityResult rprosa::schedulerWcetSlack(const TaskSet &Tasks,
@@ -96,34 +165,39 @@ SensitivityResult rprosa::schedulerWcetSlack(const TaskSet &Tasks,
                                              std::uint32_t NumSockets,
                                              SchedPolicy Policy,
                                              std::uint64_t MaxPercent) {
-  return searchPercent(
-      [&](std::uint64_t Percent) {
-        return analyzePolicy(Tasks, scaleWcets(W, Percent), NumSockets,
-                             Policy, quickConfig())
-            .allBounded();
-      },
-      MaxPercent);
+  SweepRunner Runner;
+  return schedulerWcetSlack(Runner, Tasks, W, NumSockets, Policy,
+                            MaxPercent);
+}
+
+std::uint32_t rprosa::socketSlack(SweepRunner &Runner,
+                                  const TaskSet &Tasks,
+                                  const BasicActionWcets &W,
+                                  std::uint32_t MaxSockets,
+                                  SchedPolicy Policy) {
+  auto PointAt = [&](std::uint64_t Socks) {
+    SweepPoint P;
+    P.Tasks = Tasks;
+    P.Cfg = quickConfig();
+    P.Sbf.Wcets = W;
+    P.Sbf.NumSockets = static_cast<std::uint32_t>(Socks);
+    P.Policy = Policy;
+    return P;
+  };
+  std::vector<char> Ends =
+      Runner.runSchedulable({PointAt(1), PointAt(MaxSockets)});
+  if (!Ends[0])
+    return 0;
+  if (Ends[1])
+    return MaxSockets;
+  return static_cast<std::uint32_t>(
+      bracketLargestSchedulable(Runner, PointAt, 1, MaxSockets));
 }
 
 std::uint32_t rprosa::socketSlack(const TaskSet &Tasks,
                                   const BasicActionWcets &W,
                                   std::uint32_t MaxSockets,
                                   SchedPolicy Policy) {
-  auto Feasible = [&](std::uint32_t Socks) {
-    return analyzePolicy(Tasks, W, Socks, Policy, quickConfig())
-        .allBounded();
-  };
-  if (!Feasible(1))
-    return 0;
-  std::uint32_t Lo = 1, Hi = MaxSockets;
-  if (Feasible(Hi))
-    return Hi;
-  while (Lo + 1 < Hi) {
-    std::uint32_t Mid = Lo + (Hi - Lo) / 2;
-    if (Feasible(Mid))
-      Lo = Mid;
-    else
-      Hi = Mid;
-  }
-  return Lo;
+  SweepRunner Runner;
+  return socketSlack(Runner, Tasks, W, MaxSockets, Policy);
 }

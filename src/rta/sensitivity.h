@@ -16,14 +16,20 @@
 ///  - all basic-action WCETs together (the scheduler gets slower),
 ///  - the socket count (integer search).
 ///
-/// Schedulability is antitone in each knob, so binary search applies.
+/// Schedulability is antitone in each knob, so bracketing search
+/// applies. The searches run on a SweepRunner: each narrowing round
+/// evaluates a batch of probes concurrently (K-section search, K =
+/// the runner's thread count). Under antitonicity the schedulability
+/// boundary is unique, so the multiway search returns *exactly* the
+/// value the classic serial binary search returns — only faster. The
+/// overloads without a runner use a private serial one.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef RPROSA_RTA_SENSITIVITY_H
 #define RPROSA_RTA_SENSITIVITY_H
 
-#include "rta/rta_policies.h"
+#include "rta/sweep.h"
 
 namespace rprosa {
 
@@ -36,6 +42,12 @@ struct SensitivityResult {
 };
 
 /// Largest multiplier for task \p I's callback WCET.
+SensitivityResult callbackWcetSlack(SweepRunner &Runner,
+                                    const TaskSet &Tasks,
+                                    const BasicActionWcets &W,
+                                    std::uint32_t NumSockets, TaskId I,
+                                    SchedPolicy Policy = SchedPolicy::Npfp,
+                                    std::uint64_t MaxPercent = 100000);
 SensitivityResult callbackWcetSlack(const TaskSet &Tasks,
                                     const BasicActionWcets &W,
                                     std::uint32_t NumSockets, TaskId I,
@@ -43,6 +55,13 @@ SensitivityResult callbackWcetSlack(const TaskSet &Tasks,
                                     std::uint64_t MaxPercent = 100000);
 
 /// Largest multiplier applied to ALL basic-action WCETs at once.
+SensitivityResult schedulerWcetSlack(SweepRunner &Runner,
+                                     const TaskSet &Tasks,
+                                     const BasicActionWcets &W,
+                                     std::uint32_t NumSockets,
+                                     SchedPolicy Policy =
+                                         SchedPolicy::Npfp,
+                                     std::uint64_t MaxPercent = 100000);
 SensitivityResult schedulerWcetSlack(const TaskSet &Tasks,
                                      const BasicActionWcets &W,
                                      std::uint32_t NumSockets,
@@ -52,6 +71,10 @@ SensitivityResult schedulerWcetSlack(const TaskSet &Tasks,
 
 /// Largest socket count that stays schedulable (0 if none; searches up
 /// to \p MaxSockets).
+std::uint32_t socketSlack(SweepRunner &Runner, const TaskSet &Tasks,
+                          const BasicActionWcets &W,
+                          std::uint32_t MaxSockets = 4096,
+                          SchedPolicy Policy = SchedPolicy::Npfp);
 std::uint32_t socketSlack(const TaskSet &Tasks, const BasicActionWcets &W,
                           std::uint32_t MaxSockets = 4096,
                           SchedPolicy Policy = SchedPolicy::Npfp);

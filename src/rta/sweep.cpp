@@ -1,0 +1,170 @@
+//===- rta/sweep.cpp ------------------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rta/sweep.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace rprosa;
+
+//===----------------------------------------------------------------------===//
+// MemoCurve
+//===----------------------------------------------------------------------===//
+
+MemoCurve::MemoCurve(ArrivalCurvePtr InnerCurve)
+    : Inner(std::move(InnerCurve)) {
+  RPROSA_CHECK(Inner != nullptr, "MemoCurve requires a curve to wrap");
+}
+
+std::uint64_t MemoCurve::eval(Duration Delta) const {
+  Shard &S = Shards[std::hash<Duration>{}(Delta) % NumShards];
+  {
+    std::shared_lock<std::shared_mutex> L(S.M);
+    auto It = S.Map.find(Delta);
+    if (It != S.Map.end())
+      return It->second;
+  }
+  // Evaluate outside any lock: the inner curve is pure, so a racing
+  // duplicate evaluation computes the same value.
+  std::uint64_t V = Inner->eval(Delta);
+  std::unique_lock<std::shared_mutex> L(S.M);
+  S.Map.emplace(Delta, V);
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// CurveCache
+//===----------------------------------------------------------------------===//
+
+ArrivalCurvePtr CurveCache::memoize(const ArrivalCurvePtr &Curve) {
+  RPROSA_CHECK(Curve != nullptr, "cannot memoize a null curve");
+  // Memoizing a memo would stack caches for no benefit.
+  if (dynamic_cast<const MemoCurve *>(Curve.get()))
+    return Curve;
+  std::lock_guard<std::mutex> L(M);
+  auto It = Map.find(Curve.get());
+  if (It == Map.end())
+    It = Map.emplace(Curve.get(), std::make_shared<MemoCurve>(Curve)).first;
+  return It->second;
+}
+
+std::size_t CurveCache::size() const {
+  std::lock_guard<std::mutex> L(M);
+  return Map.size();
+}
+
+//===----------------------------------------------------------------------===//
+// SweepRunner
+//===----------------------------------------------------------------------===//
+
+SweepRunner::SweepRunner(SweepOptions O) : Opts(O), Pool(O.Threads) {}
+
+TaskSet SweepRunner::withMemoizedCurves(const TaskSet &Tasks) {
+  // Ids are assigned densely in insertion order, so the rebuilt set has
+  // identical ids, priorities and deadlines — only the curves are
+  // swapped for their shared memoized views.
+  TaskSet Out;
+  for (const Task &T : Tasks.tasks())
+    Out.addTask(T.Name, T.Wcet, T.Prio, Cache.memoize(T.Curve), T.Deadline);
+  return Out;
+}
+
+std::vector<RtaResult> SweepRunner::run(const std::vector<SweepPoint> &Points) {
+  // Memoization rewrite happens up front, on the submitting thread:
+  // CurveCache::memoize is thread-safe, but doing it here keeps the
+  // parallel region free of cache-structure churn.
+  std::vector<const SweepPoint *> Work(Points.size());
+  std::vector<TaskSet> Memoized;
+  if (Opts.MemoizeCurves)
+    Memoized.reserve(Points.size());
+  for (std::size_t I = 0; I < Points.size(); ++I) {
+    Work[I] = &Points[I];
+    if (Opts.MemoizeCurves)
+      Memoized.push_back(withMemoizedCurves(Points[I].Tasks));
+  }
+
+  // Each body invocation writes only its own index-addressed slot; the
+  // result vector is sized up front so no reallocation races exist.
+  // This is the whole determinism argument: Results[i] depends only on
+  // Points[i], never on scheduling.
+  std::vector<RtaResult> Results(Points.size());
+  Pool.parallelFor(Points.size(), [&](std::size_t I) {
+    const SweepPoint &P = *Work[I];
+    const TaskSet &TS = Opts.MemoizeCurves ? Memoized[I] : P.Tasks;
+    Results[I] =
+        analyzePolicy(TS, P.Sbf.Wcets, P.Sbf.NumSockets, P.Policy, P.Cfg);
+  });
+  return Results;
+}
+
+std::vector<char>
+SweepRunner::runSchedulable(const std::vector<SweepPoint> &Points) {
+  std::vector<RtaResult> R = run(Points);
+  std::vector<char> Out(R.size());
+  for (std::size_t I = 0; I < R.size(); ++I)
+    Out[I] = R[I].allBounded() ? 1 : 0;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical JSON rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendU64(std::string &Out, std::uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%llu",
+                static_cast<unsigned long long>(V));
+  Out += Buf;
+}
+
+} // namespace
+
+std::string rprosa::sweepResultsJson(const std::vector<SweepPoint> &Points,
+                                     const std::vector<RtaResult> &Results) {
+  RPROSA_CHECK(Points.size() == Results.size(),
+               "one result per sweep point expected");
+  std::string Out = "[\n";
+  for (std::size_t I = 0; I < Points.size(); ++I) {
+    const SweepPoint &P = Points[I];
+    const RtaResult &R = Results[I];
+    Out += "  {\"point\": ";
+    appendU64(Out, I);
+    Out += ", \"policy\": \"" + toString(P.Policy) + "\"";
+    Out += ", \"sockets\": ";
+    appendU64(Out, P.Sbf.NumSockets);
+    Out += ", \"schedulable\": ";
+    Out += R.allBounded() ? "true" : "false";
+    Out += ", \"tasks\": [";
+    for (std::size_t K = 0; K < R.PerTask.size(); ++K) {
+      const TaskRta &T = R.PerTask[K];
+      if (K)
+        Out += ", ";
+      Out += "{\"task\": ";
+      appendU64(Out, T.Task);
+      Out += ", \"bounded\": ";
+      Out += T.Bounded ? "true" : "false";
+      Out += ", \"release_bound\": ";
+      appendU64(Out, T.ReleaseRelativeBound);
+      Out += ", \"jitter\": ";
+      appendU64(Out, T.Jitter);
+      Out += ", \"response_bound\": ";
+      appendU64(Out, T.ResponseBound);
+      Out += ", \"busy_window\": ";
+      appendU64(Out, T.BusyWindow);
+      Out += ", \"blocking\": ";
+      appendU64(Out, T.Blocking);
+      Out += "}";
+    }
+    Out += "]}";
+    Out += (I + 1 < Points.size()) ? ",\n" : "\n";
+  }
+  Out += "]\n";
+  return Out;
+}

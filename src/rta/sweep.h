@@ -1,0 +1,152 @@
+//===- rta/sweep.h - Parallel batch evaluation of RTA points --------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel sweep engine: every large-scale workload in this repo —
+/// acceptance-ratio studies, socket sweeps, sensitivity searches, the
+/// capacity planner — is "evaluate many independent RTA points". A
+/// SweepPoint names one point: a task set, the analysis knobs, and the
+/// supply parameters the SBF is built from (SbfParams). SweepRunner
+/// evaluates a vector of points concurrently on a ThreadPool and
+/// returns the results *in input order*.
+///
+/// Determinism contract (asserted byte-for-byte by sweep_test and the
+/// sweep_parallel bench): the analysis of a point is a pure function of
+/// the point, so a run with T threads returns exactly the results of a
+/// run with 1 thread — same values, same order, same rendered JSON.
+/// Nothing downstream may depend on completion order.
+///
+/// Memoization: the hot path of every analysis is arrival-curve
+/// evaluation (each fixed-point iteration sums β_k over tasks, and the
+/// SBF's job bound sums them again). Points in a sweep overwhelmingly
+/// share curve objects (the same TaskSet analyzed at many socket counts
+/// or configs), so the runner wraps each distinct curve — keyed by the
+/// identity of the underlying ArrivalCurve object — in a thread-safe
+/// memo (MemoCurve) shared across all points. Release curves β_i(Δ) =
+/// α_i(Δ + J_i) are ShiftedCurve views over the task curve, so their
+/// evaluations hit the same memo. Memoization is semantically invisible
+/// (curves are pure); sweep_test asserts memoized == unmemoized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_RTA_SWEEP_H
+#define RPROSA_RTA_SWEEP_H
+
+#include "rta/rta_policies.h"
+
+#include "support/parallel.h"
+
+#include <array>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace rprosa {
+
+/// The parameters the supply bound function of one point is built from
+/// (§4.4): the basic-action WCET table and the socket count that scale
+/// PB/RB. (The release curves it also needs come from the point's task
+/// set plus the jitter these parameters induce.)
+struct SbfParams {
+  BasicActionWcets Wcets;
+  std::uint32_t NumSockets = 1;
+};
+
+/// One point of a sweep: analyze \p Tasks under \p Policy with the
+/// given config and supply parameters.
+struct SweepPoint {
+  TaskSet Tasks;
+  RtaConfig Cfg;
+  SbfParams Sbf;
+  SchedPolicy Policy = SchedPolicy::Npfp;
+};
+
+/// A thread-safe memoizing view of a pure arrival curve. eval() caches
+/// (Delta -> bound) in a sharded map; describe() delegates, so memoized
+/// and plain curves render identically everywhere.
+class MemoCurve : public ArrivalCurve {
+public:
+  explicit MemoCurve(ArrivalCurvePtr Inner);
+
+  std::uint64_t eval(Duration Delta) const override;
+  std::string describe() const override { return Inner->describe(); }
+
+  const ArrivalCurvePtr &inner() const { return Inner; }
+
+private:
+  static constexpr std::size_t NumShards = 16;
+  struct Shard {
+    mutable std::shared_mutex M;
+    mutable std::unordered_map<Duration, std::uint64_t> Map;
+  };
+
+  ArrivalCurvePtr Inner;
+  mutable std::array<Shard, NumShards> Shards;
+};
+
+/// The sweep-wide cache: one shared MemoCurve per distinct underlying
+/// curve object. Keyed by object identity (the pointer), which is safe
+/// because the cache holds a shared_ptr to every key it has seen — a
+/// cached address can never be recycled for a different curve while the
+/// cache lives.
+class CurveCache {
+public:
+  /// Returns the memoized view of \p Curve, creating it on first sight.
+  /// Idempotent: the same curve object always yields the same memo.
+  ArrivalCurvePtr memoize(const ArrivalCurvePtr &Curve);
+
+  std::size_t size() const;
+
+private:
+  mutable std::mutex M;
+  std::unordered_map<const ArrivalCurve *, std::shared_ptr<MemoCurve>> Map;
+};
+
+/// Tuning of a SweepRunner.
+struct SweepOptions {
+  /// Total parallelism; 0 = defaultParallelism(), 1 = fully serial (the
+  /// benches' --serial escape hatch).
+  unsigned Threads = 0;
+  /// Share curve evaluations across points (see MemoCurve). Disabled
+  /// only by the equivalence tests and ablation measurements.
+  bool MemoizeCurves = true;
+};
+
+/// Evaluates batches of SweepPoints concurrently with deterministic,
+/// input-ordered results. Reusable: consecutive run() calls share the
+/// pool and the curve cache.
+class SweepRunner {
+public:
+  explicit SweepRunner(SweepOptions Opts = {});
+
+  /// Analyzes every point; Result[i] is the analysis of Points[i].
+  std::vector<RtaResult> run(const std::vector<SweepPoint> &Points);
+
+  /// Convenience: allBounded() per point (the acceptance-study shape).
+  std::vector<char> runSchedulable(const std::vector<SweepPoint> &Points);
+
+  unsigned threads() const { return Pool.threads(); }
+  ThreadPool &pool() { return Pool; }
+  CurveCache &cache() { return Cache; }
+
+private:
+  TaskSet withMemoizedCurves(const TaskSet &Tasks);
+
+  SweepOptions Opts;
+  ThreadPool Pool;
+  CurveCache Cache;
+};
+
+/// Renders sweep results as canonical JSON (one object per point, in
+/// input order, LF line endings, no locale-dependent formatting). The
+/// byte-identity contract between serial and parallel runs is stated —
+/// and tested — over this rendering.
+std::string sweepResultsJson(const std::vector<SweepPoint> &Points,
+                             const std::vector<RtaResult> &Results);
+
+} // namespace rprosa
+
+#endif // RPROSA_RTA_SWEEP_H

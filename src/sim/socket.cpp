@@ -6,13 +6,17 @@
 
 #include "sim/socket.h"
 
-#include <cassert>
+#include "support/check.h"
 
 using namespace rprosa;
 
 void SimSocket::deliver(Time At, Message Msg) {
-  assert((Queue.empty() || Queue.back().At <= At) &&
-         "messages must be delivered in arrival order");
+  // Armed in every build type: an out-of-order delivery silently breaks
+  // the FIFO invariant tryRead's "earliest message" contract rests on,
+  // and a Release-mode workload generator would corrupt every trace
+  // derived from this socket downstream of the mistake.
+  RPROSA_CHECK(Queue.empty() || Queue.back().At <= At,
+               "messages must be delivered in non-decreasing arrival order");
   Queue.push_back(Entry{At, Msg});
 }
 

@@ -6,7 +6,18 @@
 
 #include "support/check.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 using namespace rprosa;
+
+void rprosa::detail::checkFailed(const char *Cond, const char *What,
+                                 const char *File, int Line) {
+  std::fprintf(stderr, "%s:%d: check failed: %s (%s)\n", File, Line, Cond,
+               What);
+  std::fflush(stderr);
+  std::abort();
+}
 
 std::string CheckResult::describe() const {
   std::string Out;

@@ -13,6 +13,12 @@
 /// failure carries a human-readable message so that a rejected trace can
 /// be diagnosed (the executable analogue of a failed Rocq proof goal).
 ///
+/// RPROSA_CHECK guards *API preconditions* whose violation is a caller
+/// bug, not a property of the analyzed system: out-of-range ids,
+/// out-of-order socket deliveries. Unlike assert it stays armed in
+/// Release builds — a violated precondition aborts with a diagnostic
+/// instead of silently reading out of bounds or corrupting state.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RPROSA_SUPPORT_CHECK_H
@@ -23,6 +29,20 @@
 #include <vector>
 
 namespace rprosa {
+
+namespace detail {
+/// Prints "<file>:<line>: check failed: <cond> (<what>)" to stderr and
+/// aborts. Out-of-line so the macro expands to a single branch.
+[[noreturn]] void checkFailed(const char *Cond, const char *What,
+                              const char *File, int Line);
+} // namespace detail
+
+/// A precondition check that is active in every build type. \p What
+/// states the violated contract in caller terms.
+#define RPROSA_CHECK(Cond, What)                                           \
+  (static_cast<bool>(Cond)                                                 \
+       ? static_cast<void>(0)                                              \
+       : ::rprosa::detail::checkFailed(#Cond, What, __FILE__, __LINE__))
 
 /// Outcome of one verification pass: a pass/fail flag plus diagnostics.
 class CheckResult {

@@ -1,0 +1,157 @@
+//===- support/parallel.cpp -----------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+using namespace rprosa;
+
+unsigned rprosa::defaultParallelism() {
+  if (const char *Env = std::getenv("RPROSA_THREADS")) {
+    char *End = nullptr;
+    unsigned long V = std::strtoul(Env, &End, 10);
+    if (End && *End == '\0' && V > 0)
+      return static_cast<unsigned>(V > 256 ? 256 : V);
+  }
+  unsigned H = std::thread::hardware_concurrency();
+  return H == 0 ? 1 : H;
+}
+
+bool rprosa::envFlag(const char *Name) {
+  const char *Env = std::getenv(Name);
+  return Env && *Env && !(Env[0] == '0' && Env[1] == '\0');
+}
+
+unsigned rprosa::threadsFromArgs(int Argc, char **Argv, unsigned Default) {
+  unsigned Serial = 0, Explicit = 0;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--serial") == 0)
+      Serial = 1;
+    else if (std::strncmp(Argv[I], "--threads=", 10) == 0) {
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Argv[I] + 10, &End, 10);
+      if (End && *End == '\0' && V > 0)
+        Explicit = static_cast<unsigned>(V > 256 ? 256 : V);
+    }
+  }
+  // An explicit count beats --serial beats the default, independent of
+  // argument order.
+  if (Explicit)
+    return Explicit;
+  if (Serial)
+    return 1;
+  return Default;
+}
+
+namespace {
+
+/// One parallel-for batch. Heap-allocated and shared with the workers,
+/// so a worker that wakes up late only ever touches a batch object that
+/// is still alive (it then finds all indices claimed and goes back to
+/// sleep) — new batches can never be corrupted by stragglers.
+struct Batch {
+  std::function<void(std::size_t)> Body;
+  std::size_t N = 0;
+  std::atomic<std::size_t> Next{0};
+  std::atomic<std::size_t> Remaining{0};
+};
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned Threads)
+    : NumThreads(Threads == 0 ? defaultParallelism() : Threads) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    Stopping = true;
+  }
+  BatchReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::startWorkers() {
+  if (!Workers.empty())
+    return;
+  Workers.reserve(NumThreads - 1);
+  for (unsigned I = 0; I + 1 < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+void ThreadPool::parallelFor(
+    std::size_t N, const std::function<void(std::size_t)> &Body) {
+  if (N == 0)
+    return;
+  if (NumThreads <= 1 || N == 1) {
+    // The serial escape hatch: an inline loop, no threads at all.
+    for (std::size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+
+  auto B = std::make_shared<Batch>();
+  B->Body = Body; // Copied: stragglers may outlive this call frame.
+  B->N = N;
+  B->Remaining.store(N, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> L(M);
+    startWorkers();
+    CurrentBatch = B;
+    ++BatchId;
+  }
+  BatchReady.notify_all();
+
+  // The calling thread is one of the pool's lanes.
+  drainBatch(B.get());
+
+  {
+    std::unique_lock<std::mutex> L(M);
+    BatchDone.wait(L, [&] {
+      return B->Remaining.load(std::memory_order_acquire) == 0;
+    });
+    if (CurrentBatch == std::static_pointer_cast<void>(B))
+      CurrentBatch.reset();
+  }
+}
+
+void ThreadPool::drainBatch(void *BatchPtr) {
+  Batch *B = static_cast<Batch *>(BatchPtr);
+  while (true) {
+    std::size_t I = B->Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= B->N)
+      return;
+    B->Body(I);
+    if (B->Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last index of the batch: wake the submitter.
+      std::lock_guard<std::mutex> L(M);
+      BatchDone.notify_all();
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::uint64_t LastSeen = 0;
+  while (true) {
+    std::shared_ptr<void> Mine;
+    {
+      std::unique_lock<std::mutex> L(M);
+      BatchReady.wait(L, [&] {
+        return Stopping || (CurrentBatch && BatchId != LastSeen);
+      });
+      if (Stopping)
+        return;
+      Mine = CurrentBatch;
+      LastSeen = BatchId;
+    }
+    drainBatch(Mine.get());
+  }
+}

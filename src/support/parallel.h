@@ -1,0 +1,102 @@
+//===- support/parallel.h - Chunked thread pool for batch workloads -------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The substrate of the parallel sweep engine (rta/sweep.h): a small,
+/// persistent thread pool with a dynamically chunked parallelFor. The
+/// determinism contract every user relies on:
+///
+///  - the body receives each index in [0, N) exactly once;
+///  - bodies write only to index-addressed slots (no shared mutable
+///    state), so the *results* are independent of the thread schedule —
+///    a pool of 1 and a pool of 16 produce identical output bytes;
+///  - indices are handed out through a shared atomic counter (dynamic
+///    chunking), so uneven per-index work self-balances without any
+///    static partitioning bias.
+///
+/// The pool is exception-free like the rest of the library: bodies must
+/// not throw. With Threads == 1 (the `--serial` escape hatch of the
+/// benches) parallelFor degenerates to an inline loop on the calling
+/// thread — no worker threads are created at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_SUPPORT_PARALLEL_H
+#define RPROSA_SUPPORT_PARALLEL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rprosa {
+
+/// The parallelism the machine offers, overridable via the environment
+/// variable RPROSA_THREADS (clamped to [1, 256]; useful both to pin CI
+/// runs and to force-serialize a flaky reproduction).
+unsigned defaultParallelism();
+
+/// True when the environment variable \p Name is set to a non-empty
+/// value other than "0" — the convention the bench harnesses use for
+/// RPROSA_BENCH_SMOKE (tiny grids in CI smoke steps).
+bool envFlag(const char *Name);
+
+/// CLI helper for the bench/example harnesses: returns 1 (serial) when
+/// the arguments contain "--serial", else \p Default; an explicit
+/// "--threads=N" overrides both (clamped to [1, 256]). Unrelated
+/// arguments are ignored, so harnesses with positional arguments can
+/// pass their argv through unchanged.
+unsigned threadsFromArgs(int Argc, char **Argv, unsigned Default = 0);
+
+/// A fixed-size pool of worker threads executing chunked parallel-for
+/// batches. Workers are started lazily on the first parallel batch and
+/// joined in the destructor.
+class ThreadPool {
+public:
+  /// \p Threads == 0 picks defaultParallelism(). The calling thread
+  /// participates in every batch, so a pool of T threads spawns T - 1
+  /// workers.
+  explicit ThreadPool(unsigned Threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total parallelism (workers + the calling thread).
+  unsigned threads() const { return NumThreads; }
+
+  /// Runs Body(I) for every I in [0, N), distributing indices over the
+  /// workers and the calling thread; returns when all N calls finished.
+  /// Body must not throw and must only write to per-index state.
+  void parallelFor(std::size_t N,
+                   const std::function<void(std::size_t)> &Body);
+
+private:
+  void workerLoop();
+  void startWorkers();
+  /// Pulls indices from the given batch until it is drained.
+  void drainBatch(void *BatchPtr);
+
+  unsigned NumThreads;
+  std::vector<std::thread> Workers;
+
+  std::mutex M;
+  std::condition_variable BatchReady;
+  std::condition_variable BatchDone;
+  /// The batch being distributed (type-erased; see parallel.cpp). Null
+  /// when no batch is pending.
+  std::shared_ptr<void> CurrentBatch;
+  std::uint64_t BatchId = 0;
+  bool Stopping = false;
+};
+
+} // namespace rprosa
+
+#endif // RPROSA_SUPPORT_PARALLEL_H

@@ -1,0 +1,136 @@
+//===- tests/parallel_test.cpp - ThreadPool and parallelFor ---------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+using namespace rprosa;
+
+TEST(ThreadPool, EveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  const std::size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(N, [&](std::size_t I) { Hits[I].fetch_add(1); });
+  for (std::size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  // Threads == 1 must degenerate to a plain loop on the calling thread
+  // (the --serial escape hatch): in-order and same-thread.
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.threads(), 1u);
+  std::thread::id Caller = std::this_thread::get_id();
+  std::vector<std::size_t> Order;
+  Pool.parallelFor(16, [&](std::size_t I) {
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+    Order.push_back(I);
+  });
+  std::vector<std::size_t> Expected(16);
+  std::iota(Expected.begin(), Expected.end(), 0);
+  EXPECT_EQ(Order, Expected);
+}
+
+TEST(ThreadPool, EmptyAndSingletonBatches) {
+  ThreadPool Pool(4);
+  int Calls = 0;
+  Pool.parallelFor(0, [&](std::size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0);
+  Pool.parallelFor(1, [&](std::size_t I) {
+    ++Calls;
+    EXPECT_EQ(I, 0u);
+  });
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(ThreadPool, IndexAddressedSlotsAreDeterministic) {
+  // The engine's determinism contract: bodies writing only their own
+  // slot produce results independent of the thread count.
+  auto Run = [](unsigned Threads) {
+    ThreadPool Pool(Threads);
+    std::vector<std::uint64_t> Out(257);
+    Pool.parallelFor(Out.size(),
+                     [&](std::size_t I) { Out[I] = I * I + 7; });
+    return Out;
+  };
+  EXPECT_EQ(Run(1), Run(4));
+  EXPECT_EQ(Run(2), Run(8));
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool Pool(4);
+  for (int Round = 0; Round < 20; ++Round) {
+    std::atomic<std::uint64_t> Sum{0};
+    Pool.parallelFor(100, [&](std::size_t I) { Sum.fetch_add(I); });
+    EXPECT_EQ(Sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPool, ManyMoreIndicesThanThreads) {
+  ThreadPool Pool(2);
+  std::atomic<std::uint64_t> Sum{0};
+  Pool.parallelFor(10000, [&](std::size_t I) { Sum.fetch_add(I + 1); });
+  EXPECT_EQ(Sum.load(), 10000ull * 10001 / 2);
+}
+
+TEST(ThreadPool, NestedSerialForInsideParallelFor) {
+  // Points of a sweep may themselves use a serial pool (the runner's
+  // per-point analyses never nest parallel batches, but a body calling
+  // a Threads==1 pool must be safe since that is just an inline loop).
+  ThreadPool Outer(4);
+  std::vector<std::uint64_t> Out(32);
+  Outer.parallelFor(Out.size(), [&](std::size_t I) {
+    ThreadPool Inner(1);
+    Inner.parallelFor(8, [&](std::size_t J) { Out[I] += I + J; });
+  });
+  for (std::size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], 8 * I + 28);
+}
+
+TEST(DefaultParallelism, EnvOverrideWins) {
+  setenv("RPROSA_THREADS", "3", 1);
+  EXPECT_EQ(defaultParallelism(), 3u);
+  setenv("RPROSA_THREADS", "0", 1); // Invalid: fall back to hardware.
+  EXPECT_GE(defaultParallelism(), 1u);
+  setenv("RPROSA_THREADS", "9999", 1); // Clamped.
+  EXPECT_EQ(defaultParallelism(), 256u);
+  unsetenv("RPROSA_THREADS");
+  EXPECT_GE(defaultParallelism(), 1u);
+}
+
+TEST(ThreadsFromArgs, SerialAndThreadsFlags) {
+  char A0[] = "bench";
+  char A1[] = "--serial";
+  char A2[] = "--threads=6";
+  char A3[] = "positional";
+  {
+    char *Argv[] = {A0, A1};
+    EXPECT_EQ(threadsFromArgs(2, Argv), 1u);
+  }
+  {
+    char *Argv[] = {A0, A2};
+    EXPECT_EQ(threadsFromArgs(2, Argv), 6u);
+  }
+  {
+    // --threads overrides --serial regardless of order.
+    char *Argv[] = {A0, A1, A2};
+    EXPECT_EQ(threadsFromArgs(3, Argv), 6u);
+  }
+  {
+    char *Argv[] = {A0, A2, A1};
+    EXPECT_EQ(threadsFromArgs(3, Argv), 6u);
+  }
+  {
+    char *Argv[] = {A0, A3};
+    EXPECT_EQ(threadsFromArgs(2, Argv, 7), 7u);
+  }
+}

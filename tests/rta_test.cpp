@@ -7,6 +7,7 @@
 #include "rta/rta_npfp.h"
 
 #include "convert/trace_to_schedule.h"
+#include "rta/rta_policies.h"
 #include "sim/workload.h"
 
 #include <algorithm>
@@ -177,4 +178,161 @@ TEST(Rta, AnalyzedBusyWindowDominatesObservedBusyPeriods) {
     EXPECT_LE(To - From, MaxL)
         << "observed busy period [" << From << ", " << To
         << ") outlasts the analyzed busy window";
+}
+
+//===----------------------------------------------------------------------===//
+// Result-accessor precondition (forTask must reject foreign ids even in
+// Release builds — RPROSA_CHECK, not assert).
+//===----------------------------------------------------------------------===//
+
+TEST(RtaResultDeathTest, ForTaskRejectsOutOfRangeId) {
+  TaskSet TS = mixedTasks();
+  RtaResult R = analyzeNpfp(TS, tinyWcets(), 1);
+  ASSERT_EQ(R.PerTask.size(), TS.size());
+  EXPECT_DEATH(R.forTask(TS.size()), "task id out of range");
+  EXPECT_DEATH(R.forTask(~TaskId(0)), "task id out of range");
+}
+
+//===----------------------------------------------------------------------===//
+// The fixpoint cap is *inclusive* and applied uniformly: a bound that
+// lands exactly on FixedPointCap is Bounded under every policy, and
+// Cap − 1 flips it.
+//===----------------------------------------------------------------------===//
+
+TEST(RtaCap, BoundaryIsInclusiveAcrossPolicies) {
+  TaskSet TS;
+  TS.addTask("only", 50, 1, std::make_shared<PeriodicCurve>(100),
+             /*Deadline=*/100);
+  for (SchedPolicy P :
+       {SchedPolicy::Npfp, SchedPolicy::Fifo, SchedPolicy::Edf}) {
+    RtaConfig Wide;
+    Wide.AccountOverheads = false;
+    RtaResult Ref = analyzePolicy(TS, tinyWcets(), 1, P, Wide);
+    ASSERT_TRUE(Ref.forTask(0).Bounded) << toString(P);
+    // Ideal supply, single task, first offset: the finish bound equals
+    // the release-relative bound, so it is the binding cap candidate.
+    Duration R = Ref.forTask(0).ReleaseRelativeBound;
+
+    RtaConfig AtCap = Wide;
+    AtCap.FixedPointCap = R;
+    EXPECT_TRUE(analyzePolicy(TS, tinyWcets(), 1, P, AtCap)
+                    .forTask(0)
+                    .Bounded)
+        << toString(P) << ": F == FixedPointCap must still be Bounded";
+
+    RtaConfig BelowCap = Wide;
+    BelowCap.FixedPointCap = R - 1;
+    EXPECT_FALSE(analyzePolicy(TS, tinyWcets(), 1, P, BelowCap)
+                     .forTask(0)
+                     .Bounded)
+        << toString(P) << ": F == FixedPointCap + 1 must be unbounded";
+  }
+}
+
+TEST(RtaCap, CompletionFloorIsCappedToo) {
+  // Regression: in the FIFO/EDF offset walk the completion floor
+  // F = max(F, Aq + C_i) used to be folded in *after* the cap check, so
+  // an offset whose supply-inverse finish was within the cap but whose
+  // floored finish exceeded it slipped through as Bounded.
+  //
+  // The geometry needs release jitter J larger than the per-job
+  // blackout (a raw finish bound always sits at least one job's
+  // workload-plus-blackout above the last workload jump, but an offset
+  // sits only J above its own jump), so this uses a large Idling WCET:
+  // J = 1 + IB = 308 against a 28-tick per-job blackout. With tasks
+  // a = (C 92, T 198) and b = (C 20, T 1217) on one socket, the FIFO
+  // busy window converges at L = 1344 and the last offset is
+  // Aq = 8·198 − J = 1276, whose raw finish stays ≤ L but whose floor
+  // is Aq + 92 = 1368.
+  BasicActionWcets W = tinyWcets();
+  W.Idling = 300;
+  TaskSet TS;
+  TaskId A = TS.addTask("a", 92, 1, std::make_shared<PeriodicCurve>(198),
+                        /*Deadline=*/2000);
+  TS.addTask("b", 20, 1, std::make_shared<PeriodicCurve>(1217),
+             /*Deadline=*/2000);
+  RtaConfig Cfg;
+
+  // Any cap in [L, Aq + C_a) admits the busy window and every raw
+  // finish bound — only the *floored* finish exceeds it. The unfixed
+  // analysis reported Bounded here.
+  for (Duration Cap : {1344u, 1367u}) {
+    Cfg.FixedPointCap = Cap;
+    const TaskRta F = analyzeFifo(TS, W, 1, Cfg).forTask(A);
+    EXPECT_FALSE(F.Bounded) << "cap " << Cap;
+    // The busy window itself converged: the verdict flipped on the
+    // floored finish bound, not on busy-window divergence.
+    EXPECT_EQ(F.BusyWindow, 1344u) << "cap " << Cap;
+    // Equal deadlines make EDF's window coincide with FIFO's.
+    EXPECT_FALSE(analyzeEdf(TS, W, 1, Cfg).forTask(A).Bounded)
+        << "cap " << Cap;
+  }
+
+  // Cap 1368 covers the floored finish exactly (inclusive): Bounded.
+  Cfg.FixedPointCap = 1368;
+  EXPECT_TRUE(analyzeFifo(TS, W, 1, Cfg).forTask(A).Bounded);
+  EXPECT_TRUE(analyzeEdf(TS, W, 1, Cfg).forTask(A).Bounded);
+}
+
+//===----------------------------------------------------------------------===//
+// Saturation edges: near-overflow WCETs must flow through the workload
+// sums and overhead bounds as saturations, never as wraparound (which
+// would show up as a bogus small Bounded verdict).
+//===----------------------------------------------------------------------===//
+
+TEST(RtaSaturation, NearOverflowWcetsNeverWrapToBounded) {
+  for (Duration Huge :
+       {TimeInfinity, TimeInfinity - 1, TimeInfinity / 2 + 1}) {
+    TaskSet TS;
+    TS.addTask("huge", Huge, 2, std::make_shared<PeriodicCurve>(1000),
+               /*Deadline=*/1000);
+    TS.addTask("small", 10, 1, std::make_shared<PeriodicCurve>(1000),
+               /*Deadline=*/1000);
+    for (SchedPolicy P :
+         {SchedPolicy::Npfp, SchedPolicy::Fifo, SchedPolicy::Edf}) {
+      RtaResult R = analyzePolicy(TS, tinyWcets(), 1, P, {});
+      // The workload sum saturates past every cap: both the huge task
+      // and anyone it can block must come back unbounded, not with a
+      // wrapped-around small bound.
+      EXPECT_FALSE(R.forTask(0).Bounded) << toString(P);
+      EXPECT_FALSE(R.forTask(1).Bounded) << toString(P);
+    }
+  }
+}
+
+TEST(RtaSaturation, OverheadBoundsSaturateInsteadOfWrapping) {
+  BasicActionWcets W = tinyWcets();
+  W.FailedRead = TimeInfinity / 2;
+  OverheadBounds B4 = OverheadBounds::compute(W, 4);
+  // PB = 4 · (2^63 − ...) overflows 64 bits: must clamp, and everything
+  // derived from PB must stay clamped.
+  EXPECT_EQ(B4.PB, TimeInfinity);
+  EXPECT_EQ(B4.RB, TimeInfinity);
+  EXPECT_EQ(B4.IB, TimeInfinity);
+  EXPECT_EQ(B4.perJobNonReadOverhead(), TimeInfinity);
+
+  W.FailedRead = TimeInfinity;
+  OverheadBounds B1 = OverheadBounds::compute(W, 1);
+  EXPECT_EQ(B1.PB, TimeInfinity);
+  EXPECT_EQ(satAdd(B1.PB, 1), TimeInfinity);
+
+  // A zero socket count annihilates the polling term entirely (0 · ∞ is
+  // 0 in the saturating algebra: no sockets, no polling).
+  OverheadBounds B0 = OverheadBounds::compute(W, 0);
+  EXPECT_EQ(B0.PB, 0u);
+  EXPECT_EQ(B0.RB, W.SuccessfulRead);
+}
+
+TEST(RtaSaturation, AnalysisWithSaturatedOverheadsStaysUnbounded) {
+  // Saturated overhead bounds imply infinite jitter: the analysis must
+  // report every task unbounded rather than trip over ∞ arithmetic.
+  BasicActionWcets W = tinyWcets();
+  W.Idling = TimeInfinity - 2;
+  TaskSet TS = figure3Tasks();
+  for (SchedPolicy P :
+       {SchedPolicy::Npfp, SchedPolicy::Fifo, SchedPolicy::Edf}) {
+    RtaResult R = analyzePolicy(TS, W, 1, P, {});
+    for (const TaskRta &T : R.PerTask)
+      EXPECT_FALSE(T.Bounded) << toString(P) << " task " << T.Task;
+  }
 }

@@ -7,6 +7,7 @@
 #include "trace/serialize.h"
 
 #include "sim/workload.h"
+#include "support/rng.h"
 
 #include "test_util.h"
 
@@ -115,4 +116,56 @@ TEST(Serialize, ParsedTraceStillPassesCheckers) {
   ASSERT_TRUE(Parsed.has_value());
   // Spot check through the trace helpers.
   EXPECT_EQ(readJobsBefore(Parsed->Tr, Parsed->size()).size(), 2u);
+}
+
+TEST(SerializeFuzz, RoundTripsCapMagnitudeTimestamps) {
+  // Randomized traces whose timestamps sit at the top of the Time
+  // range (cap magnitude, near TimeInfinity): the text format must
+  // round-trip them exactly — no precision loss, no overflow in the
+  // segment-length bookkeeping.
+  SplitMix64 Rng(fuzzSeed(2026));
+  for (int Round = 0; Round < 50; ++Round) {
+    TimedTrace TT;
+    // Start the clock in the upper half of the range some rounds.
+    Time Cursor = Rng.nextInRange(0, 1)
+                      ? TimeInfinity - Rng.nextInRange(1000, 100000)
+                      : Rng.nextInRange(0, 1000000);
+    std::size_t N = Rng.nextInRange(1, 12);
+    for (std::size_t I = 0; I < N; ++I) {
+      switch (Rng.nextInRange(0, 3)) {
+      case 0:
+        TT.Tr.push_back(MarkerEvent::readS());
+        break;
+      case 1:
+        TT.Tr.push_back(MarkerEvent::readE(
+            static_cast<SocketId>(Rng.nextInRange(0, 7)), std::nullopt));
+        break;
+      case 2: {
+        Job J = mkJob(Rng.nextInRange(0, ~0ull - 1),
+                      static_cast<TaskId>(Rng.nextInRange(0, 9)),
+                      Rng.nextInRange(0, ~0ull - 1));
+        J.ReadAt = Cursor;
+        TT.Tr.push_back(MarkerEvent::dispatch(J));
+        break;
+      }
+      default:
+        TT.Tr.push_back(MarkerEvent::idling());
+        break;
+      }
+      TT.Ts.push_back(Cursor);
+      Cursor = satAdd(Cursor, Rng.nextInRange(0, 5000));
+      if (Cursor == TimeInfinity)
+        Cursor = TimeInfinity - 1; // Keep EndTime a finite instant.
+    }
+    TT.EndTime = Cursor;
+
+    std::string Text = serializeTimedTrace(TT);
+    CheckResult Diags;
+    std::optional<TimedTrace> Parsed = parseTimedTrace(Text, &Diags);
+    ASSERT_TRUE(Parsed.has_value())
+        << "round " << Round << ": " << Diags.describe();
+    expectEqualTraces(*Parsed, TT);
+    // And the rendering is a fixed point: serialize ∘ parse = id.
+    EXPECT_EQ(serializeTimedTrace(*Parsed), Text) << "round " << Round;
+  }
 }

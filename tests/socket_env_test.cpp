@@ -82,3 +82,28 @@ TEST(Environment, SocketsAreIndependent) {
   EXPECT_FALSE(Env.read(1, 1000).has_value());
   EXPECT_TRUE(Env.read(0, 1000).has_value());
 }
+
+TEST(SimSocket, EqualTimestampDeliveriesAreInOrder) {
+  // The precondition is *non-decreasing*: simultaneous arrivals on one
+  // socket are legal and keep FIFO order.
+  SimSocket S;
+  S.deliver(5, msg(1));
+  S.deliver(5, msg(2));
+  auto First = S.tryRead(6);
+  ASSERT_TRUE(First.has_value());
+  EXPECT_EQ(First->Id, 1u);
+  auto Second = S.tryRead(6);
+  ASSERT_TRUE(Second.has_value());
+  EXPECT_EQ(Second->Id, 2u);
+}
+
+TEST(SimSocketDeathTest, OutOfOrderDeliveryIsRejected) {
+  // Regression: deliver() used to guard its FIFO-queue invariant with a
+  // plain assert, so a Release build silently accepted a time-travelling
+  // arrival and the socket's read order no longer matched arrival
+  // order. The precondition is now enforced in every build.
+  SimSocket S;
+  S.deliver(10, msg(1));
+  EXPECT_DEATH(S.deliver(9, msg(2)),
+               "non-decreasing arrival order");
+}

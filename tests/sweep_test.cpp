@@ -1,0 +1,227 @@
+//===- tests/sweep_test.cpp - The parallel sweep engine -------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The determinism contract of rta/sweep.h, asserted literally: a sweep
+/// on T threads returns results byte-identical (through the canonical
+/// JSON rendering) to the same sweep on one thread, and memoized curve
+/// evaluation is semantically invisible.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rta/sweep.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+namespace {
+
+/// A grid over the stock task-set fixtures: policies × socket counts ×
+/// configs, all pure-RTA points.
+std::vector<SweepPoint> fixtureGrid() {
+  std::vector<SweepPoint> Points;
+  for (const TaskSet &TS : {figure3Tasks(), mixedTasks()}) {
+    for (std::uint32_t Socks : {1u, 2u, 8u}) {
+      for (SchedPolicy P : {SchedPolicy::Npfp, SchedPolicy::Fifo}) {
+        SweepPoint Pt;
+        Pt.Tasks = TS;
+        Pt.Cfg.FixedPointCap = 1 * TickSec;
+        Pt.Sbf.Wcets = tinyWcets();
+        Pt.Sbf.NumSockets = Socks;
+        Pt.Policy = P;
+        Points.push_back(std::move(Pt));
+      }
+    }
+  }
+  return Points;
+}
+
+std::string runGridJson(unsigned Threads, bool Memoize) {
+  SweepOptions Opts;
+  Opts.Threads = Threads;
+  Opts.MemoizeCurves = Memoize;
+  SweepRunner Runner(Opts);
+  std::vector<SweepPoint> Points = fixtureGrid();
+  return sweepResultsJson(Points, Runner.run(Points));
+}
+
+/// An arrival curve that counts its evaluations (for the memo tests).
+class CountingCurve : public ArrivalCurve {
+public:
+  explicit CountingCurve(Duration Period) : Inner(Period) {}
+
+  std::uint64_t eval(Duration Delta) const override {
+    Evals.fetch_add(1, std::memory_order_relaxed);
+    return Inner.eval(Delta);
+  }
+  std::string describe() const override { return Inner.describe(); }
+
+  mutable std::atomic<std::uint64_t> Evals{0};
+
+private:
+  PeriodicCurve Inner;
+};
+
+} // namespace
+
+TEST(SweepRunner, MatchesDirectAnalysisPointwise) {
+  std::vector<SweepPoint> Points = fixtureGrid();
+  SweepRunner Runner;
+  std::vector<RtaResult> Results = Runner.run(Points);
+  ASSERT_EQ(Results.size(), Points.size());
+  for (std::size_t I = 0; I < Points.size(); ++I) {
+    const SweepPoint &P = Points[I];
+    RtaResult Direct = analyzePolicy(P.Tasks, P.Sbf.Wcets,
+                                     P.Sbf.NumSockets, P.Policy, P.Cfg);
+    ASSERT_EQ(Results[I].PerTask.size(), Direct.PerTask.size());
+    for (std::size_t K = 0; K < Direct.PerTask.size(); ++K) {
+      EXPECT_EQ(Results[I].PerTask[K].Bounded, Direct.PerTask[K].Bounded);
+      EXPECT_EQ(Results[I].PerTask[K].ResponseBound,
+                Direct.PerTask[K].ResponseBound);
+      EXPECT_EQ(Results[I].PerTask[K].BusyWindow,
+                Direct.PerTask[K].BusyWindow);
+    }
+  }
+}
+
+TEST(SweepRunner, SerialAndParallelJsonAreByteIdentical) {
+  std::string Serial = runGridJson(1, true);
+  for (unsigned Threads : {2u, 4u, 8u})
+    EXPECT_EQ(Serial, runGridJson(Threads, true)) << Threads << " threads";
+}
+
+TEST(SweepRunner, MemoizationIsSemanticallyInvisible) {
+  EXPECT_EQ(runGridJson(1, true), runGridJson(1, false));
+  EXPECT_EQ(runGridJson(4, true), runGridJson(4, false));
+}
+
+TEST(SweepRunner, RepeatRunsOnOneRunnerAreStable) {
+  SweepRunner Runner;
+  std::vector<SweepPoint> Points = fixtureGrid();
+  std::string First = sweepResultsJson(Points, Runner.run(Points));
+  // Later runs hit the warm curve cache; results must not change.
+  EXPECT_EQ(First, sweepResultsJson(Points, Runner.run(Points)));
+}
+
+TEST(SweepRunner, SchedulableVectorMatchesAllBounded) {
+  std::vector<SweepPoint> Points = fixtureGrid();
+  SweepRunner Runner;
+  std::vector<RtaResult> Results = Runner.run(Points);
+  std::vector<char> Ok = Runner.runSchedulable(Points);
+  ASSERT_EQ(Ok.size(), Results.size());
+  for (std::size_t I = 0; I < Ok.size(); ++I)
+    EXPECT_EQ(static_cast<bool>(Ok[I]), Results[I].allBounded());
+}
+
+TEST(SweepRunner, EmptyBatch) {
+  SweepRunner Runner;
+  EXPECT_TRUE(Runner.run({}).empty());
+  EXPECT_EQ(sweepResultsJson({}, {}), "[\n]\n");
+}
+
+TEST(MemoCurve, CachesAndDelegates) {
+  auto Counting = std::make_shared<CountingCurve>(100);
+  MemoCurve Memo(Counting);
+  EXPECT_EQ(Memo.eval(250), Counting->eval(250));
+  std::uint64_t After = Counting->Evals.load();
+  // Repeats of an already-cached Delta must not reach the inner curve.
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Memo.eval(250), 3u);
+  EXPECT_EQ(Counting->Evals.load(), After);
+  EXPECT_EQ(Memo.describe(), Counting->describe());
+}
+
+TEST(CurveCache, SharesOneMemoPerCurveIdentity) {
+  CurveCache Cache;
+  ArrivalCurvePtr A = std::make_shared<PeriodicCurve>(100);
+  ArrivalCurvePtr B = std::make_shared<PeriodicCurve>(100);
+  ArrivalCurvePtr MA1 = Cache.memoize(A);
+  ArrivalCurvePtr MA2 = Cache.memoize(A);
+  ArrivalCurvePtr MB = Cache.memoize(B);
+  EXPECT_EQ(MA1.get(), MA2.get()); // Same identity -> same memo.
+  EXPECT_NE(MA1.get(), MB.get()); // Equal shape, distinct identity.
+  EXPECT_EQ(Cache.size(), 2u);
+  // Memoizing a memo must not stack another cache on top.
+  EXPECT_EQ(Cache.memoize(MA1).get(), MA1.get());
+  EXPECT_EQ(Cache.size(), 2u);
+}
+
+TEST(CurveCache, SharedAcrossPointsOfOneRun) {
+  // Points sharing curve objects (the sensitivity-search shape: same
+  // curves, different WCETs) evaluate through one shared memo: the
+  // total inner evaluations with two identical points must be well
+  // below twice the single-point count.
+  auto MakePoints = [](const ArrivalCurvePtr &C, std::size_t N) {
+    std::vector<SweepPoint> Points;
+    for (std::size_t I = 0; I < N; ++I) {
+      SweepPoint P;
+      P.Tasks.addTask("t", 40, 1, C);
+      P.Cfg.FixedPointCap = 1 * TickSec;
+      P.Sbf.Wcets = tinyWcets();
+      P.Policy = SchedPolicy::Npfp;
+      Points.push_back(std::move(P));
+    }
+    return Points;
+  };
+
+  auto CountEvals = [&](std::size_t N) {
+    auto Counting = std::make_shared<CountingCurve>(500);
+    SweepOptions Opts;
+    Opts.Threads = 1;
+    SweepRunner Runner(Opts);
+    Runner.run(MakePoints(Counting, N));
+    return Counting->Evals.load();
+  };
+
+  std::uint64_t One = CountEvals(1);
+  std::uint64_t Four = CountEvals(4);
+  ASSERT_GT(One, 0u);
+  // Identical points replay the same Deltas, so the shared memo absorbs
+  // virtually all repeat evaluations.
+  EXPECT_LT(Four, 2 * One);
+}
+
+//===----------------------------------------------------------------------===//
+// The K-section sensitivity searches: a multi-threaded runner must
+// return exactly what the serial binary search returns (the boundary is
+// unique under antitone schedulability).
+//===----------------------------------------------------------------------===//
+
+#include "rta/sensitivity.h"
+
+TEST(SensitivityOnRunner, KSectionMatchesSerialBinarySearch) {
+  TaskSet TS = mixedTasks();
+  BasicActionWcets W = tinyWcets();
+
+  SweepOptions Par;
+  Par.Threads = 4;
+  SweepRunner Parallel(Par);
+
+  for (SchedPolicy P : {SchedPolicy::Npfp, SchedPolicy::Fifo}) {
+    SensitivityResult Serial = schedulerWcetSlack(TS, W, 2, P);
+    SensitivityResult Multi = schedulerWcetSlack(Parallel, TS, W, 2, P);
+    EXPECT_EQ(Serial.NominalSchedulable, Multi.NominalSchedulable)
+        << toString(P);
+    EXPECT_EQ(Serial.MaxScalePercent, Multi.MaxScalePercent)
+        << toString(P);
+  }
+
+  for (TaskId I = 0; I < TS.size(); ++I) {
+    SensitivityResult Serial = callbackWcetSlack(TS, W, 2, I);
+    SensitivityResult Multi = callbackWcetSlack(Parallel, TS, W, 2, I);
+    EXPECT_EQ(Serial.MaxScalePercent, Multi.MaxScalePercent)
+        << "task " << I;
+  }
+
+  EXPECT_EQ(socketSlack(TS, W, 512), socketSlack(Parallel, TS, W, 512));
+}
