@@ -11,26 +11,31 @@
 ///
 ///   trace_inspector <trace-file> <num-sockets>
 ///
-/// checks the scheduler protocol (Def. 3.1), timestamp sanity, and
-/// prints the basic-action summary and an ASCII timeline of the
-/// converted schedule. Without arguments it runs a self-demo: simulate
-/// a run, serialize it, parse it back, and inspect that.
+/// accepts both the v1 line format (trace/serialize.h) and the chunked
+/// v2 format (trace/chunked_io.h) and inspects in ONE streaming pass —
+/// the file is never materialized, so multi-GB captures replay in
+/// bounded memory. It checks the scheduler protocol (Def. 3.1) and
+/// timestamp sanity, and prints the basic-action summary and an ASCII
+/// timeline of the converted schedule. Without arguments it runs a
+/// self-demo: simulate a run, serialize it chunked, read it back, and
+/// inspect that.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "convert/trace_to_schedule.h"
+#include "convert/schedule_builder.h"
 #include "core/schedule_render.h"
 #include "rossl/scheduler.h"
 #include "sim/environment.h"
 #include "sim/workload.h"
 #include "support/table.h"
 #include "trace/basic_actions.h"
-#include "trace/protocol.h"
-#include "trace/serialize.h"
-#include "trace/wcet_check.h"
+#include "trace/check_sinks.h"
+#include "trace/chunked_io.h"
+#include "trace/stream.h"
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -39,7 +44,7 @@ using namespace rprosa;
 
 namespace {
 
-/// Generates a demo trace, serializes it, and returns the text.
+/// Generates a demo trace and returns it in the chunked v2 format.
 std::string makeDemoTraceText(std::uint32_t NumSockets) {
   ClientConfig Client;
   Client.Tasks.addTask("alpha", 700 * TickNs, 2,
@@ -57,50 +62,133 @@ std::string makeDemoTraceText(std::uint32_t NumSockets) {
   FdScheduler Sched(Client, Env, Costs);
   RunLimits Limits;
   Limits.Horizon = 150 * TickUs;
-  return serializeTimedTrace(Sched.run(Limits));
+
+  // One pass: the simulator streams straight into the chunked writer
+  // (small chunks so the demo shows more than one).
+  std::ostringstream Out;
+  ChunkedTraceWriter Writer(Out, /*EventsPerChunk=*/64);
+  Sched.run(Limits, Writer);
+  return Out.str();
 }
 
-int inspect(const std::string &Text, std::uint32_t NumSockets) {
+/// Feeds the incremental action parser / converter only while the
+/// timestamp and protocol sinks (which run earlier in the fan-out) are
+/// still clean — those downstream consumers assume a conformant stream,
+/// and their output is only printed when the checks pass anyway.
+class GatedSink final : public TraceSink {
+public:
+  GatedSink(std::function<bool()> Clean) : Clean(std::move(Clean)) {}
+
+  void add(TraceSink &S) { Inner.add(S); }
+
+  void onMarker(const MarkerEvent &E, Time At) override {
+    if (Stopped || !Clean()) {
+      Stopped = true;
+      return;
+    }
+    Inner.onMarker(E, At);
+  }
+  void onEnd(Time EndTime) override {
+    if (!Stopped && Clean())
+      Inner.onEnd(EndTime);
+    else
+      Stopped = true;
+  }
+
+private:
+  std::function<bool()> Clean;
+  TraceFanout Inner;
+  bool Stopped = false;
+};
+
+/// Aggregates the basic-action summary table from the live stream.
+class ActionSummarySink final : public TraceSink {
+public:
+  ActionSummarySink()
+      : Seg([this](const BasicAction &A, Time) {
+          auto &[Count, Total] = Summary[A.Kind];
+          ++Count;
+          Total += A.len();
+        }) {}
+
+  void onMarker(const MarkerEvent &E, Time At) override {
+    Seg.onMarker(E, At);
+  }
+  void onEnd(Time EndTime) override { Seg.onEnd(EndTime); }
+
+  std::string renderTable() const {
+    TableWriter T({"basic action", "count", "total time"});
+    for (const auto &[Kind, Agg] : Summary)
+      T.addRow({toString(Kind), std::to_string(Agg.first),
+                formatTicksAsNs(Agg.second)});
+    return T.renderAscii();
+  }
+
+private:
+  std::map<BasicActionKind, std::pair<std::uint64_t, Duration>> Summary;
+  ActionSegmenter Seg;
+};
+
+/// Remembers the stream's end time.
+class EndTimeSink final : public TraceSink {
+public:
+  void onMarker(const MarkerEvent &E, Time At) override {
+    (void)E;
+    (void)At;
+  }
+  void onEnd(Time EndTime) override { End = EndTime; }
+
+  Time End = 0;
+};
+
+int inspect(std::istream &In, std::uint32_t NumSockets) {
+  TimestampCheckSink Ts;
+  ProtocolCheckSink Prot(NumSockets);
+  EndTimeSink End;
+  ActionSummarySink Actions;
+  ScheduleCapture Capture;
+  ScheduleBuilder Builder(NumSockets, Capture);
+  GatedSink Gated([&] {
+    return Ts.result().passed() && Prot.result().passed();
+  });
+  Gated.add(Actions);
+  Gated.add(Builder);
+
+  TraceFanout Fan;
+  Fan.add(Ts);
+  Fan.add(Prot);
+  Fan.add(End);
+  Fan.add(Gated);
+
   CheckResult ParseDiags;
-  std::optional<TimedTrace> TT = parseTimedTrace(Text, &ParseDiags);
-  if (!TT) {
+  TraceStreamStats Stats;
+  if (!readTraceStream(In, Fan, &ParseDiags, &Stats)) {
     std::printf("cannot parse trace:\n%s", ParseDiags.describe().c_str());
     return 1;
   }
-  std::printf("parsed %zu markers, end time %s\n\n", TT->size(),
-              formatTicksAsNs(TT->EndTime).c_str());
+  std::printf("parsed %zu markers", Stats.Events);
+  if (Stats.Chunks > 0)
+    std::printf(" (%zu chunks)", Stats.Chunks);
+  std::printf(", end time %s\n\n", formatTicksAsNs(End.End).c_str());
 
-  CheckResult Ts = checkTimestamps(*TT);
-  std::printf("timestamps: %s\n", Ts.passed() ? "ok" : "FAILED");
-  if (!Ts.passed())
-    std::printf("%s", Ts.describe().c_str());
+  CheckResult TsR = Ts.take();
+  std::printf("timestamps: %s\n", TsR.passed() ? "ok" : "FAILED");
+  if (!TsR.passed())
+    std::printf("%s", TsR.describe().c_str());
 
-  CheckResult Prot = checkProtocol(TT->Tr, NumSockets);
+  CheckResult ProtR = Prot.take();
   std::printf("scheduler protocol (Def. 3.1, %u sockets): %s\n",
-              NumSockets, Prot.passed() ? "accepted" : "REJECTED");
-  if (!Prot.passed())
-    std::printf("%s", Prot.describe().c_str());
-  if (!Ts.passed() || !Prot.passed())
+              NumSockets, ProtR.passed() ? "accepted" : "REJECTED");
+  if (!ProtR.passed())
+    std::printf("%s", ProtR.describe().c_str());
+  if (!TsR.passed() || !ProtR.passed())
     return 1;
 
-  // Basic-action summary.
-  std::map<BasicActionKind, std::pair<std::uint64_t, Duration>> Summary;
-  for (const BasicAction &A : segmentBasicActions(*TT)) {
-    auto &[Count, Total] = Summary[A.Kind];
-    ++Count;
-    Total += A.len();
-  }
-  TableWriter T({"basic action", "count", "total time"});
-  for (const auto &[Kind, Agg] : Summary)
-    T.addRow({toString(Kind), std::to_string(Agg.first),
-              formatTicksAsNs(Agg.second)});
-  std::printf("\n%s\n", T.renderAscii().c_str());
+  std::printf("\n%s\n", Actions.renderTable().c_str());
 
-  // Converted schedule timeline.
-  ConversionResult CR = convertTraceToSchedule(*TT, NumSockets);
+  ConversionResult CR = Capture.take();
   std::printf("schedule timeline (%zu jobs executed):\n%s",
-              CR.Jobs.size(),
-              renderScheduleTimeline(CR.Sched).c_str());
+              CR.Jobs.size(), renderScheduleTimeline(CR.Sched).c_str());
   return 0;
 }
 
@@ -113,12 +201,11 @@ int main(int Argc, char **Argv) {
       std::printf("cannot open %s\n", Argv[1]);
       return 1;
     }
-    std::stringstream Buf;
-    Buf << In.rdbuf();
-    return inspect(Buf.str(), static_cast<std::uint32_t>(
-                                  std::stoul(Argv[2])));
+    return inspect(In, static_cast<std::uint32_t>(std::stoul(Argv[2])));
   }
   std::printf("no trace file given; running the self-demo "
-              "(usage: trace_inspector <file> <num-sockets>)\n\n");
-  return inspect(makeDemoTraceText(2), 2);
+              "(usage: trace_inspector <file> <num-sockets>; v1 and "
+              "chunked v2 files both work)\n\n");
+  std::istringstream In(makeDemoTraceText(2));
+  return inspect(In, 2);
 }

@@ -6,15 +6,19 @@
 
 #include "adequacy/pipeline.h"
 
+#include "convert/schedule_builder.h"
 #include "convert/validity.h"
+#include "convert/validity_stream.h"
 #include "rta/rta_policies.h"
 #include "sim/environment.h"
+#include "trace/check_sinks.h"
 #include "trace/consistency.h"
 #include "trace/functional.h"
 #include "trace/protocol.h"
 #include "trace/wcet_check.h"
 
 #include <map>
+#include <optional>
 
 using namespace rprosa;
 
@@ -44,13 +48,93 @@ std::size_t AdequacyReport::totalChecks() const {
   return N + Jobs.size();
 }
 
-AdequacyReport rprosa::runAdequacy(const AdequacySpec &Spec) {
-  AdequacyReport Rep;
+namespace {
 
-  // 1-2: assumptions on the model and the workload.
+/// Steps 1-2: assumptions on the model and the workload (shared by both
+/// drivers).
+void checkAssumptions(const AdequacySpec &Spec, AdequacyReport &Rep) {
   Rep.StaticOk = validateClient(Spec.Client);
   Rep.ArrivalOk = Spec.Arr.respectsCurves(Spec.Client.Tasks);
   Rep.ArrivalOk.merge(Spec.Arr.uniqueMsgIds());
+}
+
+/// Step 6: the RTA matching the client's policy. With StaticTiming set
+/// the NPFP analysis runs from the derived timing inputs instead of the
+/// hand-supplied tables.
+void runRta(const AdequacySpec &Spec, AdequacyReport &Rep) {
+  if (Spec.StaticTiming && Spec.Client.Policy == SchedPolicy::Npfp)
+    Rep.Rta = analyzeNpfp(Spec.Client.Tasks, *Spec.StaticTiming,
+                          Spec.Client.NumSockets, Spec.Rta);
+  else
+    Rep.Rta = analyzePolicy(Spec.Client.Tasks, Spec.Client.Wcets,
+                            Spec.Client.NumSockets, Spec.Client.Policy,
+                            Spec.Rta);
+}
+
+/// Step 7: per-job verdicts. Completion is matched by message identity
+/// (job ids are assigned at read time, arrivals are identified by
+/// MsgId); \p ByMsg maps each read message to the completion time of
+/// the job that owns it — the *first* job in conversion-table order
+/// that read it, mirroring the batch ByMsg.emplace.
+void renderVerdicts(const AdequacySpec &Spec, AdequacyReport &Rep,
+                    const std::map<MsgId, std::optional<Time>> &ByMsg) {
+  for (const Arrival &A : Spec.Arr.arrivals()) {
+    JobVerdict V;
+    V.Msg = A.Msg.Id;
+    V.Task = A.Msg.Task;
+    V.ArrivalAt = A.At;
+    if (V.Task < Rep.Rta.PerTask.size() &&
+        Rep.Rta.forTask(V.Task).Bounded)
+      V.Bound = Rep.Rta.forTask(V.Task).ResponseBound;
+    Time Deadline = satAdd(V.ArrivalAt, V.Bound);
+    V.WithinHorizon = Deadline != TimeInfinity && Deadline < Rep.Horizon;
+    auto It = ByMsg.find(A.Msg.Id);
+    if (It != ByMsg.end() && It->second) {
+      V.Completed = true;
+      V.CompletedAt = *It->second;
+      V.ResponseTime = V.CompletedAt - V.ArrivalAt;
+    }
+    V.Holds = !V.WithinHorizon || (V.Completed && V.CompletedAt <= Deadline);
+    Rep.Jobs.push_back(V);
+  }
+}
+
+/// The streaming verdict source: remembers, per message, the completion
+/// time of its owning job. Ownership follows the batch semantics — the
+/// first-admitted job that read the message — so a completion from a
+/// different (duplicate-message) job is ignored, exactly as the batch
+/// ByMsg lookup would ignore it.
+class CompletionIndex final : public ScheduleEventConsumer {
+public:
+  void onJobAdmitted(const ConvertedJob &CJ, std::size_t Index) override {
+    ByMsg.emplace(CJ.J.Msg, Owner{Index, std::nullopt});
+  }
+  void onJobRetired(const ConvertedJob &CJ, std::size_t Index) override {
+    auto It = ByMsg.find(CJ.J.Msg);
+    if (It != ByMsg.end() && It->second.Admission == Index)
+      It->second.CompletedAt = CJ.CompletedAt;
+  }
+
+  std::map<MsgId, std::optional<Time>> take() {
+    std::map<MsgId, std::optional<Time>> Out;
+    for (const auto &[M, O] : ByMsg)
+      Out.emplace(M, O.CompletedAt);
+    return Out;
+  }
+
+private:
+  struct Owner {
+    std::size_t Admission = 0;
+    std::optional<Time> CompletedAt;
+  };
+  std::map<MsgId, Owner> ByMsg;
+};
+
+} // namespace
+
+AdequacyReport rprosa::runAdequacy(const AdequacySpec &Spec) {
+  AdequacyReport Rep;
+  checkAssumptions(Spec, Rep);
 
   // 3: one run of Rössl on the substrate.
   Environment Env(Spec.Arr);
@@ -58,6 +142,7 @@ AdequacyReport rprosa::runAdequacy(const AdequacySpec &Spec) {
   FdScheduler Sched(Spec.Client, Env, Costs);
   Rep.TT = Sched.run(Spec.Limits);
   Rep.Horizon = Rep.TT.EndTime;
+  Rep.Markers = Rep.TT.size();
 
   // 4: the trace invariants.
   Rep.TimestampsOk = checkTimestamps(Rep.TT);
@@ -76,42 +161,67 @@ AdequacyReport rprosa::runAdequacy(const AdequacySpec &Spec) {
   Rep.ValidityOk = checkValidity(Rep.Conv, Spec.Client.Tasks, Spec.Arr,
                                  Spec.Client.Wcets, Spec.Client.NumSockets,
                                  Spec.Client.Policy);
+  Rep.NumJobs = Rep.Conv.Jobs.size();
 
-  // 6: the RTA matching the client's policy. With StaticTiming set the
-  // NPFP analysis runs from the derived timing inputs instead of the
-  // hand-supplied tables.
-  if (Spec.StaticTiming && Spec.Client.Policy == SchedPolicy::Npfp)
-    Rep.Rta = analyzeNpfp(Spec.Client.Tasks, *Spec.StaticTiming,
-                          Spec.Client.NumSockets, Spec.Rta);
-  else
-    Rep.Rta = analyzePolicy(Spec.Client.Tasks, Spec.Client.Wcets,
-                            Spec.Client.NumSockets, Spec.Client.Policy,
-                            Spec.Rta);
+  runRta(Spec, Rep);
 
-  // 7: per-job verdicts (completion by message identity: job ids are
-  // assigned at read time, arrivals are identified by MsgId).
-  std::map<MsgId, const ConvertedJob *> ByMsg;
+  std::map<MsgId, std::optional<Time>> ByMsg;
   for (const ConvertedJob &CJ : Rep.Conv.Jobs)
-    ByMsg.emplace(CJ.J.Msg, &CJ);
+    ByMsg.emplace(CJ.J.Msg, CJ.CompletedAt);
+  renderVerdicts(Spec, Rep, ByMsg);
+  return Rep;
+}
 
-  for (const Arrival &A : Spec.Arr.arrivals()) {
-    JobVerdict V;
-    V.Msg = A.Msg.Id;
-    V.Task = A.Msg.Task;
-    V.ArrivalAt = A.At;
-    if (V.Task < Rep.Rta.PerTask.size() &&
-        Rep.Rta.forTask(V.Task).Bounded)
-      V.Bound = Rep.Rta.forTask(V.Task).ResponseBound;
-    Time Deadline = satAdd(V.ArrivalAt, V.Bound);
-    V.WithinHorizon = Deadline != TimeInfinity && Deadline < Rep.Horizon;
-    auto It = ByMsg.find(A.Msg.Id);
-    if (It != ByMsg.end() && It->second->CompletedAt) {
-      V.Completed = true;
-      V.CompletedAt = *It->second->CompletedAt;
-      V.ResponseTime = V.CompletedAt - V.ArrivalAt;
-    }
-    V.Holds = !V.WithinHorizon || (V.Completed && V.CompletedAt <= Deadline);
-    Rep.Jobs.push_back(V);
-  }
+AdequacyReport rprosa::runAdequacyStreaming(const AdequacySpec &Spec) {
+  AdequacyReport Rep;
+  checkAssumptions(Spec, Rep);
+
+  Environment Env(Spec.Arr);
+  CostModel Costs(Spec.Client.Wcets, Spec.Cost, Spec.Seed);
+  FdScheduler Sched(Spec.Client, Env, Costs);
+
+  // Steps 4-5 as sinks of one fan-out: the five trace invariants, and
+  // behind the incremental converter the structure, validity, and
+  // verdict consumers. The trace is never materialized.
+  TimestampCheckSink Ts;
+  ProtocolCheckSink Prot(Spec.Client.NumSockets);
+  FunctionalCheckSink Fun(Spec.Client.Tasks, Spec.Client.Policy);
+  ConsistencyCheckSink Cons(Spec.Arr);
+  WcetCheckSink Wcet(Spec.Client.Tasks, Spec.Client.Wcets);
+
+  StreamingValidity Val(Spec.Client.Tasks, Spec.Arr, Spec.Client.Wcets,
+                        Spec.Client.NumSockets, Spec.Client.Policy);
+  ScheduleStructureSink Struct;
+  CompletionIndex Compl;
+  ScheduleEventFanout Events;
+  Events.add(Val);
+  Events.add(Struct);
+  Events.add(Compl);
+  ScheduleBuilder Builder(Spec.Client.NumSockets, Events, &Rep.ScheduleOk);
+
+  TraceFanout Fan;
+  Fan.add(Ts);
+  Fan.add(Prot);
+  Fan.add(Fun);
+  Fan.add(Cons);
+  Fan.add(Wcet);
+  Fan.add(Builder);
+
+  Rep.Horizon = Sched.run(Spec.Limits, Fan);
+  Rep.Markers = Ts.markers();
+  Rep.NumJobs = Builder.admittedJobs();
+
+  Rep.TimestampsOk = Ts.take();
+  Rep.ProtocolOk = Prot.take();
+  Rep.FunctionalOk = Fun.take();
+  Rep.ConsistencyOk = Cons.take();
+  Rep.WcetOk = Wcet.take();
+  // ScheduleOk already carries the builder's conversion diagnostics, in
+  // the batch order (diagnostics first, then the structure checks).
+  Rep.ScheduleOk.merge(Struct.take());
+  Rep.ValidityOk = Val.take();
+
+  runRta(Spec, Rep);
+  renderVerdicts(Spec, Rep, Compl.take());
   return Rep;
 }

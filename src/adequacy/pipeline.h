@@ -98,10 +98,16 @@ struct AdequacyReport {
 
   RtaResult Rta;
   std::vector<JobVerdict> Jobs;
+  /// The materialized trace and conversion — batch driver only; the
+  /// streaming driver leaves both empty (that is its point).
   ConversionResult Conv;
   TimedTrace TT;
   /// t_hrzn: the horizon up to which the scheduler is known to have run.
   Time Horizon = 0;
+  /// Markers emitted / jobs admitted over the run (filled by both
+  /// drivers; summary() reads these, not TT/Conv).
+  std::size_t Markers = 0;
+  std::size_t NumJobs = 0;
 
   /// All of Thm. 5.1's assumptions held on this run.
   bool assumptionsHold() const;
@@ -121,8 +127,17 @@ struct AdequacyReport {
   std::string summary() const;
 };
 
-/// Runs the full pipeline.
+/// Runs the full pipeline, materializing the trace and the conversion
+/// (Rep.TT / Rep.Conv) along the way.
 AdequacyReport runAdequacy(const AdequacySpec &Spec);
+
+/// The single-pass form of runAdequacy: one simulator run drives every
+/// trace checker, the incremental §2.4 converter, and the validity
+/// constraints through a TraceFanout, keeping O(tasks + open jobs)
+/// state — Rep.TT and Rep.Conv stay empty, so memory is independent of
+/// the horizon. Reports (summary() bytes included) are identical to
+/// runAdequacy()'s; tests/stream_equivalence_test.cpp enforces this.
+AdequacyReport runAdequacyStreaming(const AdequacySpec &Spec);
 
 } // namespace rprosa
 

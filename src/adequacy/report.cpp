@@ -51,8 +51,8 @@ std::string AdequacyReport::summary() const {
   };
   std::string Out = "adequacy run up to t_hrzn=" + std::to_string(Horizon) +
                     " (" + formatTicksAsNs(Horizon) + "), " +
-                    std::to_string(TT.size()) + " markers, " +
-                    std::to_string(Conv.Jobs.size()) + " jobs\n";
+                    std::to_string(Markers) + " markers, " +
+                    std::to_string(NumJobs) + " jobs\n";
   Out += Line("client/static", StaticOk);
   Out += Line("arrival curves", ArrivalOk);
   Out += Line("timestamps", TimestampsOk);

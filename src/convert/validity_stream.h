@@ -1,0 +1,126 @@
+//===- convert/validity_stream.h - Streaming §2.4 validity checks ---------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §2.4 validity constraints (see convert/validity.h) as a
+/// ScheduleEventConsumer with O(tasks + open jobs) state:
+///
+///  - (a) per-instance duration bounds are checked as segments arrive;
+///  - per-job usage (ReadOvh totals, execution segments, PollingOvh
+///    instances) is accumulated live and *evaluated at retirement*,
+///    after which the job's state is dropped;
+///  - (b)/(e) arrival consistency and uniqueness run at admission;
+///  - (c) policy compliance runs at selection, against the currently
+///    open jobs — on protocol-conformant traces this is exactly the
+///    batch checker's pair set that can fail (retired jobs fail its
+///    StillPending predicate, later-read jobs its ReadBefore);
+///  - (d) event ordering runs at retirement (open jobs at the end).
+///
+/// The batch checker reports failures grouped by constraint, not by
+/// event time, so failures are buffered with a canonical sort key
+/// (constraint block, then the batch iteration keys) and ordered once
+/// at the end: the emitted CheckResult is byte-identical to batch
+/// checkValidity on conformant (and singly-malformed) traces, which the
+/// equivalence fuzz test enforces. checkValidity itself stays an
+/// independent implementation — it is the oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_CONVERT_VALIDITY_STREAM_H
+#define RPROSA_CONVERT_VALIDITY_STREAM_H
+
+#include "convert/schedule_builder.h"
+#include "convert/validity.h"
+#include "support/interval_set.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rprosa {
+
+/// Streaming validity checker; attach to a ScheduleBuilder (directly or
+/// via ScheduleEventFanout). The result is complete after
+/// onScheduleEnd.
+class StreamingValidity final : public ScheduleEventConsumer {
+public:
+  StreamingValidity(const TaskSet &Tasks, const ArrivalSequence &Arr,
+                    const BasicActionWcets &W, std::uint32_t NumSockets,
+                    SchedPolicy Policy = SchedPolicy::Npfp);
+
+  void onScheduleStart(Time At) override;
+  void onSegment(const ScheduleSegment &Seg) override;
+  void onJobAdmitted(const ConvertedJob &CJ, std::size_t Index) override;
+  void onJobSelected(const ConvertedJob &CJ, std::size_t Index) override;
+  void onJobDispatched(const ConvertedJob &CJ, std::size_t Index) override;
+  void onJobRetired(const ConvertedJob &CJ, std::size_t Index) override;
+  void onScheduleEnd(
+      const std::vector<std::pair<std::size_t, ConvertedJob>> &Open) override;
+
+  /// Valid after onScheduleEnd.
+  const CheckResult &result() const { return R; }
+  CheckResult take() { return std::move(R); }
+
+  /// Live-state introspection for the retirement tests.
+  std::size_t openRecords() const { return Recs.size(); }
+  std::size_t openUsage() const { return Usage.size(); }
+
+private:
+  /// Per-job accumulated quantities over the schedule segments
+  /// (mirrors the batch checker's JobUsage).
+  struct JobUsage {
+    Duration ReadOvh = 0;
+    Duration ExecTime = 0;
+    std::size_t ExecSegments = 0;
+    std::size_t PollingInstances = 0;
+  };
+  /// A live job record (dropped at retirement).
+  struct VRec {
+    ConvertedJob CJ;
+    std::size_t Index = 0;
+    bool Keyed = false;
+    bool SelectedCounted = false;
+  };
+  /// A buffered failure with its canonical position: constraint block
+  /// (the batch checker's section order), then the batch loop keys.
+  struct Pending {
+    std::uint32_t Block;
+    std::uint64_t K1;
+    std::uint64_t K2;
+    std::string Msg;
+  };
+
+  void fail(std::uint32_t Block, std::uint64_t K1, std::uint64_t K2,
+            std::string Msg);
+  /// The usage + non-preemptivity block for one job id (batch: the
+  /// Usage-map loop); \p CJ may be null (job never entered the table).
+  void evalUsage(JobId Id, const JobUsage &U, const ConvertedJob *CJ);
+  /// The per-job event-ordering block (batch: the final (d) loop).
+  void evalOrdering(const ConvertedJob &CJ, std::size_t Index);
+
+  const TaskSet &Tasks;
+  const ArrivalSequence &Arr;
+  BasicActionWcets W;
+  SchedPolicy Policy;
+  Duration PB;
+  Duration RB;
+
+  CheckResult R;
+  std::vector<Pending> Buffered;
+
+  std::map<JobId, JobUsage> Usage;
+  std::map<JobId, VRec> Recs;
+  IdIntervalSet SeenIds;
+  IdIntervalSet SeenMsgs;
+  std::size_t SegIndex = 0;
+  std::size_t KeyedJobs = 0;    ///< K: keyed jobs ever admitted.
+  std::size_t SelectedKeyed = 0; ///< S: keyed jobs that got selected.
+};
+
+} // namespace rprosa
+
+#endif // RPROSA_CONVERT_VALIDITY_STREAM_H

@@ -8,43 +8,68 @@
 /// Marker functions "do not affect the actual runtime behavior of Rössl
 /// (i.e., they are a form of ghost code for verification purposes only)"
 /// (§2.2). MarkerRecorder is the executable analogue of the instrumented
-/// Caesium semantics (Fig. 6): every marker call appends an event to the
-/// trace, stamped with the virtual clock.
+/// Caesium semantics (Fig. 6): every marker call emits an event stamped
+/// with the virtual clock.
+///
+/// The recorder pushes into a TraceSink. By default that sink is its own
+/// VectorSink, so the legacy batch API (record/take → TimedTrace) keeps
+/// working unchanged; handing it an external sink turns the same marker
+/// calls into a live stream that never materializes the trace.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef RPROSA_ROSSL_MARKERS_H
 #define RPROSA_ROSSL_MARKERS_H
 
+#include "trace/stream.h"
 #include "trace/trace.h"
 
 #include "sim/clock.h"
 
 namespace rprosa {
 
-/// Accumulates the timed trace of one run.
+/// Emits the timed trace of one run — into an owned buffer (batch mode)
+/// or an external TraceSink (streaming mode).
 class MarkerRecorder {
 public:
-  explicit MarkerRecorder(const VirtualClock &Clock) : Clock(Clock) {}
+  /// Batch mode: accumulate into an internal trace, returned by take().
+  explicit MarkerRecorder(const VirtualClock &Clock)
+      : Clock(Clock), Sink(&Vec) {}
+
+  /// Streaming mode: push every marker into \p S as it is recorded.
+  MarkerRecorder(const VirtualClock &Clock, TraceSink &S)
+      : Clock(Clock), Sink(&S) {}
 
   /// Records \p E at the current clock instant.
   void record(MarkerEvent E) {
-    TT.Tr.push_back(std::move(E));
-    TT.Ts.push_back(Clock.now());
+    Sink->onMarker(E, Clock.now());
+    ++N;
   }
 
-  std::size_t size() const { return TT.size(); }
+  /// Markers recorded so far.
+  std::size_t size() const { return N; }
 
-  /// Finalizes and returns the timed trace; EndTime is stamped with the
-  /// clock value at the call.
+  /// Closes the stream; EndTime is stamped with the clock value at the
+  /// call and returned.
+  Time finish() {
+    Time End = Clock.now();
+    Sink->onEnd(End);
+    return End;
+  }
+
+  /// Batch mode only: finalizes and returns the accumulated trace.
   TimedTrace take() {
-    TT.EndTime = Clock.now();
-    return std::move(TT);
+    RPROSA_CHECK(Sink == &Vec,
+                 "take() needs batch mode; streaming recorders finish()");
+    finish();
+    return Vec.take();
   }
 
 private:
   const VirtualClock &Clock;
-  TimedTrace TT;
+  VectorSink Vec;
+  TraceSink *Sink;
+  std::size_t N = 0;
 };
 
 } // namespace rprosa

@@ -12,7 +12,7 @@ using namespace rprosa;
 
 FdScheduler::FdScheduler(const ClientConfig &Client, Environment &Env,
                          CostModel &Costs)
-    : Client(Client), Env(Env), Costs(Costs), Recorder(Clock),
+    : Client(Client), Env(Env), Costs(Costs),
       Pending(makeJobQueue(Client.Policy)) {
   assert(Env.numSockets() == Client.NumSockets &&
          "environment sockets must match the client's registration");
@@ -20,7 +20,7 @@ FdScheduler::FdScheduler(const ClientConfig &Client, Environment &Env,
 
 bool FdScheduler::readOnce(SocketId Sock) {
   // M_ReadS marks the issue of the read system call.
-  Recorder.record(MarkerEvent::readS());
+  Rec->record(MarkerEvent::readS());
 
   // The syscall polls the queue; the poll completes after the
   // failed-read duration. If a message arrived strictly before that
@@ -33,7 +33,7 @@ bool FdScheduler::readOnce(SocketId Sock) {
   std::optional<Message> Msg = Env.read(Sock, PollDone);
   if (!Msg) {
     Clock.advance(PollLen);
-    Recorder.record(MarkerEvent::readE(Sock, std::nullopt));
+    Rec->record(MarkerEvent::readE(Sock, std::nullopt));
     return false;
   }
 
@@ -46,7 +46,7 @@ bool FdScheduler::readOnce(SocketId Sock) {
   J.Task = Msg->Task;
   J.Socket = Sock;
   J.ReadAt = Clock.now();
-  Recorder.record(MarkerEvent::readE(Sock, J));
+  Rec->record(MarkerEvent::readE(Sock, J));
   assert(J.Task < Client.Tasks.size() && "classifier produced unknown task");
   Pending->enqueue(J, Client.Tasks.task(J.Task));
   return true;
@@ -64,28 +64,42 @@ void FdScheduler::checkSocketsUntilEmpty() {
 }
 
 TimedTrace FdScheduler::run(const RunLimits &Limits) {
+  MarkerRecorder Recorder(Clock);
+  runLoop(Limits, Recorder);
+  return Recorder.take();
+}
+
+Time FdScheduler::run(const RunLimits &Limits, TraceSink &Sink) {
+  MarkerRecorder Recorder(Clock, Sink);
+  runLoop(Limits, Recorder);
+  return Recorder.finish();
+}
+
+void FdScheduler::runLoop(const RunLimits &Limits,
+                          MarkerRecorder &Recorder) {
+  Rec = &Recorder;
   while (Clock.now() < Limits.Horizon &&
          (Limits.MaxMarkers == 0 || Recorder.size() < Limits.MaxMarkers)) {
     // --- Polling phase (Fig. 2 line 3). ---
     checkSocketsUntilEmpty();
 
     // --- Selection phase (lines 4-6). ---
-    Recorder.record(MarkerEvent::selection());
+    Rec->record(MarkerEvent::selection());
     Clock.advance(Costs.selection());
     std::optional<Job> J = Pending->dequeue();
 
     if (!J) {
       // --- Idling phase (line 8): one idle cycle, then poll again. ---
-      Recorder.record(MarkerEvent::idling());
+      Rec->record(MarkerEvent::idling());
       Clock.advance(Costs.idling());
       continue;
     }
 
     // --- Execution phase (lines 10-12). ---
-    Recorder.record(MarkerEvent::dispatch(*J));
+    Rec->record(MarkerEvent::dispatch(*J));
     Clock.advance(Costs.dispatch());
 
-    Recorder.record(MarkerEvent::execution(*J));
+    Rec->record(MarkerEvent::execution(*J));
     const Task &T = Client.Tasks.task(J->Task);
     if (!Client.Callbacks.empty() && Client.Callbacks[J->Task])
       Client.Callbacks[J->Task](*J);
@@ -93,8 +107,8 @@ TimedTrace FdScheduler::run(const RunLimits &Limits) {
 
     // M_Completion marks the end of the callback (the job's completion
     // time) and the start of the cleanup (free) segment.
-    Recorder.record(MarkerEvent::completion(*J));
+    Rec->record(MarkerEvent::completion(*J));
     Clock.advance(Costs.completion());
   }
-  return Recorder.take();
+  Rec = nullptr;
 }

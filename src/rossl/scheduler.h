@@ -37,6 +37,7 @@
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 #include "sim/environment.h"
+#include "trace/stream.h"
 #include "trace/trace.h"
 
 namespace rprosa {
@@ -59,10 +60,19 @@ public:
   FdScheduler(const ClientConfig &Client, Environment &Env, CostModel &Costs);
 
   /// Runs the Fig. 2 loop until the limits are hit and returns the
-  /// timed trace of marker functions.
+  /// timed trace of marker functions (batch mode: a VectorSink under
+  /// the hood).
   TimedTrace run(const RunLimits &Limits);
 
+  /// Streaming mode: pushes every marker into \p Sink as it is emitted
+  /// — nothing is materialized, so memory stays flat regardless of the
+  /// horizon. Returns the run's end time (the t_hrzn the sink also saw
+  /// via onEnd).
+  Time run(const RunLimits &Limits, TraceSink &Sink);
+
 private:
+  /// The Fig. 2 loop, emitting through \p Recorder.
+  void runLoop(const RunLimits &Limits, MarkerRecorder &Recorder);
   /// The polling phase: rounds of reads over all sockets until one
   /// round has only failed reads (check_sockets_until_empty).
   void checkSocketsUntilEmpty();
@@ -75,7 +85,8 @@ private:
   Environment &Env;
   CostModel &Costs;
   VirtualClock Clock;
-  MarkerRecorder Recorder;
+  /// The active run's recorder (set for the duration of runLoop).
+  MarkerRecorder *Rec = nullptr;
   std::unique_ptr<JobQueue> Pending;
   /// The unique-id counter of the read step (σ_trace.idx in Fig. 6).
   JobId NextJobId = 1;

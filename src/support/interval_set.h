@@ -1,0 +1,79 @@
+//===- support/interval_set.h - Disjoint-interval id sets -----------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IdIntervalSet stores a set of 64-bit ids as sorted disjoint closed
+/// intervals. Membership and insertion behave exactly like std::set's,
+/// but memory is O(fragments) instead of O(elements): the streaming
+/// checkers (DESIGN.md §9) track ever-seen job/message ids, which the
+/// simulator assigns monotonically, so the whole history collapses into
+/// a handful of intervals no matter how long the run is.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_SUPPORT_INTERVAL_SET_H
+#define RPROSA_SUPPORT_INTERVAL_SET_H
+
+#include <cstdint>
+#include <map>
+
+namespace rprosa {
+
+/// A set of uint64 ids, run-length compressed into disjoint closed
+/// intervals [Lo, Hi].
+class IdIntervalSet {
+public:
+  /// Inserts \p V; returns true iff it was not already present (the
+  /// std::set::insert(...).second contract).
+  bool insert(std::uint64_t V) {
+    // The candidate interval that could contain or touch V from below.
+    auto It = Ivs.upper_bound(V);
+    auto Prev = It == Ivs.begin() ? Ivs.end() : std::prev(It);
+    if (Prev != Ivs.end() && Prev->second >= V)
+      return false; // Already covered.
+
+    bool TouchPrev =
+        Prev != Ivs.end() && V != 0 && Prev->second == V - 1;
+    bool TouchNext = It != Ivs.end() &&
+                     V != UINT64_MAX && It->first == V + 1;
+    if (TouchPrev && TouchNext) {
+      Prev->second = It->second;
+      Ivs.erase(It);
+    } else if (TouchPrev) {
+      Prev->second = V;
+    } else if (TouchNext) {
+      std::uint64_t Hi = It->second;
+      Ivs.erase(It);
+      Ivs.emplace(V, Hi);
+    } else {
+      Ivs.emplace(V, V);
+    }
+    ++Count;
+    return true;
+  }
+
+  /// Membership (std::set::count, but 0/1 as bool).
+  bool contains(std::uint64_t V) const {
+    auto It = Ivs.upper_bound(V);
+    if (It == Ivs.begin())
+      return false;
+    return std::prev(It)->second >= V;
+  }
+
+  /// Number of stored ids.
+  std::uint64_t size() const { return Count; }
+  /// Number of disjoint intervals — the actual memory footprint.
+  std::size_t fragments() const { return Ivs.size(); }
+  bool empty() const { return Ivs.empty(); }
+
+private:
+  std::map<std::uint64_t, std::uint64_t> Ivs; // Lo -> Hi, disjoint.
+  std::uint64_t Count = 0;
+};
+
+} // namespace rprosa
+
+#endif // RPROSA_SUPPORT_INTERVAL_SET_H

@@ -1,0 +1,213 @@
+//===- trace/chunked_io.cpp -----------------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/chunked_io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+using namespace rprosa;
+
+ChunkedTraceWriter::ChunkedTraceWriter(std::ostream &Out,
+                                       std::size_t EventsPerChunk)
+    : Out(Out), EventsPerChunk(EventsPerChunk ? EventsPerChunk : 1) {
+  Out << "refinedprosa-trace v2\n";
+}
+
+void ChunkedTraceWriter::flushChunk() {
+  if (Buffered == 0)
+    return;
+  Out << "chunk " << Buffered << '\n' << Buffer;
+  Buffer.clear();
+  Buffered = 0;
+}
+
+void ChunkedTraceWriter::onMarker(const MarkerEvent &E, Time At) {
+  appendMarkerLine(Buffer, At, E);
+  ++Buffered;
+  ++NumEvents;
+  if (Buffered >= EventsPerChunk)
+    flushChunk();
+}
+
+void ChunkedTraceWriter::onEnd(Time EndTime) {
+  flushChunk();
+  Out << "end " << EndTime << '\n';
+  Out.flush();
+  Finished = true;
+}
+
+namespace {
+
+/// First whitespace-separated token of \p Line and the rest after it.
+std::pair<std::string, std::string> splitFirst(const std::string &Line) {
+  std::size_t B = Line.find_first_not_of(" \t");
+  if (B == std::string::npos)
+    return {"", ""};
+  std::size_t E = Line.find_first_of(" \t", B);
+  if (E == std::string::npos)
+    return {Line.substr(B), ""};
+  std::size_t R = Line.find_first_not_of(" \t", E);
+  return {Line.substr(B, E - B),
+          R == std::string::npos ? "" : Line.substr(R)};
+}
+
+std::optional<std::uint64_t> tokU64(const std::string &Tok) {
+  if (Tok.empty())
+    return std::nullopt;
+  for (char C : Tok)
+    if (C < '0' || C > '9')
+      return std::nullopt;
+  std::uint64_t V = 0;
+  auto [Ptr, Ec] = std::from_chars(Tok.data(), Tok.data() + Tok.size(), V);
+  if (Ec != std::errc() || Ptr != Tok.data() + Tok.size())
+    return std::nullopt;
+  return V;
+}
+
+struct Reader {
+  std::istream &In;
+  TraceSink &Sink;
+  CheckResult *Diags;
+  TraceStreamStats *Stats;
+  std::size_t LineNo = 0;
+
+  bool fail(const std::string &Why) {
+    if (Diags)
+      Diags->addFailure("trace parse error at line " +
+                        std::to_string(LineNo) + ": " + Why);
+    return false;
+  }
+
+  /// Next non-empty line; false at end of stream.
+  bool nextLine(std::string &Line) {
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      if (!Line.empty() &&
+          Line.find_first_not_of(" \t\r") != std::string::npos)
+        return true;
+    }
+    return false;
+  }
+
+  void sawEvent() {
+    if (Stats)
+      ++Stats->Events;
+  }
+
+  bool finish(Time EndTime) {
+    std::string Line;
+    if (nextLine(Line))
+      return fail("content after the end line");
+    if (Stats)
+      Stats->SawEnd = true;
+    Sink.onEnd(EndTime);
+    return true;
+  }
+
+  bool runV1() {
+    std::string Line;
+    while (nextLine(Line)) {
+      auto [First, Rest] = splitFirst(Line);
+      if (First == "end") {
+        auto End = tokU64(splitFirst(Rest).first);
+        if (!End)
+          return fail("malformed end time");
+        return finish(*End);
+      }
+      Time Ts = 0;
+      MarkerEvent E;
+      std::string Why;
+      if (!parseMarkerLine(Line, Ts, E, &Why))
+        return fail(Why);
+      Sink.onMarker(E, Ts);
+      sawEvent();
+    }
+    return fail("missing end line");
+  }
+
+  bool runV2() {
+    std::string Line;
+    // Parsed-but-undelivered events of the chunk in flight: delivery
+    // happens only once the whole chunk parsed (no partial chunks).
+    std::vector<std::pair<MarkerEvent, Time>> Chunk;
+    while (nextLine(Line)) {
+      auto [First, Rest] = splitFirst(Line);
+      if (First == "end") {
+        auto End = tokU64(splitFirst(Rest).first);
+        if (!End)
+          return fail("malformed end time");
+        return finish(*End);
+      }
+      if (First != "chunk")
+        return fail("expected a chunk or end line, got '" + First + "'");
+      auto Count = tokU64(splitFirst(Rest).first);
+      if (!Count)
+        return fail("malformed chunk header");
+
+      Chunk.clear();
+      Chunk.reserve(static_cast<std::size_t>(
+          std::min<std::uint64_t>(*Count, 1 << 20)));
+      for (std::uint64_t I = 0; I < *Count; ++I) {
+        if (!nextLine(Line))
+          return fail("truncated chunk (expected " +
+                      std::to_string(*Count) + " events, got " +
+                      std::to_string(I) + ")");
+        Time Ts = 0;
+        MarkerEvent E;
+        std::string Why;
+        if (!parseMarkerLine(Line, Ts, E, &Why))
+          return fail(Why);
+        Chunk.emplace_back(std::move(E), Ts);
+      }
+      for (const auto &[E, Ts] : Chunk) {
+        Sink.onMarker(E, Ts);
+        sawEvent();
+      }
+      if (Stats)
+        ++Stats->Chunks;
+    }
+    return fail("missing end line");
+  }
+};
+
+} // namespace
+
+bool rprosa::readTraceStream(std::istream &In, TraceSink &Sink,
+                             CheckResult *Diags, TraceStreamStats *Stats) {
+  Reader R{In, Sink, Diags, Stats};
+  std::string Header;
+  if (!std::getline(In, Header)) {
+    R.LineNo = 1;
+    return R.fail("missing or unknown header");
+  }
+  R.LineNo = 1;
+  if (!Header.empty() && Header.back() == '\r')
+    Header.pop_back();
+  if (Header == "refinedprosa-trace v2")
+    return R.runV2();
+  if (Header == "refinedprosa-trace v1")
+    return R.runV1();
+  return R.fail("missing or unknown header");
+}
+
+void rprosa::writeTraceStream(std::ostream &Out, const TimedTrace &TT,
+                              std::size_t EventsPerChunk) {
+  ChunkedTraceWriter W(Out, EventsPerChunk);
+  replayTimedTrace(TT, W);
+}
+
+std::optional<TimedTrace> rprosa::readTimedTrace(std::istream &In,
+                                                 CheckResult *Diags) {
+  VectorSink V;
+  if (!readTraceStream(In, V, Diags))
+    return std::nullopt;
+  return V.take();
+}

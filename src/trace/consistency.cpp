@@ -3,92 +3,18 @@
 // Part of RefinedProsa-CPP. MIT License.
 //
 //===----------------------------------------------------------------------===//
+// Batch adapter over ConsistencyCheckSink (trace/check_sinks.h).
+//===----------------------------------------------------------------------===//
 
 #include "trace/consistency.h"
 
-#include <map>
-#include <set>
-#include <string>
-#include <vector>
+#include "trace/check_sinks.h"
 
 using namespace rprosa;
 
 CheckResult rprosa::checkConsistency(const TimedTrace &TT,
                                      const ArrivalSequence &Arr) {
-  CheckResult R;
-
-  // Arrival lookup by message id, and per-socket time-sorted lists for
-  // the failed-read condition.
-  std::map<MsgId, Arrival> ByMsg;
-  std::vector<std::vector<Arrival>> PerSock(Arr.numSockets());
-  for (const Arrival &A : Arr.arrivals()) {
-    ByMsg.emplace(A.Msg.Id, A);
-    if (A.Socket < PerSock.size())
-      PerSock[A.Socket].push_back(A); // arrivals() is time-sorted.
-  }
-
-  std::set<MsgId> ReadMsgs;
-  // For each socket, the prefix of PerSock[s] already verified as read.
-  std::vector<std::size_t> Verified(Arr.numSockets(), 0);
-
-  for (std::size_t I = 0; I < TT.size(); ++I) {
-    const MarkerEvent &E = TT.Tr[I];
-    if (E.Kind != MarkerKind::ReadE)
-      continue;
-    if (E.Socket >= Arr.numSockets()) {
-      R.addFailure("marker " + std::to_string(I) + ": read of socket s" +
-                   std::to_string(E.Socket) + " outside the arrival "
-                   "sequence's socket range");
-      continue;
-    }
-
-    if (E.isSuccessfulRead()) {
-      R.noteCheck(3);
-      const Job &J = *E.J;
-      auto It = ByMsg.find(J.Msg);
-      // Condition 1: the job must originate from the arrival sequence...
-      if (It == ByMsg.end()) {
-        R.addFailure("marker " + std::to_string(I) + ": read message m" +
-                     std::to_string(J.Msg) + " never arrives in arr");
-        continue;
-      }
-      const Arrival &A = It->second;
-      // ...on the same socket, with the task type the classifier infers...
-      if (A.Socket != E.Socket)
-        R.addFailure("marker " + std::to_string(I) + ": message m" +
-                     std::to_string(J.Msg) + " read from s" +
-                     std::to_string(E.Socket) + " but arrived on s" +
-                     std::to_string(A.Socket));
-      if (A.Msg.Task != J.Task)
-        R.addFailure("marker " + std::to_string(I) + ": task type of read "
-                     "job does not match the arrived message");
-      // ...and strictly after its arrival: t_a < ts[i].
-      if (A.At >= TT.Ts[I])
-        R.addFailure("marker " + std::to_string(I) + ": job j" +
-                     std::to_string(J.Id) + " read at t=" +
-                     std::to_string(TT.Ts[I]) + " but arrives only at t=" +
-                     std::to_string(A.At) + " (Def. 2.1 cond. 1)");
-      if (!ReadMsgs.insert(J.Msg).second)
-        R.addFailure("marker " + std::to_string(I) + ": message m" +
-                     std::to_string(J.Msg) + " read twice");
-      continue;
-    }
-
-    // Failed read: every arrival on this socket strictly before ts[i]
-    // must already have been read (Def. 2.1 cond. 2).
-    auto &Socks = PerSock[E.Socket];
-    std::size_t &V = Verified[E.Socket];
-    while (V < Socks.size() && Socks[V].At < TT.Ts[I]) {
-      R.noteCheck();
-      if (!ReadMsgs.count(Socks[V].Msg.Id))
-        R.addFailure("marker " + std::to_string(I) + ": failed read on s" +
-                     std::to_string(E.Socket) + " at t=" +
-                     std::to_string(TT.Ts[I]) + " although message m" +
-                     std::to_string(Socks[V].Msg.Id) + " arrived at t=" +
-                     std::to_string(Socks[V].At) + " and was not read "
-                     "(Def. 2.1 cond. 2)");
-      ++V;
-    }
-  }
-  return R;
+  ConsistencyCheckSink S(Arr);
+  replayTimedTrace(TT, S);
+  return S.take();
 }

@@ -3,128 +3,21 @@
 // Part of RefinedProsa-CPP. MIT License.
 //
 //===----------------------------------------------------------------------===//
+// Batch adapter over FunctionalCheckSink (trace/check_sinks.h).
+//===----------------------------------------------------------------------===//
 
 #include "trace/functional.h"
 
-#include <limits>
-#include <map>
-#include <set>
-#include <string>
+#include "trace/check_sinks.h"
 
 using namespace rprosa;
-
-namespace {
-
-/// The policy's selection key: a dispatched job must have a key less
-/// than or equal to every other pending job's key.
-std::optional<std::uint64_t> selectionKey(const Job &J, const TaskSet &Tasks,
-                                          SchedPolicy Policy) {
-  if (J.Task >= Tasks.size())
-    return std::nullopt;
-  const Task &T = Tasks.task(J.Task);
-  switch (Policy) {
-  case SchedPolicy::Npfp:
-    // Higher priority first: invert so that smaller = earlier.
-    return std::numeric_limits<std::uint64_t>::max() - T.Prio;
-  case SchedPolicy::Edf:
-    if (T.Deadline == 0)
-      return std::nullopt;
-    return satAdd(J.ReadAt, T.Deadline);
-  case SchedPolicy::Fifo:
-    return J.Id; // Read order.
-  }
-  return std::nullopt;
-}
-
-const char *keyName(SchedPolicy Policy) {
-  switch (Policy) {
-  case SchedPolicy::Npfp:
-    return "highest-priority";
-  case SchedPolicy::Edf:
-    return "earliest-deadline";
-  case SchedPolicy::Fifo:
-    return "first-read";
-  }
-  return "?";
-}
-
-} // namespace
 
 CheckResult rprosa::checkFunctionalCorrectness(const Trace &Tr,
                                                const TaskSet &Tasks,
                                                SchedPolicy Policy) {
-  CheckResult R;
-  // Pending jobs keyed by selection key; begin() is the job the policy
-  // must pick next (up to ties at the same key).
-  std::map<std::uint64_t, std::set<JobId>> Pending;
-  std::set<JobId> SeenJobIds;
-
-  for (std::size_t I = 0; I < Tr.size(); ++I) {
-    const MarkerEvent &E = Tr[I];
-    switch (E.Kind) {
-    case MarkerKind::ReadE: {
-      if (!E.J)
-        break;
-      R.noteCheck();
-      // Property 3: unique identifiers.
-      if (!SeenJobIds.insert(E.J->Id).second)
-        R.addFailure("marker " + std::to_string(I) + ": job id j" +
-                     std::to_string(E.J->Id) + " read twice (Def. 3.2 "
-                     "uniqueness violated)");
-      std::optional<std::uint64_t> K = selectionKey(*E.J, Tasks, Policy);
-      if (!K) {
-        R.addFailure("marker " + std::to_string(I) + ": read job of "
-                     "unknown task or missing policy key");
-        break;
-      }
-      Pending[*K].insert(E.J->Id);
-      break;
-    }
-    case MarkerKind::Dispatch: {
-      R.noteCheck(2);
-      if (!E.J) {
-        R.addFailure("marker " + std::to_string(I) + ": dispatch with no "
-                     "job");
-        break;
-      }
-      std::optional<std::uint64_t> K = selectionKey(*E.J, Tasks, Policy);
-      if (!K) {
-        R.addFailure("marker " + std::to_string(I) + ": dispatched job "
-                     "of unknown task or missing policy key");
-        break;
-      }
-      // Property 1a: the job must be pending.
-      auto It = Pending.find(*K);
-      bool IsPending = It != Pending.end() && It->second.count(E.J->Id);
-      if (!IsPending) {
-        R.addFailure("marker " + std::to_string(I) + ": dispatched j" +
-                     std::to_string(E.J->Id) + " is not pending");
-        break;
-      }
-      // Property 1b: no other pending job precedes it in policy order.
-      auto First = Pending.begin();
-      if (First->first < *K)
-        R.addFailure("marker " + std::to_string(I) + ": dispatched j" +
-                     std::to_string(E.J->Id) +
-                     " although another pending job comes first under "
-                     "the " + toString(Policy) + " policy (Def. 3.2 " +
-                     keyName(Policy) + " violated)");
-      It->second.erase(E.J->Id);
-      if (It->second.empty())
-        Pending.erase(It);
-      break;
-    }
-    case MarkerKind::Idling: {
-      R.noteCheck();
-      // Property 2: idling only with no pending jobs.
-      if (!Pending.empty())
-        R.addFailure("marker " + std::to_string(I) + ": M_Idling while "
-                     "jobs are pending (Def. 3.2 idling violated)");
-      break;
-    }
-    default:
-      break;
-    }
-  }
-  return R;
+  FunctionalCheckSink S(Tasks, Policy);
+  for (const MarkerEvent &E : Tr)
+    S.onMarker(E, 0); // Def. 3.2 is timestamp-independent.
+  S.onEnd(0);
+  return S.take();
 }

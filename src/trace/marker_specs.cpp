@@ -36,12 +36,10 @@ std::uint64_t MarkerSpecChecker::keyOf(const Job &J) const {
 }
 
 void MarkerSpecChecker::fail(std::string Why) {
-  Result.addFailure("call " + std::to_string(Tr.size()) + ": " +
-                    std::move(Why));
+  Result.addFailure("call " + std::to_string(Pos) + ": " + std::move(Why));
 }
 
 void MarkerSpecChecker::step(const MarkerEvent &E) {
-  const MarkerEvent *Last = Tr.empty() ? nullptr : &Tr.back();
   auto LastIs = [&](MarkerKind K) { return Last && Last->Kind == K; };
 
   switch (E.Kind) {
@@ -62,12 +60,11 @@ void MarkerSpecChecker::step(const MarkerEvent &E) {
     if (!LastIs(MarkerKind::ReadS))
       fail("read_end: no read system call in flight");
     if (E.J) {
-      if (EverRead.count(E.J->Id))
+      if (!EverRead.insert(E.J->Id))
         fail("read_end: job id j" + std::to_string(E.J->Id) +
              " is not fresh (READ-STEP-SUCCESS uniqueness)");
       if (E.J->Task >= Tasks.size())
         fail("read_end: job of unknown task");
-      EverRead.insert(E.J->Id);
       Pending.emplace(E.J->Id, *E.J);
     }
     break;
@@ -139,8 +136,10 @@ void MarkerSpecChecker::step(const MarkerEvent &E) {
   }
 
   // Postcondition common to every marker function: current_trace
-  // becomes tr ++ [marker].
-  Tr.push_back(E);
+  // becomes tr ++ [marker] — of which only the last element and the
+  // length are ever needed again.
+  Last = E;
+  ++Pos;
 }
 
 CheckResult rprosa::checkMarkerSpecs(const Trace &Tr, const TaskSet &Tasks,

@@ -23,6 +23,13 @@
 /// against each concrete call sequence, and fault-injection tests
 /// confirm each contract rejects its specific violation.
 ///
+/// Although the ghost current_trace assertion denotes the whole prefix,
+/// every §3.1 precondition only ever inspects `last tr`, so the checker
+/// carries just the last marker plus a call counter — together with the
+/// pending set (retired at dispatch) and the freshness id-set (stored
+/// as merged intervals), its state is O(open jobs), not O(trace). This
+/// is what lets the online monitor run over unbounded streams.
+///
 /// (The global round-robin structure of the polling phase is the
 /// protocol STS's business — Def. 3.1; the contracts here are the
 /// local, per-call obligations of §3.1.)
@@ -37,9 +44,10 @@
 #include "core/policy.h"
 #include "core/task.h"
 #include "support/check.h"
+#include "support/interval_set.h"
 
 #include <map>
-#include <set>
+#include <optional>
 
 namespace rprosa {
 
@@ -57,11 +65,14 @@ public:
   /// All contract violations found so far.
   const CheckResult &result() const { return Result; }
 
-  /// The ghost current_trace assertion.
-  const Trace &currentTrace() const { return Tr; }
+  /// Marker calls applied so far (|current_trace|).
+  std::size_t position() const { return Pos; }
 
   /// The ghost currently_pending assertion (jobs, in read order).
   std::vector<Job> currentlyPending() const;
+
+  /// |currently_pending| — the read-but-undispatched jobs held live.
+  std::size_t pendingJobs() const { return Pending.size(); }
 
 private:
   /// The policy key: a dispatch contract requires the dispatched job to
@@ -73,9 +84,10 @@ private:
   const TaskSet &Tasks;
   SchedPolicy Policy;
   CheckResult Result;
-  Trace Tr;
-  std::map<JobId, Job> Pending; // Keyed by id; read order = id order.
-  std::set<JobId> EverRead;
+  std::optional<MarkerEvent> Last; // last current_trace element.
+  std::size_t Pos = 0;             // |current_trace|.
+  std::map<JobId, Job> Pending;    // Keyed by id; read order = id order.
+  IdIntervalSet EverRead;
 };
 
 /// Replays a whole trace; passes iff every call met its contract.

@@ -134,8 +134,6 @@ std::vector<MonitorAlert> rprosa::monitorTrace(const TimedTrace &TT,
                                                std::uint32_t NumSockets,
                                                SchedPolicy Policy) {
   OnlineMonitor M(Tasks, W, NumSockets, Policy);
-  for (std::size_t I = 0; I < TT.size(); ++I)
-    M.observe(TT.Tr[I], TT.Ts[I]);
-  M.finish(TT.EndTime);
+  replayTimedTrace(TT, M);
   return M.alerts();
 }

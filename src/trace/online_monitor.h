@@ -30,6 +30,7 @@
 
 #include "trace/marker_specs.h"
 #include "trace/protocol.h"
+#include "trace/stream.h"
 #include "trace/trace.h"
 
 #include "core/task.h"
@@ -59,8 +60,12 @@ struct MonitorAlert {
 std::string toString(MonitorAlert::Kind K);
 
 /// Feeds on (marker, timestamp) pairs; raises alerts through an
-/// optional callback and accumulates them for inspection.
-class OnlineMonitor {
+/// optional callback and accumulates them for inspection. As a
+/// TraceSink it can hang off any streaming source (the simulator, a
+/// chunked trace file, a fan-out); its state is O(tasks + open jobs) —
+/// per-job ghost state is retired at the job's M_Completion — so it
+/// runs over unbounded marker streams.
+class OnlineMonitor final : public TraceSink {
 public:
   using AlertFn = std::function<void(const MonitorAlert &)>;
 
@@ -76,9 +81,17 @@ public:
   /// action's WCET.
   void finish(Time EndTime);
 
+  // TraceSink: observe/finish under their streaming names.
+  void onMarker(const MarkerEvent &E, Time At) override { observe(E, At); }
+  void onEnd(Time EndTime) override { finish(EndTime); }
+
   const std::vector<MonitorAlert> &alerts() const { return Alerts; }
   bool clean() const { return Alerts.empty(); }
   std::size_t observed() const { return Index; }
+
+  /// Jobs whose ghost state is currently held (read but undispatched);
+  /// the retirement tests assert this stays O(open jobs).
+  std::size_t openJobs() const { return Contracts.pendingJobs(); }
 
 private:
   void raise(MonitorAlert::Kind K, Time At, std::string Message);

@@ -6,6 +6,8 @@
 
 #include "trace/protocol.h"
 
+#include "trace/check_sinks.h"
+
 #include <cassert>
 
 using namespace rprosa;
@@ -104,16 +106,10 @@ bool ProtocolSts::atIterationBoundary() const {
 }
 
 CheckResult rprosa::checkProtocol(const Trace &Tr, std::uint32_t NumSockets) {
-  CheckResult R;
-  ProtocolSts Sts(NumSockets);
-  for (std::size_t I = 0; I < Tr.size(); ++I) {
-    R.noteCheck();
-    std::string Why;
-    if (!Sts.step(Tr[I], &Why)) {
-      R.addFailure("protocol violation at marker " + std::to_string(I) +
-                   ": " + Why);
-      return R;
-    }
-  }
-  return R;
+  // Batch adapter over the streaming sink (trace/check_sinks.h).
+  ProtocolCheckSink S(NumSockets);
+  for (const MarkerEvent &E : Tr)
+    S.onMarker(E, 0); // Def. 3.1 is timestamp-independent.
+  S.onEnd(0);
+  return S.take();
 }

@@ -6,6 +6,7 @@
 
 #include "trace/serialize.h"
 
+#include <charconv>
 #include <sstream>
 
 using namespace rprosa;
@@ -21,54 +22,73 @@ static void appendJobFields(std::string &Out, const Job &J) {
   Out += std::to_string(J.ReadAt);
 }
 
+void rprosa::appendMarkerLine(std::string &Out, Time Ts,
+                              const MarkerEvent &E) {
+  Out += std::to_string(Ts);
+  Out += ' ';
+  switch (E.Kind) {
+  case MarkerKind::ReadS:
+    Out += "ReadS";
+    break;
+  case MarkerKind::ReadE:
+    Out += "ReadE ";
+    Out += std::to_string(E.Socket);
+    if (E.J) {
+      Out += " ok";
+      appendJobFields(Out, *E.J);
+    } else {
+      Out += " fail";
+    }
+    break;
+  case MarkerKind::Selection:
+    Out += "Selection";
+    break;
+  case MarkerKind::Dispatch:
+  case MarkerKind::Execution:
+  case MarkerKind::Completion: {
+    Out += E.Kind == MarkerKind::Dispatch
+               ? "Dispatch"
+               : (E.Kind == MarkerKind::Execution ? "Execution"
+                                                  : "Completion");
+    if (E.J) {
+      appendJobFields(Out, *E.J);
+      Out += ' ';
+      Out += std::to_string(E.J->Socket);
+    }
+    break;
+  }
+  case MarkerKind::Idling:
+    Out += "Idling";
+    break;
+  }
+  Out += '\n';
+}
+
 std::string rprosa::serializeTimedTrace(const TimedTrace &TT) {
   std::string Out = "refinedprosa-trace v1\n";
-  for (std::size_t I = 0; I < TT.size(); ++I) {
-    const MarkerEvent &E = TT.Tr[I];
-    Out += std::to_string(TT.Ts[I]);
-    Out += ' ';
-    switch (E.Kind) {
-    case MarkerKind::ReadS:
-      Out += "ReadS";
-      break;
-    case MarkerKind::ReadE:
-      Out += "ReadE ";
-      Out += std::to_string(E.Socket);
-      if (E.J) {
-        Out += " ok";
-        appendJobFields(Out, *E.J);
-      } else {
-        Out += " fail";
-      }
-      break;
-    case MarkerKind::Selection:
-      Out += "Selection";
-      break;
-    case MarkerKind::Dispatch:
-    case MarkerKind::Execution:
-    case MarkerKind::Completion: {
-      Out += E.Kind == MarkerKind::Dispatch
-                 ? "Dispatch"
-                 : (E.Kind == MarkerKind::Execution ? "Execution"
-                                                    : "Completion");
-      if (E.J) {
-        appendJobFields(Out, *E.J);
-        Out += ' ';
-        Out += std::to_string(E.J->Socket);
-      }
-      break;
-    }
-    case MarkerKind::Idling:
-      Out += "Idling";
-      break;
-    }
-    Out += '\n';
-  }
+  for (std::size_t I = 0; I < TT.size(); ++I)
+    appendMarkerLine(Out, TT.Ts[I], TT.Tr[I]);
   Out += "end " + std::to_string(TT.EndTime) + "\n";
   return Out;
 }
 
 namespace {
+
+/// Decimal u64 with explicit overflow rejection — stoull would throw
+/// (and a 21-digit timestamp would crash the "returns diagnostics
+/// instead of crashing" contract).
+std::optional<std::uint64_t> parseU64(const std::string &Tok) {
+  if (Tok.empty())
+    return std::nullopt;
+  for (char C : Tok)
+    if (C < '0' || C > '9')
+      return std::nullopt;
+  std::uint64_t V = 0;
+  auto [Ptr, Ec] = std::from_chars(Tok.data(), Tok.data() + Tok.size(), V);
+  if (Ec != std::errc() || Ptr != Tok.data() + Tok.size())
+    return std::nullopt;
+  return V;
+}
 
 /// Whitespace tokenizer over one line.
 class LineTokens {
@@ -86,13 +106,7 @@ public:
     std::optional<std::string> Tok = next();
     if (!Tok)
       return std::nullopt;
-    // Reject anything that is not a plain decimal number.
-    for (char C : *Tok)
-      if (C < '0' || C > '9')
-        return std::nullopt;
-    if (Tok->empty() || Tok->size() > 20)
-      return std::nullopt;
-    return std::stoull(*Tok);
+    return parseU64(*Tok);
   }
 
 private:
@@ -120,7 +134,68 @@ std::optional<Job> parseJobFields(LineTokens &T, bool WithSocket) {
   return J;
 }
 
+bool lineFail(std::string *Why, std::string Message) {
+  if (Why)
+    *Why = std::move(Message);
+  return false;
+}
+
 } // namespace
+
+bool rprosa::parseMarkerLine(const std::string &Line, Time &Ts,
+                             MarkerEvent &E, std::string *Why) {
+  LineTokens T(Line);
+  std::optional<std::string> First = T.next();
+  if (!First)
+    return lineFail(Why, "expected a timestamp");
+
+  std::optional<std::uint64_t> Stamp = parseU64(*First);
+  if (!Stamp)
+    return lineFail(Why, "expected a timestamp");
+  Ts = *Stamp;
+
+  std::optional<std::string> Kind = T.next();
+  if (!Kind)
+    return lineFail(Why, "missing marker kind");
+
+  if (*Kind == "ReadS") {
+    E = MarkerEvent::readS();
+  } else if (*Kind == "ReadE") {
+    auto Sock = T.nextU64();
+    std::optional<std::string> Status = T.next();
+    if (!Sock || !Status)
+      return lineFail(Why, "malformed ReadE");
+    if (*Status == "ok") {
+      std::optional<Job> J = parseJobFields(T, /*WithSocket=*/false);
+      if (!J)
+        return lineFail(Why, "malformed ReadE job fields");
+      J->Socket = static_cast<SocketId>(*Sock);
+      E = MarkerEvent::readE(static_cast<SocketId>(*Sock), *J);
+    } else if (*Status == "fail") {
+      E = MarkerEvent::readE(static_cast<SocketId>(*Sock), std::nullopt);
+    } else {
+      return lineFail(Why, "ReadE status must be ok/fail");
+    }
+  } else if (*Kind == "Selection") {
+    E = MarkerEvent::selection();
+  } else if (*Kind == "Idling") {
+    E = MarkerEvent::idling();
+  } else if (*Kind == "Dispatch" || *Kind == "Execution" ||
+             *Kind == "Completion") {
+    std::optional<Job> J = parseJobFields(T, /*WithSocket=*/true);
+    if (!J)
+      return lineFail(Why, "malformed " + *Kind + " job fields");
+    if (*Kind == "Dispatch")
+      E = MarkerEvent::dispatch(*J);
+    else if (*Kind == "Execution")
+      E = MarkerEvent::execution(*J);
+    else
+      E = MarkerEvent::completion(*J);
+  } else {
+    return lineFail(Why, "unknown marker kind '" + *Kind + "'");
+  }
+  return true;
+}
 
 std::optional<TimedTrace> rprosa::parseTimedTrace(const std::string &Text,
                                                   CheckResult *Diags) {
@@ -146,72 +221,28 @@ std::optional<TimedTrace> rprosa::parseTimedTrace(const std::string &Text,
     ++LineNo;
     if (Line.empty())
       continue;
-    LineTokens T(Line);
-    std::optional<std::string> First = T.next();
-    if (!First)
-      continue;
-    if (*First == "end") {
-      auto End = T.nextU64();
-      if (!End)
-        return Fail(LineNo, "malformed end time");
-      TT.EndTime = *End;
-      SawEnd = true;
-      continue;
+    {
+      LineTokens T(Line);
+      std::optional<std::string> First = T.next();
+      if (!First)
+        continue;
+      if (*First == "end") {
+        auto End = T.nextU64();
+        if (!End)
+          return Fail(LineNo, "malformed end time");
+        TT.EndTime = *End;
+        SawEnd = true;
+        continue;
+      }
     }
     if (SawEnd)
       return Fail(LineNo, "content after the end line");
 
-    // Timestamp then marker.
-    bool Numeric = !First->empty();
-    for (char C : *First)
-      if (C < '0' || C > '9')
-        Numeric = false;
-    if (!Numeric)
-      return Fail(LineNo, "expected a timestamp");
-    Time Ts = std::stoull(*First);
-
-    std::optional<std::string> Kind = T.next();
-    if (!Kind)
-      return Fail(LineNo, "missing marker kind");
-
+    Time Ts = 0;
     MarkerEvent E;
-    if (*Kind == "ReadS") {
-      E = MarkerEvent::readS();
-    } else if (*Kind == "ReadE") {
-      auto Sock = T.nextU64();
-      std::optional<std::string> Status = T.next();
-      if (!Sock || !Status)
-        return Fail(LineNo, "malformed ReadE");
-      if (*Status == "ok") {
-        std::optional<Job> J = parseJobFields(T, /*WithSocket=*/false);
-        if (!J)
-          return Fail(LineNo, "malformed ReadE job fields");
-        J->Socket = static_cast<SocketId>(*Sock);
-        E = MarkerEvent::readE(static_cast<SocketId>(*Sock), *J);
-      } else if (*Status == "fail") {
-        E = MarkerEvent::readE(static_cast<SocketId>(*Sock),
-                               std::nullopt);
-      } else {
-        return Fail(LineNo, "ReadE status must be ok/fail");
-      }
-    } else if (*Kind == "Selection") {
-      E = MarkerEvent::selection();
-    } else if (*Kind == "Idling") {
-      E = MarkerEvent::idling();
-    } else if (*Kind == "Dispatch" || *Kind == "Execution" ||
-               *Kind == "Completion") {
-      std::optional<Job> J = parseJobFields(T, /*WithSocket=*/true);
-      if (!J)
-        return Fail(LineNo, "malformed " + *Kind + " job fields");
-      if (*Kind == "Dispatch")
-        E = MarkerEvent::dispatch(*J);
-      else if (*Kind == "Execution")
-        E = MarkerEvent::execution(*J);
-      else
-        E = MarkerEvent::completion(*J);
-    } else {
-      return Fail(LineNo, "unknown marker kind '" + *Kind + "'");
-    }
+    std::string Why;
+    if (!parseMarkerLine(Line, Ts, E, &Why))
+      return Fail(LineNo, Why);
     TT.Tr.push_back(std::move(E));
     TT.Ts.push_back(Ts);
   }

@@ -20,7 +20,12 @@
 ///   end <EndTime>
 ///
 /// serialize/parse round-trip exactly; parse returns diagnostics for
-/// malformed input instead of crashing.
+/// malformed input instead of crashing (numeric fields that do not fit
+/// in 64 bits included).
+///
+/// The per-line helpers (appendMarkerLine/parseMarkerLine) are shared
+/// with the chunked stream format (trace/chunked_io.h), which groups
+/// the same marker lines into bounded chunks for multi-GB replay.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,6 +48,15 @@ std::string serializeTimedTrace(const TimedTrace &TT);
 /// reason appended to \p Diags when non-null.
 std::optional<TimedTrace> parseTimedTrace(const std::string &Text,
                                           CheckResult *Diags = nullptr);
+
+/// Appends one `<ts> <marker...>` line (with trailing newline) to
+/// \p Out.
+void appendMarkerLine(std::string &Out, Time Ts, const MarkerEvent &E);
+
+/// Parses one marker line into (\p Ts, \p E). Returns false on
+/// malformed input with the reason (sans line number) in \p Why.
+bool parseMarkerLine(const std::string &Line, Time &Ts, MarkerEvent &E,
+                     std::string *Why = nullptr);
 
 } // namespace rprosa
 

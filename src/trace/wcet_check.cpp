@@ -3,81 +3,40 @@
 // Part of RefinedProsa-CPP. MIT License.
 //
 //===----------------------------------------------------------------------===//
+// Batch adapters over the streaming sinks (trace/check_sinks.h): the
+// materialized-trace entry points replay through the single-pass
+// implementation, so both paths are one code path by construction.
+//===----------------------------------------------------------------------===//
 
 #include "trace/wcet_check.h"
 
-#include "trace/basic_actions.h"
+#include "trace/check_sinks.h"
 
 #include <string>
 
 using namespace rprosa;
 
 CheckResult rprosa::checkTimestamps(const TimedTrace &TT) {
-  CheckResult R;
-  R.noteCheck();
+  // The size mismatch is a property only the materialized form can
+  // exhibit (a stream always pairs marker and timestamp); keep the
+  // batch-only diagnostic here, before replaying.
   if (TT.Tr.size() != TT.Ts.size()) {
+    CheckResult R;
+    R.noteCheck();
     R.addFailure("timed trace has " + std::to_string(TT.Tr.size()) +
                  " markers but " + std::to_string(TT.Ts.size()) +
                  " timestamps");
     return R;
   }
-  for (std::size_t I = 1; I < TT.Ts.size(); ++I) {
-    R.noteCheck();
-    if (TT.Ts[I] < TT.Ts[I - 1]) {
-      R.addFailure("timestamps decrease at marker " + std::to_string(I));
-      return R;
-    }
-  }
-  R.noteCheck();
-  if (!TT.Ts.empty() && TT.EndTime < TT.Ts.back())
-    R.addFailure("EndTime precedes the last marker");
-  return R;
+  TimestampCheckSink S;
+  replayTimedTrace(TT, S);
+  return S.take();
 }
 
 CheckResult rprosa::checkWcetRespected(const TimedTrace &TT,
                                        const TaskSet &Tasks,
                                        const BasicActionWcets &W) {
-  CheckResult R;
-  for (const BasicAction &A : segmentBasicActions(TT)) {
-    R.noteCheck();
-    Duration Bound = 0;
-    std::string What;
-    switch (A.Kind) {
-    case BasicActionKind::Read:
-      Bound = A.J ? W.SuccessfulRead : W.FailedRead;
-      What = A.J ? "successful read" : "failed read";
-      break;
-    case BasicActionKind::Selection:
-      Bound = W.Selection;
-      What = "selection";
-      break;
-    case BasicActionKind::Disp:
-      Bound = W.Dispatch;
-      What = "dispatch";
-      break;
-    case BasicActionKind::Exec: {
-      if (!A.J || A.J->Task >= Tasks.size()) {
-        R.addFailure("execution action without a valid task at marker " +
-                     std::to_string(A.FirstMarker));
-        continue;
-      }
-      Bound = Tasks.task(A.J->Task).Wcet;
-      What = "callback of task " + Tasks.task(A.J->Task).Name;
-      break;
-    }
-    case BasicActionKind::Compl:
-      Bound = W.Completion;
-      What = "completion";
-      break;
-    case BasicActionKind::Idling:
-      Bound = W.Idling;
-      What = "idle cycle";
-      break;
-    }
-    if (A.len() > Bound)
-      R.addFailure(What + " at marker " + std::to_string(A.FirstMarker) +
-                   " took " + std::to_string(A.len()) +
-                   " ticks, exceeding its WCET of " + std::to_string(Bound));
-  }
-  return R;
+  WcetCheckSink S(Tasks, W);
+  replayTimedTrace(TT, S);
+  return S.take();
 }

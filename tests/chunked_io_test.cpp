@@ -1,0 +1,231 @@
+//===- tests/chunked_io_test.cpp - Chunked trace format (v2) --------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The v2 chunked on-disk format: round trips at every chunk size, the
+/// v1 fallback, replay statistics, and — the crash-consistency story —
+/// the error paths: a truncated or torn final chunk must produce a
+/// clean diagnostic and deliver NOTHING from the offending chunk,
+/// never a partial chunk and never an onEnd.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/workload.h"
+#include "trace/chunked_io.h"
+#include "trace/serialize.h"
+#include "trace/stream.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+namespace {
+
+TimedTrace simTrace() {
+  ClientConfig C = makeClient(mixedTasks(), 2);
+  WorkloadSpec Spec;
+  Spec.NumSockets = 2;
+  Spec.Horizon = 4000;
+  ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+  return runRossl(C, Arr, 8000);
+}
+
+std::string writeV2(const TimedTrace &TT, std::size_t EventsPerChunk) {
+  std::ostringstream Out;
+  writeTraceStream(Out, TT, EventsPerChunk);
+  return Out.str();
+}
+
+/// A small handcrafted v2 file whose exact lines the error-path tests
+/// can cut and corrupt. Sockets/jobs don't matter at the IO layer; the
+/// protocol checkers live upstream of it.
+const char *WellFormedV2 = "refinedprosa-trace v2\n"
+                           "chunk 3\n"
+                           "0 ReadS\n"
+                           "2 ReadE 0 fail\n"
+                           "5 Selection\n"
+                           "chunk 2\n"
+                           "8 Idling\n"
+                           "9 ReadS\n"
+                           "end 12\n";
+
+/// Runs \p Text through readTraceStream into a VectorSink, expecting
+/// failure; returns the sink + diagnostics + stats for inspection.
+struct FailedRead {
+  VectorSink V;
+  CheckResult Diags;
+  TraceStreamStats Stats;
+};
+
+FailedRead expectMalformed(const std::string &Text) {
+  FailedRead R;
+  std::istringstream In(Text);
+  EXPECT_FALSE(readTraceStream(In, R.V, &R.Diags, &R.Stats)) << Text;
+  EXPECT_FALSE(R.V.finished()) << "onEnd must not fire on malformed input";
+  EXPECT_FALSE(R.Stats.SawEnd);
+  EXPECT_FALSE(R.Diags.passed());
+  return R;
+}
+
+} // namespace
+
+TEST(ChunkedRoundTrip, SimulatedTraceSurvivesEveryChunkSize) {
+  TimedTrace TT = simTrace();
+  ASSERT_GT(TT.size(), 50u);
+  const std::string Want = serializeTimedTrace(TT);
+  for (std::size_t Epc : {std::size_t(1), std::size_t(3), std::size_t(64),
+                          std::size_t(100000)}) {
+    std::istringstream In(writeV2(TT, Epc));
+    std::optional<TimedTrace> Got = readTimedTrace(In);
+    ASSERT_TRUE(Got.has_value()) << "chunk size " << Epc;
+    EXPECT_EQ(serializeTimedTrace(*Got), Want) << "chunk size " << Epc;
+    EXPECT_EQ(Got->EndTime, TT.EndTime);
+  }
+}
+
+TEST(ChunkedRoundTrip, StatsReportEventsChunksAndEnd) {
+  TimedTrace TT = simTrace();
+  const std::size_t N = TT.size();
+  std::istringstream In(writeV2(TT, 7));
+  VectorSink V;
+  TraceStreamStats Stats;
+  ASSERT_TRUE(readTraceStream(In, V, nullptr, &Stats));
+  EXPECT_EQ(Stats.Events, N);
+  EXPECT_EQ(Stats.Chunks, (N + 6) / 7);
+  EXPECT_TRUE(Stats.SawEnd);
+  EXPECT_TRUE(V.finished());
+}
+
+TEST(ChunkedRoundTrip, WriterCountsAndFinishes) {
+  TimedTrace TT = simTrace();
+  std::ostringstream Out;
+  ChunkedTraceWriter W(Out, 16);
+  EXPECT_EQ(W.written(), 0u);
+  EXPECT_FALSE(W.finished());
+  replayTimedTrace(TT, W);
+  EXPECT_EQ(W.written(), TT.size());
+  EXPECT_TRUE(W.finished());
+}
+
+TEST(ChunkedRoundTrip, V1TextStreamsThroughTheSameSink) {
+  TimedTrace TT = simTrace();
+  std::istringstream In(serializeTimedTrace(TT));
+  VectorSink V;
+  TraceStreamStats Stats;
+  ASSERT_TRUE(readTraceStream(In, V, nullptr, &Stats));
+  EXPECT_EQ(Stats.Events, TT.size());
+  EXPECT_EQ(Stats.Chunks, 0u) << "v1 files have no chunks";
+  EXPECT_TRUE(Stats.SawEnd);
+  EXPECT_EQ(serializeTimedTrace(V.take()), serializeTimedTrace(TT));
+}
+
+TEST(ChunkedRoundTrip, EmptyTraceRoundTrips) {
+  TimedTrace TT;
+  TT.EndTime = 77;
+  std::istringstream In(writeV2(TT, 4096));
+  std::optional<TimedTrace> Got = readTimedTrace(In);
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(Got->size(), 0u);
+  EXPECT_EQ(Got->EndTime, 77u);
+}
+
+TEST(ChunkedErrorPath, TruncatedFinalChunkDeliversNothingFromIt) {
+  // Cut the file mid-chunk: header promises 2 events, only 1 present,
+  // no end line (the torn-write shape of a crashed producer).
+  std::string Text(WellFormedV2);
+  Text = Text.substr(0, Text.find("9 ReadS"));
+  FailedRead R = expectMalformed(Text);
+  EXPECT_NE(R.Diags.describe().find("truncated chunk (expected 2 events, "
+                                    "got 1)"),
+            std::string::npos)
+      << R.Diags.describe();
+  // Only the complete first chunk reached the sink.
+  EXPECT_EQ(R.V.trace().size(), 3u);
+  EXPECT_EQ(R.Stats.Events, 3u);
+  EXPECT_EQ(R.Stats.Chunks, 1u);
+}
+
+TEST(ChunkedErrorPath, TornLastLineDeliversNothingFromItsChunk) {
+  // The final line is torn mid-token — the whole chunk is withheld,
+  // including its first (well-formed) event.
+  std::string Text(WellFormedV2);
+  std::size_t At = Text.find("9 ReadS");
+  Text = Text.substr(0, At) + "9 Rea";
+  FailedRead R = expectMalformed(Text);
+  EXPECT_NE(R.Diags.describe().find("trace parse error"), std::string::npos);
+  EXPECT_EQ(R.V.trace().size(), 3u)
+      << "the torn chunk's leading events must be withheld";
+  EXPECT_EQ(R.Stats.Chunks, 1u);
+}
+
+TEST(ChunkedErrorPath, MissingEndLineFailsAfterFullDelivery) {
+  std::string Text(WellFormedV2);
+  Text = Text.substr(0, Text.find("end 12"));
+  FailedRead R = expectMalformed(Text);
+  EXPECT_NE(R.Diags.describe().find("missing end line"), std::string::npos);
+  // Both chunks were complete, so both were delivered before the miss.
+  EXPECT_EQ(R.V.trace().size(), 5u);
+  EXPECT_EQ(R.Stats.Chunks, 2u);
+}
+
+TEST(ChunkedErrorPath, ContentAfterTheEndLineIsRejected) {
+  std::string Text(WellFormedV2);
+  Text += "chunk 1\n0 Idling\n";
+  FailedRead R = expectMalformed(Text);
+  EXPECT_NE(R.Diags.describe().find("content after the end line"),
+            std::string::npos);
+}
+
+TEST(ChunkedErrorPath, UnknownHeaderIsRejected) {
+  FailedRead R = expectMalformed("refinedprosa-trace v3\nend 0\n");
+  EXPECT_NE(R.Diags.describe().find("missing or unknown header"),
+            std::string::npos);
+  expectMalformed("");
+}
+
+TEST(ChunkedErrorPath, MalformedChunkHeaderIsRejected) {
+  std::string Text(WellFormedV2);
+  std::size_t At = Text.find("chunk 2");
+  Text = Text.substr(0, At) + "chunk x\n" + Text.substr(At + 8);
+  FailedRead R = expectMalformed(Text);
+  EXPECT_NE(R.Diags.describe().find("malformed chunk header"),
+            std::string::npos);
+  EXPECT_EQ(R.V.trace().size(), 3u);
+}
+
+TEST(ChunkedErrorPath, MalformedEndTimeIsRejected) {
+  std::string Text(WellFormedV2);
+  std::size_t At = Text.find("end 12");
+  Text = Text.substr(0, At) + "end soon\n";
+  FailedRead R = expectMalformed(Text);
+  EXPECT_NE(R.Diags.describe().find("malformed end time"),
+            std::string::npos);
+}
+
+TEST(ChunkedErrorPath, OverflowTimestampIsADiagnosticNotACrash) {
+  // 21 digits does not fit in 64 bits; the parser must diagnose, not
+  // crash, and must withhold the chunk it appears in.
+  std::string Text(WellFormedV2);
+  std::size_t At = Text.find("8 Idling");
+  Text = Text.substr(0, At) + "99999999999999999999999 Idling\n" +
+         Text.substr(At + 9);
+  FailedRead R = expectMalformed(Text);
+  EXPECT_NE(R.Diags.describe().find("trace parse error"), std::string::npos);
+  EXPECT_EQ(R.V.trace().size(), 3u);
+}
+
+TEST(ChunkedErrorPath, ReadTimedTraceReturnsNulloptOnMalformedInput) {
+  std::string Text(WellFormedV2);
+  Text = Text.substr(0, Text.find("9 ReadS"));
+  std::istringstream In(Text);
+  CheckResult Diags;
+  EXPECT_FALSE(readTimedTrace(In, &Diags).has_value());
+  EXPECT_FALSE(Diags.passed());
+}

@@ -148,8 +148,9 @@ TEST(MarkerSpecs, GhostStateIsObservable) {
   Job J = mkJob(1, 0);
   C.step(MarkerEvent::readS());
   C.step(MarkerEvent::readE(0, J));
-  EXPECT_EQ(C.currentTrace().size(), 2u);
+  EXPECT_EQ(C.position(), 2u);
   ASSERT_EQ(C.currentlyPending().size(), 1u);
+  EXPECT_EQ(C.pendingJobs(), 1u);
   EXPECT_EQ(C.currentlyPending()[0].Id, 1u);
   C.step(MarkerEvent::readS());
   C.step(MarkerEvent::readE(0, std::nullopt));
