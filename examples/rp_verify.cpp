@@ -23,6 +23,16 @@
 ///                                   # distinguishes)
 ///   rp_verify --timing <file> [N]   # segment-cost table for a .rossl
 ///                                   # source
+///   rp_verify --lint [file] [N]     # the unified dataflow analyses
+///                                   # (value-range, definite-init,
+///                                   # dead-code, marker-discipline)
+///                                   # plus the reachability lints, as
+///                                   # one sorted findings report over
+///                                   # the file (or the embedded
+///                                   # program when omitted); add
+///                                   # --sarif anywhere for SARIF 2.1.0
+///                                   # JSON instead of text. Exit 0 iff
+///                                   # nothing above note severity.
 ///   rp_verify --stream [spec] [hrzn] # dynamic verification in ONE
 ///                                   # pass: simulate the system spec
 ///                                   # (spec_parser.h format; built-in
@@ -47,6 +57,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/dataflow/analyses.h"
 #include "analysis/lint.h"
 #include "analysis/mutants.h"
 #include "analysis/timing/segment_costs.h"
@@ -356,6 +367,46 @@ int streamMode(const char *Path, const char *HorizonArg) {
   return Streamed.theoremHolds() && Identical ? 0 : 1;
 }
 
+int lintMode(const char *Path, std::uint32_t NumSockets, bool Sarif) {
+  StmtPtr Program;
+  std::string File = "<embedded>";
+  if (Path) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "rp_verify: cannot open %s\n", Path);
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    CheckResult Diags;
+    std::optional<StmtPtr> Parsed = parseProgram(Buf.str(), &Diags);
+    if (!Parsed) {
+      std::fprintf(stderr, "rp_verify: parse error in %s:\n%s", Path,
+                   Diags.describe().c_str());
+      return 2;
+    }
+    Program = std::move(*Parsed);
+    File = Path;
+  } else {
+    Program = buildRosslProgram(NumSockets);
+  }
+
+  dataflow::AnalysisOptions Opts;
+  Opts.NumSockets = NumSockets;
+  std::vector<dataflow::Finding> Fs =
+      dataflow::runUnifiedAnalyses(buildCfg(Program), Opts);
+  if (Sarif) {
+    std::printf("%s", dataflow::renderSarif(File, Fs).c_str());
+  } else {
+    std::printf("%s", dataflow::renderText(File, Fs).c_str());
+    std::printf("%s: %zu finding(s), %u socket(s), max severity %s\n",
+                File.c_str(), Fs.size(), NumSockets,
+                toString(dataflow::maxSeverity(Fs)));
+  }
+  // The CI gate's contract: notes are fine, anything louder fails.
+  return dataflow::maxSeverity(Fs) == dataflow::Severity::Note ? 0 : 1;
+}
+
 int timingFileMode(const char *Path, std::uint32_t NumSockets) {
   std::ifstream In(Path);
   if (!In) {
@@ -387,11 +438,17 @@ int main(int Argc, char **Argv) {
   // Threading flags (--serial, --threads=N) may appear anywhere; the
   // remaining arguments keep their positional meaning.
   unsigned Threads = threadsFromArgs(Argc, Argv);
+  bool Sarif = false;
   std::vector<char *> Pos;
-  for (int I = 1; I < Argc; ++I)
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--sarif") == 0) {
+      Sarif = true;
+      continue;
+    }
     if (std::strcmp(Argv[I], "--serial") != 0 &&
         std::strncmp(Argv[I], "--threads=", 10) != 0)
       Pos.push_back(Argv[I]);
+  }
 
   if (Pos.empty())
     return sweepMode();
@@ -401,9 +458,10 @@ int main(int Argc, char **Argv) {
                       Pos.size() >= 3 ? Pos[2] : nullptr);
 
   bool Timing = std::string(Pos[0]) == "--timing";
+  bool Lint = std::string(Pos[0]) == "--lint";
   const char *Path = nullptr;
   const char *SockArg = nullptr;
-  if (Timing) {
+  if (Timing || Lint) {
     if (Pos.size() >= 2)
       Path = Pos[1];
     if (Pos.size() >= 3)
@@ -423,6 +481,8 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  if (Lint)
+    return lintMode(Path, NumSockets, Sarif);
   if (Timing)
     return Path ? timingFileMode(Path, NumSockets)
                 : timingSweepMode(Threads);

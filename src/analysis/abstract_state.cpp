@@ -81,6 +81,23 @@ AbsValue rprosa::analysis::evalAbstract(const Expr &E,
     return AbsValue::top();
   }
 
+  case Expr::Kind::Div:
+  case Expr::Kind::Mod: {
+    AbsValue L = evalAbstract(*E.L, Regs, Bound);
+    AbsValue R = evalAbstract(*E.R, Regs, Bound);
+    // A zero (or possibly-zero) divisor is a runtime trap; the verifier
+    // does not model traps — the run just ends, a finite prefix — so
+    // Top is the sound abstraction for the would-be result.
+    if (L.K == AbsValue::Kind::Known && R.K == AbsValue::Kind::Known &&
+        R.V != 0 && !(L.V == INT64_MIN && R.V == -1))
+      return AbsValue::known(E.K == Expr::Kind::Div ? L.V / R.V
+                                                    : L.V % R.V,
+                             Bound);
+    if (E.K == Expr::Kind::Div && knownNonNeg(L) && knownNonNeg(R))
+      return AbsValue::nonNeg(); // Quotient of non-negatives (if defined).
+    return AbsValue::top();
+  }
+
   case Expr::Kind::Less: {
     AbsValue L = evalAbstract(*E.L, Regs, Bound);
     AbsValue R = evalAbstract(*E.R, Regs, Bound);

@@ -8,6 +8,8 @@
 
 #include "caesium/print.h"
 
+#include "support/check.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -77,6 +79,7 @@ public:
     case Stmt::Kind::SetReg: {
       CfgNode N;
       N.K = CfgNode::Kind::Assign;
+      N.Line = S.Line;
       N.Dst = S.Dst;
       N.E = S.E;
       N.Succ = Succ;
@@ -89,6 +92,7 @@ public:
       CfgNode N;
       N.K = CfgNode::Kind::Branch;
       N.E = S.E;
+      N.Line = S.Line;
       N.Succ = ThenEntry;
       N.FalseSucc = ElseEntry;
       return add(std::move(N));
@@ -98,6 +102,7 @@ public:
       CfgNode Placeholder;
       Placeholder.K = CfgNode::Kind::Branch;
       Placeholder.E = S.E;
+      Placeholder.Line = S.Line;
       NodeId W = add(std::move(Placeholder));
       NodeId BodyEntry = lower(*S.Children[0], W);
       G.Nodes[W].Succ = BodyEntry;
@@ -107,6 +112,7 @@ public:
     case Stmt::Kind::ReadE: {
       CfgNode N;
       N.K = CfgNode::Kind::Read;
+      N.Line = S.Line;
       N.Reg = S.Reg;
       N.Buf = S.Buf;
       N.Dst = S.Dst;
@@ -116,6 +122,7 @@ public:
     case Stmt::Kind::TraceE: {
       CfgNode N;
       N.K = CfgNode::Kind::Trace;
+      N.Line = S.Line;
       N.Fn = S.Fn;
       N.Buf = S.Buf;
       N.Succ = Succ;
@@ -124,6 +131,7 @@ public:
     case Stmt::Kind::Enqueue: {
       CfgNode N;
       N.K = CfgNode::Kind::Enqueue;
+      N.Line = S.Line;
       N.Buf = S.Buf;
       N.Succ = Succ;
       return add(std::move(N));
@@ -131,6 +139,7 @@ public:
     case Stmt::Kind::Dequeue: {
       CfgNode N;
       N.K = CfgNode::Kind::Dequeue;
+      N.Line = S.Line;
       N.Buf = S.Buf;
       N.Dst = S.Dst;
       N.Succ = Succ;
@@ -139,6 +148,7 @@ public:
     case Stmt::Kind::FreeBuf: {
       CfgNode N;
       N.K = CfgNode::Kind::Free;
+      N.Line = S.Line;
       N.Buf = S.Buf;
       N.Succ = Succ;
       return add(std::move(N));
@@ -161,7 +171,7 @@ void scanExprRegs(const Expr &E, std::uint32_t &MaxReg) {
 } // namespace
 
 Cfg rprosa::analysis::buildCfg(const StmtPtr &Program) {
-  assert(Program && "null program");
+  RPROSA_CHECK(Program, "buildCfg: null program");
   Lowerer L;
   NodeId Entry = L.add(CfgNode{}); // Kind::Entry by default.
   CfgNode ExitNode;

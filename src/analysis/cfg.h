@@ -61,6 +61,10 @@ struct CfgNode {
   NodeId Succ = InvalidNode;      ///< Fallthrough / branch-taken successor.
   NodeId FalseSucc = InvalidNode; ///< Branch-not-taken successor.
 
+  /// 1-based source line of the statement this node was lowered from;
+  /// 0 when the AST was built programmatically (Stmt::Line).
+  std::uint32_t Line = 0;
+
   /// One-line C-like rendering ("r2 = read(r0, buf0)") for diagnostics
   /// and counterexample trails.
   std::string label() const;

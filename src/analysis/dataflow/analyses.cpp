@@ -1,0 +1,458 @@
+//===- analysis/dataflow/analyses.cpp -------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/dataflow/analyses.h"
+
+#include "analysis/lint.h"
+#include "caesium/print.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+using namespace rprosa;
+using namespace rprosa::analysis;
+using namespace rprosa::analysis::dataflow;
+using namespace rprosa::caesium;
+
+namespace {
+
+std::string nodeRef(const Cfg &G, NodeId N) {
+  return "n" + std::to_string(N) + " (" + G[N].label() + ")";
+}
+
+/// Shortest entry-to-target path through nodes \p Live admits (BFS in
+/// fixed successor order — deterministic), rendered as labels.
+std::vector<std::string> witnessPath(const Cfg &G, NodeId Target,
+                                     const std::function<bool(NodeId)> &Live) {
+  std::vector<NodeId> Parent(G.size(), InvalidNode);
+  std::vector<bool> Seen(G.size(), false);
+  std::deque<NodeId> Queue;
+  Seen[G.Entry] = true;
+  Queue.push_back(G.Entry);
+  while (!Queue.empty()) {
+    NodeId N = Queue.front();
+    Queue.pop_front();
+    if (N == Target)
+      break;
+    for (NodeId S : G.successors(N))
+      if (!Seen[S] && Live(S)) {
+        Seen[S] = true;
+        Parent[S] = N;
+        Queue.push_back(S);
+      }
+  }
+  if (!Seen[Target])
+    return {};
+  std::vector<NodeId> Rev;
+  for (NodeId N = Target;; N = Parent[N]) {
+    Rev.push_back(N);
+    if (N == G.Entry)
+      break;
+  }
+  std::vector<std::string> Out;
+  Out.reserve(Rev.size());
+  for (auto It = Rev.rbegin(); It != Rev.rend(); ++It)
+    Out.push_back("n" + std::to_string(*It) + ": " + G[*It].label());
+  return Out;
+}
+
+/// Flags the value-range defects of one expression evaluated at \p In,
+/// appending findings anchored at node \p N. Walks the tree so nested
+/// operations are each checked against their own operand intervals.
+void checkExprRanges(const Cfg &G, NodeId N, const Expr &E,
+                     const RangeState &In, std::vector<Finding> &Out) {
+  if (E.L)
+    checkExprRanges(G, N, *E.L, In, Out);
+  if (E.R)
+    checkExprRanges(G, N, *E.R, In, Out);
+  if (E.K != Expr::Kind::Add && E.K != Expr::Kind::Sub &&
+      E.K != Expr::Kind::Div && E.K != Expr::Kind::Mod)
+    return;
+
+  RangeFlags FL, FR, F;
+  ValueInterval L = evalInterval(*E.L, In, FL);
+  ValueInterval R = evalInterval(*E.R, In, FR);
+  switch (E.K) {
+  case Expr::Kind::Add:
+    intervalAdd(L, R, F);
+    break;
+  case Expr::Kind::Sub:
+    intervalSub(L, R, F);
+    break;
+  case Expr::Kind::Div:
+    intervalDiv(L, R, F);
+    break;
+  case Expr::Kind::Mod:
+    intervalMod(L, R, F);
+    break;
+  default:
+    break;
+  }
+
+  std::uint32_t Line = G[N].Line;
+  if (F.MayDivZero) {
+    std::string Which = E.K == Expr::Kind::Div ? "division" : "modulo";
+    Out.push_back(
+        {"value-range.div-by-zero",
+         F.DefDivZero ? Severity::Error : Severity::Warning, N, Line,
+         (F.DefDivZero ? Which + " by zero in " : "possible " + Which +
+                                                      " by zero in ") +
+             printExpr(E) + " at " + nodeRef(G, N) + ": divisor in " +
+             R.str(),
+         {}});
+  }
+  if (F.MayOverflow) {
+    Out.push_back(
+        {"value-range.signed-overflow",
+         F.DefOverflow ? Severity::Error : Severity::Warning, N, Line,
+         (F.DefOverflow ? std::string("signed overflow in ")
+                        : std::string("possible signed overflow in ")) +
+             printExpr(E) + " at " + nodeRef(G, N) + ": operands in " +
+             L.str() + " and " + R.str(),
+         {}});
+  }
+}
+
+} // namespace
+
+ValueRangeResult
+rprosa::analysis::dataflow::analyzeValueRanges(const Cfg &G,
+                                               const AnalysisOptions &Opts) {
+  CfgOrder Order = CfgOrder::compute(G);
+  RangeDomain Dom(G.numRegs());
+  Solution<RangeState> Sol =
+      solve(G, Dom, Order, Direction::Forward, Opts.Solve);
+
+  ValueRangeResult R;
+  R.Converged = Sol.Converged;
+  R.NodeVisits = Sol.NodeVisits;
+  R.In = std::move(Sol.In);
+
+  auto Live = [&](NodeId N) { return R.In[N].Reachable; };
+  for (NodeId N = 0; N < G.size(); ++N) {
+    const RangeState &In = R.In[N];
+    if (!In.Reachable)
+      continue;
+    const CfgNode &Node = G[N];
+    std::size_t Before = R.Findings.size();
+    if (Node.E)
+      checkExprRanges(G, N, *Node.E, In, R.Findings);
+    if (Node.K == CfgNode::Kind::Read) {
+      ValueInterval Sock = Node.Reg < In.Regs.size()
+                               ? In.Regs[Node.Reg]
+                               : ValueInterval::top();
+      Value Max = static_cast<Value>(Opts.NumSockets) - 1;
+      if (!Sock.within(0, Max)) {
+        bool Always = Sock.Hi < 0 || Sock.Lo > Max;
+        R.Findings.push_back(
+            {"value-range.socket-range",
+             Always ? Severity::Error : Severity::Warning, N, Node.Line,
+             "read of socket r" + std::to_string(Node.Reg) + " in " +
+                 Sock.str() + " at " + nodeRef(G, N) +
+                 (Always ? " is always outside [0, "
+                         : " may be outside [0, ") +
+                 std::to_string(Opts.NumSockets) + ")",
+             {}});
+      }
+    }
+    for (std::size_t I = Before; I < R.Findings.size(); ++I)
+      R.Findings[I].Witness = witnessPath(G, N, Live);
+  }
+  sortFindings(R.Findings);
+  return R;
+}
+
+namespace {
+
+void collectRegs(const Expr &E, std::vector<RegId> &Out) {
+  if (E.K == Expr::Kind::Reg)
+    Out.push_back(E.Reg);
+  if (E.L)
+    collectRegs(*E.L, Out);
+  if (E.R)
+    collectRegs(*E.R, Out);
+}
+
+/// May-uninitialised state: a set bit means "some path reaches here
+/// with no write to that register / no fill of that buffer yet".
+struct InitState {
+  bool Reachable = false;
+  std::vector<bool> RegUnset;
+  std::vector<bool> BufUnset;
+
+  bool operator==(const InitState &O) const = default;
+};
+
+class InitDomain {
+public:
+  using State = InitState;
+
+  InitDomain(std::uint32_t NumRegs, std::uint32_t NumBufs)
+      : NumRegs(NumRegs), NumBufs(NumBufs) {}
+
+  State bottom(const Cfg &) const { return {}; }
+
+  State boundary(const Cfg &) const {
+    State S;
+    S.Reachable = true;
+    S.RegUnset.assign(NumRegs, true);
+    S.BufUnset.assign(NumBufs, true);
+    return S;
+  }
+
+  bool join(State &Into, const State &From) const {
+    if (!From.Reachable)
+      return false;
+    if (!Into.Reachable) {
+      Into = From;
+      return true;
+    }
+    bool Changed = false;
+    for (std::size_t I = 0; I < Into.RegUnset.size(); ++I)
+      if (From.RegUnset[I] && !Into.RegUnset[I]) {
+        Into.RegUnset[I] = true;
+        Changed = true;
+      }
+    for (std::size_t I = 0; I < Into.BufUnset.size(); ++I)
+      if (From.BufUnset[I] && !Into.BufUnset[I]) {
+        Into.BufUnset[I] = true;
+        Changed = true;
+      }
+    return Changed;
+  }
+
+  State transfer(const Cfg &G, NodeId N, const State &In) const {
+    if (!In.Reachable)
+      return In;
+    State Out = In;
+    const CfgNode &Node = G[N];
+    switch (Node.K) {
+    case CfgNode::Kind::Assign:
+      if (Node.Dst < Out.RegUnset.size())
+        Out.RegUnset[Node.Dst] = false;
+      break;
+    case CfgNode::Kind::Read:
+    case CfgNode::Kind::Dequeue:
+      if (Node.Dst < Out.RegUnset.size())
+        Out.RegUnset[Node.Dst] = false;
+      if (Node.Buf < Out.BufUnset.size())
+        Out.BufUnset[Node.Buf] = false;
+      break;
+    default:
+      break;
+    }
+    return Out;
+  }
+
+private:
+  std::uint32_t NumRegs, NumBufs;
+};
+
+} // namespace
+
+std::vector<Finding>
+rprosa::analysis::dataflow::analyzeDefiniteInit(const Cfg &G) {
+  CfgOrder Order = CfgOrder::compute(G);
+  InitDomain Dom(G.numRegs(), G.numBufs());
+  Solution<InitState> Sol = solve(G, Dom, Order);
+
+  // Same sweep order as the def-before-use lint always had: node
+  // ascending, that node's used registers ascending, then its buffer.
+  std::vector<Finding> Out;
+  for (NodeId U = 0; U < G.size(); ++U) {
+    const InitState &In = Sol.In[U];
+    if (!In.Reachable)
+      continue;
+    const CfgNode &N = G[U];
+    std::vector<RegId> Used;
+    if (N.E)
+      collectRegs(*N.E, Used);
+    if (N.K == CfgNode::Kind::Read)
+      Used.push_back(N.Reg);
+    std::sort(Used.begin(), Used.end());
+    Used.erase(std::unique(Used.begin(), Used.end()), Used.end());
+    for (RegId R : Used)
+      if (R < In.RegUnset.size() && In.RegUnset[R])
+        Out.push_back({"definite-init.register", Severity::Warning, U,
+                       N.Line,
+                       "register r" + std::to_string(R) + " read at " +
+                           nodeRef(G, U) +
+                           " with no prior assignment on some path (the "
+                           "machine zero-initialises; make it explicit)",
+                       {}});
+    bool UsesBuf = N.K == CfgNode::Kind::Enqueue ||
+                   (N.K == CfgNode::Kind::Trace && N.Fn == TraceFn::TrDisp);
+    if (UsesBuf && N.Buf < In.BufUnset.size() && In.BufUnset[N.Buf])
+      Out.push_back({"definite-init.buffer", Severity::Warning, U, N.Line,
+                     "buffer buf" + std::to_string(N.Buf) + " used at " +
+                         nodeRef(G, U) +
+                         " with no prior read/dequeue into it on some "
+                         "path",
+                     {}});
+  }
+  return Out;
+}
+
+std::vector<Finding>
+rprosa::analysis::dataflow::analyzeDeadCode(const Cfg &G,
+                                            const AnalysisOptions &Opts) {
+  CfgOrder Order = CfgOrder::compute(G);
+  ValueRangeResult VR = analyzeValueRanges(G, Opts);
+
+  std::vector<Finding> Out;
+  for (NodeId N = 0; N < G.size(); ++N) {
+    if (N == G.Entry)
+      continue;
+    const CfgNode &Node = G[N];
+    if (!VR.In[N].Reachable) {
+      bool GraphDead = !Order.Reachable[N];
+      if (Node.K == CfgNode::Kind::Exit)
+        Out.push_back({"dead-code.unreachable", Severity::Note, N,
+                       Node.Line,
+                       "the exit is unreachable: the program never "
+                       "terminates",
+                       {}});
+      else
+        Out.push_back({"dead-code.unreachable", Severity::Warning, N,
+                       Node.Line,
+                       "statement " + nodeRef(G, N) +
+                           (GraphDead
+                                ? " is unreachable from entry"
+                                : " is unreachable: no feasible path "
+                                  "(value ranges)"),
+                       {}});
+      continue;
+    }
+    if (Node.K != CfgNode::Kind::Branch || !Node.E ||
+        Node.Succ == Node.FalseSucc)
+      continue;
+    RangeFlags F;
+    ValueInterval C = evalInterval(*Node.E, VR.In[N], F);
+    if (!C.contains(0))
+      Out.push_back({"dead-code.constant-branch", Severity::Warning, N,
+                     Node.Line,
+                     "branch " + nodeRef(G, N) +
+                         " never takes its false edge (condition in " +
+                         C.str() + " is always true)",
+                     {}});
+    else if (C.isConstant())
+      Out.push_back({"dead-code.constant-branch", Severity::Warning, N,
+                     Node.Line,
+                     "branch " + nodeRef(G, N) +
+                         " never takes its true edge (condition is "
+                         "always 0)",
+                     {}});
+  }
+  return Out;
+}
+
+namespace {
+
+/// The may-open/may-closed protocol lattice: one bit for "some path
+/// reaches here with a dispatched job still open", one for "some path
+/// reaches here with no open job".
+struct MarkerState {
+  bool Reachable = false;
+  bool MayOpen = false;
+  bool MayClosed = false;
+
+  bool operator==(const MarkerState &O) const = default;
+};
+
+class MarkerDomain {
+public:
+  using State = MarkerState;
+
+  State bottom(const Cfg &) const { return {}; }
+  State boundary(const Cfg &) const { return {true, false, true}; }
+
+  bool join(State &Into, const State &From) const {
+    if (!From.Reachable)
+      return false;
+    bool Changed = !Into.Reachable ||
+                   (From.MayOpen && !Into.MayOpen) ||
+                   (From.MayClosed && !Into.MayClosed);
+    Into.Reachable = true;
+    Into.MayOpen |= From.MayOpen;
+    Into.MayClosed |= From.MayClosed;
+    return Changed;
+  }
+
+  State transfer(const Cfg &G, NodeId N, const State &In) const {
+    if (!In.Reachable)
+      return In;
+    const CfgNode &Node = G[N];
+    if (Node.K != CfgNode::Kind::Trace)
+      return In;
+    if (Node.Fn == TraceFn::TrDisp)
+      return {true, true, false};
+    if (Node.Fn == TraceFn::TrCompl)
+      return {true, false, true};
+    return In;
+  }
+};
+
+} // namespace
+
+std::vector<Finding>
+rprosa::analysis::dataflow::analyzeMarkerDiscipline(const Cfg &G) {
+  CfgOrder Order = CfgOrder::compute(G);
+  MarkerDomain Dom;
+  Solution<MarkerState> Sol = solve(G, Dom, Order);
+
+  std::vector<Finding> Out;
+  for (NodeId N = 0; N < G.size(); ++N) {
+    const MarkerState &In = Sol.In[N];
+    if (!In.Reachable)
+      continue;
+    const CfgNode &Node = G[N];
+    if (Node.K != CfgNode::Kind::Trace)
+      continue;
+    if (Node.Fn == TraceFn::TrDisp && In.MayOpen)
+      Out.push_back({"marker-discipline", Severity::Warning, N, Node.Line,
+                     "dispatch_start at " + nodeRef(G, N) +
+                         " may run while an earlier dispatched job is "
+                         "still open (no completion_start on some "
+                         "incoming path)",
+                     {}});
+    if (Node.Fn == TraceFn::TrExec && In.MayClosed)
+      Out.push_back({"marker-discipline", Severity::Warning, N, Node.Line,
+                     "execution_start at " + nodeRef(G, N) +
+                         " is reachable without a preceding "
+                         "dispatch_start on some path",
+                     {}});
+    if (Node.Fn == TraceFn::TrCompl && In.MayClosed)
+      Out.push_back({"marker-discipline", Severity::Warning, N, Node.Line,
+                     "completion_start at " + nodeRef(G, N) +
+                         " is reachable without a preceding "
+                         "dispatch_start on some path",
+                     {}});
+  }
+  return Out;
+}
+
+std::vector<Finding>
+rprosa::analysis::dataflow::runUnifiedAnalyses(const Cfg &G,
+                                               const AnalysisOptions &Opts) {
+  std::vector<Finding> Out = analyzeValueRanges(G, Opts).Findings;
+  auto Append = [&Out](std::vector<Finding> More) {
+    Out.insert(Out.end(), std::make_move_iterator(More.begin()),
+               std::make_move_iterator(More.end()));
+  };
+  Append(analyzeDefiniteInit(G));
+  Append(analyzeDeadCode(G, Opts));
+  Append(analyzeMarkerDiscipline(G));
+  // The reachability lints keep their BFS formulation (queries, not
+  // fixpoints); their findings join the unified stream.
+  for (auto Pass : {lintMarkerBalance, lintFuelTermination,
+                    lintMachineRange})
+    for (LintFinding &F : Pass(G))
+      Out.push_back({F.Pass, Severity::Warning, F.Node, G[F.Node].Line,
+                     std::move(F.Message), {}});
+  sortFindings(Out);
+  return Out;
+}

@@ -1,0 +1,84 @@
+//===- analysis/dataflow/analyses.h - The engine's analysis instances -----===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete dataflow analyses built on the worklist engine
+/// (engine.h), each a Domain instance plus a deterministic reporting
+/// sweep over the solved states:
+///
+///  - value-range (RangeDomain, interval.h): statically flags signed
+///    overflow, division/modulo by zero, and out-of-range socket
+///    indices — the exact defect classes the interpreter traps at
+///    runtime (caesium/interp.h RuntimeTrap), with matching check-ids
+///    so the mutant corpus cross-validates static verdict against
+///    runtime trap literally;
+///  - definite-init: may-uninitialised bitsets over registers and
+///    buffers; the engine-backed replacement for the per-use BFS the
+///    def-before-use lint ran before (same findings, same order, one
+///    fixpoint instead of O(uses) searches);
+///  - dead-code: nodes no feasible path reaches (graph-unreachable or
+///    interval-infeasible) and branches whose condition is constant;
+///  - marker-discipline: a 2-bit may-open/may-closed protocol lattice
+///    flagging an execution/completion marker reachable without a
+///    preceding dispatch, or a dispatch that may overtake an open job
+///    (surfaced through lint.h's lintMarkerDiscipline).
+///
+/// runUnifiedAnalyses composes all of them (plus the reachability
+/// lints of lint.h) into one sorted Finding list — the payload of
+/// `rp_verify --lint`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_ANALYSIS_DATAFLOW_ANALYSES_H
+#define RPROSA_ANALYSIS_DATAFLOW_ANALYSES_H
+
+#include "analysis/dataflow/diagnostics.h"
+#include "analysis/dataflow/engine.h"
+#include "analysis/dataflow/interval.h"
+
+#include <vector>
+
+namespace rprosa::analysis::dataflow {
+
+struct AnalysisOptions {
+  /// Width of the deployment's socket array; read indices outside
+  /// [0, NumSockets) are flagged.
+  std::uint32_t NumSockets = 2;
+  SolveOptions Solve;
+};
+
+/// The value-range instance's full result (tests want the states, not
+/// just the findings).
+struct ValueRangeResult {
+  std::vector<Finding> Findings; ///< Sorted (diagnostics.h order).
+  bool Converged = false;
+  std::uint64_t NodeVisits = 0;
+  /// Interval state before each node (index = NodeId).
+  std::vector<RangeState> In;
+};
+
+ValueRangeResult analyzeValueRanges(const Cfg &G,
+                                    const AnalysisOptions &Opts = {});
+
+/// Findings only; check-ids "definite-init.register" / ".buffer".
+std::vector<Finding> analyzeDefiniteInit(const Cfg &G);
+
+/// Check-ids "dead-code.unreachable" / ".constant-branch".
+std::vector<Finding> analyzeDeadCode(const Cfg &G,
+                                     const AnalysisOptions &Opts = {});
+
+/// Check-id "marker-discipline".
+std::vector<Finding> analyzeMarkerDiscipline(const Cfg &G);
+
+/// Every engine-backed analysis plus the reachability lint passes of
+/// lint.h (marker-balance, fuel-termination, machine-range), as one
+/// sorted Finding list.
+std::vector<Finding> runUnifiedAnalyses(const Cfg &G,
+                                        const AnalysisOptions &Opts = {});
+
+} // namespace rprosa::analysis::dataflow
+
+#endif // RPROSA_ANALYSIS_DATAFLOW_ANALYSES_H

@@ -1,0 +1,134 @@
+//===- analysis/dataflow/diagnostics.cpp ----------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/dataflow/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+using namespace rprosa;
+using namespace rprosa::analysis;
+using namespace rprosa::analysis::dataflow;
+
+const char *rprosa::analysis::dataflow::toString(Severity S) {
+  switch (S) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "?";
+}
+
+void rprosa::analysis::dataflow::sortFindings(std::vector<Finding> &Fs) {
+  std::stable_sort(Fs.begin(), Fs.end(),
+                   [](const Finding &A, const Finding &B) {
+                     return std::tie(A.Line, A.CheckId, A.Node, A.Message) <
+                            std::tie(B.Line, B.CheckId, B.Node, B.Message);
+                   });
+}
+
+Severity
+rprosa::analysis::dataflow::maxSeverity(const std::vector<Finding> &Fs) {
+  Severity S = Severity::Note;
+  for (const Finding &F : Fs)
+    S = std::max(S, F.Sev);
+  return S;
+}
+
+std::string
+rprosa::analysis::dataflow::renderText(const std::string &File,
+                                       const std::vector<Finding> &Fs) {
+  std::string Out;
+  for (const Finding &F : Fs) {
+    Out += File;
+    if (F.Line > 0)
+      Out += ":" + std::to_string(F.Line);
+    Out += ": " + std::string(toString(F.Sev)) + ": [" + F.CheckId + "] " +
+           F.Message + "\n";
+    for (const std::string &Step : F.Witness)
+      Out += "  " + Step + "\n";
+  }
+  return Out;
+}
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string
+rprosa::analysis::dataflow::renderSarif(const std::string &File,
+                                        const std::vector<Finding> &Fs) {
+  std::string Out;
+  Out += "{\n";
+  Out += "  \"version\": \"2.1.0\",\n";
+  Out += "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  Out += "  \"runs\": [\n";
+  Out += "    {\n";
+  Out += "      \"tool\": {\"driver\": {\"name\": \"rp_verify\"}},\n";
+  Out += "      \"results\": [\n";
+  for (std::size_t I = 0; I < Fs.size(); ++I) {
+    const Finding &F = Fs[I];
+    Out += "        {\n";
+    Out += "          \"ruleId\": \"" + jsonEscape(F.CheckId) + "\",\n";
+    Out += "          \"level\": \"" + std::string(toString(F.Sev)) + "\",\n";
+    Out += "          \"message\": {\"text\": \"" + jsonEscape(F.Message) +
+           "\"},\n";
+    Out += "          \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           jsonEscape(File) + "\"}";
+    if (F.Line > 0)
+      Out += ", \"region\": {\"startLine\": " + std::to_string(F.Line) + "}";
+    Out += "}}],\n";
+    Out += "          \"properties\": {\"node\": " + std::to_string(F.Node) +
+           ", \"witness\": [";
+    for (std::size_t W = 0; W < F.Witness.size(); ++W) {
+      if (W)
+        Out += ", ";
+      Out += "\"" + jsonEscape(F.Witness[W]) + "\"";
+    }
+    Out += "]}\n";
+    Out += I + 1 < Fs.size() ? "        },\n" : "        }\n";
+  }
+  Out += "      ]\n";
+  Out += "    }\n";
+  Out += "  ]\n";
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,74 @@
+//===- analysis/dataflow/diagnostics.h - Findings, text and SARIF output --===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common currency of the unified analyses (analyses.h) and the
+/// lint passes: one Finding per defect, carrying a stable check-id
+/// ("value-range.div-by-zero", "definite-init.register", ...), a
+/// severity, the offending CFG node with its source line, and a
+/// witness path from entry. Findings are sorted by (line, check-id,
+/// node, message) before emission, so both renderers produce
+/// byte-identical output across runs and thread counts (pinned by
+/// tests/dataflow_test.cpp).
+///
+/// renderSarif emits a minimal SARIF 2.1.0 log — one run, one result
+/// per finding, the witness path in the result's property bag — which
+/// is what `rp_verify --lint --sarif` prints for CI consumption.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_ANALYSIS_DATAFLOW_DIAGNOSTICS_H
+#define RPROSA_ANALYSIS_DATAFLOW_DIAGNOSTICS_H
+
+#include "analysis/cfg.h"
+
+#include <string>
+#include <vector>
+
+namespace rprosa::analysis::dataflow {
+
+enum class Severity : std::uint8_t {
+  Note,    ///< Informational (SARIF "note").
+  Warning, ///< May happen on some path (SARIF "warning").
+  Error,   ///< Happens on every execution reaching the node ("error").
+};
+
+const char *toString(Severity S);
+
+/// One defect reported by a static analysis or lint pass.
+struct Finding {
+  std::string CheckId; ///< Stable dotted id ("value-range.div-by-zero").
+  Severity Sev = Severity::Warning;
+  NodeId Node = 0;          ///< Offending CFG node.
+  std::uint32_t Line = 0;   ///< 1-based source line; 0 = no source file.
+  std::string Message;      ///< Human-readable description.
+  /// Node labels of a path from entry to the offending node (empty when
+  /// the pass has no path notion, e.g. whole-program range checks).
+  std::vector<std::string> Witness;
+};
+
+/// Deterministic emission order: (Line, CheckId, Node, Message).
+void sortFindings(std::vector<Finding> &Fs);
+
+/// The most severe severity present (Note when empty).
+Severity maxSeverity(const std::vector<Finding> &Fs);
+
+/// One block per finding:
+///   <file>:<line>: <severity>: [<check-id>] <message>
+/// followed by the witness path, two-space indented. \p File names the
+/// analyzed artifact in the locations.
+std::string renderText(const std::string &File,
+                       const std::vector<Finding> &Fs);
+
+/// A minimal SARIF 2.1.0 log (tool "rp_verify", one result per
+/// finding). region.startLine is omitted for line-0 findings; the
+/// witness path rides in properties.witness.
+std::string renderSarif(const std::string &File,
+                        const std::vector<Finding> &Fs);
+
+} // namespace rprosa::analysis::dataflow
+
+#endif // RPROSA_ANALYSIS_DATAFLOW_DIAGNOSTICS_H

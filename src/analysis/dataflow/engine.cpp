@@ -1,0 +1,72 @@
+//===- analysis/dataflow/engine.cpp ---------------------------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/dataflow/engine.h"
+
+#include <algorithm>
+
+using namespace rprosa;
+using namespace rprosa::analysis;
+using namespace rprosa::analysis::dataflow;
+
+CfgOrder CfgOrder::compute(const Cfg &G) {
+  const std::size_t N = G.size();
+  CfgOrder O;
+  O.RpoIndex.assign(N, 0);
+  O.Preds.assign(N, {});
+  O.LoopHead.assign(N, false);
+  O.Reachable.assign(N, false);
+
+  for (NodeId From = 0; From < N; ++From)
+    for (NodeId To : G.successors(From))
+      O.Preds[To].push_back(From);
+  for (std::vector<NodeId> &P : O.Preds)
+    std::sort(P.begin(), P.end());
+
+  // Iterative DFS from Entry in fixed successor order; a successor
+  // still on the DFS stack is a back edge and marks its target a loop
+  // head. Post-order is collected on frame exit, then reversed.
+  enum : std::uint8_t { White, OnStack, Done };
+  std::vector<std::uint8_t> Color(N, White);
+  std::vector<NodeId> Post;
+  Post.reserve(N);
+
+  struct Frame {
+    NodeId Node;
+    std::vector<NodeId> Succs;
+    std::size_t Next = 0;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({G.Entry, G.successors(G.Entry)});
+  Color[G.Entry] = OnStack;
+  O.Reachable[G.Entry] = true;
+
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    if (F.Next < F.Succs.size()) {
+      NodeId S = F.Succs[F.Next++];
+      if (Color[S] == White) {
+        Color[S] = OnStack;
+        O.Reachable[S] = true;
+        Stack.push_back({S, G.successors(S)});
+      } else if (Color[S] == OnStack) {
+        O.LoopHead[S] = true;
+      }
+    } else {
+      Color[F.Node] = Done;
+      Post.push_back(F.Node);
+      Stack.pop_back();
+    }
+  }
+
+  O.Rpo.assign(Post.rbegin(), Post.rend());
+  for (NodeId I = 0; I < N; ++I)
+    if (!O.Reachable[I])
+      O.Rpo.push_back(I);
+  for (std::uint32_t I = 0; I < O.Rpo.size(); ++I)
+    O.RpoIndex[O.Rpo[I]] = I;
+  return O;
+}

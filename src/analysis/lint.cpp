@@ -6,6 +6,8 @@
 
 #include "analysis/lint.h"
 
+#include "analysis/dataflow/analyses.h"
+
 #include <algorithm>
 #include <deque>
 #include <functional>
@@ -29,18 +31,6 @@ bool exprHasFuel(const Expr &E) {
   if (E.K == Expr::Kind::Fuel)
     return true;
   return (E.L && exprHasFuel(*E.L)) || (E.R && exprHasFuel(*E.R));
-}
-
-/// The registers a node reads (not writes), deduplicated.
-std::vector<RegId> usedRegs(const CfgNode &N) {
-  std::vector<RegId> Out;
-  if (N.E)
-    collectRegs(*N.E, Out);
-  if (N.K == CfgNode::Kind::Read)
-    Out.push_back(N.Reg);
-  std::sort(Out.begin(), Out.end());
-  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
-  return Out;
 }
 
 bool writesReg(const CfgNode &N, RegId R) {
@@ -95,34 +85,20 @@ std::string nodeRef(const Cfg &G, NodeId N) {
 } // namespace
 
 std::vector<LintFinding> rprosa::analysis::lintDefBeforeUse(const Cfg &G) {
+  // One definite-init fixpoint on the dataflow engine replaces the
+  // per-use avoid-BFS this pass ran before; the analysis emits the
+  // identical messages in the identical order.
   std::vector<LintFinding> Out;
-  for (NodeId U = 0; U < G.size(); ++U) {
-    const CfgNode &N = G[U];
-    for (RegId R : usedRegs(N)) {
-      bool UndefPath = searchFrom(
-          G, {G.Entry}, [&](NodeId A) { return writesReg(G[A], R); },
-          [&](NodeId T) { return T == U; });
-      if (UndefPath)
-        Out.push_back({"def-before-use", U,
-                       "register r" + std::to_string(R) + " read at " +
-                           nodeRef(G, U) +
-                           " with no prior assignment on some path (the "
-                           "machine zero-initialises; make it explicit)"});
-    }
-    bool UsesBuf = N.K == CfgNode::Kind::Enqueue ||
-                   (N.K == CfgNode::Kind::Trace && N.Fn == TraceFn::TrDisp);
-    if (UsesBuf) {
-      bool UnfilledPath = searchFrom(
-          G, {G.Entry}, [&](NodeId A) { return fillsBuf(G[A], N.Buf); },
-          [&](NodeId T) { return T == U; });
-      if (UnfilledPath)
-        Out.push_back({"def-before-use", U,
-                       "buffer buf" + std::to_string(N.Buf) + " used at " +
-                           nodeRef(G, U) +
-                           " with no prior read/dequeue into it on some "
-                           "path"});
-    }
-  }
+  for (dataflow::Finding &F : dataflow::analyzeDefiniteInit(G))
+    Out.push_back({"def-before-use", F.Node, std::move(F.Message)});
+  return Out;
+}
+
+std::vector<LintFinding>
+rprosa::analysis::lintMarkerDiscipline(const Cfg &G) {
+  std::vector<LintFinding> Out;
+  for (dataflow::Finding &F : dataflow::analyzeMarkerDiscipline(G))
+    Out.push_back({"marker-discipline", F.Node, std::move(F.Message)});
   return Out;
 }
 
@@ -173,31 +149,63 @@ std::vector<LintFinding> rprosa::analysis::lintMarkerBalance(const Cfg &G) {
 std::vector<LintFinding>
 rprosa::analysis::lintFuelTermination(const Cfg &G) {
   std::vector<LintFinding> Out;
-  auto None = [](NodeId) { return false; };
+  // One predecessor map up front; per branch, one forward and one
+  // backward flood replace the per-writer searches the pass used to
+  // run (which made it cubic in the node count on loop-heavy
+  // programs — bench/analysis_cost's generated specs).
+  std::vector<std::vector<NodeId>> Preds(G.size());
+  for (NodeId N = 0; N < G.size(); ++N)
+    for (NodeId S : G.successors(N))
+      Preds[S].push_back(N);
+  std::deque<NodeId> Queue;
   for (NodeId B = 0; B < G.size(); ++B) {
     const CfgNode &N = G[B];
-    if (N.K != CfgNode::Kind::Branch)
+    if (N.K != CfgNode::Kind::Branch || exprHasFuel(*N.E))
       continue;
-    bool IsLoop = searchFrom(G, G.successors(B), None,
-                             [&](NodeId T) { return T == B; });
-    if (!IsLoop || exprHasFuel(*N.E))
-      continue;
+    // Nodes reachable from B by a nonempty path.
+    std::vector<bool> Fwd(G.size(), false);
+    for (NodeId S : G.successors(B))
+      if (!Fwd[S]) {
+        Fwd[S] = true;
+        Queue.push_back(S);
+      }
+    while (!Queue.empty()) {
+      NodeId C = Queue.front();
+      Queue.pop_front();
+      for (NodeId S : G.successors(C))
+        if (!Fwd[S]) {
+          Fwd[S] = true;
+          Queue.push_back(S);
+        }
+    }
+    if (!Fwd[B])
+      continue; // Not a loop.
+    // Nodes that reach B by a nonempty path.
+    std::vector<bool> Bwd(G.size(), false);
+    for (NodeId P : Preds[B])
+      if (!Bwd[P]) {
+        Bwd[P] = true;
+        Queue.push_back(P);
+      }
+    while (!Queue.empty()) {
+      NodeId C = Queue.front();
+      Queue.pop_front();
+      for (NodeId P : Preds[C])
+        if (!Bwd[P]) {
+          Bwd[P] = true;
+          Queue.push_back(P);
+        }
+    }
     std::vector<RegId> CondRegs;
     collectRegs(*N.E, CondRegs);
     // A node is "in the loop" if it lies on some cycle through B:
     // reachable from B and able to reach B.
     bool CanVary = false;
     for (NodeId M = 0; M < G.size() && !CanVary; ++M) {
-      bool Writes = false;
-      for (RegId R : CondRegs)
-        Writes |= writesReg(G[M], R);
-      if (!Writes)
+      if (!Fwd[M] || !Bwd[M])
         continue;
-      bool FromB = searchFrom(G, G.successors(B), None,
-                              [&](NodeId T) { return T == M; });
-      bool ToB = FromB && searchFrom(G, G.successors(M), None,
-                                     [&](NodeId T) { return T == B; });
-      CanVary = FromB && ToB;
+      for (RegId R : CondRegs)
+        CanVary |= writesReg(G[M], R);
     }
     if (!CanVary)
       Out.push_back({"fuel-termination", B,
@@ -262,6 +270,7 @@ std::vector<LintFinding> rprosa::analysis::runLints(const Cfg &G,
                std::make_move_iterator(More.end()));
   };
   Append(lintMarkerBalance(G));
+  Append(lintMarkerDiscipline(G));
   Append(lintFuelTermination(G));
   Append(lintMachineRange(G));
   if (Cov)

@@ -15,6 +15,10 @@
 ///    on some path with no prior write at all (the machine zero-fills
 ///    registers, so for registers this flags reliance on implicit
 ///    initialisation rather than undefined behaviour);
+///  - marker-discipline: an execution/completion marker reachable with
+///    no dispatched job open, or a dispatch that may overtake an open
+///    one — the dataflow form of the dispatch bracketing the protocol
+///    STS checks dynamically;
 ///  - marker-balance: some path from a TrDisp reaches the exit or the
 ///    next dispatch without the dispatched job completing (TrCompl), or
 ///    without its buffer being released (FreeBuf) — the static form of
@@ -46,8 +50,14 @@ struct LintFinding {
   std::string Message; ///< Human-readable description.
 };
 
+/// Engine-backed (analysis/dataflow/analyses.h): one definite-init
+/// fixpoint instead of a BFS per use. Findings and order are unchanged.
 std::vector<LintFinding> lintDefBeforeUse(const Cfg &G);
 std::vector<LintFinding> lintMarkerBalance(const Cfg &G);
+/// Engine-backed: flags a dispatch that may overtake a still-open job
+/// and execution/completion markers reachable without a preceding
+/// dispatch (the static form of the protocol's dispatch bracketing).
+std::vector<LintFinding> lintMarkerDiscipline(const Cfg &G);
 std::vector<LintFinding> lintFuelTermination(const Cfg &G);
 std::vector<LintFinding> lintMachineRange(const Cfg &G);
 /// Needs the coverage the model check gathered.

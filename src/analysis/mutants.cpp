@@ -25,6 +25,11 @@ struct Mutation {
   // instruction cost inside one segment.
   std::uint32_t FailedReadBackoff = 0; ///< Spin trips after a failed read.
   std::uint32_t DispatchPad = 0;       ///< Spin trips between TrDisp/TrExec.
+  // Value-range mutations: protocol-clean until the machine traps
+  // (RuntimeTrap) on an arithmetic or socket-range error.
+  std::int64_t CounterStride = 0; ///< r6 += stride in every polling slot.
+  bool ZeroDivisor = false;       ///< r6 := 1000 / (r2 + 1) after each read.
+  bool OffByOneSocket = false;    ///< Poll sockets 0..N (one too many).
 };
 
 /// `r := 0; while (r < Trips) r := r + 1` — pure instruction cost on a
@@ -44,12 +49,21 @@ StmtPtr buildMutatedRossl(std::uint32_t NumSockets, const Mutation &Mu) {
   std::int64_t Bound = static_cast<std::int64_t>(NumSockets);
   if (Mu.IgnoreLastSocket)
     Bound -= 1;
+  if (Mu.OffByOneSocket)
+    Bound += 1; // The classic `<=` written where `<` was meant.
 
   std::vector<StmtPtr> Slot;
   Slot.push_back(Stmt::readE(Sock, RecvBuf, ReadResult));
   if (Mu.DoubleRead)
     Slot.push_back(Stmt::readE(Sock, RecvBuf, ReadResult));
-  constexpr RegId BackoffCtr = 4, PadCtr = 5;
+  constexpr RegId BackoffCtr = 4, PadCtr = 5, ScratchCtr = 6;
+  if (Mu.ZeroDivisor)
+    // "Bytes per chunk" bookkeeping: divides by result + 1, which is 0
+    // exactly when the read failed (result -1).
+    Slot.push_back(Stmt::setReg(
+        ScratchCtr,
+        Expr::divE(Expr::lit(1000),
+                   Expr::add(Expr::reg(ReadResult), Expr::lit(1)))));
   Slot.push_back(Stmt::ifThen(
       Expr::notE(Expr::eq(Expr::reg(ReadResult), Expr::lit(-1))),
       Stmt::seq({
@@ -59,6 +73,12 @@ StmtPtr buildMutatedRossl(std::uint32_t NumSockets, const Mutation &Mu) {
       }),
       Mu.FailedReadBackoff ? spinLoop(BackoffCtr, Mu.FailedReadBackoff)
                            : nullptr));
+  if (Mu.CounterStride)
+    // A statistics counter that is never reset: grows by the stride in
+    // every slot until the addition overflows int64.
+    Slot.push_back(Stmt::setReg(
+        ScratchCtr,
+        Expr::add(Expr::reg(ScratchCtr), Expr::lit(Mu.CounterStride))));
   Slot.push_back(Stmt::setReg(Sock, Expr::add(Expr::reg(Sock), Expr::lit(1))));
 
   StmtPtr OneRound = Stmt::seq({
@@ -107,9 +127,11 @@ StmtPtr buildMutatedRossl(std::uint32_t NumSockets, const Mutation &Mu) {
 }
 
 Mutant make(std::string Name, std::string Description, Mutation Mu,
-            std::uint32_t NumSockets, bool InterpreterSafe = true) {
+            std::uint32_t NumSockets, bool InterpreterSafe = true,
+            std::string ExpectedCheckId = "") {
   return {std::move(Name), std::move(Description),
-          buildMutatedRossl(NumSockets, Mu), InterpreterSafe};
+          buildMutatedRossl(NumSockets, Mu), InterpreterSafe,
+          std::move(ExpectedCheckId)};
 }
 
 } // namespace
@@ -206,6 +228,42 @@ rprosa::analysis::timingMutantCorpus(std::uint32_t NumSockets) {
                           "dispatch path): protocol-clean, but the "
                           "dispatch segment bound grows",
                           Mu, NumSockets));
+  }
+
+  return Corpus;
+}
+
+std::vector<Mutant>
+rprosa::analysis::valueRangeMutantCorpus(std::uint32_t NumSockets) {
+  std::vector<Mutant> Corpus;
+
+  {
+    Mutation Mu;
+    Mu.CounterStride = std::int64_t{1} << 62;
+    Corpus.push_back(make("overflowing-counter",
+                          "a never-reset statistics counter gains 2^62 per "
+                          "polling slot: the second addition overflows "
+                          "int64",
+                          Mu, NumSockets, /*InterpreterSafe=*/true,
+                          "value-range.signed-overflow"));
+  }
+  {
+    Mutation Mu;
+    Mu.ZeroDivisor = true;
+    Corpus.push_back(make("zero-divisor",
+                          "divides by read-result + 1, which is zero "
+                          "exactly when the read failed (result -1)",
+                          Mu, NumSockets, /*InterpreterSafe=*/true,
+                          "value-range.div-by-zero"));
+  }
+  {
+    Mutation Mu;
+    Mu.OffByOneSocket = true;
+    Corpus.push_back(make("off-by-one-socket",
+                          "the polling loop runs one socket past the wait "
+                          "set: the read of socket N is out of range",
+                          Mu, NumSockets, /*InterpreterSafe=*/true,
+                          "value-range.socket-range"));
   }
 
   return Corpus;

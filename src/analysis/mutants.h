@@ -34,6 +34,10 @@ struct Mutant {
   /// job) before any trace can be checked — those bugs are detectable
   /// only statically, which is part of the point.
   bool InterpreterSafe = true;
+  /// For the value-range corpus: the check-id the static analysis must
+  /// report AND the runtime trap must carry (RuntimeTrap::checkId()).
+  /// Empty for protocol/timing mutants.
+  std::string ExpectedCheckId;
 };
 
 /// The corpus for \p NumSockets sockets. Every mutant violates the
@@ -49,6 +53,16 @@ std::vector<Mutant> protocolMutantCorpus(std::uint32_t NumSockets);
 /// inserted nodes. The evidence the corpus provides: protocol safety
 /// alone says nothing about time.
 std::vector<Mutant> timingMutantCorpus(std::uint32_t NumSockets);
+
+/// The *value-range* corpus: variants whose markers stay disciplined
+/// until the machine traps on an arithmetic or socket-range error —
+/// an overflowing counter, a zero divisor, an off-by-one polling
+/// bound. Each is flagged statically by the value-range analysis
+/// (analysis/dataflow/analyses.h) under the check-id in
+/// ExpectedCheckId, and traps at runtime with the *same* check-id
+/// (RuntimeTrap::checkId()), so static verdicts and runtime behaviour
+/// cross-validate literally.
+std::vector<Mutant> valueRangeMutantCorpus(std::uint32_t NumSockets);
 
 } // namespace rprosa::analysis
 

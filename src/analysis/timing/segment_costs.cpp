@@ -7,6 +7,7 @@
 #include "analysis/timing/segment_costs.h"
 
 #include "analysis/abstract_state.h"
+#include "analysis/dataflow/path_walk.h"
 #include "support/table.h"
 #include "trace/basic_actions.h"
 
@@ -82,26 +83,6 @@ SegmentClass classOfTrace(TraceFn Fn) {
   return SegmentClass::Idling;
 }
 
-/// One in-flight path of the tail walk.
-struct Walk {
-  NodeId N = InvalidNode;
-  std::vector<AbsValue> Regs;
-  Duration Instr = 0;
-  std::vector<NodeId> Trail;
-  std::vector<std::uint32_t> Visits;
-};
-
-/// Everything the walk from one source produced.
-struct SourceOutcome {
-  bool Aborted = false;
-  std::string AbortWhy;
-  std::uint64_t Paths = 0;
-  Duration MaxInstr = 0;
-  Duration MinInstr = TimeInfinity;
-  std::vector<NodeId> TrailMax;
-  std::vector<NodeId> TrailMin;
-};
-
 std::string nodeLabel(const Cfg &G, NodeId N) {
   return "n" + std::to_string(N) + ": " + G[N].label();
 }
@@ -134,125 +115,6 @@ std::string loopDiagnostic(const Cfg &G, const std::vector<LoopBound> &Loops,
   if (Blamed)
     return "visit cap exceeded inside " + Blamed->describe(G);
   return "visit cap exceeded at " + nodeLabel(G, At);
-}
-
-/// Walks every instruction path from \p Source (exclusive) to the next
-/// Read/Trace node or Exit (inclusive in the trail, exclusive in cost),
-/// accumulating InstructionCosts. \p InitRegs fixes what the source's
-/// effect is known to be (the read outcome); everything else is Top.
-SourceOutcome walkTails(const Cfg &G, NodeId Source,
-                        std::vector<AbsValue> InitRegs,
-                        const StaticCostParams &P,
-                        const std::vector<LoopBound> &Loops,
-                        std::uint64_t &StepsLeft) {
-  SourceOutcome O;
-  Walk Init;
-  Init.N = G[Source].Succ;
-  Init.Regs = std::move(InitRegs);
-  Init.Trail = {Source};
-  Init.Visits.assign(G.size(), 0);
-
-  std::vector<Walk> Stack;
-  Stack.push_back(std::move(Init));
-
-  auto Complete = [&](Walk &&W) {
-    W.Trail.push_back(W.N);
-    ++O.Paths;
-    if (O.Paths == 1 || W.Instr > O.MaxInstr) {
-      O.MaxInstr = W.Instr;
-      O.TrailMax = W.Trail;
-    }
-    if (W.Instr < O.MinInstr) {
-      O.MinInstr = W.Instr;
-      O.TrailMin = std::move(W.Trail);
-    }
-  };
-
-  while (!Stack.empty() && !O.Aborted) {
-    Walk W = std::move(Stack.back());
-    Stack.pop_back();
-
-    if (StepsLeft == 0) {
-      O.Aborted = true;
-      O.AbortWhy = "exploration budget (MaxPathSteps) exhausted";
-      break;
-    }
-    --StepsLeft;
-
-    const CfgNode &Node = G[W.N];
-
-    // A marker node or Exit delimits the segment.
-    if (Node.K == CfgNode::Kind::Read || Node.K == CfgNode::Kind::Trace ||
-        Node.K == CfgNode::Kind::Exit) {
-      Complete(std::move(W));
-      continue;
-    }
-
-    if (++W.Visits[W.N] > P.MaxVisitsPerNode) {
-      O.Aborted = true;
-      O.AbortWhy = loopDiagnostic(G, Loops, W.N);
-      break;
-    }
-
-    W.Trail.push_back(W.N);
-    switch (Node.K) {
-    case CfgNode::Kind::Entry:
-      W.N = Node.Succ;
-      Stack.push_back(std::move(W));
-      break;
-    case CfgNode::Kind::Assign:
-      W.Instr = satAdd(W.Instr, P.Instr.Assign);
-      if (Node.Dst < W.Regs.size())
-        W.Regs[Node.Dst] = evalAbstract(*Node.E, W.Regs, P.RegBound);
-      W.N = Node.Succ;
-      Stack.push_back(std::move(W));
-      break;
-    case CfgNode::Kind::Branch: {
-      W.Instr = satAdd(W.Instr, P.Instr.Branch);
-      AbsBool T = truth(evalAbstract(*Node.E, W.Regs, P.RegBound));
-      if (T == AbsBool::Maybe) {
-        Walk Other = W;
-        Other.N = Node.FalseSucc;
-        Stack.push_back(std::move(Other));
-        W.N = Node.Succ;
-        Stack.push_back(std::move(W));
-      } else {
-        W.N = T == AbsBool::True ? Node.Succ : Node.FalseSucc;
-        Stack.push_back(std::move(W));
-      }
-      break;
-    }
-    case CfgNode::Kind::Enqueue:
-      W.Instr = satAdd(W.Instr, P.Instr.Enqueue);
-      W.N = Node.Succ;
-      Stack.push_back(std::move(W));
-      break;
-    case CfgNode::Kind::Dequeue: {
-      // Hit or miss: the result register forks the walk.
-      W.Instr = satAdd(W.Instr, P.Instr.Dequeue);
-      Walk Miss = W;
-      if (Node.Dst < Miss.Regs.size())
-        Miss.Regs[Node.Dst] = AbsValue::known(0, P.RegBound);
-      Miss.N = Node.Succ;
-      Stack.push_back(std::move(Miss));
-      if (Node.Dst < W.Regs.size())
-        W.Regs[Node.Dst] = AbsValue::known(1, P.RegBound);
-      W.N = Node.Succ;
-      Stack.push_back(std::move(W));
-      break;
-    }
-    case CfgNode::Kind::Free:
-      W.Instr = satAdd(W.Instr, P.Instr.Free);
-      W.N = Node.Succ;
-      Stack.push_back(std::move(W));
-      break;
-    case CfgNode::Kind::Read:
-    case CfgNode::Kind::Trace:
-    case CfgNode::Kind::Exit:
-      break; // Handled above.
-    }
-  }
-  return O;
 }
 
 } // namespace
@@ -296,10 +158,18 @@ TimingResult rprosa::analysis::analyzeTiming(const Cfg &G,
   std::uint64_t StepsLeft = P.MaxPathSteps;
   std::uint32_t NumRegs = G.numRegs();
 
+  dataflow::PathWalkParams WP;
+  WP.RegBound = P.RegBound;
+  WP.MaxVisitsPerNode = P.MaxVisitsPerNode;
+  WP.Instr = P.Instr;
+  WP.VisitCapDiagnostic = [&](NodeId At) {
+    return loopDiagnostic(G, R.Loops, At);
+  };
+
   auto Explore = [&](NodeId Source, SegmentClass C,
                      std::vector<AbsValue> InitRegs) {
-    SourceOutcome O =
-        walkTails(G, Source, std::move(InitRegs), P, R.Loops, StepsLeft);
+    dataflow::PathWalkOutcome O = dataflow::walkSegmentTails(
+        G, Source, std::move(InitRegs), WP, StepsLeft);
     ClassAcc &A = Acc[idx(C)];
     A.Any = true;
     R.PathsExplored += O.Paths;

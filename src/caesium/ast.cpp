@@ -36,6 +36,12 @@ ExprPtr Expr::add(ExprPtr L, ExprPtr R) {
 ExprPtr Expr::sub(ExprPtr L, ExprPtr R) {
   return binary(Kind::Sub, std::move(L), std::move(R));
 }
+ExprPtr Expr::divE(ExprPtr L, ExprPtr R) {
+  return binary(Kind::Div, std::move(L), std::move(R));
+}
+ExprPtr Expr::modE(ExprPtr L, ExprPtr R) {
+  return binary(Kind::Mod, std::move(L), std::move(R));
+}
 ExprPtr Expr::less(ExprPtr L, ExprPtr R) {
   return binary(Kind::Less, std::move(L), std::move(R));
 }

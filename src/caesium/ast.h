@@ -49,6 +49,10 @@ struct Expr {
     Reg,   ///< A register read.
     Add,   ///< L + R.
     Sub,   ///< L - R.
+    Div,   ///< L / R (C semantics: truncation toward zero; R == 0 and
+           ///< INT64_MIN / -1 are runtime traps, statically flagged by
+           ///< the value-range analysis).
+    Mod,   ///< L % R (same trap conditions as Div).
     Less,  ///< L < R (0/1).
     Eq,    ///< L == R (0/1).
     Not,   ///< !L (0/1).
@@ -66,6 +70,8 @@ struct Expr {
   static ExprPtr reg(RegId R);
   static ExprPtr add(ExprPtr L, ExprPtr R);
   static ExprPtr sub(ExprPtr L, ExprPtr R);
+  static ExprPtr divE(ExprPtr L, ExprPtr R);
+  static ExprPtr modE(ExprPtr L, ExprPtr R);
   static ExprPtr less(ExprPtr L, ExprPtr R);
   static ExprPtr eq(ExprPtr L, ExprPtr R);
   static ExprPtr notE(ExprPtr L);
@@ -113,6 +119,10 @@ struct Stmt {
   RegId Dst = 0;
   BufId Buf = 0;
   TraceFn Fn = TraceFn::TrIdling;
+  /// 1-based source line of the statement when it came from the parser;
+  /// 0 for programmatically built ASTs. Carried onto CFG nodes so the
+  /// static analyses can emit file/line diagnostics.
+  std::uint32_t Line = 0;
 
   static StmtPtr seq(std::vector<StmtPtr> Children);
   static StmtPtr setReg(RegId Dst, ExprPtr E);

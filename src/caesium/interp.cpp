@@ -6,10 +6,24 @@
 
 #include "caesium/interp.h"
 
+#include "caesium/print.h"
+
 #include <cassert>
 
 using namespace rprosa;
 using namespace rprosa::caesium;
+
+std::string RuntimeTrap::checkId() const {
+  switch (K) {
+  case Kind::SignedOverflow:
+    return "value-range.signed-overflow";
+  case Kind::DivByZero:
+    return "value-range.div-by-zero";
+  case Kind::SocketRange:
+    return "value-range.socket-range";
+  }
+  return "value-range.?";
+}
 
 CaesiumMachine::CaesiumMachine(const ClientConfig &Client, Environment &Env,
                                CostModel &Costs, std::size_t NumBuffers,
@@ -21,6 +35,12 @@ CaesiumMachine::CaesiumMachine(const ClientConfig &Client, Environment &Env,
          "paper's policy)");
 }
 
+void CaesiumMachine::setTrap(RuntimeTrap::Kind K,
+                             std::string Message) const {
+  if (!TrapState)
+    TrapState = RuntimeTrap{K, std::move(Message)};
+}
+
 Value CaesiumMachine::eval(const Expr &E) const {
   switch (E.K) {
   case Expr::Kind::Lit:
@@ -28,10 +48,42 @@ Value CaesiumMachine::eval(const Expr &E) const {
   case Expr::Kind::Reg:
     assert(E.Reg < Regs.size() && "register out of range");
     return Regs[E.Reg];
-  case Expr::Kind::Add:
-    return eval(*E.L) + eval(*E.R);
-  case Expr::Kind::Sub:
-    return eval(*E.L) - eval(*E.R);
+  case Expr::Kind::Add: {
+    Value L = eval(*E.L), R = eval(*E.R), Out = 0;
+    if (__builtin_add_overflow(L, R, &Out)) {
+      setTrap(RuntimeTrap::Kind::SignedOverflow,
+              "signed overflow in " + printExpr(E) + " (" +
+                  std::to_string(L) + " + " + std::to_string(R) + ")");
+      return 0;
+    }
+    return Out;
+  }
+  case Expr::Kind::Sub: {
+    Value L = eval(*E.L), R = eval(*E.R), Out = 0;
+    if (__builtin_sub_overflow(L, R, &Out)) {
+      setTrap(RuntimeTrap::Kind::SignedOverflow,
+              "signed overflow in " + printExpr(E) + " (" +
+                  std::to_string(L) + " - " + std::to_string(R) + ")");
+      return 0;
+    }
+    return Out;
+  }
+  case Expr::Kind::Div:
+  case Expr::Kind::Mod: {
+    Value L = eval(*E.L), R = eval(*E.R);
+    if (R == 0) {
+      setTrap(RuntimeTrap::Kind::DivByZero,
+              "division by zero in " + printExpr(E));
+      return 0;
+    }
+    if (L == INT64_MIN && R == -1) {
+      setTrap(RuntimeTrap::Kind::SignedOverflow,
+              "signed overflow in " + printExpr(E) +
+                  " (INT64_MIN / -1)");
+      return 0;
+    }
+    return E.K == Expr::Kind::Div ? L / R : L % R;
+  }
   case Expr::Kind::Less:
     return eval(*E.L) < eval(*E.R) ? 1 : 0;
   case Expr::Kind::Eq:
@@ -50,7 +102,20 @@ Value CaesiumMachine::eval(const Expr &E) const {
 
 void CaesiumMachine::stepRead(const Stmt &S) {
   assert(S.Buf < Heap.size() && "buffer out of range");
-  SocketId Sock = static_cast<SocketId>(Regs[S.Reg]);
+  // The C original would pass the raw register to the read system call
+  // (an EBADF at best, out-of-bounds wait-set access at worst); here an
+  // out-of-range socket is a defined trap, before any marker is
+  // emitted.
+  Value SockV = Regs[S.Reg];
+  if (SockV < 0 ||
+      static_cast<std::uint64_t>(SockV) >= Env.numSockets()) {
+    setTrap(RuntimeTrap::Kind::SocketRange,
+            "read of socket " + std::to_string(SockV) +
+                " outside [0, " + std::to_string(Env.numSockets()) +
+                ")");
+    return;
+  }
+  SocketId Sock = static_cast<SocketId>(SockV);
 
   // M_ReadS marks the issue of the system call.
   Recorder.record(MarkerEvent::readS());
@@ -137,31 +202,48 @@ void CaesiumMachine::stepTrace(const Stmt &S) {
 }
 
 void CaesiumMachine::exec(const Stmt &S) {
+  if (TrapState)
+    return; // A trapped machine takes no further steps.
   switch (S.K) {
   case Stmt::Kind::Seq:
-    for (const StmtPtr &C : S.Children)
+    for (const StmtPtr &C : S.Children) {
       exec(*C);
+      if (TrapState)
+        return;
+    }
     break;
-  case Stmt::Kind::SetReg:
+  case Stmt::Kind::SetReg: {
     assert(S.Dst < Regs.size() && "register out of range");
     Clock.advance(Costs.instr().Assign);
-    Regs[S.Dst] = eval(*S.E);
+    Value V = eval(*S.E);
+    if (TrapState)
+      return;
+    Regs[S.Dst] = V;
     break;
-  case Stmt::Kind::If:
+  }
+  case Stmt::Kind::If: {
     Clock.advance(Costs.instr().Branch);
-    if (eval(*S.E) != 0)
+    Value C = eval(*S.E);
+    if (TrapState)
+      return;
+    if (C != 0)
       exec(*S.Children[0]);
     else if (S.Children.size() > 1)
       exec(*S.Children[1]);
     break;
+  }
   case Stmt::Kind::While:
     // One Branch charge per condition evaluation, including the final
     // false one — matching the CFG, where the loop-head Branch node is
     // traversed trips+1 times.
-    Clock.advance(Costs.instr().Branch);
-    while (eval(*S.E) != 0) {
-      exec(*S.Children[0]);
+    for (;;) {
       Clock.advance(Costs.instr().Branch);
+      Value C = eval(*S.E);
+      if (TrapState || C == 0)
+        break;
+      exec(*S.Children[0]);
+      if (TrapState)
+        return;
     }
     break;
   case Stmt::Kind::ReadE:
@@ -206,6 +288,7 @@ void CaesiumMachine::exec(const Stmt &S) {
 TimedTrace CaesiumMachine::run(const StmtPtr &Program,
                                const RunLimits &RunLimits_) {
   Limits = RunLimits_;
+  TrapState.reset();
   exec(*Program);
   return Recorder.take();
 }

@@ -50,8 +50,29 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <string>
 
 namespace rprosa::caesium {
+
+/// A defined-behaviour stop of the machine on an arithmetic or memory
+/// error the C original would make undefined: the run halts, the trace
+/// emitted so far stands (a finite prefix, which every trace property
+/// quantifies over anyway). Each kind corresponds 1:1 to a check-id of
+/// the static value-range analysis (analysis/dataflow/analyses.h), so
+/// static verdicts and runtime traps can be cross-validated literally.
+struct RuntimeTrap {
+  enum class Kind : std::uint8_t {
+    SignedOverflow, ///< +, -, or / overflowed the Value range.
+    DivByZero,      ///< / or % with a zero divisor.
+    SocketRange,    ///< read() with a socket outside [0, numSockets).
+  };
+
+  Kind K = Kind::SignedOverflow;
+  std::string Message;
+
+  /// The matching static check-id ("value-range.div-by-zero", ...).
+  std::string checkId() const;
+};
 
 /// The "data" of a message as the program sees it: the classifier's
 /// task tag plus the payload length. NOT unique across messages — which
@@ -74,15 +95,22 @@ public:
                  std::size_t NumRegs = 8);
 
   /// Runs \p Program to completion (its loops consume Fuel) and returns
-  /// the emitted timed trace.
+  /// the emitted timed trace. A runtime trap (see trap()) ends the run
+  /// early; the returned trace is the prefix emitted before it.
   TimedTrace run(const StmtPtr &Program, const RunLimits &Limits);
 
   /// σ_trace.idx after the run (next fresh job id).
   JobId nextJobId() const { return Idx; }
 
+  /// The trap that stopped the last run, if any.
+  const std::optional<RuntimeTrap> &trap() const { return TrapState; }
+
 private:
   Value eval(const Expr &E) const;
   void exec(const Stmt &S);
+  /// Records the first trap (later ones are consequences of running on
+  /// a poisoned state and are dropped).
+  void setTrap(RuntimeTrap::Kind K, std::string Message) const;
 
   void stepRead(const Stmt &S);
   void stepTrace(const Stmt &S);
@@ -124,6 +152,11 @@ private:
 
   /// The job resolved by the last TrDisp (the C local `j`).
   std::optional<Job> CurrentJob;
+
+  /// Set by eval/stepRead on the first arithmetic or socket-range
+  /// error; mutable because eval is const. Cleared at the start of each
+  /// run.
+  mutable std::optional<RuntimeTrap> TrapState;
 };
 
 } // namespace rprosa::caesium

@@ -31,6 +31,8 @@ enum class Tok : std::uint8_t {
   Bang,    ///< !
   Plus,
   Minus,
+  Slash,   ///< / (a lone one; '//' still starts a comment)
+  Percent,
   Lt,
   EqEq,
   Amp,     ///< & (of &sched)
@@ -138,6 +140,13 @@ public:
         break;
       case '-':
         Push(Tok::Minus);
+        break;
+      case '/':
+        // A lone '/' is division; '//' was consumed as a comment above.
+        Push(Tok::Slash);
+        break;
+      case '%':
+        Push(Tok::Percent);
         break;
       case '&':
         Push(Tok::Amp);
@@ -294,8 +303,8 @@ private:
       if (!L)
         return std::nullopt;
       Tok Op = peek().K;
-      if (Op != Tok::Plus && Op != Tok::Minus && Op != Tok::Lt &&
-          Op != Tok::EqEq) {
+      if (Op != Tok::Plus && Op != Tok::Minus && Op != Tok::Slash &&
+          Op != Tok::Percent && Op != Tok::Lt && Op != Tok::EqEq) {
         fail("expected a binary operator");
         return std::nullopt;
       }
@@ -308,6 +317,10 @@ private:
         return Expr::add(std::move(*L), std::move(*R));
       case Tok::Minus:
         return Expr::sub(std::move(*L), std::move(*R));
+      case Tok::Slash:
+        return Expr::divE(std::move(*L), std::move(*R));
+      case Tok::Percent:
+        return Expr::modE(std::move(*L), std::move(*R));
       case Tok::Lt:
         return Expr::less(std::move(*L), std::move(*R));
       default:
@@ -350,7 +363,20 @@ private:
     return static_cast<BufId>(*B);
   }
 
+  /// Stamps the freshly built statement with the line of its first
+  /// token (the node is uniquely owned at this point, so the const_cast
+  /// is benign). Structured statements carry the line of their keyword;
+  /// the Seq wrappers of program()/block() stay at line 0 — they
+  /// dissolve during CFG lowering anyway.
   std::optional<StmtPtr> stmt() {
+    std::size_t Line = peek().Line;
+    std::optional<StmtPtr> S = stmtInner();
+    if (S && *S)
+      const_cast<Stmt &>(**S).Line = static_cast<std::uint32_t>(Line);
+    return S;
+  }
+
+  std::optional<StmtPtr> stmtInner() {
     DepthGuard G(*this);
     if (!G.ok()) {
       fail("statement nesting exceeds the maximum depth of " +

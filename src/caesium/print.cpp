@@ -18,6 +18,10 @@ std::string rprosa::caesium::printExpr(const Expr &E) {
     return "(" + printExpr(*E.L) + " + " + printExpr(*E.R) + ")";
   case Expr::Kind::Sub:
     return "(" + printExpr(*E.L) + " - " + printExpr(*E.R) + ")";
+  case Expr::Kind::Div:
+    return "(" + printExpr(*E.L) + " / " + printExpr(*E.R) + ")";
+  case Expr::Kind::Mod:
+    return "(" + printExpr(*E.L) + " % " + printExpr(*E.R) + ")";
   case Expr::Kind::Less:
     return "(" + printExpr(*E.L) + " < " + printExpr(*E.R) + ")";
   case Expr::Kind::Eq:

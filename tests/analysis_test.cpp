@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/cfg.h"
+#include "analysis/dataflow/analyses.h"
 #include "analysis/lint.h"
 #include "analysis/mutants.h"
 #include "analysis/timing/segment_costs.h"
@@ -431,6 +432,101 @@ TEST(TimingMutants, ObservedCostsConfirmTheStaticDiff) {
         << M.Name << ": the flagged regression must be observable";
     EXPECT_LE(ObservedMax, Got.seg(Flagged).I.Hi) << M.Name;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Value-range mutants: static flags cross-validated against runtime traps
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The value-range findings of \p Program for \p N sockets.
+std::vector<dataflow::Finding> valueRangeFindings(const StmtPtr &Program,
+                                                  std::uint32_t N) {
+  dataflow::AnalysisOptions Opts;
+  Opts.NumSockets = N;
+  return dataflow::analyzeValueRanges(buildCfg(Program), Opts).Findings;
+}
+
+} // namespace
+
+TEST(ValueRangeMutants, EachIsFlaggedUnderItsExpectedCheckId) {
+  for (std::uint32_t N : {1u, 2u, 4u})
+    for (const Mutant &M : valueRangeMutantCorpus(N)) {
+      ASSERT_FALSE(M.ExpectedCheckId.empty()) << M.Name;
+      std::vector<dataflow::Finding> Fs =
+          valueRangeFindings(M.Program, N);
+      bool Flagged = false;
+      for (const dataflow::Finding &F : Fs)
+        Flagged |= F.CheckId == M.ExpectedCheckId;
+      EXPECT_TRUE(Flagged)
+          << M.Name << " (N=" << N << "): expected a "
+          << M.ExpectedCheckId << " finding; got:\n"
+          << dataflow::renderText("<mutant>", Fs);
+    }
+}
+
+TEST(ValueRangeMutants, CleanCorpusHasZeroValueRangeFindings) {
+  // The other side of the cross-validation: the reference program and
+  // every protocol/timing mutant are arithmetically sound, so any
+  // value-range finding on them would be a false positive.
+  for (std::uint32_t N : {1u, 2u, 4u}) {
+    std::vector<std::pair<std::string, StmtPtr>> Clean;
+    Clean.emplace_back("reference", buildRosslProgram(N));
+    for (Mutant &M : protocolMutantCorpus(N))
+      Clean.emplace_back(M.Name, std::move(M.Program));
+    for (Mutant &M : timingMutantCorpus(N))
+      Clean.emplace_back(M.Name, std::move(M.Program));
+    for (const auto &[Name, Program] : Clean) {
+      std::vector<dataflow::Finding> Fs = valueRangeFindings(Program, N);
+      EXPECT_TRUE(Fs.empty())
+          << Name << " (N=" << N << ") false positive:\n"
+          << dataflow::renderText("<clean>", Fs);
+    }
+  }
+}
+
+TEST(ValueRangeMutants, RuntimeTrapCarriesTheSameCheckId) {
+  // Run each mutant on the machine: it must stop with a RuntimeTrap
+  // whose checkId() is literally the statically-reported one — the
+  // static verdict names the same defect the machine hits.
+  const std::uint32_t N = 2;
+  ClientConfig C = makeClient(figure3Tasks(), N);
+  WorkloadSpec Spec;
+  Spec.NumSockets = N;
+  Spec.Horizon = 4000;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+  for (const Mutant &M : valueRangeMutantCorpus(N)) {
+    ASSERT_TRUE(M.InterpreterSafe) << M.Name;
+    Environment Env(Arr);
+    CostModel Costs(C.Wcets, CostModelKind::AlwaysWcet, 1);
+    CaesiumMachine Machine(C, Env, Costs);
+    RunLimits Limits;
+    Limits.Horizon = 8000;
+    (void)Machine.run(M.Program, Limits);
+    ASSERT_TRUE(Machine.trap().has_value())
+        << M.Name << ": the machine never hit the defect";
+    EXPECT_EQ(Machine.trap()->checkId(), M.ExpectedCheckId) << M.Name;
+  }
+}
+
+TEST(ValueRangeMutants, ReferenceRunNeverTraps) {
+  const std::uint32_t N = 2;
+  ClientConfig C = makeClient(figure3Tasks(), N);
+  WorkloadSpec Spec;
+  Spec.NumSockets = N;
+  Spec.Horizon = 4000;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+  Environment Env(Arr);
+  CostModel Costs(C.Wcets, CostModelKind::AlwaysWcet, 1);
+  CaesiumMachine Machine(C, Env, Costs);
+  RunLimits Limits;
+  Limits.Horizon = 8000;
+  (void)Machine.run(buildRosslProgram(N), Limits);
+  EXPECT_FALSE(Machine.trap().has_value())
+      << Machine.trap()->Message;
 }
 
 //===----------------------------------------------------------------------===//

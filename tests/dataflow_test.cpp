@@ -1,0 +1,652 @@
+//===- tests/dataflow_test.cpp - The unified dataflow engine --------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worklist engine (engine.h) and its analysis instances: CFG
+/// iteration order, forward and backward solving, interval arithmetic
+/// and branch refinement, widening at loop heads (including self-loops
+/// and nested loops), the dead-code / marker-discipline / definite-init
+/// passes, and the byte-pinned text and SARIF renderings that
+/// `rp_verify --lint` emits.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow/analyses.h"
+#include "analysis/dataflow/diagnostics.h"
+#include "analysis/dataflow/engine.h"
+#include "analysis/dataflow/interval.h"
+#include "analysis/lint.h"
+#include "analysis/mutants.h"
+
+#include "caesium/parser.h"
+#include "caesium/print.h"
+#include "caesium/rossl_program.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::analysis;
+using namespace rprosa::analysis::dataflow;
+using namespace rprosa::caesium;
+
+namespace {
+
+StmtPtr parseOrDie(const std::string &Src) {
+  CheckResult Diags;
+  std::optional<StmtPtr> P = parseProgram(Src, &Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.describe();
+  return P ? std::move(*P) : Stmt::seq({});
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CfgOrder: the deterministic iteration structure
+//===----------------------------------------------------------------------===//
+
+TEST(CfgOrder, RpoCoversEveryNodeExactlyOnce) {
+  Cfg G = buildCfg(buildRosslProgram(2));
+  CfgOrder Order = CfgOrder::compute(G);
+  ASSERT_EQ(Order.Rpo.size(), G.size());
+  std::vector<bool> Seen(G.size(), false);
+  for (NodeId N : Order.Rpo) {
+    ASSERT_LT(N, G.size());
+    EXPECT_FALSE(Seen[N]) << "n" << N << " appears twice";
+    Seen[N] = true;
+  }
+  EXPECT_EQ(Order.Rpo.front(), G.Entry);
+  for (NodeId N = 0; N < G.size(); ++N) {
+    EXPECT_EQ(Order.Rpo[Order.RpoIndex[N]], N);
+    EXPECT_TRUE(Order.Reachable[N]) << "structured lowering leaves no "
+                                       "graph-unreachable nodes";
+  }
+}
+
+TEST(CfgOrder, PredsInvertSuccessors) {
+  Cfg G = buildCfg(buildRosslProgram(2));
+  CfgOrder Order = CfgOrder::compute(G);
+  std::size_t Edges = 0;
+  for (NodeId N = 0; N < G.size(); ++N)
+    for (NodeId S : G.successors(N)) {
+      const std::vector<NodeId> &P = Order.Preds[S];
+      EXPECT_NE(std::find(P.begin(), P.end(), N), P.end())
+          << "edge n" << N << " -> n" << S << " missing from Preds";
+      ++Edges;
+    }
+  std::size_t PredEdges = 0;
+  for (const std::vector<NodeId> &P : Order.Preds) {
+    EXPECT_TRUE(std::is_sorted(P.begin(), P.end()));
+    PredEdges += P.size();
+  }
+  EXPECT_EQ(Edges, PredEdges);
+}
+
+TEST(CfgOrder, LoopHeadsAreExactlyTheBackEdgeTargets) {
+  // Three loops in the Rössl program: fuel, polling, and the per-round
+  // socket loop — each contributes exactly one head (a Branch node).
+  Cfg G = buildCfg(buildRosslProgram(2));
+  CfgOrder Order = CfgOrder::compute(G);
+  std::size_t Heads = 0;
+  for (NodeId N = 0; N < G.size(); ++N)
+    if (Order.LoopHead[N]) {
+      ++Heads;
+      EXPECT_EQ(G[N].K, CfgNode::Kind::Branch);
+    }
+  EXPECT_EQ(Heads, 3u);
+
+  // A straight-line program has none.
+  Cfg S = buildCfg(parseOrDie("r0 = 1;\nr1 = (r0 + 1);\n"));
+  CfgOrder SO = CfgOrder::compute(S);
+  for (NodeId N = 0; N < S.size(); ++N)
+    EXPECT_FALSE(SO.LoopHead[N]);
+}
+
+TEST(CfgOrder, SelfLoopIsItsOwnHead) {
+  // `while (1) {}` lowers to a branch whose true successor is itself.
+  Cfg G = buildCfg(parseOrDie("while (1) {}\n"));
+  CfgOrder Order = CfgOrder::compute(G);
+  bool Found = false;
+  for (NodeId N = 0; N < G.size(); ++N)
+    if (G[N].K == CfgNode::Kind::Branch && G[N].Succ == N) {
+      EXPECT_TRUE(Order.LoopHead[N]);
+      Found = true;
+    }
+  EXPECT_TRUE(Found) << G.dump();
+}
+
+//===----------------------------------------------------------------------===//
+// The engine proper, on a purpose-built domain per direction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Forward instance for the tests: nodes reachable from entry. (State
+/// is int, not bool: the engine stores states in a std::vector and
+/// vector<bool>'s proxy references cannot bind to State&.)
+struct ReachDomain {
+  using State = int;
+  State bottom(const Cfg &) const { return 0; }
+  State boundary(const Cfg &) const { return 1; }
+  bool join(State &Into, const State &S) const {
+    if (S && !Into) {
+      Into = 1;
+      return true;
+    }
+    return false;
+  }
+  State transfer(const Cfg &, NodeId, const State &In) const { return In; }
+};
+
+/// Backward instance: live registers (read later before being
+/// clobbered).
+struct LiveDomain {
+  using State = std::vector<bool>;
+
+  explicit LiveDomain(std::uint32_t NumRegs) : NumRegs(NumRegs) {}
+
+  State bottom(const Cfg &) const { return State(NumRegs, false); }
+  State boundary(const Cfg &) const { return State(NumRegs, false); }
+
+  bool join(State &Into, const State &S) const {
+    bool Changed = false;
+    for (std::size_t I = 0; I < Into.size(); ++I)
+      if (S[I] && !Into[I]) {
+        Into[I] = true;
+        Changed = true;
+      }
+    return Changed;
+  }
+
+  State transfer(const Cfg &G, NodeId N, const State &In) const {
+    State Out = In; // "In" is the state AFTER the node (backward).
+    const CfgNode &Node = G[N];
+    switch (Node.K) {
+    case CfgNode::Kind::Assign:
+    case CfgNode::Kind::Read:
+    case CfgNode::Kind::Dequeue:
+      if (Node.Dst < Out.size())
+        Out[Node.Dst] = false;
+      break;
+    default:
+      break;
+    }
+    if (Node.E) {
+      std::vector<RegId> Used;
+      std::function<void(const Expr &)> Walk = [&](const Expr &E) {
+        if (E.K == Expr::Kind::Reg)
+          Used.push_back(E.Reg);
+        if (E.L)
+          Walk(*E.L);
+        if (E.R)
+          Walk(*E.R);
+      };
+      Walk(*Node.E);
+      for (RegId R : Used)
+        if (R < Out.size())
+          Out[R] = true;
+    }
+    if (Node.K == CfgNode::Kind::Read && Node.Reg < Out.size())
+      Out[Node.Reg] = true;
+    return Out;
+  }
+
+  std::uint32_t NumRegs;
+};
+
+} // namespace
+
+TEST(Engine, ForwardReachabilityConverges) {
+  Cfg G = buildCfg(buildRosslProgram(2));
+  CfgOrder Order = CfgOrder::compute(G);
+  Solution<int> Sol = solve(G, ReachDomain{}, Order);
+  ASSERT_TRUE(Sol.Converged);
+  EXPECT_GT(Sol.NodeVisits, 0u);
+  for (NodeId N = 0; N < G.size(); ++N)
+    EXPECT_TRUE(Sol.In[N]) << "n" << N;
+}
+
+TEST(Engine, BackwardLivenessOnStraightLine) {
+  // r0 = 1; r1 = (r0 + 1); r0 is live between its def and its use,
+  // dead after; r1 is never read, so it is dead everywhere.
+  Cfg G = buildCfg(parseOrDie("r0 = 1;\nr1 = (r0 + 1);\n"));
+  CfgOrder Order = CfgOrder::compute(G);
+  Solution<std::vector<bool>> Sol =
+      solve(G, LiveDomain(G.numRegs()), Order, Direction::Backward);
+  ASSERT_TRUE(Sol.Converged);
+  NodeId Def0 = G[G.Entry].Succ;  // r0 = 1
+  NodeId Use0 = G[Def0].Succ;     // r1 = r0 + 1
+  // Backward solution: Out is the state BEFORE the node runs.
+  EXPECT_TRUE(Sol.Out[Use0][0]) << "r0 live before its use";
+  EXPECT_FALSE(Sol.Out[Def0][0]) << "r0 dead before its def";
+  EXPECT_FALSE(Sol.In[Use0][1]) << "r1 never read";
+}
+
+TEST(Engine, BackwardLivenessThroughLoop) {
+  // while (r0 < 3) { r0 = (r0 + 1); } — r0 is live at the loop head on
+  // every iteration (condition reads it).
+  Cfg G = buildCfg(
+      parseOrDie("r0 = 0;\nwhile ((r0 < 3)) { r0 = (r0 + 1); }\n"));
+  CfgOrder Order = CfgOrder::compute(G);
+  Solution<std::vector<bool>> Sol =
+      solve(G, LiveDomain(G.numRegs()), Order, Direction::Backward);
+  ASSERT_TRUE(Sol.Converged);
+  for (NodeId N = 0; N < G.size(); ++N)
+    if (G[N].K == CfgNode::Kind::Branch) {
+      EXPECT_TRUE(Sol.Out[N][0]) << "r0 live entering the loop test";
+    }
+}
+
+TEST(Engine, EmptyProgramSolvesToBoundaryAtExit) {
+  Cfg G = buildCfg(Stmt::seq({}));
+  CfgOrder Order = CfgOrder::compute(G);
+  Solution<int> Sol = solve(G, ReachDomain{}, Order);
+  ASSERT_TRUE(Sol.Converged);
+  EXPECT_TRUE(Sol.In[G.Exit]);
+  EXPECT_TRUE(Sol.Converged);
+}
+
+//===----------------------------------------------------------------------===//
+// Interval arithmetic and refinement
+//===----------------------------------------------------------------------===//
+
+TEST(Interval, AddFlagsOverflowOnlyWhenBoundsEscape) {
+  RangeFlags F;
+  ValueInterval R = intervalAdd(ValueInterval::range(0, 10),
+                                ValueInterval::range(-3, 3), F);
+  EXPECT_EQ(R, ValueInterval::range(-3, 13));
+  EXPECT_FALSE(F.MayOverflow);
+
+  RangeFlags G;
+  intervalAdd(ValueInterval::constant(INT64_MAX),
+              ValueInterval::range(0, 1), G);
+  EXPECT_TRUE(G.MayOverflow);
+  EXPECT_FALSE(G.DefOverflow) << "the +0 corner stays representable";
+
+  RangeFlags H;
+  intervalAdd(ValueInterval::constant(INT64_MAX),
+              ValueInterval::constant(1), H);
+  EXPECT_TRUE(H.DefOverflow) << "every value of the interval escapes";
+}
+
+TEST(Interval, SubFlagsOverflowAtTheMinCorner) {
+  RangeFlags F;
+  intervalSub(ValueInterval::constant(INT64_MIN),
+              ValueInterval::range(0, 1), F);
+  EXPECT_TRUE(F.MayOverflow);
+}
+
+TEST(Interval, DivCornersAndZeroDivisor) {
+  RangeFlags F;
+  ValueInterval Q = intervalDiv(ValueInterval::range(10, 20),
+                                ValueInterval::range(2, 5), F);
+  EXPECT_EQ(Q, ValueInterval::range(2, 10));
+  EXPECT_FALSE(F.MayDivZero);
+
+  RangeFlags G;
+  intervalDiv(ValueInterval::range(1, 10), ValueInterval::range(-1, 1), G);
+  EXPECT_TRUE(G.MayDivZero);
+  EXPECT_FALSE(G.DefDivZero) << "nonzero divisors exist in the range";
+
+  RangeFlags H;
+  intervalDiv(ValueInterval::range(1, 10), ValueInterval::constant(0), H);
+  EXPECT_TRUE(H.DefDivZero);
+
+  RangeFlags I;
+  intervalDiv(ValueInterval::constant(INT64_MIN),
+              ValueInterval::constant(-1), I);
+  EXPECT_TRUE(I.DefOverflow) << "INT64_MIN / -1 is the one escaping "
+                                "quotient";
+}
+
+TEST(Interval, ModBoundsMagnitudeAndSign) {
+  RangeFlags F;
+  ValueInterval R = intervalMod(ValueInterval::range(0, 100),
+                                ValueInterval::range(3, 7), F);
+  EXPECT_EQ(R, ValueInterval::range(0, 6)) << R.str();
+  EXPECT_FALSE(F.MayDivZero);
+
+  RangeFlags G;
+  ValueInterval S = intervalMod(ValueInterval::range(-100, -1),
+                                ValueInterval::range(3, 7), G);
+  EXPECT_EQ(S, ValueInterval::range(-6, 0)) << S.str();
+}
+
+TEST(Interval, WidenSendsMovingBoundsToInfinity) {
+  ValueInterval I = ValueInterval::range(0, 3);
+  EXPECT_FALSE(I.widenWith(ValueInterval::range(0, 3)));
+  EXPECT_TRUE(I.widenWith(ValueInterval::range(0, 4)));
+  EXPECT_EQ(I.Lo, 0);
+  EXPECT_EQ(I.Hi, INT64_MAX);
+  EXPECT_TRUE(I.widenWith(ValueInterval::range(-1, 0)));
+  EXPECT_EQ(I.Lo, INT64_MIN);
+}
+
+TEST(Interval, RefineLessNarrowsBothSides) {
+  RangeState S;
+  S.Reachable = true;
+  S.Regs.assign(2, ValueInterval::range(0, 100));
+  // r0 < 10 on the true edge.
+  ExprPtr C = Expr::less(Expr::reg(0), Expr::lit(10));
+  RangeState T = S;
+  ASSERT_TRUE(refineByCondition(*C, true, T));
+  EXPECT_EQ(T.Regs[0], ValueInterval::range(0, 9));
+  RangeState FSt = S;
+  ASSERT_TRUE(refineByCondition(*C, false, FSt));
+  EXPECT_EQ(FSt.Regs[0], ValueInterval::range(10, 100));
+}
+
+TEST(Interval, RefineDetectsInfeasibleEdges) {
+  RangeState S;
+  S.Reachable = true;
+  S.Regs.assign(1, ValueInterval::constant(5));
+  ExprPtr C = Expr::less(Expr::reg(0), Expr::lit(3));
+  RangeState T = S;
+  EXPECT_FALSE(refineByCondition(*C, true, T)) << "5 < 3 cannot hold";
+  ExprPtr E = Expr::eq(Expr::reg(0), Expr::lit(5));
+  RangeState U = S;
+  EXPECT_FALSE(refineByCondition(*E, false, U)) << "5 != 5 cannot hold";
+}
+
+//===----------------------------------------------------------------------===//
+// Widening behaviour of the value-range instance
+//===----------------------------------------------------------------------===//
+
+TEST(ValueRange, SelfLoopWideningConvergesAndFlagsNothing) {
+  // `while (1) {}` — the head is its own back-edge source; the solve
+  // must terminate (widening caps the chain) with no arithmetic
+  // findings, and dead-code must report the unreachable exit as a NOTE
+  // (an intentional server loop, not a defect).
+  Cfg G = buildCfg(parseOrDie("while (1) {}\n"));
+  ValueRangeResult R = analyzeValueRanges(G);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_TRUE(R.Findings.empty());
+  std::vector<Finding> Dead = analyzeDeadCode(G);
+  ASSERT_FALSE(Dead.empty());
+  bool SawExitNote = false;
+  for (const Finding &F : Dead)
+    if (F.Message.find("never terminates") != std::string::npos) {
+      EXPECT_EQ(F.Sev, Severity::Note);
+      SawExitNote = true;
+    }
+  EXPECT_TRUE(SawExitNote);
+}
+
+TEST(ValueRange, UnboundedCounterWidensToOverflowWarning) {
+  Cfg G = buildCfg(parseOrDie("while (1) { r0 = (r0 + 1); }\n"));
+  ValueRangeResult R = analyzeValueRanges(G);
+  ASSERT_TRUE(R.Converged);
+  ASSERT_EQ(R.Findings.size(), 1u);
+  EXPECT_EQ(R.Findings[0].CheckId, "value-range.signed-overflow");
+  EXPECT_EQ(R.Findings[0].Sev, Severity::Warning);
+  ASSERT_FALSE(R.Findings[0].Witness.empty());
+  EXPECT_EQ(R.Findings[0].Witness.front(), "n0: entry");
+}
+
+TEST(ValueRange, BoundedCounterLoopStaysPrecise) {
+  // The loop-exit refinement pins r0's lower bound at the exit even
+  // after the head widens its upper bound away; no overflow is flagged
+  // either way. Raising WidenAfter past the trip count recovers the
+  // exact exit value — precision is the knob, soundness is not.
+  Cfg G = buildCfg(
+      parseOrDie("r0 = 0;\nwhile ((r0 < 3)) { r0 = (r0 + 1); }\n"));
+  ValueRangeResult R = analyzeValueRanges(G);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_TRUE(R.Findings.empty())
+      << renderText("<test>", R.Findings);
+  EXPECT_EQ(R.In[G.Exit].Regs[0].Lo, 3) << R.In[G.Exit].Regs[0].str();
+
+  AnalysisOptions Patient;
+  Patient.Solve.WidenAfter = 8; // Past the trip count: no widening.
+  ValueRangeResult P = analyzeValueRanges(G, Patient);
+  EXPECT_TRUE(P.Converged);
+  EXPECT_EQ(P.In[G.Exit].Regs[0], ValueInterval::range(3, 3))
+      << P.In[G.Exit].Regs[0].str();
+}
+
+TEST(ValueRange, InnerLoopDoesNotWidenOuterCounterAway) {
+  // The regression the back-edge-only widening fixes: an inner loop
+  // whose head sees the OUTER counter grow must not widen it past its
+  // bound — r0's increment stays overflow-free because the r0 < 4
+  // refinement survives the inner head.
+  Cfg G = buildCfg(parseOrDie("r0 = 0;\n"
+                              "while ((r0 < 4)) {\n"
+                              "  r1 = 0;\n"
+                              "  while ((r1 < 4)) { r1 = (r1 + 1); }\n"
+                              "  r0 = (r0 + 1);\n"
+                              "}\n"));
+  ValueRangeResult R = analyzeValueRanges(G);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_TRUE(R.Findings.empty())
+      << renderText("<test>", R.Findings);
+}
+
+TEST(ValueRange, ConstantSocketOutOfRangeIsAnError) {
+  Cfg G = buildCfg(parseOrDie("r1 = read(r0, buf0);\n"));
+  AnalysisOptions Opts;
+  Opts.NumSockets = 2;
+  // r0 is 0: fine for two sockets.
+  EXPECT_TRUE(analyzeValueRanges(G, Opts).Findings.empty());
+
+  Cfg H = buildCfg(parseOrDie("r0 = 7;\nr1 = read(r0, buf0);\n"));
+  ValueRangeResult R = analyzeValueRanges(H, Opts);
+  ASSERT_EQ(R.Findings.size(), 1u);
+  EXPECT_EQ(R.Findings[0].CheckId, "value-range.socket-range");
+  EXPECT_EQ(R.Findings[0].Sev, Severity::Error);
+  EXPECT_NE(R.Findings[0].Message.find("is always outside [0, 2)"),
+            std::string::npos)
+      << R.Findings[0].Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Definite-init: engine-backed, with the lint pass's exact contract
+//===----------------------------------------------------------------------===//
+
+TEST(DefiniteInit, MatchesLintDefBeforeUseExactly) {
+  // The lint wraps the analysis; both views must agree message-for-
+  // message on a program with both register and buffer findings.
+  Cfg G = buildCfg(parseOrDie("r1 = (r5 + r7);\nnpfp_enqueue(&sched, "
+                              "buf3);\n"));
+  std::vector<Finding> Fs = analyzeDefiniteInit(G);
+  std::vector<LintFinding> Ls = lintDefBeforeUse(G);
+  ASSERT_EQ(Fs.size(), Ls.size());
+  ASSERT_EQ(Fs.size(), 3u) << "r5, r7, buf3";
+  std::size_t Regs = 0, Bufs = 0;
+  for (std::size_t I = 0; I < Fs.size(); ++I) {
+    EXPECT_EQ(Fs[I].Message, Ls[I].Message);
+    EXPECT_EQ(Fs[I].Node, Ls[I].Node);
+    EXPECT_EQ(Ls[I].Pass, "def-before-use");
+    Regs += Fs[I].CheckId == "definite-init.register";
+    Bufs += Fs[I].CheckId == "definite-init.buffer";
+  }
+  EXPECT_EQ(Regs, 2u);
+  EXPECT_EQ(Bufs, 1u);
+}
+
+TEST(DefiniteInit, BranchyInitOnOnePathOnlyIsFlagged) {
+  Cfg G = buildCfg(parseOrDie("if (r0) { r1 = 1; }\nr2 = (r1 + 1);\n"));
+  std::vector<Finding> Fs = analyzeDefiniteInit(G);
+  bool SawR1 = false;
+  for (const Finding &F : Fs)
+    SawR1 |= F.Message.find("r1") != std::string::npos;
+  EXPECT_TRUE(SawR1) << "r1 unset on the else path";
+}
+
+//===----------------------------------------------------------------------===//
+// Marker discipline
+//===----------------------------------------------------------------------===//
+
+TEST(MarkerDiscipline, FlagsDroppedCompletionAndSwappedMarkers) {
+  for (const Mutant &M : protocolMutantCorpus(2)) {
+    std::vector<Finding> Fs =
+        analyzeMarkerDiscipline(buildCfg(M.Program));
+    if (M.Name == "dropped-completion") {
+      ASSERT_FALSE(Fs.empty()) << M.Name;
+      EXPECT_NE(Fs[0].Message.find("still open"), std::string::npos);
+    } else if (M.Name == "dropped-dispatch" ||
+               M.Name == "reordered-dispatch") {
+      ASSERT_FALSE(Fs.empty()) << M.Name;
+      EXPECT_NE(Fs[0].Message.find("without a preceding dispatch_start"),
+                std::string::npos)
+          << Fs[0].Message;
+    }
+  }
+  EXPECT_TRUE(
+      analyzeMarkerDiscipline(buildCfg(buildRosslProgram(2))).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// The unified report: ordering and byte-pinned renderings
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The pin program: one definite-init finding and a definite division
+/// by zero on line 1, a constant branch hiding dead code on line 2.
+const char *PinSource = "r1 = (r0 / r0);\nif (0) { r2 = 1; }\n";
+
+const char *PinText =
+    "pin.rossl:1: warning: [definite-init.register] register r0 read at "
+    "n4 (r1 = (r0 / r0)) with no prior assignment on some path (the "
+    "machine zero-initialises; make it explicit)\n"
+    "pin.rossl:1: error: [value-range.div-by-zero] division by zero in "
+    "(r0 / r0) at n4 (r1 = (r0 / r0)): divisor in [0, 0]\n"
+    "  n0: entry\n"
+    "  n4: r1 = (r0 / r0)\n"
+    "pin.rossl:2: warning: [dead-code.constant-branch] branch n3 (branch "
+    "0) never takes its true edge (condition is always 0)\n"
+    "pin.rossl:2: warning: [dead-code.unreachable] statement n2 (r2 = 1) "
+    "is unreachable: no feasible path (value ranges)\n";
+
+} // namespace
+
+TEST(UnifiedReport, FindingsAreSortedByLineCheckIdNode) {
+  std::vector<Finding> Fs =
+      runUnifiedAnalyses(buildCfg(parseOrDie(PinSource)));
+  ASSERT_EQ(Fs.size(), 4u);
+  for (std::size_t I = 1; I < Fs.size(); ++I) {
+    auto Key = [](const Finding &F) {
+      return std::make_tuple(F.Line, F.CheckId, F.Node, F.Message);
+    };
+    EXPECT_LE(Key(Fs[I - 1]), Key(Fs[I]));
+  }
+  EXPECT_EQ(maxSeverity(Fs), Severity::Error);
+}
+
+TEST(UnifiedReport, TextRenderingIsBytePinned) {
+  std::vector<Finding> Fs =
+      runUnifiedAnalyses(buildCfg(parseOrDie(PinSource)));
+  EXPECT_EQ(renderText("pin.rossl", Fs), PinText);
+  // Determinism across repeat solves: same bytes, not merely same set.
+  std::vector<Finding> Again =
+      runUnifiedAnalyses(buildCfg(parseOrDie(PinSource)));
+  EXPECT_EQ(renderText("pin.rossl", Again), PinText);
+}
+
+TEST(UnifiedReport, SarifRenderingIsWellFormedAndPinned) {
+  std::vector<Finding> Fs =
+      runUnifiedAnalyses(buildCfg(parseOrDie(PinSource)));
+  std::string S = renderSarif("pin.rossl", Fs);
+  // Structural pins (full-byte equality is covered via the text pin;
+  // here the SARIF-specific envelope is checked).
+  EXPECT_NE(S.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(S.find("\"name\": \"rp_verify\""), std::string::npos);
+  EXPECT_NE(S.find("\"ruleId\": \"value-range.div-by-zero\""),
+            std::string::npos);
+  EXPECT_NE(S.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(S.find("\"uri\": \"pin.rossl\""), std::string::npos);
+  EXPECT_NE(S.find("\"startLine\": 1"), std::string::npos);
+  EXPECT_NE(S.find("\"witness\": [\"n0: entry\", \"n4: r1 = (r0 / "
+                   "r0)\"]"),
+            std::string::npos)
+      << S;
+  EXPECT_EQ(S, renderSarif("pin.rossl", Fs)) << "byte-stable";
+  EXPECT_EQ(std::count(S.begin(), S.end(), '{'),
+            std::count(S.begin(), S.end(), '}'));
+  EXPECT_EQ(std::count(S.begin(), S.end(), '['),
+            std::count(S.begin(), S.end(), ']'));
+}
+
+TEST(UnifiedReport, SarifEscapesControlAndQuoteCharacters) {
+  std::vector<Finding> Fs;
+  Fs.push_back({"test.escape", Severity::Note, 0, 1,
+                "quote \" backslash \\ newline \n tab \t bell \x07 done",
+                {}});
+  std::string S = renderSarif("f", Fs);
+  EXPECT_NE(S.find("quote \\\" backslash \\\\ newline \\n tab \\t bell "
+                   "\\u0007 done"),
+            std::string::npos)
+      << S;
+}
+
+TEST(UnifiedReport, EmbeddedProgramIsCleanForSocketSweep) {
+  for (std::uint32_t N : {1u, 2u, 4u}) {
+    AnalysisOptions Opts;
+    Opts.NumSockets = N;
+    std::vector<Finding> Fs =
+        runUnifiedAnalyses(buildCfg(buildRosslProgram(N)), Opts);
+    EXPECT_TRUE(Fs.empty())
+        << "N=" << N << ":\n" << renderText("<embedded>", Fs);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Death and cap edges
+//===----------------------------------------------------------------------===//
+
+TEST(DataflowDeath, NullProgramAbortsWithDiagnostic) {
+  EXPECT_DEATH(buildCfg(nullptr), "null program");
+}
+
+TEST(CapEdges, NestingJustUnderTheParserCapAnalyzesFine) {
+  // 200 stacked negations stay under the parser's recursion cap (256);
+  // the lowered assign must analyze without findings.
+  std::string Src = "r0 = ";
+  for (int I = 0; I < 200; ++I)
+    Src += "!";
+  Src += "1;\n";
+  ValueRangeResult R = analyzeValueRanges(buildCfg(parseOrDie(Src)));
+  EXPECT_TRUE(R.Converged);
+  EXPECT_TRUE(R.Findings.empty());
+}
+
+TEST(CapEdges, MaxRegisterIndexTripsTheMachineRangeLint) {
+  // r4095 parses (the cap) but implies 4096 registers — far past the
+  // machine's 8; the unified report must say so.
+  std::vector<Finding> Fs =
+      runUnifiedAnalyses(buildCfg(parseOrDie("r4095 = 1;\n")));
+  bool Saw = false;
+  for (const Finding &F : Fs)
+    Saw |= F.CheckId == "machine-range" &&
+           F.Message.find("4096") != std::string::npos;
+  EXPECT_TRUE(Saw) << renderText("<cap>", Fs);
+}
+
+TEST(CapEdges, SolverReportsNonConvergenceInsteadOfHanging) {
+  // One round is never enough for a loop: the backstop must trip and be
+  // reported honestly.
+  Cfg G = buildCfg(parseOrDie("while ((r0 < 3)) { r0 = (r0 + 1); }\n"));
+  AnalysisOptions Opts;
+  Opts.Solve.MaxRounds = 1;
+  ValueRangeResult R = analyzeValueRanges(G, Opts);
+  EXPECT_FALSE(R.Converged);
+}
+
+//===----------------------------------------------------------------------===//
+// Source lines ride from the parser through to the findings
+//===----------------------------------------------------------------------===//
+
+TEST(Lines, ParserStampsAndFindingsCarryThem) {
+  Cfg G = buildCfg(parseOrDie("r0 = 1;\nr1 = 2;\nr2 = (r9 / 0);\n"));
+  ValueRangeResult R = analyzeValueRanges(G);
+  ASSERT_FALSE(R.Findings.empty());
+  EXPECT_EQ(R.Findings[0].Line, 3u);
+  // Programmatically-built ASTs have no lines; findings degrade to 0.
+  ValueRangeResult P = analyzeValueRanges(
+      buildCfg(Stmt::setReg(0, Expr::divE(Expr::lit(1), Expr::lit(0)))));
+  ASSERT_FALSE(P.Findings.empty());
+  EXPECT_EQ(P.Findings[0].Line, 0u);
+}
