@@ -103,6 +103,7 @@ int main(int argc, char **argv) {
 
   SweepOptions Opts;
   Opts.Threads = threadsFromArgs(argc, argv);
+  Opts.ChunkSize = chunkFromArgs(argc, argv);
   SweepRunner Runner(Opts);
   std::vector<char> Ok = Runner.runSchedulable(Points);
 

@@ -93,7 +93,8 @@ int main(int argc, char **argv) {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> Counts(
       Components.size());
   ThreadPool Pool(threadsFromArgs(argc, argv));
-  Pool.parallelFor(Components.size(), [&](std::size_t Idx) {
+  std::size_t Chunk = chunkFromArgs(argc, argv);
+  Pool.parallelForChunked(Components.size(), Chunk, [&](std::size_t Idx) {
     Counts[Idx] = countLoc(Root / Components[Idx].Dir);
   });
 

@@ -64,7 +64,8 @@ int main(int argc, char **argv) {
   };
   std::vector<PolicyRow> Rows(Policies.size());
   ThreadPool Pool(threadsFromArgs(argc, argv));
-  Pool.parallelFor(Policies.size(), [&](std::size_t Idx) {
+  std::size_t Chunk = chunkFromArgs(argc, argv);
+  Pool.parallelForChunked(Policies.size(), Chunk, [&](std::size_t Idx) {
     AdequacySpec ASpec;
     ASpec.Client.Tasks = TS;
     ASpec.Client.NumSockets = 2;

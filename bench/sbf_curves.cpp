@@ -89,7 +89,8 @@ int main(int argc, char **argv) {
   };
   std::vector<Row> Rows(Deltas.size());
   ThreadPool Pool(threadsFromArgs(argc, argv));
-  Pool.parallelFor(Deltas.size(), [&](std::size_t Idx) {
+  std::size_t Chunk = chunkFromArgs(argc, argv);
+  Pool.parallelForChunked(Deltas.size(), Chunk, [&](std::size_t Idx) {
     Duration Delta = Deltas[Idx];
     Duration MaxBlackout = 0;
     Duration MinSupply = TimeInfinity;

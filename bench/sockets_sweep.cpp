@@ -40,6 +40,7 @@ int main(int argc, char **argv) {
       Smoke ? std::vector<std::uint32_t>{1, 2, 4}
             : std::vector<std::uint32_t>{1, 2, 4, 8, 16, 32, 64};
   ThreadPool Pool(threadsFromArgs(argc, argv));
+  std::size_t Chunk = chunkFromArgs(argc, argv);
 
   struct Row {
     Duration Bound = 0;
@@ -53,7 +54,7 @@ int main(int argc, char **argv) {
   };
   std::vector<Row> Rows(SocketCounts.size());
 
-  Pool.parallelFor(SocketCounts.size(), [&](std::size_t Idx) {
+  Pool.parallelForChunked(SocketCounts.size(), Chunk, [&](std::size_t Idx) {
     std::uint32_t Socks = SocketCounts[Idx];
     ClientConfig Client;
     TaskId Hi = Client.Tasks.addTask(

@@ -18,7 +18,10 @@
 ///
 /// Emits BENCH_sweep_parallel.json with the wall-clock numbers. The
 /// ≥ 2× speedup gate is enforced only when the pool actually has ≥ 4
-/// threads (the determinism checks are unconditional).
+/// threads (the determinism checks are unconditional). A second gate
+/// protects the other end of the scale: on a tiny 3-point grid the
+/// parallel run must stay within 5% of serial (≥ 0.95× speedup) — the
+/// chunked dispatch with limited wakeups must not tax small batches.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +30,7 @@
 #include "sim/workload.h"
 #include "support/rng.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -82,13 +86,13 @@ AdequacyOutcome runAdequacyPoint(std::uint32_t Socks, Duration Horizon) {
   return Out;
 }
 
-double runSocketsGrid(ThreadPool &Pool,
+double runSocketsGrid(ThreadPool &Pool, std::size_t Chunk,
                       const std::vector<std::uint32_t> &Grid,
                       Duration Horizon,
                       std::vector<AdequacyOutcome> &Out) {
   Out.assign(Grid.size(), {});
   auto T0 = std::chrono::steady_clock::now();
-  Pool.parallelFor(Grid.size(), [&](std::size_t I) {
+  Pool.parallelForChunked(Grid.size(), Chunk, [&](std::size_t I) {
     Out[I] = runAdequacyPoint(Grid[I], Horizon);
   });
   auto T1 = std::chrono::steady_clock::now();
@@ -126,10 +130,11 @@ std::vector<SweepPoint> rtaGrid(std::size_t NumSets) {
 }
 
 std::string runRtaGrid(const std::vector<SweepPoint> &Points,
-                       unsigned Threads, bool Memoize) {
+                       unsigned Threads, bool Memoize, std::size_t Chunk) {
   SweepOptions Opts;
   Opts.Threads = Threads;
   Opts.MemoizeCurves = Memoize;
+  Opts.ChunkSize = Chunk;
   SweepRunner Runner(Opts);
   return sweepResultsJson(Points, Runner.run(Points));
 }
@@ -142,6 +147,7 @@ int main(int argc, char **argv) {
 
   bool Smoke = envFlag("RPROSA_BENCH_SMOKE");
   unsigned Threads = threadsFromArgs(argc, argv);
+  std::size_t Chunk = chunkFromArgs(argc, argv);
   ThreadPool Parallel(Threads);
   ThreadPool Serial(1);
 
@@ -151,8 +157,9 @@ int main(int argc, char **argv) {
             : std::vector<std::uint32_t>{1, 2, 4, 8, 16, 32, 64};
   Duration Horizon = (Smoke ? 60 : 400) * TickUs;
   std::vector<AdequacyOutcome> SerialOut, ParallelOut;
-  double SerialMs = runSocketsGrid(Serial, Grid, Horizon, SerialOut);
-  double ParallelMs = runSocketsGrid(Parallel, Grid, Horizon, ParallelOut);
+  double SerialMs = runSocketsGrid(Serial, Chunk, Grid, Horizon, SerialOut);
+  double ParallelMs =
+      runSocketsGrid(Parallel, Chunk, Grid, Horizon, ParallelOut);
   bool ResultsEqual = SerialOut == ParallelOut;
   double Speedup = ParallelMs > 0 ? SerialMs / ParallelMs : 1.0;
   std::printf("sockets grid (%zu points): serial %.1f ms, parallel "
@@ -163,15 +170,35 @@ int main(int argc, char **argv) {
   // 2. RTA grid: byte-identity of the canonical JSON across thread
   // counts and memoization settings.
   std::vector<SweepPoint> Points = rtaGrid(Smoke ? 4 : 24);
-  std::string JsonSerial = runRtaGrid(Points, 1, true);
-  std::string JsonParallel = runRtaGrid(Points, Threads, true);
-  std::string JsonUnmemoized = runRtaGrid(Points, 1, false);
+  std::string JsonSerial = runRtaGrid(Points, 1, true, Chunk);
+  std::string JsonParallel = runRtaGrid(Points, Threads, true, Chunk);
+  std::string JsonUnmemoized = runRtaGrid(Points, 1, false, Chunk);
   bool BytesEqual = JsonSerial == JsonParallel;
   bool MemoEqual = JsonSerial == JsonUnmemoized;
   std::printf("rta grid (%zu points): serial-vs-parallel JSON %s, "
               "memoized-vs-unmemoized JSON %s\n\n",
               Points.size(), BytesEqual ? "byte-identical" : "DIFFERS",
               MemoEqual ? "byte-identical" : "DIFFERS");
+
+  // 3. The small-batch regression gate: a 3-point grid must not pay
+  // for the pool. Best-of-3 on each side to damp scheduler noise.
+  std::vector<std::uint32_t> TinyGrid = {1, 2, 4};
+  Duration TinyHorizon = 60 * TickUs;
+  double TinySerialMs = 1e300, TinyParallelMs = 1e300;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    std::vector<AdequacyOutcome> TinyOut;
+    TinySerialMs = std::min(
+        TinySerialMs,
+        runSocketsGrid(Serial, Chunk, TinyGrid, TinyHorizon, TinyOut));
+    TinyParallelMs = std::min(
+        TinyParallelMs,
+        runSocketsGrid(Parallel, Chunk, TinyGrid, TinyHorizon, TinyOut));
+  }
+  double TinySpeedup =
+      TinyParallelMs > 0 ? TinySerialMs / TinyParallelMs : 1.0;
+  std::printf("tiny grid (3 points): serial %.2f ms, parallel %.2f ms "
+              "-> %.2fx\n\n",
+              TinySerialMs, TinyParallelMs, TinySpeedup);
 
   std::FILE *F = std::fopen("BENCH_sweep_parallel.json", "w");
   if (F) {
@@ -183,12 +210,16 @@ int main(int argc, char **argv) {
                  "  \"serial_ms\": %.3f,\n"
                  "  \"parallel_ms\": %.3f,\n"
                  "  \"speedup\": %.3f,\n"
+                 "  \"tiny_serial_ms\": %.3f,\n"
+                 "  \"tiny_parallel_ms\": %.3f,\n"
+                 "  \"tiny_speedup\": %.3f,\n"
                  "  \"results_identical\": %s,\n"
                  "  \"json_byte_identical\": %s,\n"
                  "  \"memo_byte_identical\": %s\n"
                  "}\n",
                  Grid.size(), Parallel.threads(), SerialMs, ParallelMs,
-                 Speedup, ResultsEqual ? "true" : "false",
+                 Speedup, TinySerialMs, TinyParallelMs, TinySpeedup,
+                 ResultsEqual ? "true" : "false",
                  BytesEqual ? "true" : "false",
                  MemoEqual ? "true" : "false");
     std::fclose(F);
@@ -206,6 +237,13 @@ int main(int argc, char **argv) {
     std::printf("E18 FAILED: %u threads yielded only %.2fx over serial "
                 "(>= 2x required)\n",
                 Parallel.threads(), Speedup);
+    Ok = false;
+  }
+  if (GateActive && TinySpeedup < 0.95) {
+    std::printf("E18 FAILED: the 3-point grid ran at %.2fx serial "
+                "(>= 0.95x required: small batches must not pay for "
+                "the pool)\n",
+                TinySpeedup);
     Ok = false;
   }
   if (!Ok && (ResultsEqual && BytesEqual && MemoEqual) == false) {

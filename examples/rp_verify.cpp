@@ -198,7 +198,7 @@ StaticCostParams timingParams() {
   return P;
 }
 
-int timingSweepMode(unsigned Threads) {
+int timingSweepMode(unsigned Threads, std::size_t Chunk) {
   std::printf("=== rp_verify --timing: static segment-cost analysis of "
               "the embedded Roessl program ===\n\n");
 
@@ -215,7 +215,7 @@ int timingSweepMode(unsigned Threads) {
     bool Bounded = false;
   };
   std::vector<SocketResult> PerSocket(Sockets.size());
-  Pool.parallelFor(Sockets.size(), [&](std::size_t Idx) {
+  Pool.parallelForChunked(Sockets.size(), Chunk, [&](std::size_t Idx) {
     std::uint32_t N = Sockets[Idx];
     TimingResult R =
         analyzeTiming(buildCfg(buildRosslProgram(N)), timingParams(), N);
@@ -244,7 +244,7 @@ int timingSweepMode(unsigned Threads) {
     bool Caught = false;
   };
   std::vector<MutantResult> PerMutant(Corpus.size());
-  Pool.parallelFor(Corpus.size(), [&](std::size_t Idx) {
+  Pool.parallelForChunked(Corpus.size(), Chunk, [&](std::size_t Idx) {
     const Mutant &M = Corpus[Idx];
     MutantResult &Out = PerMutant[Idx];
     Cfg G = buildCfg(M.Program);
@@ -435,9 +435,10 @@ int timingFileMode(const char *Path, std::uint32_t NumSockets) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  // Threading flags (--serial, --threads=N) may appear anywhere; the
-  // remaining arguments keep their positional meaning.
+  // Threading flags (--serial, --threads=N, --chunk=N) may appear
+  // anywhere; the remaining arguments keep their positional meaning.
   unsigned Threads = threadsFromArgs(Argc, Argv);
+  std::size_t Chunk = chunkFromArgs(Argc, Argv);
   bool Sarif = false;
   std::vector<char *> Pos;
   for (int I = 1; I < Argc; ++I) {
@@ -446,7 +447,8 @@ int main(int Argc, char **Argv) {
       continue;
     }
     if (std::strcmp(Argv[I], "--serial") != 0 &&
-        std::strncmp(Argv[I], "--threads=", 10) != 0)
+        std::strncmp(Argv[I], "--threads=", 10) != 0 &&
+        std::strncmp(Argv[I], "--chunk=", 8) != 0)
       Pos.push_back(Argv[I]);
   }
 
@@ -485,6 +487,6 @@ int main(int Argc, char **Argv) {
     return lintMode(Path, NumSockets, Sarif);
   if (Timing)
     return Path ? timingFileMode(Path, NumSockets)
-                : timingSweepMode(Threads);
+                : timingSweepMode(Threads, Chunk);
   return fileMode(Path, NumSockets);
 }

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
 #include <string>
 
 using namespace rprosa;
@@ -52,6 +53,11 @@ std::string PeriodicCurve::describe() const {
   return "periodic(T=" + std::to_string(Period) + ")";
 }
 
+std::optional<CurveTail> PeriodicCurve::tail() const {
+  // ⌈(Δ+T)/T⌉ = ⌈Δ/T⌉ + 1, and Δ + T never overflows below the bound.
+  return CurveTail{Period, 1, 0, TimeInfinity - Period};
+}
+
 LeakyBucketCurve::LeakyBucketCurve(std::uint64_t Burst, Duration Rate)
     : Burst(Burst), Rate(Rate) {
   assert(Burst > 0 && "burst must admit at least one arrival");
@@ -67,6 +73,13 @@ std::uint64_t LeakyBucketCurve::eval(Duration Delta) const {
 std::string LeakyBucketCurve::describe() const {
   return "leaky-bucket(b=" + std::to_string(Burst) +
          ", r=1/" + std::to_string(Rate) + ")";
+}
+
+std::optional<CurveTail> LeakyBucketCurve::tail() const {
+  // B + (Δ+R)/R = eval(Δ) + 1 — from 1 (the Δ = 0 special case breaks
+  // the step at the origin). The sum B + Δ/R wraps mod 2^64 just like
+  // extrapolated table values do, so the recurrence is exact everywhere.
+  return CurveTail{Rate, 1, 1, TimeInfinity - Rate};
 }
 
 StaircaseCurve::StaircaseCurve(std::vector<Step> Steps, Duration TailPeriod)
@@ -102,6 +115,20 @@ std::string StaircaseCurve::describe() const {
   return "staircase(" + std::to_string(Steps.size()) + " steps)";
 }
 
+std::optional<CurveTail> StaircaseCurve::tail() const {
+  const Step &Last = Steps.back();
+  // Beyond the last explicit step the curve is Last.Bound plus one
+  // arrival per TailPeriod (or constant when TailPeriod == 0).
+  Duration From = satAdd(Last.UpToLength, 1);
+  if (From == TimeInfinity)
+    return std::nullopt;
+  if (TailPeriod == 0)
+    return CurveTail{1, 0, From, TimeInfinity - 1};
+  if (TimeInfinity - TailPeriod < From)
+    return std::nullopt;
+  return CurveTail{TailPeriod, 1, From, TimeInfinity - TailPeriod};
+}
+
 PeriodicJitterCurve::PeriodicJitterCurve(Duration Period, Duration Jit)
     : Period(Period), Jit(Jit) {
   assert(Period > 0 && "period must be positive");
@@ -120,6 +147,16 @@ std::string PeriodicJitterCurve::describe() const {
          ", J=" + std::to_string(Jit) + ")";
 }
 
+std::optional<CurveTail> PeriodicJitterCurve::tail() const {
+  // ⌈(Δ+T+Jit)/T⌉ = ⌈(Δ+Jit)/T⌉ + 1 — valid only while Δ + Jit is
+  // computed exactly; past ValidTo the internal satAdd clamps and the
+  // recurrence breaks, so the tail stops there.
+  Duration Slack = satAdd(Period, Jit);
+  if (Slack == TimeInfinity)
+    return std::nullopt;
+  return CurveTail{Period, 1, 1, TimeInfinity - Slack};
+}
+
 SumCurve::SumCurve(std::vector<ArrivalCurvePtr> Parts)
     : Parts(std::move(Parts)) {
   assert(!this->Parts.empty() && "sum of zero curves");
@@ -136,6 +173,44 @@ std::uint64_t SumCurve::eval(Duration Delta) const {
 
 std::string SumCurve::describe() const {
   return "sum(" + std::to_string(Parts.size()) + " curves)";
+}
+
+std::optional<CurveTail> SumCurve::tail() const {
+  // The sum steps by the lcm of the part periods, gaining each part's
+  // increment once per part period. Addition commutes with reduction
+  // mod 2^64, so the combined recurrence is as exact as the parts'.
+  Duration Period = 1;
+  Duration From = 0;
+  Duration ValidTo = TimeInfinity;
+  constexpr Duration MaxPeriod = 1ull << 42;
+  std::vector<CurveTail> Tails;
+  for (const ArrivalCurvePtr &P : Parts) {
+    std::optional<CurveTail> T = P->tail();
+    if (!T)
+      return std::nullopt;
+    Duration G = std::gcd(Period, T->Period);
+    Duration Lcm = Period / G;
+    if (Lcm > MaxPeriod / T->Period)
+      return std::nullopt; // lcm blow-up: not worth a table this wide.
+    Period = Lcm * T->Period;
+    From = std::max(From, T->From);
+    ValidTo = std::min(ValidTo, T->ValidTo);
+    Tails.push_back(*T);
+  }
+  std::uint64_t Increment = 0;
+  for (const CurveTail &T : Tails) {
+    Increment += (Period / T.Period) * T.Increment;
+    // One combined step applies a part's recurrence Period/T.Period
+    // times, the last at Delta + Period - T.Period: shrink the window
+    // so every intermediate application stays within the part's.
+    Duration Overhang = Period - T.Period;
+    if (T.ValidTo < Overhang)
+      return std::nullopt;
+    ValidTo = std::min(ValidTo, T.ValidTo - Overhang);
+  }
+  if (ValidTo < From)
+    return std::nullopt;
+  return CurveTail{Period, Increment, From, ValidTo};
 }
 
 MinCurve::MinCurve(ArrivalCurvePtr A, ArrivalCurvePtr B)
@@ -165,29 +240,18 @@ std::string ScaledCurve::describe() const {
   return std::to_string(Factor) + "x(" + Inner->describe() + ")";
 }
 
+std::optional<CurveTail> ScaledCurve::tail() const {
+  std::optional<CurveTail> T = Inner->tail();
+  if (!T)
+    return std::nullopt;
+  // Factor * (v + Inc) = Factor*v + Factor*Inc, mod 2^64 exactly as
+  // eval() computes it.
+  return CurveTail{T->Period, Factor * T->Increment, T->From, T->ValidTo};
+}
+
 Duration rprosa::minWindowAdmitting(const ArrivalCurve &Curve,
                                     std::uint64_t Count, Duration SearchCap) {
-  if (Count == 0)
-    return 0;
-  // Doubling phase: find some window admitting Count.
-  Duration Hi = 1;
-  while (Curve.eval(Hi) < Count) {
-    if (Hi >= SearchCap)
-      return TimeInfinity;
-    Hi = satMul(Hi, 2);
-    if (Hi > SearchCap)
-      Hi = SearchCap;
-  }
-  // Binary search for the smallest such window.
-  Duration Lo = 1;
-  while (Lo < Hi) {
-    Duration Mid = Lo + (Hi - Lo) / 2;
-    if (Curve.eval(Mid) >= Count)
-      Hi = Mid;
-    else
-      Lo = Mid + 1;
-  }
-  return Hi;
+  return minWindowAdmittingIn(Curve, Count, SearchCap);
 }
 
 ShiftedCurve::ShiftedCurve(ArrivalCurvePtr Inner, Duration Shift)
@@ -203,4 +267,22 @@ std::uint64_t ShiftedCurve::eval(Duration Delta) const {
 
 std::string ShiftedCurve::describe() const {
   return Inner->describe() + "+shift(" + std::to_string(Shift) + ")";
+}
+
+std::optional<CurveTail> ShiftedCurve::tail() const {
+  std::optional<CurveTail> T = Inner->tail();
+  if (!T)
+    return std::nullopt;
+  // eval(Δ) = Inner(Δ + Shift) for Δ > 0, so the inner recurrence
+  // window translates left by Shift. Stay below both the inner window
+  // and the point where our own satAdd would clamp.
+  Duration From = T->From > Shift ? T->From - Shift : 1;
+  From = std::max<Duration>(From, 1);
+  Duration ValidTo = T->ValidTo > Shift ? T->ValidTo - Shift : 0;
+  ValidTo = std::min(ValidTo, TimeInfinity - Shift >= T->Period
+                                  ? TimeInfinity - Shift - T->Period
+                                  : 0);
+  if (ValidTo < From)
+    return std::nullopt;
+  return CurveTail{T->Period, T->Increment, From, ValidTo};
 }

@@ -26,9 +26,31 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 namespace rprosa {
+
+/// An exact eventually-periodic description of a curve's long-run
+/// behavior, used by FlatCurveTable (core/curve_table.h) to extrapolate
+/// beyond its compiled breakpoint table:
+///
+///   for every Delta with From <= Delta <= ValidTo:
+///     eval(Delta + Period) == eval(Delta) + Increment
+///
+/// where the addition is the same plain wrapping uint64 arithmetic the
+/// curve itself computes with (SumCurve/ScaledCurve accumulate without
+/// saturation, so a recurrence that holds in Z holds mod 2^64 as well).
+/// ValidTo guards curves whose eval saturates internally (satAdd in
+/// PeriodicJitterCurve/ShiftedCurve): beyond it the recurrence may be
+/// broken by clamping and callers must fall back to eval(). A curve
+/// with no exact tail (or none it can prove) returns nullopt.
+struct CurveTail {
+  Duration Period = 0;            ///< Recurrence period (> 0).
+  std::uint64_t Increment = 0;    ///< Value gained per period.
+  Duration From = 0;              ///< First Delta the recurrence holds at.
+  Duration ValidTo = TimeInfinity;///< Last Delta it may be applied at.
+};
 
 /// Abstract arrival curve. Implementations must be monotone with
 /// eval(0) == 0; validate() spot-checks this.
@@ -42,6 +64,12 @@ public:
 
   /// A human-readable description of the curve ("periodic(T=10ms)").
   virtual std::string describe() const = 0;
+
+  /// The curve's exact eventually-periodic tail, if it has one it can
+  /// prove (see CurveTail). Purely an acceleration hint: FlatCurveTable
+  /// compiles only one tail period of breakpoints and extrapolates; a
+  /// nullopt tail merely costs table size, never correctness.
+  virtual std::optional<CurveTail> tail() const { return std::nullopt; }
 
   /// Spot-checks the curve axioms (eval(0)==0, monotonicity on a probe
   /// grid up to \p Horizon).
@@ -58,6 +86,7 @@ public:
 
   std::uint64_t eval(Duration Delta) const override;
   std::string describe() const override;
+  std::optional<CurveTail> tail() const override;
 
   Duration period() const { return Period; }
 
@@ -74,6 +103,7 @@ public:
 
   std::uint64_t eval(Duration Delta) const override;
   std::string describe() const override;
+  std::optional<CurveTail> tail() const override;
 
   std::uint64_t burst() const { return Burst; }
   Duration rate() const { return Rate; }
@@ -99,6 +129,7 @@ public:
 
   std::uint64_t eval(Duration Delta) const override;
   std::string describe() const override;
+  std::optional<CurveTail> tail() const override;
 
 private:
   std::vector<Step> Steps;
@@ -114,6 +145,10 @@ public:
 
   std::uint64_t eval(Duration Delta) const override;
   std::string describe() const override;
+  std::optional<CurveTail> tail() const override;
+
+  const ArrivalCurvePtr &inner() const { return Inner; }
+  Duration shift() const { return Shift; }
 
 private:
   ArrivalCurvePtr Inner;
@@ -125,6 +160,9 @@ class ZeroCurve : public ArrivalCurve {
 public:
   std::uint64_t eval(Duration) const override { return 0; }
   std::string describe() const override { return "zero"; }
+  std::optional<CurveTail> tail() const override {
+    return CurveTail{1, 0, 0, TimeInfinity - 1};
+  }
 };
 
 /// Periodic arrivals subject to release jitter at the *source*:
@@ -137,6 +175,7 @@ public:
 
   std::uint64_t eval(Duration Delta) const override;
   std::string describe() const override;
+  std::optional<CurveTail> tail() const override;
 
 private:
   Duration Period;
@@ -150,6 +189,7 @@ public:
 
   std::uint64_t eval(Duration Delta) const override;
   std::string describe() const override;
+  std::optional<CurveTail> tail() const override;
 
 private:
   std::vector<ArrivalCurvePtr> Parts;
@@ -158,6 +198,12 @@ private:
 /// Pointwise minimum of two curves: when two independent bounds are
 /// known (e.g. a burst limit and a long-run rate), their minimum is
 /// also a valid — and tighter — arrival curve.
+///
+/// Deliberately reports no tail(): min does not commute with the
+/// wrapping arithmetic the tail contract is stated in (an operand's
+/// value can wrap while the min stays small), so an exact recurrence
+/// cannot be certified in general. FlatCurveTable falls back to eval()
+/// beyond its compiled horizon, which is always exact.
 class MinCurve : public ArrivalCurve {
 public:
   MinCurve(ArrivalCurvePtr A, ArrivalCurvePtr B);
@@ -176,11 +222,42 @@ public:
 
   std::uint64_t eval(Duration Delta) const override;
   std::string describe() const override;
+  std::optional<CurveTail> tail() const override;
 
 private:
   ArrivalCurvePtr Inner;
   std::uint64_t Factor;
 };
+
+/// The smallest window length Delta with Eval.eval(Delta) >= Count, for
+/// any monotone evaluator with eval(0) == 0 (an ArrivalCurve, a
+/// FlatCurveTable, a FlatReleaseView). Doubling + binary search;
+/// TimeInfinity if no window below \p SearchCap admits Count arrivals.
+template <typename EvalT>
+Duration minWindowAdmittingIn(const EvalT &Eval, std::uint64_t Count,
+                              Duration SearchCap) {
+  if (Count == 0)
+    return 0;
+  // Doubling phase: find some window admitting Count.
+  Duration Hi = 1;
+  while (Eval.eval(Hi) < Count) {
+    if (Hi >= SearchCap)
+      return TimeInfinity;
+    Hi = satMul(Hi, 2);
+    if (Hi > SearchCap)
+      Hi = SearchCap;
+  }
+  // Binary search for the smallest such window.
+  Duration Lo = 1;
+  while (Lo < Hi) {
+    Duration Mid = Lo + (Hi - Lo) / 2;
+    if (Eval.eval(Mid) >= Count)
+      Hi = Mid;
+    else
+      Lo = Mid + 1;
+  }
+  return Hi;
+}
 
 /// The smallest window length Delta with Curve.eval(Delta) >= Count
 /// (doubling + binary search over the monotone curve; TimeInfinity if

@@ -39,16 +39,28 @@ public:
       : Tasks(Tasks), Cfg(Cfg) {
     Bounds = OverheadBounds::compute(W, NumSockets);
     Jitter = Cfg.AccountOverheads ? maxReleaseJitter(Bounds) : 0;
+    std::vector<ArrivalCurvePtr> Alphas;
     for (const Task &T : Tasks.tasks())
-      Beta.push_back(Cfg.AccountOverheads
-                         ? makeReleaseCurve(T.Curve, Jitter)
-                         : T.Curve);
-    if (Cfg.AccountOverheads)
-      Supply = std::make_unique<RosslSupply>(Beta, Bounds,
-                                             Cfg.FixedPointCap,
-                                             !Cfg.AblateCarryIn);
-    else
+      Alphas.push_back(T.Curve);
+    // The hot-path kernel: every β_k evaluation below goes through one
+    // flat compilation of the task curves (core/curve_table.h), never
+    // the virtual curve tree. Identical values by construction.
+    Flat = std::make_shared<FlatReleaseSet>(
+        Alphas, Jitter, satAdd(Cfg.FixedPointCap, 2));
+    if (Cfg.AccountOverheads) {
+      std::vector<ArrivalCurvePtr> Beta;
+      for (const ArrivalCurvePtr &A : Alphas)
+        Beta.push_back(makeReleaseCurve(A, Jitter));
+      auto Rossl = std::make_unique<RosslSupply>(std::move(Beta), Bounds,
+                                                 Cfg.FixedPointCap,
+                                                 !Cfg.AblateCarryIn);
+      Rossl->setFlatCurves(Flat);
+      Rossl->setWarmSeeding(Cfg.WarmIntraPoint);
+      Rossl->setTelemetry(Cfg.Telemetry);
+      Supply = std::move(Rossl);
+    } else {
       Supply = std::make_unique<IdealSupply>();
+    }
   }
 
   RtaResult run();
@@ -60,15 +72,27 @@ private:
   Duration workloadOf(const std::vector<TaskId> &Ks, Duration Len) const {
     Duration Sum = 0;
     for (TaskId K : Ks)
-      Sum = satAdd(Sum, satMul(Beta[K]->eval(Len), Tasks.task(K).Wcet));
+      Sum = satAdd(Sum, satMul(Flat->evalRelease(K, Len),
+                               Tasks.task(K).Wcet));
     return Sum;
+  }
+
+  /// Runs one outer fixpoint with seeding + telemetry.
+  std::optional<Time> solve(const std::function<Time(Time)> &F, Time Start,
+                            Time Seed) const {
+    std::uint64_t Iters = 0;
+    std::optional<Time> T =
+        leastFixedPointSeeded(F, Start, Seed, Cfg.FixedPointCap, &Iters);
+    if (Cfg.Telemetry)
+      Cfg.Telemetry->noteFixpoint(Iters, Seed > Start);
+    return T;
   }
 
   const TaskSet &Tasks;
   RtaConfig Cfg;
   OverheadBounds Bounds;
   Duration Jitter = 0;
-  std::vector<ArrivalCurvePtr> Beta;
+  std::shared_ptr<const FlatReleaseSet> Flat;
   std::unique_ptr<SupplyModel> Supply;
 };
 
@@ -97,15 +121,21 @@ TaskRta NpfpAnalysis::analyzeTask(TaskId I) const {
     // A busy window is at least one instant long.
     return std::max<Time>(1, Supply->timeToSupply(Work));
   };
-  std::optional<Time> L = leastFixedPoint(BusyStep, 1, Cfg.FixedPointCap);
+  // Seed the busy window from a demand-dominated neighbor's solution
+  // when the caller supplied one (sound per warm_start.h: the
+  // neighbor's lfp is ≤ ours).
+  Duration BusySeed = Cfg.Warm ? Cfg.Warm->busyWindowSeed(I) : 0;
+  std::optional<Time> L = solve(BusyStep, 1, BusySeed);
   if (!L)
     return Out; // Unbounded.
   Out.BusyWindow = *L;
 
   // Walk the release offsets A_q within the busy window.
+  FlatReleaseView BetaI(*Flat, I);
   Duration Rmax = 0;
+  Time PrevS = 0; // S_{q-1}: a sound seed for S_q (Prior and A_q grow).
   for (std::uint64_t Q = 1; Q <= Cfg.MaxOffsets; ++Q) {
-    Duration WindowLen = minWindowAdmitting(*Beta[I], Q, Cfg.FixedPointCap);
+    Duration WindowLen = minWindowAdmittingIn(BetaI, Q, Cfg.FixedPointCap);
     if (WindowLen == TimeInfinity)
       break; // The curve admits no q-th release at all.
     Time Aq = WindowLen - 1; // Release offset within the busy window.
@@ -120,10 +150,11 @@ TaskRta NpfpAnalysis::analyzeTask(TaskId I) const {
       Duration Work = satAdd(Prior, workloadOf(HepOthers, satAdd(T, 1)));
       return std::max<Time>(Aq, Supply->timeToSupply(Work));
     };
-    std::optional<Time> S = leastFixedPoint(StartStep, Aq,
-                                            Cfg.FixedPointCap);
+    std::optional<Time> S =
+        solve(StartStep, Aq, Cfg.WarmIntraPoint ? PrevS : 0);
     if (!S)
       return Out; // Unbounded.
+    PrevS = *S;
 
     // Finish bound: the same interference (frozen at the start — jobs
     // released after a non-preemptive start cannot precede it) plus the

@@ -46,6 +46,7 @@
 #include "rta/bounds.h"
 #include "rta/jitter.h"
 #include "rta/sbf.h"
+#include "rta/warm_start.h"
 
 #include "core/task.h"
 
@@ -54,6 +55,12 @@
 namespace rprosa {
 
 /// Knobs of the analysis.
+///
+/// The fields up to BlockingMinusOne are *semantic*: they change what
+/// is computed. Warm, WarmIntraPoint and Telemetry are acceleration /
+/// observability hooks that never change any result (warm_start.h's
+/// soundness argument; asserted byte-for-byte by warm_start_test) —
+/// sweep.cpp's canSeed compares only the semantic fields.
 struct RtaConfig {
   /// Cap on every fixed-point search; beyond it a task is unbounded.
   Time FixedPointCap = 100 * TickSec;
@@ -70,6 +77,19 @@ struct RtaConfig {
   /// conservative max lp C_k (a started job has at least one instant
   /// behind it in discrete time).
   bool BlockingMinusOne = false;
+
+  /// Optional per-task fixpoint seeds from a demand-dominated solved
+  /// point (not owned; must outlive the analysis call). Callers are
+  /// responsible for the domination precondition — SweepRunner's
+  /// canSeed is the one place that establishes it.
+  const WarmStart *Warm = nullptr;
+  /// Monotone seeding *within* one analysis run: S_q seeded from
+  /// S_{q−1} (Prior and A_q grow with q, so lfp_{q−1} ≤ lfp_q), and
+  /// the supply inverse seeded from its memo's nearest lower entry.
+  /// Disabled only to measure the cold baseline (bench/hotpath).
+  bool WarmIntraPoint = true;
+  /// Optional iteration-count sink (not owned; thread-safe).
+  FixpointTelemetry *Telemetry = nullptr;
 };
 
 /// The per-task outcome.
@@ -111,6 +131,12 @@ RtaResult analyzeNpfp(const TaskSet &Tasks, const BasicActionWcets &W,
 /// overload above).
 RtaResult analyzeNpfp(const TaskSet &Tasks, const TimingInputs &In,
                       std::uint32_t NumSockets, const RtaConfig &Cfg = {});
+
+/// Extracts warm-start seeds from a solved result: BusyWindow per
+/// bounded task (unbounded tasks seed cold). Sound to pass as
+/// RtaConfig::Warm only for a point whose demand dominates the seed's
+/// (see warm_start.h).
+WarmStart warmStartFrom(const RtaResult &R);
 
 } // namespace rprosa
 

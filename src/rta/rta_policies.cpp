@@ -23,16 +23,32 @@ public:
       : Tasks(Tasks), Cfg(Cfg) {
     Bounds = OverheadBounds::compute(W, NumSockets);
     Jitter = Cfg.AccountOverheads ? maxReleaseJitter(Bounds) : 0;
-    for (const Task &T : Tasks.tasks())
-      Beta.push_back(Cfg.AccountOverheads
-                         ? makeReleaseCurve(T.Curve, Jitter)
-                         : T.Curve);
-    if (Cfg.AccountOverheads)
-      Supply = std::make_unique<RosslSupply>(Beta, Bounds,
-                                             Cfg.FixedPointCap,
-                                             !Cfg.AblateCarryIn);
-    else
+    std::vector<ArrivalCurvePtr> Alphas;
+    Duration MaxDeadline = 0;
+    for (const Task &T : Tasks.tasks()) {
+      Alphas.push_back(T.Curve);
+      MaxDeadline = std::max(MaxDeadline, T.Deadline);
+    }
+    // All β_k evaluations go through one flat compilation (see
+    // rta_npfp.cpp). The EDF window can reach A + 1 + J + D_i − D_k,
+    // so the compile horizon includes the deadline spread.
+    Flat = std::make_shared<FlatReleaseSet>(
+        Alphas, Jitter,
+        satAdd(Cfg.FixedPointCap, satAdd(MaxDeadline, 2)));
+    if (Cfg.AccountOverheads) {
+      std::vector<ArrivalCurvePtr> Beta;
+      for (const ArrivalCurvePtr &A : Alphas)
+        Beta.push_back(makeReleaseCurve(A, Jitter));
+      auto Rossl = std::make_unique<RosslSupply>(std::move(Beta), Bounds,
+                                                 Cfg.FixedPointCap,
+                                                 !Cfg.AblateCarryIn);
+      Rossl->setFlatCurves(Flat);
+      Rossl->setWarmSeeding(Cfg.WarmIntraPoint);
+      Rossl->setTelemetry(Cfg.Telemetry);
+      Supply = std::move(Rossl);
+    } else {
       Supply = std::make_unique<IdealSupply>();
+    }
   }
 
   /// The interference window of task \p K against a job of task \p I
@@ -53,9 +69,10 @@ private:
   Duration workloadAt(TaskId I, Time A, WindowFn Window) const {
     Duration Sum = 0;
     for (const Task &K : Tasks.tasks())
-      Sum = satAdd(Sum, satMul(Beta[K.Id]->eval(
-                                   Window(Tasks, I, K.Id, A, Jitter)),
-                               K.Wcet));
+      Sum = satAdd(Sum,
+                   satMul(Flat->evalRelease(
+                              K.Id, Window(Tasks, I, K.Id, A, Jitter)),
+                          K.Wcet));
     return Sum;
   }
 
@@ -71,16 +88,21 @@ private:
       Duration Work = satAdd(Out.Blocking, workloadAt(I, L, Window));
       return std::max<Time>(1, Supply->timeToSupply(Work));
     };
-    std::optional<Time> L = leastFixedPoint(BusyStep, 1,
-                                            Cfg.FixedPointCap);
+    std::uint64_t Iters = 0;
+    Duration BusySeed = Cfg.Warm ? Cfg.Warm->busyWindowSeed(I) : 0;
+    std::optional<Time> L = leastFixedPointSeeded(
+        BusyStep, 1, BusySeed, Cfg.FixedPointCap, &Iters);
+    if (Cfg.Telemetry)
+      Cfg.Telemetry->noteFixpoint(Iters, BusySeed > 1);
     if (!L)
       return Out;
     Out.BusyWindow = *L;
 
+    FlatReleaseView BetaI(*Flat, I);
     Duration Rmax = 0;
     for (std::uint64_t Q = 1; Q <= Cfg.MaxOffsets; ++Q) {
-      Duration WindowLen = minWindowAdmitting(*Beta[I], Q,
-                                              Cfg.FixedPointCap);
+      Duration WindowLen = minWindowAdmittingIn(BetaI, Q,
+                                                Cfg.FixedPointCap);
       if (WindowLen == TimeInfinity)
         break;
       Time Aq = WindowLen - 1;
@@ -111,7 +133,7 @@ private:
   RtaConfig Cfg;
   OverheadBounds Bounds;
   Duration Jitter = 0;
-  std::vector<ArrivalCurvePtr> Beta;
+  std::shared_ptr<const FlatReleaseSet> Flat;
   std::unique_ptr<SupplyModel> Supply;
 };
 

@@ -6,6 +6,8 @@
 
 #include "rta/sbf.h"
 
+#include "support/check.h"
+
 #include <cassert>
 
 using namespace rprosa;
@@ -26,10 +28,22 @@ RosslSupply::RosslSupply(std::vector<ArrivalCurvePtr> ReleaseCurves,
                   OverheadBounds::compute(In.Wcets, NumSockets), Cap,
                   CarryInPerTask) {}
 
+void RosslSupply::setFlatCurves(std::shared_ptr<const FlatReleaseSet> F) {
+  RPROSA_CHECK(!F || F->size() == ReleaseCurves.size(),
+               "flat release set must cover every release curve");
+  Flat = std::move(F);
+}
+
 std::uint64_t RosslSupply::jobBound(Duration Delta) const {
+  std::uint64_t Carry = CarryInPerTask ? 1 : 0;
   std::uint64_t N = 0;
+  if (Flat) {
+    for (std::size_t I = 0; I < ReleaseCurves.size(); ++I)
+      N += Flat->evalRelease(I, Delta) + Carry;
+    return N;
+  }
   for (const ArrivalCurvePtr &C : ReleaseCurves)
-    N += C->eval(Delta) + (CarryInPerTask ? 1 : 0);
+    N += C->eval(Delta) + Carry;
   return N;
 }
 
@@ -50,17 +64,35 @@ Time RosslSupply::timeToSupply(Duration Work) const {
   // would overshoot because BlackoutBound(0) > 0 due to the carry-in).
   if (Work == 0)
     return 0;
+  Time Seed = 0;
   {
     std::lock_guard<std::mutex> L(MemoM);
-    auto It = TimeToSupplyMemo.find(Work);
-    if (It != TimeToSupplyMemo.end())
-      return It->second;
+    auto It = TimeToSupplyMemo.upper_bound(Work);
+    if (It != TimeToSupplyMemo.begin()) {
+      --It; // Largest memoized W' <= Work.
+      if (It->first == Work)
+        return It->second;
+      if (WarmSeeds) {
+        // The inverse is monotone in Work, so t(W') is a sound lower
+        // seed for t(W) — and if no t below the cap exists for the
+        // smaller demand, none exists for ours either.
+        if (It->second == TimeInfinity) {
+          TimeToSupplyMemo.emplace(Work, TimeInfinity);
+          return TimeInfinity;
+        }
+        Seed = It->second;
+      }
+    }
   }
   // Least t with SBF(t) >= Work, i.e. least t with
   // t - BlackoutBound(t) >= Work: the request-bound fixed point
   // t <- Work + BlackoutBound(t).
   auto Step = [&](Time T) { return satAdd(Work, blackoutBound(T)); };
-  std::optional<Time> T = leastFixedPoint(Step, Work, Cap);
+  std::uint64_t Iters = 0;
+  std::optional<Time> T = leastFixedPointSeeded(Step, Work, Seed, Cap,
+                                                &Iters);
+  if (Telemetry)
+    Telemetry->noteSupplyIterations(Iters);
   Time Out = T ? *T : TimeInfinity;
   std::lock_guard<std::mutex> L(MemoM);
   TimeToSupplyMemo.emplace(Work, Out);

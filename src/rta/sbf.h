@@ -37,11 +37,14 @@
 
 #include "rta/arsa.h"
 #include "rta/bounds.h"
+#include "rta/warm_start.h"
 
 #include "core/arrival_curve.h"
+#include "core/curve_table.h"
 
+#include <map>
+#include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 namespace rprosa {
@@ -67,6 +70,24 @@ public:
               const TimingInputs &In, std::uint32_t NumSockets, Time Cap,
               bool CarryInPerTask = true);
 
+  /// Routes jobBound's release-curve evaluations through a shared flat
+  /// compilation (core/curve_table.h) instead of the virtual curves.
+  /// \p Flat must be the compilation of the *same* α_i/J the release
+  /// curves were built from (the analyses construct both from one
+  /// source); bit-exact either way, so this is purely the hot-path
+  /// kernel swap. Call before the first query.
+  void setFlatCurves(std::shared_ptr<const FlatReleaseSet> Flat);
+
+  /// Enables memo-seeded supply fixpoints: timeToSupply(W) starts from
+  /// the memoized inverse of the largest W' ≤ W instead of from W (the
+  /// inverse is monotone in W, so the seed is ≤ the lfp — sound per
+  /// warm_start.h). Results are identical; iterations drop. Call
+  /// before the first query.
+  void setWarmSeeding(bool Enabled) { WarmSeeds = Enabled; }
+
+  /// Reports supply-fixpoint iteration counts into \p Tel (not owned).
+  void setTelemetry(FixpointTelemetry *Tel) { Telemetry = Tel; }
+
   /// NJobs(Δ): the job-count bound described above.
   std::uint64_t jobBound(Duration Delta) const;
 
@@ -84,18 +105,22 @@ public:
 
 private:
   std::vector<ArrivalCurvePtr> ReleaseCurves;
+  std::shared_ptr<const FlatReleaseSet> Flat;
   OverheadBounds B;
   Time Cap;
   bool CarryInPerTask;
+  bool WarmSeeds = false;
+  FixpointTelemetry *Telemetry = nullptr;
 
   /// timeToSupply is the innermost loop of every fixed-point search and
   /// is repeatedly queried at the same Work values (the Kleene iterates
   /// revisit each other's results, and supplyBound bisects over it).
   /// The model is immutable after construction, so the inverse is pure;
   /// this memo caches it. Mutex-guarded: one RosslSupply may be shared
-  /// across sweep threads (sbf_curves, the SweepRunner ports).
+  /// across sweep threads (sbf_curves, the SweepRunner ports). Ordered
+  /// so warm seeding can find the nearest memoized W' ≤ W.
   mutable std::mutex MemoM;
-  mutable std::unordered_map<Duration, Time> TimeToSupplyMemo;
+  mutable std::map<Duration, Time> TimeToSupplyMemo;
 };
 
 } // namespace rprosa

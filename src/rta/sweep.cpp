@@ -6,6 +6,7 @@
 
 #include "rta/sweep.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,11 +27,14 @@ std::uint64_t MemoCurve::eval(Duration Delta) const {
   {
     std::shared_lock<std::shared_mutex> L(S.M);
     auto It = S.Map.find(Delta);
-    if (It != S.Map.end())
+    if (It != S.Map.end()) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
       return It->second;
+    }
   }
   // Evaluate outside any lock: the inner curve is pure, so a racing
   // duplicate evaluation computes the same value.
+  Misses.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t V = Inner->eval(Delta);
   std::unique_lock<std::shared_mutex> L(S.M);
   S.Map.emplace(Delta, V);
@@ -58,6 +62,17 @@ std::size_t CurveCache::size() const {
   return Map.size();
 }
 
+CurveCacheStats CurveCache::stats() const {
+  CurveCacheStats S;
+  std::lock_guard<std::mutex> L(M);
+  S.Curves = Map.size();
+  for (const auto &KV : Map) {
+    S.Hits += KV.second->hits();
+    S.Misses += KV.second->misses();
+  }
+  return S;
+}
+
 //===----------------------------------------------------------------------===//
 // SweepRunner
 //===----------------------------------------------------------------------===//
@@ -74,30 +89,121 @@ TaskSet SweepRunner::withMemoizedCurves(const TaskSet &Tasks) {
   return Out;
 }
 
+bool SweepRunner::canSeed(const SweepPoint &From, const SweepPoint &To) {
+  if (From.Policy != To.Policy)
+    return false;
+  // Semantic knobs must match exactly; the acceleration/observability
+  // fields of RtaConfig (Warm, WarmIntraPoint, Telemetry) never change
+  // results and are deliberately ignored.
+  const RtaConfig &A = From.Cfg, &B = To.Cfg;
+  if (A.FixedPointCap != B.FixedPointCap || A.MaxOffsets != B.MaxOffsets ||
+      A.AccountOverheads != B.AccountOverheads ||
+      A.AblateCarryIn != B.AblateCarryIn ||
+      A.BlockingMinusOne != B.BlockingMinusOne)
+    return false;
+  // Identical task structure: curve object identity (not equivalence —
+  // identity is what the sweeps actually share), priorities and
+  // deadlines exactly (EDF demand is *anti*tone in the interferer's
+  // deadline, so ≤ would be unsound there), WCETs fieldwise ≤.
+  const std::vector<Task> &FT = From.Tasks.tasks();
+  const std::vector<Task> &TT = To.Tasks.tasks();
+  if (FT.size() != TT.size())
+    return false;
+  for (std::size_t K = 0; K < FT.size(); ++K)
+    if (FT[K].Curve.get() != TT[K].Curve.get() ||
+        FT[K].Prio != TT[K].Prio || FT[K].Deadline != TT[K].Deadline ||
+        FT[K].Wcet > TT[K].Wcet)
+      return false;
+  // Supply parameters fieldwise ≤: overhead bounds, and through them
+  // jitter and blackout, are monotone in every WCET field and in the
+  // socket count — so From's least fixpoints are ≤ To's.
+  if (From.Sbf.NumSockets > To.Sbf.NumSockets)
+    return false;
+  const BasicActionWcets &FW = From.Sbf.Wcets, &TW = To.Sbf.Wcets;
+  return FW.FailedRead <= TW.FailedRead &&
+         FW.SuccessfulRead <= TW.SuccessfulRead &&
+         FW.Selection <= TW.Selection && FW.Dispatch <= TW.Dispatch &&
+         FW.Completion <= TW.Completion && FW.Idling <= TW.Idling;
+}
+
+SweepTelemetry SweepRunner::telemetry() const {
+  SweepTelemetry T;
+  T.Cache = Cache.stats();
+  T.Fixpoints = Tel.snapshot();
+  T.Threads = Pool.threads();
+  T.ChunkSize = LastChunk;
+  return T;
+}
+
 std::vector<RtaResult> SweepRunner::run(const std::vector<SweepPoint> &Points) {
+  const std::size_t N = Points.size();
   // Memoization rewrite happens up front, on the submitting thread:
   // CurveCache::memoize is thread-safe, but doing it here keeps the
   // parallel region free of cache-structure churn.
-  std::vector<const SweepPoint *> Work(Points.size());
+  std::vector<const SweepPoint *> Work(N);
   std::vector<TaskSet> Memoized;
   if (Opts.MemoizeCurves)
-    Memoized.reserve(Points.size());
-  for (std::size_t I = 0; I < Points.size(); ++I) {
+    Memoized.reserve(N);
+  for (std::size_t I = 0; I < N; ++I) {
     Work[I] = &Points[I];
     if (Opts.MemoizeCurves)
       Memoized.push_back(withMemoizedCurves(Points[I].Tasks));
   }
 
+  // The chunk size must be fixed here (not inside the pool): the
+  // warm-start plan below is only sound within the chunk boundaries the
+  // pool will actually use. Mirrors parallelForChunked's derivation.
+  std::size_t C = Opts.ChunkSize;
+  if (C == 0)
+    C = std::max<std::size_t>(1, N / (8 * Pool.threads()));
+  LastChunk = C;
+
+  // Warm-start plan: Seed[I] is the nearest earlier point in I's chunk
+  // whose demand is dominated by I's, or npos. A chunk is processed in
+  // ascending index order by a single lane, so Results[Seed[I]] is
+  // always complete before point I starts; seeding never crosses a
+  // chunk boundary because other chunks may still be in flight. The
+  // plan is a pure function of (Points, C) — independent of the thread
+  // count — and, since warm == cold by the least-fixpoint argument,
+  // results are byte-identical with seeding on or off.
+  constexpr std::size_t Npos = static_cast<std::size_t>(-1);
+  constexpr std::size_t SeedWindow = 4; // How far back to scan.
+  std::vector<std::size_t> Seed;
+  if (Opts.WarmStarts) {
+    Seed.assign(N, Npos);
+    for (std::size_t I = 0; I < N; ++I) {
+      std::size_t ChunkStart = (I / C) * C;
+      std::size_t Lo = std::max(ChunkStart,
+                                I >= SeedWindow ? I - SeedWindow : 0);
+      for (std::size_t J = I; J > Lo;) {
+        --J;
+        if (canSeed(Points[J], Points[I])) {
+          Seed[I] = J;
+          break;
+        }
+      }
+    }
+  }
+
   // Each body invocation writes only its own index-addressed slot; the
   // result vector is sized up front so no reallocation races exist.
   // This is the whole determinism argument: Results[i] depends only on
-  // Points[i], never on scheduling.
-  std::vector<RtaResult> Results(Points.size());
-  Pool.parallelFor(Points.size(), [&](std::size_t I) {
+  // Points[i] (plus a seed that provably cannot change the value),
+  // never on scheduling.
+  std::vector<RtaResult> Results(N);
+  Pool.parallelForChunked(N, C, [&](std::size_t I) {
     const SweepPoint &P = *Work[I];
     const TaskSet &TS = Opts.MemoizeCurves ? Memoized[I] : P.Tasks;
+    RtaConfig Cfg = P.Cfg;
+    Cfg.Telemetry = &Tel;
+    WarmStart W;
+    if (!Seed.empty() && Seed[I] != Npos) {
+      W = warmStartFrom(Results[Seed[I]]);
+      if (!W.empty())
+        Cfg.Warm = &W;
+    }
     Results[I] =
-        analyzePolicy(TS, P.Sbf.Wcets, P.Sbf.NumSockets, P.Policy, P.Cfg);
+        analyzePolicy(TS, P.Sbf.Wcets, P.Sbf.NumSockets, P.Policy, Cfg);
   });
   return Results;
 }
@@ -166,5 +272,37 @@ std::string rprosa::sweepResultsJson(const std::vector<SweepPoint> &Points,
     Out += (I + 1 < Points.size()) ? ",\n" : "\n";
   }
   Out += "]\n";
+  return Out;
+}
+
+std::string rprosa::sweepResultsJson(const std::vector<SweepPoint> &Points,
+                                     const std::vector<RtaResult> &Results,
+                                     const SweepTelemetry &Tel) {
+  // The "results" value embeds the plain rendering byte-for-byte (minus
+  // its trailing newline), so the serial/parallel identity gates keep
+  // holding over it even when telemetry legitimately differs.
+  std::string Inner = sweepResultsJson(Points, Results);
+  if (!Inner.empty() && Inner.back() == '\n')
+    Inner.pop_back();
+  std::string Out = "{\"results\": " + Inner + ",\n \"telemetry\": {";
+  Out += "\"threads\": ";
+  appendU64(Out, Tel.Threads);
+  Out += ", \"chunk\": ";
+  appendU64(Out, Tel.ChunkSize);
+  Out += ", \"curves\": ";
+  appendU64(Out, Tel.Cache.Curves);
+  Out += ", \"curve_hits\": ";
+  appendU64(Out, Tel.Cache.Hits);
+  Out += ", \"curve_misses\": ";
+  appendU64(Out, Tel.Cache.Misses);
+  Out += ", \"fixpoints\": ";
+  appendU64(Out, Tel.Fixpoints.Fixpoints);
+  Out += ", \"iterations\": ";
+  appendU64(Out, Tel.Fixpoints.Iterations);
+  Out += ", \"supply_iterations\": ";
+  appendU64(Out, Tel.Fixpoints.SupplyIterations);
+  Out += ", \"warm_seeded\": ";
+  appendU64(Out, Tel.Fixpoints.Seeded);
+  Out += "}}\n";
   return Out;
 }

@@ -19,16 +19,29 @@
 /// run with 1 thread — same values, same order, same rendered JSON.
 /// Nothing downstream may depend on completion order.
 ///
-/// Memoization: the hot path of every analysis is arrival-curve
-/// evaluation (each fixed-point iteration sums β_k over tasks, and the
-/// SBF's job bound sums them again). Points in a sweep overwhelmingly
-/// share curve objects (the same TaskSet analyzed at many socket counts
-/// or configs), so the runner wraps each distinct curve — keyed by the
-/// identity of the underlying ArrivalCurve object — in a thread-safe
-/// memo (MemoCurve) shared across all points. Release curves β_i(Δ) =
-/// α_i(Δ + J_i) are ShiftedCurve views over the task curve, so their
-/// evaluations hit the same memo. Memoization is semantically invisible
-/// (curves are pure); sweep_test asserts memoized == unmemoized.
+/// Memoization: points in a sweep overwhelmingly share curve objects
+/// (the same TaskSet analyzed at many socket counts or configs), so the
+/// runner wraps each distinct curve — keyed by the identity of the
+/// underlying ArrivalCurve object — in a thread-safe memo (MemoCurve)
+/// shared across all points. Since the flat-kernel rework the analyses
+/// themselves evaluate curves through FlatCurveTable (compiled once per
+/// point, never the virtual tree), so the memo's remaining job is to
+/// amortize the *compilation* scans across points; MemoCurve forwards
+/// tail() so memoized curves compile exactly like their inner curve.
+/// Memoization is semantically invisible (curves are pure); sweep_test
+/// asserts memoized == unmemoized, and hit/miss counters surface in the
+/// telemetry block of sweepResultsJson.
+///
+/// Warm starts: consecutive points of a sweep are usually tiny
+/// perturbations of each other (one more socket, one larger WCET). When
+/// point J's demand is dominated by point I's (canSeed: identical
+/// structure + fieldwise ≤ parameters), J's busy-window solutions are ≤
+/// I's least fixpoints and therefore sound seeds (warm_start.h). The
+/// runner seeds each point from its nearest dominated predecessor
+/// *within the same chunk* — chunks are processed in ascending index
+/// order by a single lane, so the seed's result is always complete —
+/// and results stay byte-identical to cold starts by the least-fixpoint
+/// argument (asserted by warm_start_test).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +53,7 @@
 #include "support/parallel.h"
 
 #include <array>
+#include <atomic>
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
@@ -74,7 +88,19 @@ public:
   std::uint64_t eval(Duration Delta) const override;
   std::string describe() const override { return Inner->describe(); }
 
+  /// Forwarded verbatim: a memoized curve must compile to the same flat
+  /// table as its inner curve (the default would drop the tail and
+  /// force horizon-length scans).
+  std::optional<CurveTail> tail() const override { return Inner->tail(); }
+
   const ArrivalCurvePtr &inner() const { return Inner; }
+
+  /// Cache effectiveness counters (exact; relaxed atomics — ordering is
+  /// irrelevant for counts).
+  std::uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return Misses.load(std::memory_order_relaxed);
+  }
 
 private:
   static constexpr std::size_t NumShards = 16;
@@ -85,6 +111,15 @@ private:
 
   ArrivalCurvePtr Inner;
   mutable std::array<Shard, NumShards> Shards;
+  mutable std::atomic<std::uint64_t> Hits{0};
+  mutable std::atomic<std::uint64_t> Misses{0};
+};
+
+/// Aggregated MemoCurve effectiveness across a CurveCache.
+struct CurveCacheStats {
+  std::size_t Curves = 0;   ///< Distinct curves memoized.
+  std::uint64_t Hits = 0;   ///< eval() calls answered from a memo.
+  std::uint64_t Misses = 0; ///< eval() calls forwarded to the inner curve.
 };
 
 /// The sweep-wide cache: one shared MemoCurve per distinct underlying
@@ -100,6 +135,9 @@ public:
 
   std::size_t size() const;
 
+  /// Sums hit/miss counters over every memoized curve.
+  CurveCacheStats stats() const;
+
 private:
   mutable std::mutex M;
   std::unordered_map<const ArrivalCurve *, std::shared_ptr<MemoCurve>> Map;
@@ -113,6 +151,24 @@ struct SweepOptions {
   /// Share curve evaluations across points (see MemoCurve). Disabled
   /// only by the equivalence tests and ablation measurements.
   bool MemoizeCurves = true;
+  /// Contiguous indices handed to a lane per claim; 0 derives
+  /// max(1, Points / (8 · Threads)) — the parallelForChunked default.
+  /// Benches expose it as --chunk=N.
+  std::size_t ChunkSize = 0;
+  /// Seed each point's fixpoints from a demand-dominated predecessor in
+  /// its chunk (sound: results are byte-identical either way; disabling
+  /// exists for the cold baselines of bench/hotpath).
+  bool WarmStarts = true;
+};
+
+/// Everything a sweep can report about how it ran (as opposed to what
+/// it computed): rendered into the optional "telemetry" block of
+/// sweepResultsJson. Results never depend on any of it.
+struct SweepTelemetry {
+  CurveCacheStats Cache;
+  FixpointCounts Fixpoints;
+  unsigned Threads = 0;
+  std::size_t ChunkSize = 0;
 };
 
 /// Evaluates batches of SweepPoints concurrently with deterministic,
@@ -132,12 +188,27 @@ public:
   ThreadPool &pool() { return Pool; }
   CurveCache &cache() { return Cache; }
 
+  /// Snapshot of the cache and fixpoint counters, accumulated since the
+  /// last resetTelemetry(). ChunkSize is the chunk of the latest run().
+  SweepTelemetry telemetry() const;
+  void resetTelemetry() { Tel.reset(); }
+
+  /// Whether point \p To may be warm-started from \p From's result:
+  /// same policy and semantic analysis config, identical task structure
+  /// (curve object identity, priorities, deadlines), and From's demand
+  /// parameters fieldwise ≤ To's (WCETs, socket count, basic-action
+  /// WCETs) — everything the least fixpoints are monotone in. Public so
+  /// the warm-start tests can probe the predicate directly.
+  static bool canSeed(const SweepPoint &From, const SweepPoint &To);
+
 private:
   TaskSet withMemoizedCurves(const TaskSet &Tasks);
 
   SweepOptions Opts;
   ThreadPool Pool;
   CurveCache Cache;
+  FixpointTelemetry Tel;
+  std::size_t LastChunk = 0;
 };
 
 /// Renders sweep results as canonical JSON (one object per point, in
@@ -146,6 +217,15 @@ private:
 /// and tested — over this rendering.
 std::string sweepResultsJson(const std::vector<SweepPoint> &Points,
                              const std::vector<RtaResult> &Results);
+
+/// The telemetry-carrying rendering: {"results": <plain form>,
+/// "telemetry": {...}}. The "results" value is byte-identical to the
+/// two-argument overload; the telemetry block (cache hits, fixpoint
+/// iteration counts, thread/chunk shape) legitimately varies across
+/// thread counts, so byte-identity gates compare the plain form.
+std::string sweepResultsJson(const std::vector<SweepPoint> &Points,
+                             const std::vector<RtaResult> &Results,
+                             const SweepTelemetry &Tel);
 
 } // namespace rprosa
 

@@ -6,20 +6,54 @@
 
 #include "support/parallel.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 
 using namespace rprosa;
 
-unsigned rprosa::defaultParallelism() {
-  if (const char *Env = std::getenv("RPROSA_THREADS")) {
-    char *End = nullptr;
-    unsigned long V = std::strtoul(Env, &End, 10);
-    if (End && *End == '\0' && V > 0)
-      return static_cast<unsigned>(V > 256 ? 256 : V);
+namespace {
+
+/// Strict parse of a configured count: decimal digits only, value in
+/// [Min, Max]. Anything else — garbage, garbage-prefixed zero, silent
+/// out-of-range — is a fatal configuration error: these values come
+/// from explicit user/CI pins, and "you asked for X, I quietly did Y"
+/// is how pinned runs stop meaning anything.
+std::uint64_t parseCount(const char *Text, const char *What,
+                         std::uint64_t Min, std::uint64_t Max) {
+  bool Valid = Text && *Text;
+  std::uint64_t V = 0;
+  for (const char *P = Text; Valid && *P; ++P) {
+    if (*P < '0' || *P > '9' || V > Max) {
+      Valid = false;
+      break;
+    }
+    V = V * 10 + static_cast<std::uint64_t>(*P - '0');
   }
+  if (!Valid || V < Min || V > Max) {
+    std::fprintf(stderr,
+                 "rprosa: invalid %s '%s': expected an integer in "
+                 "[%llu, %llu]\n",
+                 What, Text ? Text : "",
+                 static_cast<unsigned long long>(Min),
+                 static_cast<unsigned long long>(Max));
+    std::abort();
+  }
+  return V;
+}
+
+} // namespace
+
+unsigned rprosa::defaultParallelism() {
+  // An empty value counts as unset (`RPROSA_THREADS= ./bench` is the
+  // conventional way to clear a pin for one command).
+  const char *Env = std::getenv("RPROSA_THREADS");
+  if (Env && *Env)
+    return static_cast<unsigned>(
+        parseCount(Env, "RPROSA_THREADS", 1, MaxConfiguredThreads));
   unsigned H = std::thread::hardware_concurrency();
   return H == 0 ? 1 : H;
 }
@@ -34,12 +68,9 @@ unsigned rprosa::threadsFromArgs(int Argc, char **Argv, unsigned Default) {
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--serial") == 0)
       Serial = 1;
-    else if (std::strncmp(Argv[I], "--threads=", 10) == 0) {
-      char *End = nullptr;
-      unsigned long V = std::strtoul(Argv[I] + 10, &End, 10);
-      if (End && *End == '\0' && V > 0)
-        Explicit = static_cast<unsigned>(V > 256 ? 256 : V);
-    }
+    else if (std::strncmp(Argv[I], "--threads=", 10) == 0)
+      Explicit = static_cast<unsigned>(parseCount(
+          Argv[I] + 10, "--threads", 1, MaxConfiguredThreads));
   }
   // An explicit count beats --serial beats the default, independent of
   // argument order.
@@ -48,6 +79,16 @@ unsigned rprosa::threadsFromArgs(int Argc, char **Argv, unsigned Default) {
   if (Serial)
     return 1;
   return Default;
+}
+
+std::size_t rprosa::chunkFromArgs(int Argc, char **Argv,
+                                  std::size_t Default) {
+  std::size_t Chunk = Default;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strncmp(Argv[I], "--chunk=", 8) == 0)
+      Chunk = static_cast<std::size_t>(
+          parseCount(Argv[I] + 8, "--chunk", 1, 1ull << 32));
+  return Chunk;
 }
 
 namespace {
@@ -59,6 +100,10 @@ namespace {
 struct Batch {
   std::function<void(std::size_t)> Body;
   std::size_t N = 0;
+  /// Indices are claimed Chunk at a time: one fetch_add hands a lane
+  /// the contiguous range [v, min(v + Chunk, N)). Chunk boundaries are
+  /// multiples of Chunk regardless of which lane claims them.
+  std::size_t Chunk = 1;
   std::atomic<std::size_t> Next{0};
   std::atomic<std::size_t> Remaining{0};
 };
@@ -88,10 +133,19 @@ void ThreadPool::startWorkers() {
 
 void ThreadPool::parallelFor(
     std::size_t N, const std::function<void(std::size_t)> &Body) {
+  parallelForChunked(N, 1, Body);
+}
+
+void ThreadPool::parallelForChunked(
+    std::size_t N, std::size_t ChunkSize,
+    const std::function<void(std::size_t)> &Body) {
   if (N == 0)
     return;
-  if (NumThreads <= 1 || N == 1) {
-    // The serial escape hatch: an inline loop, no threads at all.
+  if (ChunkSize == 0)
+    ChunkSize = std::max<std::size_t>(1, N / (8 * NumThreads));
+  if (NumThreads <= 1 || N <= ChunkSize) {
+    // The serial escape hatch (also taken when one chunk covers the
+    // whole batch): an inline loop, no threads at all.
     for (std::size_t I = 0; I < N; ++I)
       Body(I);
     return;
@@ -100,15 +154,28 @@ void ThreadPool::parallelFor(
   auto B = std::make_shared<Batch>();
   B->Body = Body; // Copied: stragglers may outlive this call frame.
   B->N = N;
+  B->Chunk = ChunkSize;
   B->Remaining.store(N, std::memory_order_relaxed);
 
+  // Lanes beyond the chunk count would wake, find nothing to claim,
+  // and go back to sleep: wake only as many workers as can actually
+  // get a chunk (the calling thread takes one lane itself). A lost
+  // wakeup is impossible — a woken worker drains until Next passes N,
+  // and the caller drains the batch regardless.
+  std::size_t Chunks = (N + ChunkSize - 1) / ChunkSize;
+  std::size_t Wake = std::min<std::size_t>(NumThreads - 1, Chunks - 1);
   {
     std::lock_guard<std::mutex> L(M);
     startWorkers();
     CurrentBatch = B;
     ++BatchId;
   }
-  BatchReady.notify_all();
+  if (Wake >= Workers.size()) {
+    BatchReady.notify_all();
+  } else {
+    for (std::size_t I = 0; I < Wake; ++I)
+      BatchReady.notify_one();
+  }
 
   // The calling thread is one of the pool's lanes.
   drainBatch(B.get());
@@ -125,13 +192,17 @@ void ThreadPool::parallelFor(
 
 void ThreadPool::drainBatch(void *BatchPtr) {
   Batch *B = static_cast<Batch *>(BatchPtr);
+  const std::size_t Chunk = B->Chunk;
   while (true) {
-    std::size_t I = B->Next.fetch_add(1, std::memory_order_relaxed);
-    if (I >= B->N)
+    std::size_t Lo = B->Next.fetch_add(Chunk, std::memory_order_relaxed);
+    if (Lo >= B->N)
       return;
-    B->Body(I);
-    if (B->Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Last index of the batch: wake the submitter.
+    std::size_t Hi = std::min(B->N, Lo + Chunk);
+    for (std::size_t I = Lo; I < Hi; ++I)
+      B->Body(I);
+    if (B->Remaining.fetch_sub(Hi - Lo, std::memory_order_acq_rel) ==
+        Hi - Lo) {
+      // Last indices of the batch: wake the submitter.
       std::lock_guard<std::mutex> L(M);
       BatchDone.notify_all();
     }

@@ -38,9 +38,17 @@
 
 namespace rprosa {
 
+/// The maximum thread count accepted from RPROSA_THREADS and
+/// --threads=N. Far above any real machine; the point of the bound is
+/// rejecting typos ("--threads=10000" for "--threads=1000" etc. is
+/// almost certainly not a request for ten thousand OS threads).
+inline constexpr unsigned MaxConfiguredThreads = 4096;
+
 /// The parallelism the machine offers, overridable via the environment
-/// variable RPROSA_THREADS (clamped to [1, 256]; useful both to pin CI
-/// runs and to force-serialize a flaky reproduction).
+/// variable RPROSA_THREADS. A set-but-invalid value (not an integer in
+/// [1, MaxConfiguredThreads]) is a fatal configuration error with a
+/// diagnostic naming the offending text — silently clamping or
+/// ignoring it would make a CI pin lie about what it pinned.
 unsigned defaultParallelism();
 
 /// True when the environment variable \p Name is set to a non-empty
@@ -50,10 +58,17 @@ bool envFlag(const char *Name);
 
 /// CLI helper for the bench/example harnesses: returns 1 (serial) when
 /// the arguments contain "--serial", else \p Default; an explicit
-/// "--threads=N" overrides both (clamped to [1, 256]). Unrelated
-/// arguments are ignored, so harnesses with positional arguments can
-/// pass their argv through unchanged.
+/// "--threads=N" overrides both. An unparsable or out-of-range
+/// --threads value is a fatal diagnostic (same contract as
+/// RPROSA_THREADS). Unrelated arguments are ignored, so harnesses with
+/// positional arguments can pass their argv through unchanged.
 unsigned threadsFromArgs(int Argc, char **Argv, unsigned Default = 0);
+
+/// CLI helper for the sweep harnesses: parses "--chunk=N" into a
+/// parallel-for chunk size (fatal diagnostic if unparsable or 0);
+/// returns \p Default when absent. 0 = derive from the batch
+/// (SweepOptions::ChunkSize semantics).
+std::size_t chunkFromArgs(int Argc, char **Argv, std::size_t Default = 0);
 
 /// A fixed-size pool of worker threads executing chunked parallel-for
 /// batches. Workers are started lazily on the first parallel batch and
@@ -75,8 +90,21 @@ public:
   /// Runs Body(I) for every I in [0, N), distributing indices over the
   /// workers and the calling thread; returns when all N calls finished.
   /// Body must not throw and must only write to per-index state.
+  /// Equivalent to parallelForChunked(N, 1, Body): maximal balancing,
+  /// one atomic claim per index — right for heavy irregular bodies.
   void parallelFor(std::size_t N,
                    const std::function<void(std::size_t)> &Body);
+
+  /// parallelFor with contiguous chunks: lanes claim [k·C, (k+1)·C)
+  /// ranges off the shared counter instead of single indices, so cheap
+  /// bodies amortize the claim and the wakeups across C calls. Chunk
+  /// boundaries are multiples of C independent of the thread count
+  /// (each chunk is processed in ascending index order by one lane),
+  /// and only as many workers are woken as there are chunks. \p
+  /// ChunkSize == 0 picks max(1, N / (8 · threads())) — large enough
+  /// to amortize, small enough that imbalance still self-corrects.
+  void parallelForChunked(std::size_t N, std::size_t ChunkSize,
+                          const std::function<void(std::size_t)> &Body);
 
 private:
   void workerLoop();
