@@ -33,6 +33,21 @@
 ///                                   # --sarif anywhere for SARIF 2.1.0
 ///                                   # JSON instead of text. Exit 0 iff
 ///                                   # nothing above note severity.
+///                                   # --witness additionally refines
+///                                   # every May value-range finding
+///                                   # through the zone-domain path
+///                                   # executor (witness.h): proven
+///                                   # false positives are suppressed
+///                                   # to notes, feasible trap paths
+///                                   # reported with their synthesized
+///                                   # inputs. --replay (implies
+///                                   # --witness) also replays each
+///                                   # witness on the interpreter and
+///                                   # upgrades the finding to error
+///                                   # iff the matching RuntimeTrap
+///                                   # fires. Without --witness the
+///                                   # output is byte-identical to
+///                                   # earlier releases.
 ///   rp_verify --stream [spec] [hrzn] # dynamic verification in ONE
 ///                                   # pass: simulate the system spec
 ///                                   # (spec_parser.h format; built-in
@@ -58,6 +73,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/dataflow/analyses.h"
+#include "analysis/dataflow/witness.h"
 #include "analysis/lint.h"
 #include "analysis/mutants.h"
 #include "analysis/timing/segment_costs.h"
@@ -367,7 +383,8 @@ int streamMode(const char *Path, const char *HorizonArg) {
   return Streamed.theoremHolds() && Identical ? 0 : 1;
 }
 
-int lintMode(const char *Path, std::uint32_t NumSockets, bool Sarif) {
+int lintMode(const char *Path, std::uint32_t NumSockets, bool Sarif,
+             bool Witness, bool Replay) {
   StmtPtr Program;
   std::string File = "<embedded>";
   if (Path) {
@@ -393,8 +410,15 @@ int lintMode(const char *Path, std::uint32_t NumSockets, bool Sarif) {
 
   dataflow::AnalysisOptions Opts;
   Opts.NumSockets = NumSockets;
-  std::vector<dataflow::Finding> Fs =
-      dataflow::runUnifiedAnalyses(buildCfg(Program), Opts);
+  Cfg G = buildCfg(Program);
+  std::vector<dataflow::Finding> Fs = dataflow::runUnifiedAnalyses(G, Opts);
+  dataflow::WitnessSummary WSum;
+  if (Witness) {
+    dataflow::WitnessOptions WOpts;
+    WOpts.NumSockets = NumSockets;
+    WOpts.Replay = Replay;
+    WSum = dataflow::refineFindings(G, Fs, WOpts);
+  }
   if (Sarif) {
     std::printf("%s", dataflow::renderSarif(File, Fs).c_str());
   } else {
@@ -402,8 +426,17 @@ int lintMode(const char *Path, std::uint32_t NumSockets, bool Sarif) {
     std::printf("%s: %zu finding(s), %u socket(s), max severity %s\n",
                 File.c_str(), Fs.size(), NumSockets,
                 toString(dataflow::maxSeverity(Fs)));
+    if (Witness)
+      std::printf("witness refinement: %zu attempted, %zu confirmed, %zu "
+                  "witness-only, %zu suppressed, %zu unknown (%llu search "
+                  "step(s))\n",
+                  WSum.Attempted, WSum.Confirmed, WSum.WitnessOnly,
+                  WSum.Suppressed, WSum.Unknown,
+                  static_cast<unsigned long long>(WSum.Steps));
   }
   // The CI gate's contract: notes are fine, anything louder fails.
+  // Refinement runs first, so a suppressed false positive no longer
+  // trips the gate and a replay-confirmed trap always does.
   return dataflow::maxSeverity(Fs) == dataflow::Severity::Note ? 0 : 1;
 }
 
@@ -440,10 +473,21 @@ int main(int Argc, char **Argv) {
   unsigned Threads = threadsFromArgs(Argc, Argv);
   std::size_t Chunk = chunkFromArgs(Argc, Argv);
   bool Sarif = false;
+  bool Witness = false;
+  bool Replay = false;
   std::vector<char *> Pos;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--sarif") == 0) {
       Sarif = true;
+      continue;
+    }
+    if (std::strcmp(Argv[I], "--witness") == 0) {
+      Witness = true;
+      continue;
+    }
+    if (std::strcmp(Argv[I], "--replay") == 0) {
+      Witness = true;
+      Replay = true;
       continue;
     }
     if (std::strcmp(Argv[I], "--serial") != 0 &&
@@ -484,7 +528,7 @@ int main(int Argc, char **Argv) {
   }
 
   if (Lint)
-    return lintMode(Path, NumSockets, Sarif);
+    return lintMode(Path, NumSockets, Sarif, Witness, Replay);
   if (Timing)
     return Path ? timingFileMode(Path, NumSockets)
                 : timingSweepMode(Threads, Chunk);

@@ -26,6 +26,21 @@ const char *rprosa::analysis::dataflow::toString(Severity S) {
   return "?";
 }
 
+const char *
+rprosa::analysis::dataflow::toString(WitnessRefinement::Status S) {
+  switch (S) {
+  case WitnessRefinement::Status::Confirmed:
+    return "confirmed";
+  case WitnessRefinement::Status::WitnessFound:
+    return "witness-found";
+  case WitnessRefinement::Status::Infeasible:
+    return "infeasible";
+  case WitnessRefinement::Status::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
 void rprosa::analysis::dataflow::sortFindings(std::vector<Finding> &Fs) {
   std::stable_sort(Fs.begin(), Fs.end(),
                    [](const Finding &A, const Finding &B) {
@@ -42,6 +57,72 @@ rprosa::analysis::dataflow::maxSeverity(const std::vector<Finding> &Fs) {
   return S;
 }
 
+namespace {
+
+/// Keeps the one-finding-per-block shape of the text report intact when
+/// a message carries control characters (parser input is arbitrary
+/// bytes): newlines, tabs and the rest of the C0 range render as
+/// escapes instead of raw bytes. Plain printable text passes through
+/// unchanged, so historical output is byte-identical.
+std::string textEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    switch (C) {
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (U < 0x20 || U == 0x7f) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\x%02x", U);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void renderRefinementText(const WitnessRefinement &R, std::string &Out) {
+  switch (R.St) {
+  case WitnessRefinement::Status::Confirmed:
+    Out += "  refinement: confirmed: replay trapped [" +
+           textEscape(R.TrapCheckId) + "] (" + std::to_string(R.Steps) +
+           " search step(s))\n";
+    break;
+  case WitnessRefinement::Status::WitnessFound:
+    Out += "  refinement: witness found, replay disabled (" +
+           std::to_string(R.Steps) + " search step(s))\n";
+    break;
+  case WitnessRefinement::Status::Infeasible:
+    Out += "  refinement: suppressed: " + textEscape(R.Detail) + "\n";
+    break;
+  case WitnessRefinement::Status::Unknown:
+    Out += "  refinement: unknown: " + textEscape(R.Detail) + " (" +
+           std::to_string(R.Steps) + " search step(s))\n";
+    break;
+  }
+  for (const std::string &I : R.Inputs)
+    Out += "  replay-input: " + textEscape(I) + "\n";
+  if (!R.Path.empty()) {
+    Out += "  trap-path:";
+    for (const WitnessStep &S : R.Path)
+      Out += " n" + std::to_string(S.Node);
+    Out += "\n";
+  }
+}
+
+} // namespace
+
 std::string
 rprosa::analysis::dataflow::renderText(const std::string &File,
                                        const std::vector<Finding> &Fs) {
@@ -50,10 +131,12 @@ rprosa::analysis::dataflow::renderText(const std::string &File,
     Out += File;
     if (F.Line > 0)
       Out += ":" + std::to_string(F.Line);
-    Out += ": " + std::string(toString(F.Sev)) + ": [" + F.CheckId + "] " +
-           F.Message + "\n";
+    Out += ": " + std::string(toString(F.Sev)) + ": [" +
+           textEscape(F.CheckId) + "] " + textEscape(F.Message) + "\n";
     for (const std::string &Step : F.Witness)
-      Out += "  " + Step + "\n";
+      Out += "  " + textEscape(Step) + "\n";
+    if (F.Refined)
+      renderRefinementText(*F.Refined, Out);
   }
   return Out;
 }
@@ -77,10 +160,20 @@ std::string jsonEscape(const std::string &S) {
     case '\t':
       Out += "\\t";
       break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
     default:
       if (static_cast<unsigned char>(C) < 0x20) {
         char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
         Out += Buf;
       } else {
         Out += C;
@@ -90,32 +183,134 @@ std::string jsonEscape(const std::string &S) {
   return Out;
 }
 
+/// Short descriptions for the rules array, keyed by check-id. Unknown
+/// ids (new passes, user extensions) fall back to a generic line, so
+/// the array stays total over whatever findings arrive.
+const char *ruleDescription(const std::string &Id) {
+  if (Id == "value-range.signed-overflow")
+    return "An arithmetic operation may overflow the int64 value range "
+           "(runtime trap class SignedOverflow).";
+  if (Id == "value-range.div-by-zero")
+    return "A division or modulo may see a zero divisor (runtime trap "
+           "class DivByZero).";
+  if (Id == "value-range.socket-range")
+    return "A read may use a socket index outside the deployment's "
+           "wait set (runtime trap class SocketRange).";
+  if (Id == "definite-init.register")
+    return "A register is read with no prior assignment on some path.";
+  if (Id == "definite-init.buffer")
+    return "A buffer is used with no prior fill on some path.";
+  if (Id == "dead-code.unreachable")
+    return "No feasible path reaches this statement.";
+  if (Id == "dead-code.constant-branch")
+    return "A branch condition is constant; one edge can never be "
+           "taken.";
+  if (Id == "marker-discipline")
+    return "A marker call can violate the scheduler protocol's "
+           "dispatch/execution/completion discipline.";
+  if (Id == "marker-balance")
+    return "Marker calls are unbalanced along some path.";
+  if (Id == "fuel-termination")
+    return "A loop is not bounded by the fuel condition.";
+  if (Id == "machine-range")
+    return "A register or buffer index exceeds the machine's limits.";
+  if (Id == "def-before-use")
+    return "A value is used before any definition reaches it.";
+  return "rp_verify static analysis check.";
+}
+
+void renderSarifLocation(const std::string &File, std::uint32_t Line,
+                        std::string &Out) {
+  Out += "{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"" +
+         jsonEscape(File) + "\"}";
+  if (Line > 0)
+    Out += ", \"region\": {\"startLine\": " + std::to_string(Line) + "}";
+  Out += "}}";
+}
+
+void renderSarifCodeFlow(const std::string &File,
+                         const WitnessRefinement &R, std::string &Out) {
+  Out += "          \"codeFlows\": [{\"threadFlows\": [{\"locations\": [\n";
+  for (std::size_t I = 0; I < R.Path.size(); ++I) {
+    const WitnessStep &S = R.Path[I];
+    Out += "            {\"location\": {\"message\": {\"text\": \"n" +
+           std::to_string(S.Node) + ": " + jsonEscape(S.Label) +
+           "\"}, \"physicalLocation\": {\"artifactLocation\": {\"uri\": "
+           "\"" +
+           jsonEscape(File) + "\"}";
+    if (S.Line > 0)
+      Out += ", \"region\": {\"startLine\": " + std::to_string(S.Line) + "}";
+    Out += "}}}";
+    Out += I + 1 < R.Path.size() ? ",\n" : "\n";
+  }
+  Out += "          ]}]}],\n";
+}
+
+void renderSarifRefinement(const WitnessRefinement &R, std::string &Out) {
+  Out += ", \"refinement\": {\"status\": \"" +
+         std::string(toString(R.St)) +
+         "\", \"steps\": " + std::to_string(R.Steps);
+  if (!R.TrapCheckId.empty())
+    Out += ", \"trapCheckId\": \"" + jsonEscape(R.TrapCheckId) + "\"";
+  if (!R.Detail.empty())
+    Out += ", \"detail\": \"" + jsonEscape(R.Detail) + "\"";
+  Out += ", \"inputs\": [";
+  for (std::size_t I = 0; I < R.Inputs.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += "\"" + jsonEscape(R.Inputs[I]) + "\"";
+  }
+  Out += "]}";
+}
+
 } // namespace
 
 std::string
 rprosa::analysis::dataflow::renderSarif(const std::string &File,
                                         const std::vector<Finding> &Fs) {
+  // The rules array: one entry per distinct check-id, in sorted order,
+  // referenced from each result via ruleIndex (what GitHub code
+  // scanning uses to render rule metadata).
+  std::vector<std::string> Rules;
+  for (const Finding &F : Fs)
+    Rules.push_back(F.CheckId);
+  std::sort(Rules.begin(), Rules.end());
+  Rules.erase(std::unique(Rules.begin(), Rules.end()), Rules.end());
+  auto ruleIndex = [&Rules](const std::string &Id) {
+    return static_cast<std::size_t>(
+        std::lower_bound(Rules.begin(), Rules.end(), Id) - Rules.begin());
+  };
+
   std::string Out;
   Out += "{\n";
   Out += "  \"version\": \"2.1.0\",\n";
   Out += "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
   Out += "  \"runs\": [\n";
   Out += "    {\n";
-  Out += "      \"tool\": {\"driver\": {\"name\": \"rp_verify\"}},\n";
+  Out += "      \"tool\": {\"driver\": {\"name\": \"rp_verify\", "
+         "\"rules\": [\n";
+  for (std::size_t I = 0; I < Rules.size(); ++I) {
+    Out += "        {\"id\": \"" + jsonEscape(Rules[I]) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           jsonEscape(ruleDescription(Rules[I])) + "\"}}";
+    Out += I + 1 < Rules.size() ? ",\n" : "\n";
+  }
+  Out += "      ]}},\n";
   Out += "      \"results\": [\n";
   for (std::size_t I = 0; I < Fs.size(); ++I) {
     const Finding &F = Fs[I];
     Out += "        {\n";
     Out += "          \"ruleId\": \"" + jsonEscape(F.CheckId) + "\",\n";
+    Out += "          \"ruleIndex\": " + std::to_string(ruleIndex(F.CheckId)) +
+           ",\n";
     Out += "          \"level\": \"" + std::string(toString(F.Sev)) + "\",\n";
     Out += "          \"message\": {\"text\": \"" + jsonEscape(F.Message) +
            "\"},\n";
-    Out += "          \"locations\": [{\"physicalLocation\": "
-           "{\"artifactLocation\": {\"uri\": \"" +
-           jsonEscape(File) + "\"}";
-    if (F.Line > 0)
-      Out += ", \"region\": {\"startLine\": " + std::to_string(F.Line) + "}";
-    Out += "}}],\n";
+    Out += "          \"locations\": [";
+    renderSarifLocation(File, F.Line, Out);
+    Out += "],\n";
+    if (F.Refined && !F.Refined->Path.empty())
+      renderSarifCodeFlow(File, *F.Refined, Out);
     Out += "          \"properties\": {\"node\": " + std::to_string(F.Node) +
            ", \"witness\": [";
     for (std::size_t W = 0; W < F.Witness.size(); ++W) {
@@ -123,7 +318,10 @@ rprosa::analysis::dataflow::renderSarif(const std::string &File,
         Out += ", ";
       Out += "\"" + jsonEscape(F.Witness[W]) + "\"";
     }
-    Out += "]}\n";
+    Out += "]";
+    if (F.Refined)
+      renderSarifRefinement(*F.Refined, Out);
+    Out += "}\n";
     Out += I + 1 < Fs.size() ? "        },\n" : "        }\n";
   }
   Out += "      ]\n";

@@ -14,9 +14,14 @@
 /// byte-identical output across runs and thread counts (pinned by
 /// tests/dataflow_test.cpp).
 ///
-/// renderSarif emits a minimal SARIF 2.1.0 log — one run, one result
-/// per finding, the witness path in the result's property bag — which
-/// is what `rp_verify --lint --sarif` prints for CI consumption.
+/// renderSarif emits a minimal SARIF 2.1.0 log — one run, a populated
+/// tool.driver.rules array (one rule per distinct check-id, referenced
+/// by ruleIndex), one result per finding, the witness path in the
+/// result's property bag — which is what `rp_verify --lint --sarif`
+/// prints for CI consumption. A finding refined by the witness layer
+/// (witness.h) additionally carries its trap path as SARIF
+/// codeFlows/threadFlows and its refinement verdict in the property
+/// bag.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +30,8 @@
 
 #include "analysis/cfg.h"
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +45,39 @@ enum class Severity : std::uint8_t {
 
 const char *toString(Severity S);
 
+/// One node of a refined trap path (entry to the trapping node).
+struct WitnessStep {
+  NodeId Node = 0;
+  std::uint32_t Line = 0; ///< 1-based source line; 0 = none.
+  std::string Label;      ///< CfgNode::label() text.
+};
+
+/// The outcome the witness layer (witness.h) attached to one
+/// May-severity value-range finding.
+struct WitnessRefinement {
+  enum class Status : std::uint8_t {
+    Confirmed,    ///< In-process replay trapped with the finding's own
+                  ///< check-id; the finding was upgraded to Error.
+    WitnessFound, ///< A feasible, replayable trap path exists but
+                  ///< replay was disabled; severity unchanged.
+    Infeasible,   ///< Proven false positive (zone-domain infeasibility
+                  ///< or exhaustive path enumeration); downgraded to
+                  ///< Note.
+    Unknown,      ///< Inconclusive; Detail names the blocker.
+  };
+
+  Status St = Status::Unknown;
+  std::vector<WitnessStep> Path; ///< Trap path (Confirmed/WitnessFound).
+  /// Scripted read outcomes of the synthesized environment, in program
+  /// order ("read(sock 0) -> payload 5", "read(sock 1) -> fail").
+  std::vector<std::string> Inputs;
+  std::string TrapCheckId; ///< RuntimeTrap::checkId() of the replay.
+  std::string Detail;      ///< Proof or blocking-constraint text.
+  std::uint64_t Steps = 0; ///< Path-search budget spent.
+};
+
+const char *toString(WitnessRefinement::Status S);
+
 /// One defect reported by a static analysis or lint pass.
 struct Finding {
   std::string CheckId; ///< Stable dotted id ("value-range.div-by-zero").
@@ -48,6 +88,8 @@ struct Finding {
   /// Node labels of a path from entry to the offending node (empty when
   /// the pass has no path notion, e.g. whole-program range checks).
   std::vector<std::string> Witness;
+  /// Set by refineFindings (witness.h) on findings it examined.
+  std::optional<WitnessRefinement> Refined;
 };
 
 /// Deterministic emission order: (Line, CheckId, Node, Message).
@@ -58,14 +100,20 @@ Severity maxSeverity(const std::vector<Finding> &Fs);
 
 /// One block per finding:
 ///   <file>:<line>: <severity>: [<check-id>] <message>
-/// followed by the witness path, two-space indented. \p File names the
-/// analyzed artifact in the locations.
+/// followed by the witness path, two-space indented, and — for refined
+/// findings — a refinement block (verdict, replay inputs, trap path).
+/// Control characters in messages and path labels are escaped C-style
+/// so the report stays one-finding-per-block. \p File names the
+/// analyzed artifact in the locations. Findings without a Refined
+/// record render byte-identically to earlier releases.
 std::string renderText(const std::string &File,
                        const std::vector<Finding> &Fs);
 
-/// A minimal SARIF 2.1.0 log (tool "rp_verify", one result per
-/// finding). region.startLine is omitted for line-0 findings; the
-/// witness path rides in properties.witness.
+/// A minimal SARIF 2.1.0 log (tool "rp_verify", a rules array over the
+/// distinct check-ids, one result per finding with ruleIndex).
+/// region.startLine is omitted for line-0 findings; the witness path
+/// rides in properties.witness, a refined finding's trap path in
+/// codeFlows/threadFlows and its verdict in properties.refinement.
 std::string renderSarif(const std::string &File,
                         const std::vector<Finding> &Fs);
 

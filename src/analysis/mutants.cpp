@@ -30,6 +30,16 @@ struct Mutation {
   std::int64_t CounterStride = 0; ///< r6 += stride in every polling slot.
   bool ZeroDivisor = false;       ///< r6 := 1000 / (r2 + 1) after each read.
   bool OffByOneSocket = false;    ///< Poll sockets 0..N (one too many).
+  // Witness mutations: the interval analysis can only say May; the
+  // witness layer must decide them (see witnessMutantCorpus).
+  bool PayloadDivisor = false;    ///< r6 := 1000 / (r2 - 5): traps only
+                                  ///< for a length-5 datagram.
+  bool GhostDeltaDivisor = false; ///< r7 := r2 + 1; r6 := 1000 / (r7 - r2):
+                                  ///< divisor is provably 1.
+  bool GhostDeltaOverflow = false; ///< ... r6 := (r7 - r2) + (MAX - 1):
+                                   ///< sum is provably INT64_MAX exactly.
+  bool RelationalOverflow = false; ///< ... r6 := (r7 - r2) + MAX: always
+                                   ///< overflows, intervals still say May.
 };
 
 /// `r := 0; while (r < Trips) r := r + 1` — pure instruction cost on a
@@ -64,6 +74,36 @@ StmtPtr buildMutatedRossl(std::uint32_t NumSockets, const Mutation &Mu) {
         ScratchCtr,
         Expr::divE(Expr::lit(1000),
                    Expr::add(Expr::reg(ReadResult), Expr::lit(1)))));
+  constexpr RegId GhostReg = 7;
+  if (Mu.PayloadDivisor)
+    // Divides by result - 5: zero exactly for a 5-byte datagram, which
+    // only exists if the environment delivers one.
+    Slot.push_back(Stmt::setReg(
+        ScratchCtr,
+        Expr::divE(Expr::lit(1000),
+                   Expr::sub(Expr::reg(ReadResult), Expr::lit(5)))));
+  if (Mu.GhostDeltaDivisor || Mu.GhostDeltaOverflow || Mu.RelationalOverflow)
+    Slot.push_back(
+        Stmt::setReg(GhostReg, Expr::add(Expr::reg(ReadResult), Expr::lit(1))));
+  if (Mu.GhostDeltaDivisor)
+    // r7 - r2 == 1 by construction; intervals see [..big..] - [..big..].
+    Slot.push_back(Stmt::setReg(
+        ScratchCtr,
+        Expr::divE(Expr::lit(1000),
+                   Expr::sub(Expr::reg(GhostReg), Expr::reg(ReadResult)))));
+  if (Mu.GhostDeltaOverflow)
+    // (r7 - r2) + (MAX - 1) == MAX exactly: touches the rim, never over.
+    Slot.push_back(Stmt::setReg(
+        ScratchCtr,
+        Expr::add(Expr::sub(Expr::reg(GhostReg), Expr::reg(ReadResult)),
+                  Expr::lit(INT64_MAX - 1))));
+  if (Mu.RelationalOverflow)
+    // (r7 - r2) + MAX == MAX + 1: overflows on every execution, but the
+    // interval domain cannot relate r7 to r2 and still reports May.
+    Slot.push_back(Stmt::setReg(
+        ScratchCtr,
+        Expr::add(Expr::sub(Expr::reg(GhostReg), Expr::reg(ReadResult)),
+                  Expr::lit(INT64_MAX))));
   Slot.push_back(Stmt::ifThen(
       Expr::notE(Expr::eq(Expr::reg(ReadResult), Expr::lit(-1))),
       Stmt::seq({
@@ -128,10 +168,11 @@ StmtPtr buildMutatedRossl(std::uint32_t NumSockets, const Mutation &Mu) {
 
 Mutant make(std::string Name, std::string Description, Mutation Mu,
             std::uint32_t NumSockets, bool InterpreterSafe = true,
-            std::string ExpectedCheckId = "") {
-  return {std::move(Name), std::move(Description),
+            std::string ExpectedCheckId = "",
+            std::string ExpectedRefinement = "") {
+  return {std::move(Name),          std::move(Description),
           buildMutatedRossl(NumSockets, Mu), InterpreterSafe,
-          std::move(ExpectedCheckId)};
+          std::move(ExpectedCheckId), std::move(ExpectedRefinement)};
 }
 
 } // namespace
@@ -264,6 +305,58 @@ rprosa::analysis::valueRangeMutantCorpus(std::uint32_t NumSockets) {
                           "set: the read of socket N is out of range",
                           Mu, NumSockets, /*InterpreterSafe=*/true,
                           "value-range.socket-range"));
+  }
+
+  return Corpus;
+}
+
+std::vector<Mutant>
+rprosa::analysis::witnessMutantCorpus(std::uint32_t NumSockets) {
+  std::vector<Mutant> Corpus;
+
+  {
+    Mutation Mu;
+    Mu.PayloadDivisor = true;
+    Corpus.push_back(make("payload-divisor",
+                          "divides by read-result - 5: traps only when the "
+                          "environment delivers a 5-byte datagram, which "
+                          "the path executor must synthesize",
+                          Mu, NumSockets, /*InterpreterSafe=*/true,
+                          "value-range.div-by-zero",
+                          /*ExpectedRefinement=*/"confirmed"));
+  }
+  {
+    Mutation Mu;
+    Mu.RelationalOverflow = true;
+    Corpus.push_back(make("relational-overflow",
+                          "(r7 - r2) + INT64_MAX with r7 == r2 + 1: "
+                          "overflows on every execution, yet the interval "
+                          "domain cannot relate r7 to r2 and says May",
+                          Mu, NumSockets, /*InterpreterSafe=*/true,
+                          "value-range.signed-overflow",
+                          /*ExpectedRefinement=*/"confirmed"));
+  }
+  {
+    Mutation Mu;
+    Mu.GhostDeltaDivisor = true;
+    Corpus.push_back(make("ghost-delta-divisor",
+                          "divides by r7 - r2 where r7 := r2 + 1: the "
+                          "divisor is provably 1 — an interval-domain "
+                          "false positive the zone domain suppresses",
+                          Mu, NumSockets, /*InterpreterSafe=*/true,
+                          "value-range.div-by-zero",
+                          /*ExpectedRefinement=*/"infeasible"));
+  }
+  {
+    Mutation Mu;
+    Mu.GhostDeltaOverflow = true;
+    Corpus.push_back(make("ghost-delta-overflow",
+                          "(r7 - r2) + (INT64_MAX - 1) with r7 == r2 + 1: "
+                          "the sum is exactly INT64_MAX and never "
+                          "overflows — another proven false positive",
+                          Mu, NumSockets, /*InterpreterSafe=*/true,
+                          "value-range.signed-overflow",
+                          /*ExpectedRefinement=*/"infeasible"));
   }
 
   return Corpus;

@@ -38,6 +38,11 @@ struct Mutant {
   /// report AND the runtime trap must carry (RuntimeTrap::checkId()).
   /// Empty for protocol/timing mutants.
   std::string ExpectedCheckId;
+  /// For the witness corpus: the WitnessRefinement status refineFindings
+  /// must reach on the ExpectedCheckId finding — "confirmed" (a real bug
+  /// the replay reproduces) or "infeasible" (an interval artifact the
+  /// zone domain suppresses). Empty for the other corpora.
+  std::string ExpectedRefinement;
 };
 
 /// The corpus for \p NumSockets sockets. Every mutant violates the
@@ -63,6 +68,18 @@ std::vector<Mutant> timingMutantCorpus(std::uint32_t NumSockets);
 /// (RuntimeTrap::checkId()), so static verdicts and runtime behaviour
 /// cross-validate literally.
 std::vector<Mutant> valueRangeMutantCorpus(std::uint32_t NumSockets);
+
+/// The *witness* corpus: variants the interval analysis can only call
+/// May — for each, ExpectedRefinement says which way the witness layer
+/// (analysis/dataflow/witness.h) must decide it. The "confirmed" ones
+/// trap for some payload the path executor has to synthesize (e.g. a
+/// divisor that is zero only for one datagram length); the "infeasible"
+/// ones maintain a relational invariant (r7 - r2 == 1) that the zone
+/// domain proves and the interval domain cannot, so the May finding is
+/// a proven false positive. Cross-validated in analysis_test and
+/// bench/bug_detection: confirmed mutants must actually trap under the
+/// synthesized environment, infeasible ones must never trap.
+std::vector<Mutant> witnessMutantCorpus(std::uint32_t NumSockets);
 
 } // namespace rprosa::analysis
 

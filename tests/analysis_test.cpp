@@ -15,6 +15,7 @@
 
 #include "analysis/cfg.h"
 #include "analysis/dataflow/analyses.h"
+#include "analysis/dataflow/witness.h"
 #include "analysis/lint.h"
 #include "analysis/mutants.h"
 #include "analysis/timing/segment_costs.h"
@@ -527,6 +528,190 @@ TEST(ValueRangeMutants, ReferenceRunNeverTraps) {
   (void)Machine.run(buildRosslProgram(N), Limits);
   EXPECT_FALSE(Machine.trap().has_value())
       << Machine.trap()->Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Witness refinement: May findings become replayed traps or proofs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs the value-range analysis and the witness refinement on one
+/// program, returning the refined findings.
+std::vector<dataflow::Finding>
+refinedFindings(const StmtPtr &Program, std::uint32_t N,
+                bool Replay = true) {
+  Cfg G = buildCfg(Program);
+  dataflow::AnalysisOptions Opts;
+  Opts.NumSockets = N;
+  std::vector<dataflow::Finding> Fs =
+      dataflow::analyzeValueRanges(G, Opts).Findings;
+  dataflow::WitnessOptions WOpts;
+  WOpts.NumSockets = N;
+  WOpts.Replay = Replay;
+  (void)dataflow::refineFindings(G, Fs, WOpts);
+  return Fs;
+}
+
+/// The refined finding carrying \p CheckId (there must be exactly one
+/// refined finding with that id in the witness corpus programs).
+const dataflow::Finding *findRefined(const std::vector<dataflow::Finding> &Fs,
+                                     const std::string &CheckId) {
+  for (const dataflow::Finding &F : Fs)
+    if (F.CheckId == CheckId && F.Refined)
+      return &F;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(WitnessRefinement, MutantCorpusVerdictsMatchExpectations) {
+  // The corpus contract: "confirmed" mutants are real bugs the replay
+  // reproduces (upgraded to Error, trap check-id literally equal),
+  // "infeasible" mutants are interval artifacts the zone domain proves
+  // away (downgraded to Note). Stable across socket counts.
+  for (std::uint32_t N : {1u, 2u, 4u})
+    for (const Mutant &M : witnessMutantCorpus(N)) {
+      ASSERT_FALSE(M.ExpectedRefinement.empty()) << M.Name;
+      std::vector<dataflow::Finding> Fs = refinedFindings(M.Program, N);
+      const dataflow::Finding *F = findRefined(Fs, M.ExpectedCheckId);
+      ASSERT_NE(F, nullptr)
+          << M.Name << " (N=" << N << "):\n"
+          << dataflow::renderText("<mutant>", Fs);
+      EXPECT_EQ(toString(F->Refined->St), M.ExpectedRefinement)
+          << M.Name << " (N=" << N << "): " << F->Refined->Detail;
+      if (M.ExpectedRefinement == "confirmed") {
+        EXPECT_EQ(F->Sev, dataflow::Severity::Error) << M.Name;
+        EXPECT_EQ(F->Refined->TrapCheckId, F->CheckId) << M.Name;
+        EXPECT_FALSE(F->Refined->Path.empty()) << M.Name;
+      } else {
+        EXPECT_EQ(F->Sev, dataflow::Severity::Note) << M.Name;
+        EXPECT_TRUE(F->Refined->TrapCheckId.empty()) << M.Name;
+      }
+    }
+}
+
+TEST(WitnessRefinement, ValueRangeCorpusConfirmsEveryMayFinding) {
+  // The original value-range mutants are all real bugs: each May
+  // finding under the mutant's check-id must come back Confirmed, i.e.
+  // upgraded only on the strength of an actual interpreter trap whose
+  // check-id equals the finding's.
+  for (std::uint32_t N : {1u, 2u, 4u})
+    for (const Mutant &M : valueRangeMutantCorpus(N)) {
+      std::vector<dataflow::Finding> Fs = refinedFindings(M.Program, N);
+      const dataflow::Finding *F = findRefined(Fs, M.ExpectedCheckId);
+      ASSERT_NE(F, nullptr) << M.Name << " (N=" << N << ")";
+      EXPECT_EQ(F->Refined->St,
+                dataflow::WitnessRefinement::Status::Confirmed)
+          << M.Name << " (N=" << N << "): " << F->Refined->Detail;
+      EXPECT_EQ(F->Refined->TrapCheckId, M.ExpectedCheckId) << M.Name;
+    }
+}
+
+TEST(WitnessRefinement, EveryUpgradeIsBackedByAMatchingReplayTrap) {
+  // The soundness assertion of the acceptance criteria, over BOTH
+  // corpora: a finding may leave refinement as Error only if its
+  // refinement record says Confirmed with an equal trap check-id.
+  for (std::uint32_t N : {1u, 2u, 4u}) {
+    std::vector<Mutant> All = valueRangeMutantCorpus(N);
+    for (Mutant &M : witnessMutantCorpus(N))
+      All.push_back(std::move(M));
+    for (const Mutant &M : All)
+      for (const dataflow::Finding &F : refinedFindings(M.Program, N)) {
+        if (F.Sev != dataflow::Severity::Error || !F.Refined)
+          continue;
+        EXPECT_EQ(F.Refined->St,
+                  dataflow::WitnessRefinement::Status::Confirmed)
+            << M.Name;
+        EXPECT_EQ(F.Refined->TrapCheckId, F.CheckId) << M.Name;
+      }
+  }
+}
+
+TEST(WitnessRefinement, NoUpgradeWithoutReplay) {
+  // Replay off: the path executor may find witnesses but must not
+  // change any severity — upgrades REQUIRE the interpreter run.
+  for (const Mutant &M : witnessMutantCorpus(2)) {
+    std::vector<dataflow::Finding> Fs =
+        refinedFindings(M.Program, 2, /*Replay=*/false);
+    const dataflow::Finding *F = findRefined(Fs, M.ExpectedCheckId);
+    ASSERT_NE(F, nullptr) << M.Name;
+    if (M.ExpectedRefinement == "confirmed") {
+      EXPECT_EQ(F->Refined->St,
+                dataflow::WitnessRefinement::Status::WitnessFound)
+          << M.Name << ": " << F->Refined->Detail;
+      EXPECT_EQ(F->Sev, dataflow::Severity::Warning) << M.Name;
+      EXPECT_TRUE(F->Refined->TrapCheckId.empty()) << M.Name;
+    } else {
+      // Suppression is a static proof; it does not depend on replay.
+      EXPECT_EQ(F->Refined->St,
+                dataflow::WitnessRefinement::Status::Infeasible)
+          << M.Name;
+      EXPECT_EQ(F->Sev, dataflow::Severity::Note) << M.Name;
+    }
+  }
+}
+
+TEST(WitnessRefinement, SynthesizesTheTrappingPayload) {
+  // payload-divisor traps only for a 5-byte datagram: the witness must
+  // contain a scripted read with exactly that payload — evidence the
+  // zone domain solved for the input rather than replaying noise.
+  for (const Mutant &M : witnessMutantCorpus(2)) {
+    if (M.Name != "payload-divisor")
+      continue;
+    std::vector<dataflow::Finding> Fs = refinedFindings(M.Program, 2);
+    const dataflow::Finding *F = findRefined(Fs, M.ExpectedCheckId);
+    ASSERT_NE(F, nullptr);
+    ASSERT_EQ(F->Refined->St,
+              dataflow::WitnessRefinement::Status::Confirmed)
+        << F->Refined->Detail;
+    bool SawPayload = false;
+    for (const std::string &I : F->Refined->Inputs)
+      SawPayload |= I.find("payload 5") != std::string::npos;
+    EXPECT_TRUE(SawPayload)
+        << dataflow::renderText("<mutant>", Fs);
+    return;
+  }
+  FAIL() << "payload-divisor not in the corpus";
+}
+
+TEST(WitnessRefinement, InfeasibleMutantsNeverTrapAtRuntime) {
+  // The runtime side of a suppression proof: the "infeasible" mutants
+  // must survive a dense workload without any RuntimeTrap.
+  const std::uint32_t N = 2;
+  ClientConfig C = makeClient(figure3Tasks(), N);
+  WorkloadSpec Spec;
+  Spec.NumSockets = N;
+  Spec.Horizon = 4000;
+  Spec.Style = WorkloadStyle::GreedyDense;
+  ArrivalSequence Arr = generateWorkload(C.Tasks, Spec);
+  for (const Mutant &M : witnessMutantCorpus(N)) {
+    if (M.ExpectedRefinement != "infeasible")
+      continue;
+    Environment Env(Arr);
+    CostModel Costs(C.Wcets, CostModelKind::AlwaysWcet, 1);
+    CaesiumMachine Machine(C, Env, Costs);
+    RunLimits Limits;
+    Limits.Horizon = 8000;
+    (void)Machine.run(M.Program, Limits);
+    EXPECT_FALSE(Machine.trap().has_value())
+        << M.Name << ": " << Machine.trap()->Message;
+  }
+}
+
+TEST(WitnessRefinement, ReferenceProgramHasNothingToRefine) {
+  for (std::uint32_t N : {1u, 2u, 4u}) {
+    Cfg G = buildCfg(buildRosslProgram(N));
+    dataflow::AnalysisOptions Opts;
+    Opts.NumSockets = N;
+    std::vector<dataflow::Finding> Fs =
+        dataflow::analyzeValueRanges(G, Opts).Findings;
+    dataflow::WitnessOptions WOpts;
+    WOpts.NumSockets = N;
+    dataflow::WitnessSummary Sum = dataflow::refineFindings(G, Fs, WOpts);
+    EXPECT_EQ(Sum.Attempted, 0u) << "N=" << N;
+    EXPECT_EQ(Sum.Steps, 0u) << "N=" << N;
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -19,6 +19,8 @@
 #include "analysis/dataflow/diagnostics.h"
 #include "analysis/dataflow/engine.h"
 #include "analysis/dataflow/interval.h"
+#include "analysis/dataflow/witness.h"
+#include "analysis/dataflow/zone.h"
 #include "analysis/lint.h"
 #include "analysis/mutants.h"
 
@@ -442,6 +444,123 @@ TEST(ValueRange, ConstantSocketOutOfRangeIsAnError) {
 }
 
 //===----------------------------------------------------------------------===//
+// The zone (difference-bound) domain under the witness layer
+//===----------------------------------------------------------------------===//
+
+TEST(Zone, ContradictoryDifferenceConstraintsEmptyTheZone) {
+  Zone Z(3);
+  EXPECT_FALSE(Z.isEmpty());
+  EXPECT_TRUE(Z.constrain(1, 2, 5));   // x1 - x2 <= 5
+  EXPECT_FALSE(Z.constrain(2, 1, -6)); // x2 - x1 <= -6: x1 - x2 >= 6
+  EXPECT_TRUE(Z.isEmpty());
+}
+
+TEST(Zone, ClosureTightensTransitively) {
+  Zone Z(4);
+  ASSERT_TRUE(Z.constrain(1, 2, 2)); // x1 - x2 <= 2
+  ASSERT_TRUE(Z.constrain(2, 3, 3)); // x2 - x3 <= 3, so x1 - x3 <= 5
+  Zone Feasible = Z;
+  EXPECT_TRUE(Feasible.constrain(3, 1, -5)); // x1 - x3 >= 5: tight, ok
+  Zone Infeasible = Z;
+  EXPECT_FALSE(Infeasible.constrain(3, 1, -6)); // x1 - x3 >= 6
+  EXPECT_TRUE(Infeasible.isEmpty());
+}
+
+TEST(Zone, SetConstForgetAndBounds) {
+  Zone Z(2);
+  EXPECT_EQ(Z.lo(1), INT64_MIN);
+  EXPECT_EQ(Z.hi(1), INT64_MAX);
+  Z.setConst(1, 42);
+  EXPECT_EQ(Z.lo(1), 42);
+  EXPECT_EQ(Z.hi(1), 42);
+  Z.forget(1);
+  EXPECT_EQ(Z.lo(1), INT64_MIN);
+  EXPECT_EQ(Z.hi(1), INT64_MAX);
+}
+
+TEST(Zone, SetCopyShiftTracksTheRelationNotJustTheInterval) {
+  // x2 := x1 + 5 with x1 unbounded: intervals know nothing, the zone
+  // still refutes x2 - x1 <= 4 — the fact the witness layer lives on.
+  Zone Z(3);
+  Z.setCopyShift(2, 1, 5);
+  DiffExpr D;
+  D.Ok = true;
+  D.Pos = 2;
+  D.Neg = 1;
+  EXPECT_FALSE(constrainDiffLe(Z, D, 4));
+  Zone Y(3);
+  Y.setCopyShift(2, 1, 5);
+  EXPECT_TRUE(constrainDiffLe(Y, D, 5));
+  EXPECT_TRUE(constrainDiffGe(Y, D, 5));
+  EXPECT_FALSE(Y.isEmpty());
+}
+
+TEST(Zone, JoinIsTheConvexHullAndWideningJumpsToInfinity) {
+  Zone A(2), B(2);
+  A.setConst(1, 1);
+  B.setConst(1, 5);
+  EXPECT_TRUE(A.joinWith(B));
+  EXPECT_EQ(A.lo(1), 1);
+  EXPECT_EQ(A.hi(1), 5);
+
+  auto interval = [](std::int64_t Lo, std::int64_t Hi) {
+    Zone Z(2);
+    EXPECT_TRUE(Z.constrain(1, 0, Hi)); // x1 <= Hi
+    EXPECT_TRUE(Z.constrain(0, 1, -Lo)); // -x1 <= -Lo
+    return Z;
+  };
+  Zone W = interval(0, 1);
+  W.joinWith(interval(0, 2));
+  EXPECT_EQ(W.hi(1), 2);
+  Zone Wider = interval(0, 3);
+  EXPECT_TRUE(W.widenWith(Wider));
+  EXPECT_EQ(W.lo(1), 0) << "stable lower bound survives widening";
+  EXPECT_EQ(W.hi(1), INT64_MAX) << "grown upper bound jumps to +inf";
+}
+
+TEST(Zone, DiffExprRecognizesExactlyTheAffineForms) {
+  DiffExpr D = diffExprOf(
+      *Expr::add(Expr::sub(Expr::reg(7), Expr::reg(2)), Expr::lit(9)));
+  ASSERT_TRUE(D.Ok);
+  EXPECT_EQ(D.Pos, 8u); // reg r -> var r + 1
+  EXPECT_EQ(D.Neg, 3u);
+  EXPECT_EQ(static_cast<long long>(D.K), 9);
+  EXPECT_FALSE(diffExprOf(*Expr::divE(Expr::reg(1), Expr::reg(2))).Ok);
+  EXPECT_FALSE(
+      diffExprOf(*Expr::add(Expr::reg(1), Expr::reg(2))).Ok)
+      << "two positive variables do not form a difference";
+}
+
+TEST(ZoneDomain, InnerLoopDoesNotWidenOuterCounterAway) {
+  // The zone-domain mirror of the interval regression above: the inner
+  // spin loop must not widen the OUTER counter past its bound — the
+  // r0 < 4 edge refinement has to survive the inner head, keeping
+  // hi(r0) == 3 at the increment and lo(r0) == 4 at Exit.
+  Cfg G = buildCfg(parseOrDie("r0 = 0;\n"
+                              "while ((r0 < 4)) {\n"
+                              "  r1 = 0;\n"
+                              "  while ((r1 < 4)) { r1 = (r1 + 1); }\n"
+                              "  r0 = (r0 + 1);\n"
+                              "}\n"));
+  CfgOrder Order = CfgOrder::compute(G);
+  ZoneDomain Dom(G.numRegs(), 2);
+  Solution<ZoneState> Sol = solve(G, Dom, Order);
+  ASSERT_TRUE(Sol.Converged);
+
+  NodeId Incr = InvalidNode;
+  for (NodeId N = 0; N < G.size(); ++N)
+    if (G[N].label() == "r0 = (r0 + 1)")
+      Incr = N;
+  ASSERT_NE(Incr, InvalidNode);
+  ASSERT_TRUE(Sol.In[Incr].Reachable);
+  EXPECT_EQ(Sol.In[Incr].Z.hi(1), 3)
+      << "the outer bound must survive the inner loop's widening";
+  EXPECT_GE(Sol.In[Incr].Z.lo(1), 0);
+  ASSERT_TRUE(Sol.In[G.Exit].Reachable);
+  EXPECT_EQ(Sol.In[G.Exit].Z.lo(1), 4);
+}
+
+//===----------------------------------------------------------------------===//
 // Definite-init: engine-backed, with the lint pass's exact contract
 //===----------------------------------------------------------------------===//
 
@@ -556,6 +675,23 @@ TEST(UnifiedReport, SarifRenderingIsWellFormedAndPinned) {
   EXPECT_NE(S.find("\"name\": \"rp_verify\""), std::string::npos);
   EXPECT_NE(S.find("\"ruleId\": \"value-range.div-by-zero\""),
             std::string::npos);
+  // The populated driver.rules array: one entry per distinct check-id,
+  // sorted, each result pointing back via ruleIndex.
+  EXPECT_NE(S.find("\"rules\": ["), std::string::npos);
+  EXPECT_NE(S.find("{\"id\": \"dead-code.constant-branch\", "
+                   "\"shortDescription\""),
+            std::string::npos)
+      << S;
+  std::size_t FirstRule = S.find("{\"id\": \"dead-code.constant-branch\"");
+  std::size_t SecondRule = S.find("{\"id\": \"dead-code.unreachable\"");
+  std::size_t ThirdRule = S.find("{\"id\": \"definite-init.register\"");
+  std::size_t FourthRule = S.find("{\"id\": \"value-range.div-by-zero\"");
+  EXPECT_LT(FirstRule, SecondRule);
+  EXPECT_LT(SecondRule, ThirdRule);
+  EXPECT_LT(ThirdRule, FourthRule) << "rules sorted by id";
+  EXPECT_NE(S.find("\"ruleIndex\": 0"), std::string::npos);
+  EXPECT_NE(S.find("\"ruleIndex\": 3"), std::string::npos)
+      << "the div-by-zero result must reference the 4th rule";
   EXPECT_NE(S.find("\"level\": \"error\""), std::string::npos);
   EXPECT_NE(S.find("\"uri\": \"pin.rossl\""), std::string::npos);
   EXPECT_NE(S.find("\"startLine\": 1"), std::string::npos);
@@ -580,6 +716,108 @@ TEST(UnifiedReport, SarifEscapesControlAndQuoteCharacters) {
                    "\\u0007 done"),
             std::string::npos)
       << S;
+}
+
+TEST(UnifiedReport, TextRenderingEscapesControlCharacters) {
+  // Messages are parser-adjacent strings: control characters must not
+  // break the one-finding-per-block shape of the text report.
+  std::vector<Finding> Fs;
+  Fs.push_back({"check\tid", Severity::Note, 0, 1,
+                "line1\nline2 \x01 end", {"step \x7f"}});
+  std::string T = renderText("f", Fs);
+  EXPECT_NE(T.find("[check\\tid] line1\\nline2 \\x01 end"),
+            std::string::npos)
+      << T;
+  EXPECT_NE(T.find("  step \\x7f\n"), std::string::npos) << T;
+  EXPECT_EQ(std::count(T.begin(), T.end(), '\n'), 2)
+      << "exactly one line per finding plus one per witness step";
+}
+
+TEST(UnifiedReport, SarifEscapesBackspaceFormfeedAndUnitSeparator) {
+  std::vector<Finding> Fs;
+  Fs.push_back({"test.escape", Severity::Note, 0, 1,
+                "bs \b ff \f us \x1f done", {}});
+  std::string S = renderSarif("f", Fs);
+  EXPECT_NE(S.find("bs \\b ff \\f us \\u001f done"), std::string::npos)
+      << S;
+}
+
+//===----------------------------------------------------------------------===//
+// Witness-refined renderings: byte-pinned text and SARIF codeFlows
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One May div-by-zero: the divisor is zero exactly when the read
+/// fails, so the refinement confirms via a replayed failed read.
+const char *WitnessPinSource =
+    "r0 = 0;\nr1 = read(r0, buf0);\nr2 = (1000 / (r1 + 1));\n";
+
+const char *WitnessPinText =
+    "wpin.rossl:3: error: [value-range.div-by-zero] possible division by "
+    "zero in (1000 / (r1 + 1)) at n2 (r2 = (1000 / (r1 + 1))): divisor "
+    "in [0, 4294967296]\n"
+    "  n0: entry\n"
+    "  n4: r0 = 0\n"
+    "  n3: r1 = read(r0, buf0)\n"
+    "  n2: r2 = (1000 / (r1 + 1))\n"
+    "  refinement: confirmed: replay trapped [value-range.div-by-zero] "
+    "(4 search step(s))\n"
+    "  replay-input: read(sock 0) -> fail\n"
+    "  trap-path: n0 n4 n3 n2\n";
+
+} // namespace
+
+TEST(UnifiedReport, WitnessRefinedTextIsBytePinned) {
+  Cfg G = buildCfg(parseOrDie(WitnessPinSource));
+  std::vector<Finding> Fs = runUnifiedAnalyses(G);
+  WitnessSummary Sum = refineFindings(G, Fs);
+  EXPECT_EQ(Sum.Attempted, 1u);
+  EXPECT_EQ(Sum.Confirmed, 1u);
+  EXPECT_EQ(renderText("wpin.rossl", Fs), WitnessPinText);
+
+  // Determinism: a second full pipeline produces the same bytes.
+  Cfg H = buildCfg(parseOrDie(WitnessPinSource));
+  std::vector<Finding> Again = runUnifiedAnalyses(H);
+  (void)refineFindings(H, Again);
+  EXPECT_EQ(renderText("wpin.rossl", Again), WitnessPinText);
+}
+
+TEST(UnifiedReport, SarifCarriesCodeFlowsAndRefinementForWitnesses) {
+  Cfg G = buildCfg(parseOrDie(WitnessPinSource));
+  std::vector<Finding> Fs = runUnifiedAnalyses(G);
+  (void)refineFindings(G, Fs);
+  std::string S = renderSarif("wpin.rossl", Fs);
+  EXPECT_NE(S.find("\"codeFlows\": [{\"threadFlows\": [{\"locations\": ["),
+            std::string::npos)
+      << S;
+  EXPECT_NE(S.find("{\"location\": {\"message\": {\"text\": \"n3: r1 = "
+                   "read(r0, buf0)\"}"),
+            std::string::npos)
+      << S;
+  EXPECT_NE(S.find("\"refinement\": {\"status\": \"confirmed\", "
+                   "\"steps\": 4, \"trapCheckId\": "
+                   "\"value-range.div-by-zero\", \"inputs\": "
+                   "[\"read(sock 0) -> fail\"]}"),
+            std::string::npos)
+      << S;
+  EXPECT_EQ(std::count(S.begin(), S.end(), '{'),
+            std::count(S.begin(), S.end(), '}'));
+  EXPECT_EQ(std::count(S.begin(), S.end(), '['),
+            std::count(S.begin(), S.end(), ']'));
+}
+
+TEST(UnifiedReport, RefinementOffRendersLegacyBytes) {
+  // The --witness-off contract: findings that were never refined render
+  // exactly as before the witness layer existed (Refined is empty, no
+  // refinement block, no codeFlows).
+  Cfg G = buildCfg(parseOrDie(WitnessPinSource));
+  std::vector<Finding> Fs = runUnifiedAnalyses(G);
+  std::string T = renderText("wpin.rossl", Fs);
+  EXPECT_EQ(T.find("refinement:"), std::string::npos);
+  std::string S = renderSarif("wpin.rossl", Fs);
+  EXPECT_EQ(S.find("codeFlows"), std::string::npos);
+  EXPECT_EQ(S.find("refinement"), std::string::npos);
 }
 
 TEST(UnifiedReport, EmbeddedProgramIsCleanForSocketSweep) {
