@@ -48,6 +48,21 @@
 ///                                   # fires. Without --witness the
 ///                                   # output is byte-identical to
 ///                                   # earlier releases.
+///   rp_verify --exact [spec]        # exact schedulability via the
+///                                   # schedule-abstraction graph
+///                                   # (sag/explore.h): every dispatch
+///                                   # order of the bounded-horizon job
+///                                   # set, merged states, and replay-
+///                                   # confirmed deadline-miss counter-
+///                                   # examples. Without a spec, runs a
+///                                   # built-in pair (one schedulable,
+///                                   # one overloaded) as a self-check
+///                                   # and cross-checks the sufficient
+///                                   # RTA verdict against the exact
+///                                   # one. --threads=N parallelizes
+///                                   # the frontier expansion; verdict
+///                                   # and JSON are byte-identical for
+///                                   # any thread count.
 ///   rp_verify --stream [spec] [hrzn] # dynamic verification in ONE
 ///                                   # pass: simulate the system spec
 ///                                   # (spec_parser.h format; built-in
@@ -84,6 +99,8 @@
 #include "adequacy/spec_parser.h"
 #include "caesium/parser.h"
 #include "caesium/rossl_program.h"
+#include "rta/rta_npfp.h"
+#include "sag/explore.h"
 #include "sim/workload.h"
 #include "support/parallel.h"
 #include "support/table.h"
@@ -383,6 +400,111 @@ int streamMode(const char *Path, const char *HorizonArg) {
   return Streamed.theoremHolds() && Identical ? 0 : 1;
 }
 
+/// The --exact self-check pair: one system every dispatch order meets
+/// its deadlines in, and one overloaded system (utilization > 1 on one
+/// socket) whose miss the replay gate must confirm.
+const char *ExactDemoSchedulable = R"(# rp_verify --exact demo: schedulable
+system exact-demo-ok
+sockets 2
+policy npfp
+wcets fr 4 sr 10 sel 3 disp 2 compl 5 idle 8
+task ctrl  wcet 300ns prio 2 deadline 4us curve periodic 4us
+task telem wcet 500ns prio 1 deadline 8us curve periodic 8us
+)";
+
+const char *ExactDemoOverloaded = R"(# rp_verify --exact demo: overloaded
+system exact-demo-miss
+sockets 1
+policy npfp
+wcets fr 4 sr 10 sel 3 disp 2 compl 5 idle 8
+task hog  wcet 3us prio 2 deadline 5us curve periodic 5us
+task late wcet 3us prio 1 deadline 5us curve periodic 5us
+)";
+
+/// Runs the exact test on one parsed spec and prints the report block.
+SagResult exactOne(const SystemSpec &Spec, const SagConfig &Cfg) {
+  SagResult R = analyzeExact(Spec.Client.Tasks, Spec.Client.Wcets,
+                             Spec.Client.NumSockets, Spec.Client.Policy, Cfg);
+  RtaResult Rta = analyzeNpfp(Spec.Client.Tasks, Spec.Client.Wcets,
+                              Spec.Client.NumSockets);
+  bool RtaOk = meetsDeadlines(Rta, Spec.Client.Tasks);
+  std::printf("--- %s: %zu job(s) before %s ---\n", Spec.Name.c_str(),
+              R.Stats.Jobs, formatTicksAsNs(Cfg.Horizon).c_str());
+  std::printf("exact verdict: %s (%s)\n", toString(R.Verdict).c_str(),
+              R.Note.c_str());
+  if (R.Witness) {
+    const SagWitness &W = R.Witness.value();
+    std::printf("counterexample (replay-confirmed, checkers %s): task %u "
+                "job arriving at %s completes at %s — response %s > "
+                "deadline %s\n",
+                W.ChecksPassed ? "clean" : "FAILED", W.Task,
+                formatTicksAsNs(W.ArrivalAt).c_str(),
+                formatTicksAsNs(W.CompletedAt).c_str(),
+                formatTicksAsNs(W.Response).c_str(),
+                formatTicksAsNs(W.Deadline).c_str());
+  }
+  std::printf("sufficient RTA verdict: %s\n",
+              RtaOk ? "schedulable" : "not proven schedulable");
+  // The soundness direction (RTA proves what the exact test cannot
+  // refute): a sufficient "schedulable" with an exact "Unschedulable"
+  // means one of the two analyses is wrong.
+  if (RtaOk && R.Verdict == SagVerdict::Unschedulable) {
+    std::printf("SOUNDNESS VIOLATION: RTA-schedulable but the exact test "
+                "replay-confirmed a miss\n");
+    R.Verdict = SagVerdict::Unknown;
+    R.Note = "soundness violation against the sufficient RTA";
+  }
+  std::printf("%s\n\n", sagResultJson(R).c_str());
+  return R;
+}
+
+int exactMode(const char *Path, unsigned Threads) {
+  SagConfig Cfg;
+  Cfg.Threads = Threads;
+
+  if (Path) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "rp_verify: cannot open %s\n", Path);
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    CheckResult Diags;
+    std::optional<SystemSpec> Spec = parseSystemSpec(Buf.str(), &Diags);
+    if (!Spec) {
+      std::fprintf(stderr, "rp_verify: spec error:\n%s",
+                   Diags.describe().c_str());
+      return 2;
+    }
+    std::printf("=== rp_verify --exact: schedule-abstraction graph over "
+                "'%s' ===\n\n",
+                Spec->Name.c_str());
+    SagResult R = exactOne(*Spec, Cfg);
+    return R.Verdict == SagVerdict::Schedulable ? 0 : 1;
+  }
+
+  std::printf("=== rp_verify --exact: built-in self-check pair ===\n\n");
+  CheckResult Diags;
+  std::optional<SystemSpec> Ok = parseSystemSpec(ExactDemoSchedulable, &Diags);
+  std::optional<SystemSpec> Miss =
+      parseSystemSpec(ExactDemoOverloaded, &Diags);
+  if (!Ok || !Miss) {
+    std::fprintf(stderr, "rp_verify: internal demo spec error:\n%s",
+                 Diags.describe().c_str());
+    return 2;
+  }
+  SagResult ROk = exactOne(*Ok, Cfg);
+  SagResult RMiss = exactOne(*Miss, Cfg);
+  bool Pass = ROk.Verdict == SagVerdict::Schedulable &&
+              RMiss.Verdict == SagVerdict::Unschedulable &&
+              RMiss.Witness && RMiss.Witness->ChecksPassed;
+  std::printf("self-check: %s — the exact test must prove the feasible "
+              "system and replay-confirm the overload's miss.\n",
+              Pass ? "pass" : "FAIL");
+  return Pass ? 0 : 1;
+}
+
 int lintMode(const char *Path, std::uint32_t NumSockets, bool Sarif,
              bool Witness, bool Replay) {
   StmtPtr Program;
@@ -498,6 +620,9 @@ int main(int Argc, char **Argv) {
 
   if (Pos.empty())
     return sweepMode();
+
+  if (std::string(Pos[0]) == "--exact")
+    return exactMode(Pos.size() >= 2 ? Pos[1] : nullptr, Threads);
 
   if (std::string(Pos[0]) == "--stream")
     return streamMode(Pos.size() >= 2 ? Pos[1] : nullptr,

@@ -14,6 +14,26 @@
 
 using namespace rprosa;
 
+Time rprosa::earliestCompliantArrival(const ArrivalCurve &Curve,
+                                      const std::vector<Time> &Prev,
+                                      Time Proposed) {
+  Time Earliest = Proposed;
+  // Constraint from each suffix of previous arrivals: the K arrivals
+  // Prev[J..] plus the new one fit in a window of length
+  // (t - Prev[J] + 1), which must admit K+1 arrivals.
+  for (std::size_t J = 0; J < Prev.size(); ++J) {
+    std::uint64_t Count = Prev.size() - J + 1;
+    Duration NeedLen = minWindowAdmitting(Curve, Count);
+    if (NeedLen == TimeInfinity)
+      return TimeInfinity; // Curve admits no more arrivals, ever.
+    // Need t - Prev[J] + 1 >= NeedLen, i.e. t >= Prev[J] + NeedLen - 1.
+    Time Bound = satAdd(Prev[J], NeedLen - 1);
+    if (Bound > Earliest)
+      Earliest = Bound;
+  }
+  return Earliest;
+}
+
 void ArrivalSequence::addArrival(Time At, SocketId Socket, Message Msg) {
   assert(Socket < NumSockets && "socket out of range");
   Items.push_back(Arrival{At, Socket, Msg});

@@ -35,6 +35,17 @@ struct Arrival {
   Message Msg;
 };
 
+/// The earliest instant >= \p Proposed at which one more arrival of a
+/// task with arrival curve \p Curve may be appended after the ascending
+/// times in \p Prev without violating Eq. 2 on any window anchored at a
+/// previous arrival; TimeInfinity when the curve admits no further
+/// arrival at all. The workload generator (sim/workload) and the SAG
+/// counterexample realizer (sag/backtrack) both push proposed instants
+/// through this function, so every sequence they emit passes
+/// respectsCurves by construction.
+Time earliestCompliantArrival(const ArrivalCurve &Curve,
+                              const std::vector<Time> &Prev, Time Proposed);
+
 /// A finite arrival sequence for one run.
 class ArrivalSequence {
 public:

@@ -20,6 +20,18 @@ bool RtaResult::allBounded() const {
   return !PerTask.empty();
 }
 
+bool rprosa::meetsDeadlines(const RtaResult &R, const TaskSet &Tasks) {
+  if (!R.allBounded())
+    return false;
+  for (const Task &T : Tasks.tasks()) {
+    if (T.Deadline == 0)
+      continue; // Unconstrained task: Bounded is all there is to show.
+    if (R.forTask(T.Id).ResponseBound > T.Deadline)
+      return false;
+  }
+  return true;
+}
+
 const TaskRta &RtaResult::forTask(TaskId Id) const {
   // Armed in every build type: an out-of-range id in a Release binary
   // would otherwise read past the vector and hand the caller garbage

@@ -119,6 +119,14 @@ struct RtaResult {
   const TaskRta &forTask(TaskId Id) const;
 };
 
+/// True when the analysis proves every task schedulable w.r.t. its
+/// relative deadline: all tasks Bounded, and ResponseBound <= Deadline
+/// for every task that specifies one (Deadline == 0 only needs
+/// Bounded). This is the sufficient-side verdict the exact test is
+/// cross-checked against: RTA-schedulable ⇒ SAG-schedulable is the
+/// soundness gate of sag/explore.h.
+bool meetsDeadlines(const RtaResult &R, const TaskSet &Tasks);
+
 /// Runs the analysis on \p Tasks for a deployment with \p NumSockets
 /// input sockets and the given basic-action WCETs.
 RtaResult analyzeNpfp(const TaskSet &Tasks, const BasicActionWcets &W,

@@ -33,11 +33,19 @@ std::uint64_t MemoCurve::eval(Duration Delta) const {
     }
   }
   // Evaluate outside any lock: the inner curve is pure, so a racing
-  // duplicate evaluation computes the same value.
-  Misses.fetch_add(1, std::memory_order_relaxed);
+  // duplicate evaluation computes the same value. A miss is counted
+  // only by the evaluation whose emplace actually inserts the point:
+  // misses() == distinct cached Δs, and hits() + misses() == eval()
+  // calls, even when two lanes race on the same Δ (the race loser did
+  // find the point cached by the time the cache settled, so it counts
+  // as a hit). Pinned by sweep_test.
   std::uint64_t V = Inner->eval(Delta);
-  std::unique_lock<std::shared_mutex> L(S.M);
-  S.Map.emplace(Delta, V);
+  bool Inserted = false;
+  {
+    std::unique_lock<std::shared_mutex> L(S.M);
+    Inserted = S.Map.emplace(Delta, V).second;
+  }
+  (Inserted ? Misses : Hits).fetch_add(1, std::memory_order_relaxed);
   return V;
 }
 
@@ -131,7 +139,7 @@ SweepTelemetry SweepRunner::telemetry() const {
   T.Cache = Cache.stats();
   T.Fixpoints = Tel.snapshot();
   T.Threads = Pool.threads();
-  T.ChunkSize = LastChunk;
+  T.ChunkSize = LastChunk.load(std::memory_order_relaxed);
   return T;
 }
 
@@ -156,7 +164,7 @@ std::vector<RtaResult> SweepRunner::run(const std::vector<SweepPoint> &Points) {
   std::size_t C = Opts.ChunkSize;
   if (C == 0)
     C = std::max<std::size_t>(1, N / (8 * Pool.threads()));
-  LastChunk = C;
+  LastChunk.store(C, std::memory_order_relaxed);
 
   // Warm-start plan: Seed[I] is the nearest earlier point in I's chunk
   // whose demand is dominated by I's, or npos. A chunk is processed in

@@ -96,7 +96,11 @@ public:
   const ArrivalCurvePtr &inner() const { return Inner; }
 
   /// Cache effectiveness counters (exact; relaxed atomics — ordering is
-  /// irrelevant for counts).
+  /// irrelevant for counts). Miss semantics: a miss is counted only by
+  /// the evaluation that actually inserted its Δ into the cache, so
+  /// misses() equals the number of distinct Δs cached and can never
+  /// exceed the unique-Δ count; when two lanes race on the same Δ, the
+  /// race loser counts as a hit. hits() + misses() == eval() calls.
   std::uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   std::uint64_t misses() const {
     return Misses.load(std::memory_order_relaxed);
@@ -208,7 +212,11 @@ private:
   ThreadPool Pool;
   CurveCache Cache;
   FixpointTelemetry Tel;
-  std::size_t LastChunk = 0;
+  /// Chunk size of the latest run(). Atomic because telemetry() is
+  /// documented as callable while a run() is in flight on another
+  /// thread (the monitor-thread pattern); relaxed is enough — the
+  /// reader sees either the previous or the current run's chunk.
+  std::atomic<std::size_t> LastChunk{0};
 };
 
 /// Renders sweep results as canonical JSON (one object per point, in

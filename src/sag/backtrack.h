@@ -1,0 +1,94 @@
+//===- sag/backtrack.h - Counterexample extraction and replay -------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replay gate of the exact test (DESIGN.md §13). When exploration
+/// flags a state that admits a deadline miss, the abstract evidence is
+/// an interval argument, not a run. This module walks the predecessor
+/// edges back to the root, realizes the path as a *concrete,
+/// curve-compliant* arrival sequence (per-job desired instants pushed
+/// through core's earliestCompliantArrival), and replays it through
+/// the simulator (AlwaysWcet cost model) with the five streaming check
+/// sinks plus the DeadlineCheckSink attached. Only a replay whose
+/// trace exhibits a miss upgrades the candidate to Unschedulable —
+/// PR 8's upgrade-only-on-replay discipline; anything weaker stays
+/// Unknown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_SAG_BACKTRACK_H
+#define RPROSA_SAG_BACKTRACK_H
+
+#include "sag/state.h"
+
+#include "core/arrival_sequence.h"
+#include "trace/check_sinks.h"
+
+#include <vector>
+
+namespace rprosa {
+
+/// One edge of a root-to-state path: the job dispatched and the
+/// selection-instant window the exploration derived for the edge.
+struct SagPathEdge {
+  std::uint32_t Job = 0;
+  Time EstSel = 0;
+  Time LstSel = 0;
+};
+
+/// Walks Pred/Via links from \p StateIdx back to the root and returns
+/// the dispatch path in root-to-state order.
+std::vector<SagPathEdge> sagExtractPath(const std::vector<SagState> &Arena,
+                                        std::uint32_t StateIdx);
+
+/// Deterministic arrival-placement strategies tried per candidate, in
+/// order, until one replay confirms the miss.
+enum class SagRealizeVariant : std::uint8_t {
+  /// Every job at its earliest arrival (the greedy-dense sequence).
+  AllEarly,
+  /// Every job as late as its window allows (maximal release jitter).
+  AllLate,
+  /// The victim as late as possible, every competitor as early as
+  /// possible (the classic blocking-maximizing alignment).
+  VictimLate,
+};
+
+/// A realized workload: the concrete sequence plus the message id the
+/// victim job was assigned (for tying a replayed miss back to the
+/// candidate).
+struct SagRealization {
+  ArrivalSequence Arrivals{1};
+  MsgId VictimMsg = 0;
+};
+
+/// Places every job of the model at a concrete arrival instant per
+/// \p Variant, pushed to curve compliance. Deterministic.
+SagRealization sagRealizeArrivals(const SagModel &M, std::uint32_t VictimJob,
+                                  SagRealizeVariant Variant);
+
+/// What one replay observed.
+struct SagReplayOutcome {
+  /// The DeadlineCheckSink flagged at least one miss.
+  bool MissObserved = false;
+  /// The first (earliest-completion) observed miss.
+  DeadlineMiss Miss;
+  /// The five core streaming checkers all passed.
+  bool ChecksPassed = false;
+  Time EndTime = 0;
+};
+
+/// Replays \p Arr through the simulator until \p Horizon with the
+/// streaming checkers and the deadline sink attached.
+SagReplayOutcome sagReplay(const SagModel &M, const ArrivalSequence &Arr,
+                           Time Horizon);
+
+/// A horizon past which every job of the model has certainly completed
+/// (a saturating worst-case envelope; replay runs until here).
+Time sagReplayHorizon(const SagModel &M);
+
+} // namespace rprosa
+
+#endif // RPROSA_SAG_BACKTRACK_H

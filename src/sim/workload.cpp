@@ -25,23 +25,9 @@ public:
         MinGap(minWindowAdmitting(*T.Curve, 2)) {}
 
   /// The earliest compliant time >= Proposed for the next arrival,
-  /// given all previous arrival times.
+  /// given all previous arrival times (core's shared push rule).
   Time earliestCompliantAt(Time Proposed) const {
-    Time Earliest = Proposed;
-    // Constraint from each suffix of previous arrivals: the K arrivals
-    // Times[J..] plus the new one fit in a window of length
-    // (t - Times[J] + 1), which must admit K+1 arrivals.
-    for (std::size_t J = 0; J < Times.size(); ++J) {
-      std::uint64_t Count = Times.size() - J + 1;
-      Duration NeedLen = minWindowAdmitting(*T.Curve, Count);
-      if (NeedLen == TimeInfinity)
-        return TimeInfinity; // Curve admits no more arrivals, ever.
-      // Need t - Times[J] + 1 >= NeedLen, i.e. t >= Times[J]+NeedLen-1.
-      Time Bound = satAdd(Times[J], NeedLen - 1);
-      if (Bound > Earliest)
-        Earliest = Bound;
-    }
-    return Earliest;
+    return earliestCompliantArrival(*T.Curve, Times, Proposed);
   }
 
   void commit(Time T_) { Times.push_back(T_); }

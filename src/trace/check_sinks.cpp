@@ -252,6 +252,53 @@ void ConsistencyCheckSink::onMarker(const MarkerEvent &E, Time At) {
 }
 
 //===----------------------------------------------------------------------===//
+// DeadlineCheckSink
+//===----------------------------------------------------------------------===//
+
+DeadlineCheckSink::DeadlineCheckSink(const TaskSet &Tasks,
+                                     const ArrivalSequence &Arr)
+    : Tasks(Tasks) {
+  for (const Arrival &A : Arr.arrivals())
+    ArrivalAt.emplace(A.Msg.Id, A.At);
+}
+
+void DeadlineCheckSink::onMarker(const MarkerEvent &E, Time At) {
+  if (E.isSuccessfulRead()) {
+    auto It = ArrivalAt.find(E.J->Msg);
+    // Unknown messages are the consistency checker's business; a
+    // deadline verdict needs the arrival instant, so skip them here.
+    if (It != ArrivalAt.end())
+      Open.emplace(E.J->Id, std::make_pair(E.J->Msg, It->second));
+    return;
+  }
+  if (E.Kind != MarkerKind::Completion || !E.J)
+    return;
+  auto It = Open.find(E.J->Id);
+  if (It == Open.end())
+    return;
+  auto [Msg, Arrived] = It->second;
+  Open.erase(It);
+  if (E.J->Task >= Tasks.size())
+    return;
+  const Task &T = Tasks.task(E.J->Task);
+  if (T.Deadline == 0)
+    return; // Unconstrained task.
+  ++Completions;
+  R.noteCheck();
+  Duration Response = At >= Arrived ? At - Arrived : 0;
+  if (Response > T.Deadline) {
+    Misses.push_back(DeadlineMiss{E.J->Id, Msg, E.J->Task, Arrived, At,
+                                  Response, T.Deadline});
+    R.addFailure("job j" + std::to_string(E.J->Id) + " of task " + T.Name +
+                 " (message m" + std::to_string(Msg) + ") arrived at t=" +
+                 std::to_string(Arrived) + " and completed at t=" +
+                 std::to_string(At) + ": response " +
+                 std::to_string(Response) + " exceeds the deadline " +
+                 std::to_string(T.Deadline));
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // WcetCheckSink
 //===----------------------------------------------------------------------===//
 

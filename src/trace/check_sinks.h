@@ -129,6 +129,51 @@ private:
   std::size_t Index = 0;
 };
 
+/// One observed deadline miss on a trace: job of \p Task, arrived at
+/// \p ArrivalAt, completed at \p CompletedAt with
+/// Response = CompletedAt - ArrivalAt > Deadline.
+struct DeadlineMiss {
+  JobId Job = InvalidJobId;
+  MsgId Msg = 0;
+  TaskId Task = InvalidTaskId;
+  Time ArrivalAt = 0;
+  Time CompletedAt = 0;
+  Duration Response = 0;
+  Duration Deadline = 0;
+};
+
+/// Streaming deadline observer: joins each job's completion instant
+/// (M_Completion timestamp) with its message's arrival instant from the
+/// arrival sequence and records every job whose response time exceeds
+/// its task's relative deadline (tasks with Deadline == 0 are
+/// unconstrained). This is the oracle behind the SAG replay gate
+/// (sag/backtrack): an Unschedulable verdict must present a trace this
+/// sink flags. Per-job state is retired at completion — O(open jobs).
+class DeadlineCheckSink final : public TraceSink {
+public:
+  DeadlineCheckSink(const TaskSet &Tasks, const ArrivalSequence &Arr);
+
+  void onMarker(const MarkerEvent &E, Time At) override;
+  void onEnd(Time EndTime) override { (void)EndTime; }
+
+  const std::vector<DeadlineMiss> &misses() const { return Misses; }
+  /// Completions of deadline-constrained jobs observed so far.
+  std::size_t checkedCompletions() const { return Completions; }
+
+  const CheckResult &result() const { return R; }
+  CheckResult take() { return std::move(R); }
+
+private:
+  const TaskSet &Tasks;
+  CheckResult R;
+  /// Message id -> arrival instant (input-sized, mirrors the sequence).
+  std::map<MsgId, Time> ArrivalAt;
+  /// Open jobs: job id -> (msg id, arrival instant).
+  std::map<JobId, std::pair<MsgId, Time>> Open;
+  std::vector<DeadlineMiss> Misses;
+  std::size_t Completions = 0;
+};
+
 /// Streaming checkWcetRespected (§2.3): checks each basic action's
 /// duration as soon as the action closes. O(1) state (one open action).
 class WcetCheckSink final : public TraceSink {

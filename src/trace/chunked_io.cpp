@@ -86,7 +86,9 @@ struct Reader {
     return false;
   }
 
-  /// Next non-empty line; false at end of stream.
+  /// Next non-empty line; false at end of stream. Only valid *between*
+  /// records: inside a chunk body every line is an event, so blank
+  /// lines must be diagnosed, not skipped (nextLineRaw).
   bool nextLine(std::string &Line) {
     while (std::getline(In, Line)) {
       ++LineNo;
@@ -95,6 +97,14 @@ struct Reader {
         return true;
     }
     return false;
+  }
+
+  /// Next line verbatim (chunk bodies); false at end of stream.
+  bool nextLineRaw(std::string &Line) {
+    if (!std::getline(In, Line))
+      return false;
+    ++LineNo;
+    return true;
   }
 
   void sawEvent() {
@@ -151,15 +161,26 @@ struct Reader {
       auto Count = tokU64(splitFirst(Rest).first);
       if (!Count)
         return fail("malformed chunk header");
+      if (*Count == 0)
+        return fail("chunk header announces zero events (the writer "
+                    "never emits empty chunks; torn or corrupted "
+                    "header?)");
 
       Chunk.clear();
       Chunk.reserve(static_cast<std::size_t>(
           std::min<std::uint64_t>(*Count, 1 << 20)));
       for (std::uint64_t I = 0; I < *Count; ++I) {
-        if (!nextLine(Line))
+        // Chunk bodies are read verbatim: a blank line here is a torn
+        // write blanking an event, and silently skipping it would
+        // misattribute the damage to the next line's parse.
+        if (!nextLineRaw(Line))
           return fail("truncated chunk (expected " +
                       std::to_string(*Count) + " events, got " +
                       std::to_string(I) + ")");
+        if (Line.find_first_not_of(" \t\r") == std::string::npos)
+          return fail("blank line inside a chunk body (event " +
+                      std::to_string(I + 1) + " of " +
+                      std::to_string(*Count) + "; torn write?)");
         Time Ts = 0;
         MarkerEvent E;
         std::string Why;

@@ -221,6 +221,50 @@ TEST(ChunkedErrorPath, OverflowTimestampIsADiagnosticNotACrash) {
   EXPECT_EQ(R.V.trace().size(), 3u);
 }
 
+TEST(ChunkedErrorPath, BlankLineInsideAChunkBodyIsDiagnosedInPlace) {
+  // A torn write that blanked an event line: skipping it silently would
+  // shift every later event by one and misattribute the damage. The
+  // diagnostic must name the blank itself, with its line number.
+  std::string Text(WellFormedV2);
+  std::size_t At = Text.find("2 ReadE 0 fail\n");
+  Text = Text.substr(0, At) + "\n" + Text.substr(At + 15);
+  FailedRead R = expectMalformed(Text);
+  EXPECT_NE(R.Diags.describe().find(
+                "blank line inside a chunk body (event 2 of 3"),
+            std::string::npos)
+      << R.Diags.describe();
+  // The blank replaced line 4 of the file; the diagnostic points at it.
+  EXPECT_NE(R.Diags.describe().find("at line 4"), std::string::npos)
+      << R.Diags.describe();
+  EXPECT_EQ(R.V.trace().size(), 0u)
+      << "the damaged chunk must deliver nothing";
+  // Whitespace-only counts as blank too (same torn-write shape).
+  std::string WsText(WellFormedV2);
+  At = WsText.find("9 ReadS\n");
+  WsText = WsText.substr(0, At) + " \t\n" + WsText.substr(At + 8);
+  FailedRead R2 = expectMalformed(WsText);
+  EXPECT_NE(R2.Diags.describe().find("blank line inside a chunk body"),
+            std::string::npos)
+      << R2.Diags.describe();
+  EXPECT_EQ(R2.V.trace().size(), 3u);
+}
+
+TEST(ChunkedErrorPath, ZeroEventChunkHeaderIsRejected) {
+  // The writer never emits empty chunks (flushChunk returns on
+  // Buffered == 0), so "chunk 0" can only be corruption. Accepting it
+  // would loop the reader on a no-progress chunk.
+  std::string Text(WellFormedV2);
+  std::size_t At = Text.find("chunk 2");
+  Text = Text.substr(0, At) + "chunk 0\n" + Text.substr(At + 8);
+  FailedRead R = expectMalformed(Text);
+  EXPECT_NE(R.Diags.describe().find("announces zero events"),
+            std::string::npos)
+      << R.Diags.describe();
+  EXPECT_EQ(R.V.trace().size(), 3u)
+      << "everything before the corrupt header was complete";
+  EXPECT_EQ(R.Stats.Chunks, 1u);
+}
+
 TEST(ChunkedErrorPath, ReadTimedTraceReturnsNulloptOnMalformedInput) {
   std::string Text(WellFormedV2);
   Text = Text.substr(0, Text.find("9 ReadS"));

@@ -1,0 +1,304 @@
+//===- tests/sag_test.cpp - The exact schedulability test (sag/) ----------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Model construction, the merge rule, end-to-end verdicts on
+/// hand-built systems, the replay gate behind every Unschedulable, the
+/// seeded-random soundness cross-check against the sufficient RTA
+/// (RTA-schedulable ==> SAG-schedulable), and the serial-vs-parallel
+/// byte-identity of the JSON rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sag/backtrack.h"
+#include "sag/explore.h"
+
+#include "rta/rta_npfp.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace rprosa;
+using namespace rprosa::testutil;
+
+namespace {
+
+/// Two light periodic tasks on two sockets: every dispatch order meets
+/// the deadlines (the rp_verify --exact demo, task-set form).
+TaskSet lightTasks() {
+  TaskSet TS;
+  TS.addTask("ctrl", /*Wcet=*/300, /*Prio=*/2,
+             std::make_shared<PeriodicCurve>(4000), /*Deadline=*/4000);
+  TS.addTask("telem", /*Wcet=*/500, /*Prio=*/1,
+             std::make_shared<PeriodicCurve>(8000), /*Deadline=*/8000);
+  return TS;
+}
+
+/// Two heavy tasks sharing one socket pair at utilization 1.2: the
+/// low-priority task cannot make its deadline.
+TaskSet overloadedTasks() {
+  TaskSet TS;
+  TS.addTask("hog", /*Wcet=*/3000, /*Prio=*/2,
+             std::make_shared<PeriodicCurve>(5000), /*Deadline=*/5000);
+  TS.addTask("late", /*Wcet=*/3000, /*Prio=*/1,
+             std::make_shared<PeriodicCurve>(5000), /*Deadline=*/5000);
+  return TS;
+}
+
+TEST(SagModel, BuildsGreedyDenseJobSet) {
+  TaskSet TS = lightTasks();
+  SagConfig Cfg; // Horizon = 10us.
+  SagModel M = SagModel::build(TS, tinyWcets(), 2, SchedPolicy::Npfp, Cfg);
+  ASSERT_TRUE(M.status().passed()) << M.status().describe();
+
+  // ctrl at 0, 4000, 8000; telem at 0, 8000.
+  ASSERT_EQ(M.jobs().size(), 5u);
+  std::size_t PerTask[2] = {0, 0};
+  for (const SagJob &J : M.jobs()) {
+    ASSERT_LT(J.Task, 2u);
+    ++PerTask[J.Task];
+    // Queue entry cannot precede arrival, and the windows are ordered.
+    EXPECT_LE(J.Rmin, J.Rmax);
+    EXPECT_LE(J.Qmin, J.Qmax);
+    EXPECT_GE(J.Qmax, J.Rmax);
+    EXPECT_GT(J.Cost, 0u);
+  }
+  EXPECT_EQ(PerTask[0], 3u);
+  EXPECT_EQ(PerTask[1], 2u);
+
+  // Effective durations come from the tiny table unmodified (all > 0).
+  EXPECT_EQ(M.failedRead(), 4u);
+  EXPECT_EQ(M.readTotal(), 10u);
+  EXPECT_EQ(M.selection(), 3u);
+  EXPECT_EQ(M.dispatch(), 2u);
+  EXPECT_EQ(M.completion(), 5u);
+  EXPECT_EQ(M.idling(), 8u);
+}
+
+TEST(SagModel, EdfWithoutDeadlinesFailsConstruction) {
+  TaskSet TS;
+  addPeriodicTask(TS, "free", /*Wcet=*/100, /*Prio=*/1, /*Period=*/2000);
+  SagModel M =
+      SagModel::build(TS, tinyWcets(), 1, SchedPolicy::Edf, SagConfig{});
+  EXPECT_FALSE(M.status().passed());
+}
+
+TEST(SagModel, CertainlyPrefersIsStrictUnderNpfp) {
+  TaskSet TS = lightTasks();
+  SagModel M = SagModel::build(TS, tinyWcets(), 2, SchedPolicy::Npfp,
+                               SagConfig{});
+  ASSERT_TRUE(M.status().passed());
+  // Find one job of each task.
+  std::uint32_t Hi = 0, Lo = 0;
+  for (std::uint32_t J = 0; J < M.jobs().size(); ++J)
+    (M.jobs()[J].Task == 0 ? Hi : Lo) = J;
+  EXPECT_TRUE(M.certainlyPrefers(Hi, Lo));  // Prio 2 beats prio 1.
+  EXPECT_FALSE(M.certainlyPrefers(Lo, Hi));
+  EXPECT_FALSE(M.certainlyPrefers(Hi, Hi)); // Never against itself.
+}
+
+TEST(SagState, MaskAndMergeRule) {
+  SagMask M{};
+  EXPECT_FALSE(sagMaskTest(M, 0));
+  sagMaskSet(M, 0);
+  sagMaskSet(M, 63);
+  sagMaskSet(M, 64);
+  sagMaskSet(M, 255);
+  EXPECT_TRUE(sagMaskTest(M, 0));
+  EXPECT_TRUE(sagMaskTest(M, 63));
+  EXPECT_TRUE(sagMaskTest(M, 64));
+  EXPECT_TRUE(sagMaskTest(M, 255));
+  EXPECT_FALSE(sagMaskTest(M, 1));
+  EXPECT_FALSE(sagMaskTest(M, 128));
+
+  SagState A, B;
+  A.EA = 10;
+  A.LA = 20;
+  B.EA = 15;
+  B.LA = 30;
+  EXPECT_TRUE(sagCanMerge(A, B));
+  sagMergeInto(A, B);
+  EXPECT_EQ(A.EA, 10u); // The hull.
+  EXPECT_EQ(A.LA, 30u);
+
+  SagState C;
+  C.EA = 31;
+  C.LA = 40;
+  EXPECT_FALSE(sagCanMerge(A, C)); // Disjoint: no merge.
+}
+
+TEST(SagExplore, LightSystemIsExactlySchedulable) {
+  SagResult R = analyzeExact(lightTasks(), tinyWcets(), 2,
+                             SchedPolicy::Npfp);
+  EXPECT_EQ(R.Verdict, SagVerdict::Schedulable) << R.Note;
+  EXPECT_FALSE(R.Witness.has_value());
+  EXPECT_EQ(R.Stats.Jobs, 5u);
+  EXPECT_GT(R.Stats.States, 1u);
+  EXPECT_FALSE(R.Stats.Capped);
+  EXPECT_EQ(R.Stats.Candidates, 0u);
+}
+
+TEST(SagExplore, EmptyHorizonIsVacuouslySchedulable) {
+  SagConfig Cfg;
+  Cfg.Horizon = 0; // No job arrives strictly before instant 0.
+  SagResult R = analyzeExact(lightTasks(), tinyWcets(), 2,
+                             SchedPolicy::Npfp, Cfg);
+  EXPECT_EQ(R.Verdict, SagVerdict::Schedulable);
+  EXPECT_EQ(R.Stats.Jobs, 0u);
+}
+
+TEST(SagExplore, OverloadedSystemIsReplayConfirmedUnschedulable) {
+  SagResult R = analyzeExact(overloadedTasks(), tinyWcets(), 1,
+                             SchedPolicy::Npfp);
+  ASSERT_EQ(R.Verdict, SagVerdict::Unschedulable) << R.Note;
+  // The verdict's contract: never Unschedulable without a simulator
+  // replay that exhibited the miss under clean checkers.
+  ASSERT_TRUE(R.Witness.has_value());
+  EXPECT_TRUE(R.Witness->ChecksPassed);
+  EXPECT_GT(R.Witness->Response, R.Witness->Deadline);
+  EXPECT_GE(R.Stats.ReplaysConfirmed, 1u);
+  EXPECT_GE(R.Stats.Replays, R.Stats.ReplaysConfirmed);
+  EXPECT_FALSE(R.Witness->Arrivals.arrivals().empty());
+}
+
+TEST(SagExplore, OverloadConfirmedUnderFifoAndEdfToo) {
+  for (SchedPolicy P : {SchedPolicy::Fifo, SchedPolicy::Edf}) {
+    SagResult R = analyzeExact(overloadedTasks(), tinyWcets(), 1, P);
+    EXPECT_EQ(R.Verdict, SagVerdict::Unschedulable)
+        << toString(P) << ": " << R.Note;
+    EXPECT_TRUE(R.Witness.has_value());
+  }
+}
+
+TEST(SagExplore, ReleaseJitterWidensButStaysSound) {
+  // Jitter adds arrival freedom: the overload is still confirmed, and
+  // the light system must not become falsely unschedulable.
+  SagConfig Cfg;
+  Cfg.ReleaseJitter = 200;
+  SagResult Bad = analyzeExact(overloadedTasks(), tinyWcets(), 1,
+                               SchedPolicy::Npfp, Cfg);
+  EXPECT_EQ(Bad.Verdict, SagVerdict::Unschedulable) << Bad.Note;
+
+  SagResult Good =
+      analyzeExact(lightTasks(), tinyWcets(), 2, SchedPolicy::Npfp, Cfg);
+  EXPECT_NE(Good.Verdict, SagVerdict::Unschedulable) << Good.Note;
+}
+
+TEST(SagExplore, StateCapYieldsUnknown) {
+  SagConfig Cfg;
+  Cfg.MaxStates = 2;
+  SagResult R = analyzeExact(overloadedTasks(), tinyWcets(), 1,
+                             SchedPolicy::Npfp, Cfg);
+  EXPECT_EQ(R.Verdict, SagVerdict::Unknown);
+  EXPECT_TRUE(R.Stats.Capped);
+}
+
+TEST(SagBacktrack, RealizedArrivalsAreCurveCompliant) {
+  TaskSet TS = overloadedTasks();
+  SagModel M =
+      SagModel::build(TS, tinyWcets(), 1, SchedPolicy::Npfp, SagConfig{});
+  ASSERT_TRUE(M.status().passed());
+  for (SagRealizeVariant V :
+       {SagRealizeVariant::AllEarly, SagRealizeVariant::AllLate}) {
+    SagRealization R = sagRealizeArrivals(M, /*VictimJob=*/1, V);
+    // One arrival per modeled job, in a curve-compliant sequence.
+    EXPECT_EQ(R.Arrivals.arrivals().size(), M.jobs().size());
+    CheckResult C = R.Arrivals.respectsCurves(TS);
+    EXPECT_TRUE(C.passed()) << C.describe();
+  }
+}
+
+/// A small random system: 2-4 periodic tasks, periods 2-8us, per-task
+/// utilization share drawn then scaled, deadline = period, 1-2 sockets.
+struct RandomSystem {
+  TaskSet Tasks;
+  std::uint32_t NumSockets = 1;
+  SchedPolicy Policy = SchedPolicy::Npfp;
+};
+
+RandomSystem randomSystem(std::uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  RandomSystem S;
+  S.NumSockets = 1 + Rng() % 2;
+  const SchedPolicy Policies[] = {SchedPolicy::Npfp, SchedPolicy::Fifo,
+                                  SchedPolicy::Edf};
+  S.Policy = Policies[Rng() % 3];
+  std::size_t N = 2 + Rng() % 3;
+  for (std::size_t I = 0; I < N; ++I) {
+    Duration Period = (2 + Rng() % 7) * 1000;
+    // 5%-45% of the period: spans comfortably feasible through clearly
+    // overloaded totals, so both sides of the implication get exercised.
+    Duration Wcet = Period * (5 + Rng() % 41) / 100;
+    S.Tasks.addTask("t" + std::to_string(I), Wcet,
+                    static_cast<Priority>(N - I),
+                    std::make_shared<PeriodicCurve>(Period),
+                    /*Deadline=*/Period);
+  }
+  return S;
+}
+
+TEST(SagSoundness, RtaScheduleImpliesSagSchedulable) {
+  const std::uint64_t Base = fuzzSeed(0x5a6a11ceu);
+  std::size_t RtaPositive = 0;
+  for (std::uint64_t It = 0; It < 40; ++It) {
+    const std::uint64_t Seed = Base + It;
+    RandomSystem S = randomSystem(Seed);
+    RtaResult Rta = analyzeNpfp(S.Tasks, tinyWcets(), S.NumSockets);
+    // The sufficient analysis is NPFP-specific; the implication is only
+    // claimed for the policy it analyzes.
+    if (S.Policy != SchedPolicy::Npfp || !meetsDeadlines(Rta, S.Tasks))
+      continue;
+    ++RtaPositive;
+    SagResult R =
+        analyzeExact(S.Tasks, tinyWcets(), S.NumSockets, S.Policy);
+    EXPECT_EQ(R.Verdict, SagVerdict::Schedulable)
+        << "soundness gate: RTA proved the system schedulable but the "
+           "exact test disagrees ("
+        << R.Note << "); replay with RPROSA_FUZZ_SEED=" << Base
+        << " (iteration " << It << ", derived seed " << Seed << ")";
+  }
+  // The generator must actually exercise the implication's hypothesis.
+  EXPECT_GT(RtaPositive, 0u)
+      << "no RTA-schedulable NPFP system generated; base seed " << Base;
+}
+
+TEST(SagDeterminism, SerialAndParallelRendersAreByteIdentical) {
+  struct Case {
+    TaskSet Tasks;
+    std::uint32_t Sockets;
+  };
+  std::vector<Case> Cases;
+  Cases.push_back({lightTasks(), 2});
+  Cases.push_back({overloadedTasks(), 1});
+  Cases.push_back({randomSystem(fuzzSeed(0xd37e31u)).Tasks, 2});
+  for (const Case &C : Cases) {
+    SagConfig Serial;
+    Serial.Threads = 1;
+    SagConfig Parallel;
+    Parallel.Threads = 4;
+    std::string A = sagResultJson(analyzeExact(
+        C.Tasks, tinyWcets(), C.Sockets, SchedPolicy::Npfp, Serial));
+    std::string B = sagResultJson(analyzeExact(
+        C.Tasks, tinyWcets(), C.Sockets, SchedPolicy::Npfp, Parallel));
+    EXPECT_EQ(A, B);
+  }
+}
+
+TEST(SagJson, RendersStableFieldOrder) {
+  SagResult R = analyzeExact(lightTasks(), tinyWcets(), 2,
+                             SchedPolicy::Npfp);
+  std::string J = sagResultJson(R);
+  EXPECT_NE(J.find("\"verdict\": \"Schedulable\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"jobs\": 5"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"witness\": null"), std::string::npos) << J;
+  EXPECT_LT(J.find("\"verdict\""), J.find("\"jobs\""));
+  EXPECT_LT(J.find("\"jobs\""), J.find("\"witness\""));
+}
+
+} // namespace

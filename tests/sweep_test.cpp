@@ -141,6 +141,33 @@ TEST(MemoCurve, CachesAndDelegates) {
   EXPECT_EQ(Memo.describe(), Counting->describe());
 }
 
+TEST(MemoCurve, MissIsCountedByTheInsertingEvaluationOnly) {
+  // The pinned counter contract (sweep.h): misses() == the number of
+  // distinct Δs cached, hits() + misses() == eval() calls — also under
+  // races, where the lane that loses the insert counts as a hit.
+  auto Counting = std::make_shared<CountingCurve>(100);
+  MemoCurve Memo(Counting);
+
+  // Serial shape first: 4 distinct Δs, 3 repeats each.
+  for (int Rep = 0; Rep < 3; ++Rep)
+    for (Duration D : {50u, 150u, 250u, 350u})
+      Memo.eval(D);
+  EXPECT_EQ(Memo.misses(), 4u);
+  EXPECT_EQ(Memo.hits(), 8u);
+
+  // Concurrent same-Δ storm: many lanes hammer one fresh Δ per round.
+  // Exactly one insert can win each round, so misses() grows by the
+  // number of rounds regardless of interleaving.
+  ThreadPool Pool(4);
+  const std::size_t Lanes = 16, Rounds = 8;
+  for (std::size_t R = 0; R < Rounds; ++R) {
+    Duration Fresh = 1000 + static_cast<Duration>(R) * 10;
+    Pool.parallelFor(Lanes, [&](std::size_t) { Memo.eval(Fresh); });
+  }
+  EXPECT_EQ(Memo.misses(), 4u + Rounds);
+  EXPECT_EQ(Memo.hits() + Memo.misses(), 12u + Lanes * Rounds);
+}
+
 TEST(CurveCache, SharesOneMemoPerCurveIdentity) {
   CurveCache Cache;
   ArrivalCurvePtr A = std::make_shared<PeriodicCurve>(100);
