@@ -99,7 +99,8 @@ ScaleCost profileSynthetic(std::size_t Loops) {
   ScaleCost Out;
   Out.Loops = Loops;
 
-  auto Parsed = cs::parseProgram(syntheticSpec(Loops));
+  cs::AstArena Arena;
+  auto Parsed = cs::parseProgram(Arena, syntheticSpec(Loops));
   RPROSA_CHECK(Parsed.has_value(), "synthetic spec must parse");
   Cfg G = buildCfg(*Parsed);
   Out.CfgNodes = G.size();

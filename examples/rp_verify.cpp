@@ -89,6 +89,7 @@
 
 #include "analysis/dataflow/analyses.h"
 #include "analysis/dataflow/witness.h"
+#include "analysis/incremental.h"
 #include "analysis/lint.h"
 #include "analysis/mutants.h"
 #include "analysis/timing/segment_costs.h"
@@ -98,6 +99,7 @@
 #include "adequacy/report.h"
 #include "adequacy/spec_parser.h"
 #include "caesium/parser.h"
+#include "caesium/print.h"
 #include "caesium/rossl_program.h"
 #include "rta/rta_npfp.h"
 #include "sag/explore.h"
@@ -192,22 +194,31 @@ int sweepMode() {
   return Ok ? 0 : 1;
 }
 
-int fileMode(const char *Path, std::uint32_t NumSockets) {
+/// Reads \p Path and parses it into \p Arena (which must outlive every
+/// use of the returned tree). On failure prints the error to stderr —
+/// for parse errors, a file:line:col caret snippet pointing at the
+/// offending token — and returns nullopt.
+std::optional<StmtPtr> parseRosslFile(AstArena &Arena, const char *Path) {
   std::ifstream In(Path);
   if (!In) {
     std::fprintf(stderr, "rp_verify: cannot open %s\n", Path);
-    return 2;
+    return std::nullopt;
   }
   std::ostringstream Buf;
   Buf << In.rdbuf();
+  std::string Src = Buf.str();
+  ParseDiag PD;
+  std::optional<StmtPtr> Program = parseProgram(Arena, Src, nullptr, &PD);
+  if (!Program)
+    std::fprintf(stderr, "%s", renderParseError(Path, Src, PD).c_str());
+  return Program;
+}
 
-  CheckResult Diags;
-  std::optional<StmtPtr> Program = parseProgram(Buf.str(), &Diags);
-  if (!Program) {
-    std::fprintf(stderr, "rp_verify: parse error in %s:\n%s", Path,
-                 Diags.describe().c_str());
+int fileMode(const char *Path, std::uint32_t NumSockets) {
+  AstArena Arena;
+  std::optional<StmtPtr> Program = parseRosslFile(Arena, Path);
+  if (!Program)
     return 2;
-  }
 
   Analysis A = analyze(*Program, NumSockets);
   std::printf("%s: %s (%zu states, %zu transitions, %u sockets)\n", Path,
@@ -242,6 +253,13 @@ int timingSweepMode(unsigned Threads, std::size_t Chunk) {
   ThreadPool Pool(Threads);
   bool Ok = true;
 
+  // One content-keyed cache for the whole mode (analysis/incremental.h):
+  // the reference analysis below re-asks the 2-socket question this
+  // sweep already answers, so it comes back as a cache hit instead of a
+  // third full path enumeration. Results are copies of the first
+  // computation — the printed tables cannot change.
+  AnalysisCache TimingCache;
+
   const std::vector<std::uint32_t> Sockets = {1, 2, 4};
   struct SocketResult {
     std::string Block;
@@ -250,8 +268,7 @@ int timingSweepMode(unsigned Threads, std::size_t Chunk) {
   std::vector<SocketResult> PerSocket(Sockets.size());
   Pool.parallelForChunked(Sockets.size(), Chunk, [&](std::size_t Idx) {
     std::uint32_t N = Sockets[Idx];
-    TimingResult R =
-        analyzeTiming(buildCfg(buildRosslProgram(N)), timingParams(), N);
+    TimingResult R = TimingCache.timing(buildRosslProgram(N), timingParams(), N);
     PerSocket[Idx].Block = "--- " + std::to_string(N) + " socket(s), " +
                            std::to_string(R.PathsExplored) +
                            " paths explored ---\n" + R.describeTable() +
@@ -268,8 +285,7 @@ int timingSweepMode(unsigned Threads, std::size_t Chunk) {
               "[lo, hi] on each segment of that class — the tables the "
               "paper assumes in Thm. 5.1, now computed from the code.\n\n");
 
-  TimingResult Ref =
-      analyzeTiming(buildCfg(buildRosslProgram(2)), timingParams(), 2);
+  TimingResult Ref = TimingCache.timing(buildRosslProgram(2), timingParams(), 2);
   std::vector<Mutant> Corpus = timingMutantCorpus(2);
   struct MutantResult {
     std::vector<std::vector<std::string>> Rows;
@@ -507,24 +523,14 @@ int exactMode(const char *Path, unsigned Threads) {
 
 int lintMode(const char *Path, std::uint32_t NumSockets, bool Sarif,
              bool Witness, bool Replay) {
-  StmtPtr Program;
+  StmtPtr Program = nullptr;
   std::string File = "<embedded>";
+  AstArena Arena;
   if (Path) {
-    std::ifstream In(Path);
-    if (!In) {
-      std::fprintf(stderr, "rp_verify: cannot open %s\n", Path);
+    std::optional<StmtPtr> Parsed = parseRosslFile(Arena, Path);
+    if (!Parsed)
       return 2;
-    }
-    std::ostringstream Buf;
-    Buf << In.rdbuf();
-    CheckResult Diags;
-    std::optional<StmtPtr> Parsed = parseProgram(Buf.str(), &Diags);
-    if (!Parsed) {
-      std::fprintf(stderr, "rp_verify: parse error in %s:\n%s", Path,
-                   Diags.describe().c_str());
-      return 2;
-    }
-    Program = std::move(*Parsed);
+    Program = *Parsed;
     File = Path;
   } else {
     Program = buildRosslProgram(NumSockets);
@@ -562,22 +568,121 @@ int lintMode(const char *Path, std::uint32_t NumSockets, bool Sarif,
   return dataflow::maxSeverity(Fs) == dataflow::Severity::Note ? 0 : 1;
 }
 
-int timingFileMode(const char *Path, std::uint32_t NumSockets) {
-  std::ifstream In(Path);
-  if (!In) {
-    std::fprintf(stderr, "rp_verify: cannot open %s\n", Path);
-    return 2;
-  }
-  std::ostringstream Buf;
-  Buf << In.rdbuf();
+/// --incremental: the single-task-edit loop over a workspace of
+/// program slices (analysis/incremental.h). Three rounds — cold, an
+/// unchanged re-analysis, and a one-slice edit — show which slices
+/// re-analyze and which come back from the content-keyed cache; the
+/// cache runs in cross-check mode, so every reuse is re-derived and
+/// byte-compared against the cached rendering. The cached per-slice
+/// WCET tables then feed a SweepRunner batch directly. All output is
+/// deterministic (no wall times), so this mode doubles as a test
+/// surface (example_rp_verify_incremental).
+int incrementalMode(const std::vector<char *> &Files) {
+  AnalysisCache::Options CO;
+  CO.CrossCheck = true;
+  WorkspaceAnalyzer WA(timingParams(), CO);
 
-  CheckResult Diags;
-  std::optional<StmtPtr> Program = parseProgram(Buf.str(), &Diags);
-  if (!Program) {
-    std::fprintf(stderr, "rp_verify: parse error in %s:\n%s", Path,
-                 Diags.describe().c_str());
-    return 2;
+  std::vector<TaskSlice> Slices;
+  if (Files.empty()) {
+    for (std::uint32_t N : {1u, 2u, 4u})
+      Slices.push_back({"embedded-" + std::to_string(N),
+                        printStmt(*buildRosslProgram(N)), N});
+  } else {
+    for (char *F : Files) {
+      std::ifstream In(F);
+      if (!In) {
+        std::fprintf(stderr, "rp_verify: cannot open %s\n", F);
+        return 2;
+      }
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      Slices.push_back({F, Buf.str(), 2});
+    }
   }
+
+  std::printf("=== rp_verify --incremental: content-keyed re-analysis of "
+              "%zu slice(s) ===\n\n",
+              Slices.size());
+
+  bool ParseFailed = false;
+  std::vector<SliceAnalysis> Last;
+  auto Round = [&](const char *Title) {
+    Last = WA.analyze(Slices);
+    TableWriter T({"slice", "fingerprint", "reused", "bounded",
+                   "findings", "max severity"});
+    for (const SliceAnalysis &R : Last) {
+      if (!R.ParseOk) {
+        std::fprintf(stderr, "%s", R.ParseError.c_str());
+        ParseFailed = true;
+        continue;
+      }
+      char Fp[24];
+      std::snprintf(Fp, sizeof(Fp), "%016llx",
+                    static_cast<unsigned long long>(R.Fingerprint));
+      T.addRow({R.Name, Fp, R.Reused ? "yes" : "no",
+                R.Timing.allBounded() ? "yes" : "NO",
+                std::to_string(R.Lint.size()),
+                toString(dataflow::maxSeverity(R.Lint))});
+    }
+    std::printf("--- %s ---\n%s\n", Title, T.renderAscii().c_str());
+  };
+
+  Round("round 1: cold");
+  if (ParseFailed)
+    return 2;
+  Round("round 2: unchanged re-analysis (every slice reused)");
+  // A real edit to the last slice: one more register write changes the
+  // program content, so only this slice re-parses and re-analyzes.
+  Slices.back().Source += "r7 = 0;\n";
+  Slices.back().Name += "+edit";
+  Round("round 3: one slice edited (the others stay cached)");
+  if (ParseFailed)
+    return 2;
+
+  IncrementalStats St = WA.cache().stats();
+  std::printf("cache: timing %zu hit(s) / %zu miss(es), lint %zu hit(s) "
+              "/ %zu miss(es), %zu cross-check(s) passed\n\n",
+              St.TimingHits, St.TimingMisses, St.LintHits, St.LintMisses,
+              St.CrossChecks);
+
+  // The cached per-slice WCET intervals feed the response-time sweep
+  // without re-running the static pass: one SweepPoint per slice, its
+  // derived (not hand-supplied) WCET table as the supply parameters.
+  TaskSet Tasks;
+  Tasks.addTask("ctrl", 600 * TickNs, 3,
+                std::make_shared<PeriodicCurve>(15 * TickUs));
+  Tasks.addTask("sense", 400 * TickNs, 2,
+                std::make_shared<PeriodicCurve>(25 * TickUs));
+  Tasks.addTask("log", 1200 * TickNs, 1,
+                std::make_shared<PeriodicCurve>(60 * TickUs));
+  std::vector<SweepPoint> Points = WA.sweepPointsFor(
+      Last, Tasks, RtaConfig{}, BasicActionWcets::typicalDeployment());
+  SweepRunner Runner;
+  std::vector<RtaResult> Results = Runner.run(Points);
+  TableWriter S({"slice", "sockets", "schedulable", "max response bound"});
+  bool Ok = true;
+  for (std::size_t I = 0; I < Results.size(); ++I) {
+    Duration MaxR = 0;
+    for (const TaskRta &T : Results[I].PerTask)
+      MaxR = std::max(MaxR, T.ResponseBound);
+    Ok &= Results[I].allBounded();
+    S.addRow({Last[I].Name, std::to_string(Points[I].Sbf.NumSockets),
+              Results[I].allBounded() ? "yes" : "NO",
+              std::to_string(MaxR)});
+  }
+  std::printf("--- sweep over the cached derived WCET tables ---\n%s\n",
+              S.renderAscii().c_str());
+  std::printf("every reuse above was re-derived and byte-compared "
+              "(cross-check mode): cached and fresh analyses render "
+              "identically.\n");
+  return Ok ? 0 : 1;
+}
+
+int timingFileMode(const char *Path, std::uint32_t NumSockets) {
+  AstArena Arena;
+  std::optional<StmtPtr> Program = parseRosslFile(Arena, Path);
+  if (!Program)
+    return 2;
   TimingResult R =
       analyzeTiming(buildCfg(*Program), timingParams(), NumSockets);
   std::printf("%s: static segment costs for %u socket(s), %llu paths\n%s\n",
@@ -623,6 +728,10 @@ int main(int Argc, char **Argv) {
 
   if (std::string(Pos[0]) == "--exact")
     return exactMode(Pos.size() >= 2 ? Pos[1] : nullptr, Threads);
+
+  if (std::string(Pos[0]) == "--incremental")
+    return incrementalMode(
+        std::vector<char *>(Pos.begin() + 1, Pos.end()));
 
   if (std::string(Pos[0]) == "--stream")
     return streamMode(Pos.size() >= 2 ? Pos[1] : nullptr,

@@ -61,7 +61,9 @@ namespace {
 /// subgraph for S whose every terminating path continues at Succ.
 class Lowerer {
 public:
-  Cfg G;
+  Cfg &G;
+
+  explicit Lowerer(Cfg &G) : G(G) {}
 
   NodeId add(CfgNode N) {
     G.Nodes.push_back(std::move(N));
@@ -170,9 +172,16 @@ void scanExprRegs(const Expr &E, std::uint32_t &MaxReg) {
 
 } // namespace
 
-Cfg rprosa::analysis::buildCfg(const StmtPtr &Program) {
+Cfg &rprosa::analysis::buildCfg(const StmtPtr &Program, Cfg &Out) {
   RPROSA_CHECK(Program, "buildCfg: null program");
-  Lowerer L;
+  Out.Nodes.clear();
+  Lowerer L(Out);
+  // Children are created before the statements that wrap them, so the
+  // root's dense id bounds the tree's statement count: every non-Seq
+  // statement lowers to exactly one node (+ Entry/Exit). Reserving up
+  // front turns the lowering into straight appends with no realloc
+  // copies even for multi-MB specs.
+  L.G.Nodes.reserve(static_cast<std::size_t>(Program->Id) + 3);
   NodeId Entry = L.add(CfgNode{}); // Kind::Entry by default.
   CfgNode ExitNode;
   ExitNode.K = CfgNode::Kind::Exit;
@@ -182,7 +191,13 @@ Cfg rprosa::analysis::buildCfg(const StmtPtr &Program) {
   L.G.Entry = Entry;
   L.G.Exit = Exit;
   L.G.Root = Program;
-  return std::move(L.G);
+  return Out;
+}
+
+Cfg rprosa::analysis::buildCfg(const StmtPtr &Program) {
+  Cfg G;
+  buildCfg(Program, G);
+  return G;
 }
 
 std::uint32_t Cfg::numRegs() const {

@@ -52,7 +52,7 @@ struct CfgNode {
   };
 
   Kind K = Kind::Entry;
-  caesium::ExprPtr E;           ///< Assign value / Branch condition.
+  caesium::ExprPtr E = nullptr; ///< Assign value / Branch condition.
   caesium::RegId Dst = 0;       ///< Assign / Read / Dequeue result register.
   caesium::RegId Reg = 0;       ///< Read socket register.
   caesium::BufId Buf = 0;       ///< Read/Trace/Enqueue/Dequeue/Free buffer.
@@ -75,8 +75,12 @@ struct Cfg {
   std::vector<CfgNode> Nodes;
   NodeId Entry = 0;
   NodeId Exit = 0;
-  /// Keeps the source AST alive (nodes share its Expr subtrees).
-  caesium::StmtPtr Root;
+  /// The source AST root (nodes share its Expr subtrees). The AstArena
+  /// that built it owns the storage and must outlive this Cfg — either
+  /// a caller-scoped arena (file mode, fuzzing) or the process-lifetime
+  /// staticProgramArena() behind buildRosslProgram and the mutant
+  /// corpora.
+  caesium::StmtPtr Root = nullptr;
 
   std::size_t size() const { return Nodes.size(); }
   const CfgNode &operator[](NodeId N) const { return Nodes[N]; }
@@ -97,6 +101,12 @@ struct Cfg {
 /// Lowers \p Program into a Cfg. Every statement kind of the embedding
 /// is supported; the result always has exactly one Entry and one Exit.
 Cfg buildCfg(const caesium::StmtPtr &Program);
+
+/// Buffer-reusing variant for steady-state re-lowering (the incremental
+/// analyzer and the E24 bench): clears \p Out and lowers into its node
+/// vector, reusing its capacity so repeated lowerings of same-sized
+/// programs touch only warm pages. Returns \p Out.
+Cfg &buildCfg(const caesium::StmtPtr &Program, Cfg &Out);
 
 } // namespace rprosa::analysis
 

@@ -6,6 +6,9 @@
 
 #include "analysis/mutants.h"
 
+#include <map>
+#include <mutex>
+
 using namespace rprosa::analysis;
 using namespace rprosa::caesium;
 
@@ -44,15 +47,16 @@ struct Mutation {
 
 /// `r := 0; while (r < Trips) r := r + 1` — pure instruction cost on a
 /// spare register, invisible to the protocol.
-StmtPtr spinLoop(RegId R, std::uint32_t Trips) {
-  return Stmt::seq({
-      Stmt::setReg(R, Expr::lit(0)),
-      Stmt::whileLoop(Expr::less(Expr::reg(R), Expr::lit(Trips)),
-                      Stmt::setReg(R, Expr::add(Expr::reg(R), Expr::lit(1)))),
+StmtPtr spinLoop(AstArena &A, RegId R, std::uint32_t Trips) {
+  return A.seq({
+      A.setReg(R, A.lit(0)),
+      A.whileLoop(A.less(A.reg(R), A.lit(Trips)),
+                      A.setReg(R, A.add(A.reg(R), A.lit(1)))),
   });
 }
 
-StmtPtr buildMutatedRossl(std::uint32_t NumSockets, const Mutation &Mu) {
+StmtPtr buildMutatedRossl(AstArena &A, std::uint32_t NumSockets,
+                          const Mutation &Mu) {
   constexpr RegId Sock = 0, AnySuccess = 1, ReadResult = 2, HaveJob = 3;
   constexpr BufId RecvBuf = 0, DispBuf = 1;
 
@@ -63,128 +67,145 @@ StmtPtr buildMutatedRossl(std::uint32_t NumSockets, const Mutation &Mu) {
     Bound += 1; // The classic `<=` written where `<` was meant.
 
   std::vector<StmtPtr> Slot;
-  Slot.push_back(Stmt::readE(Sock, RecvBuf, ReadResult));
+  Slot.push_back(A.readE(Sock, RecvBuf, ReadResult));
   if (Mu.DoubleRead)
-    Slot.push_back(Stmt::readE(Sock, RecvBuf, ReadResult));
+    Slot.push_back(A.readE(Sock, RecvBuf, ReadResult));
   constexpr RegId BackoffCtr = 4, PadCtr = 5, ScratchCtr = 6;
   if (Mu.ZeroDivisor)
     // "Bytes per chunk" bookkeeping: divides by result + 1, which is 0
     // exactly when the read failed (result -1).
-    Slot.push_back(Stmt::setReg(
+    Slot.push_back(A.setReg(
         ScratchCtr,
-        Expr::divE(Expr::lit(1000),
-                   Expr::add(Expr::reg(ReadResult), Expr::lit(1)))));
+        A.divE(A.lit(1000),
+                   A.add(A.reg(ReadResult), A.lit(1)))));
   constexpr RegId GhostReg = 7;
   if (Mu.PayloadDivisor)
     // Divides by result - 5: zero exactly for a 5-byte datagram, which
     // only exists if the environment delivers one.
-    Slot.push_back(Stmt::setReg(
+    Slot.push_back(A.setReg(
         ScratchCtr,
-        Expr::divE(Expr::lit(1000),
-                   Expr::sub(Expr::reg(ReadResult), Expr::lit(5)))));
+        A.divE(A.lit(1000),
+                   A.sub(A.reg(ReadResult), A.lit(5)))));
   if (Mu.GhostDeltaDivisor || Mu.GhostDeltaOverflow || Mu.RelationalOverflow)
     Slot.push_back(
-        Stmt::setReg(GhostReg, Expr::add(Expr::reg(ReadResult), Expr::lit(1))));
+        A.setReg(GhostReg, A.add(A.reg(ReadResult), A.lit(1))));
   if (Mu.GhostDeltaDivisor)
     // r7 - r2 == 1 by construction; intervals see [..big..] - [..big..].
-    Slot.push_back(Stmt::setReg(
+    Slot.push_back(A.setReg(
         ScratchCtr,
-        Expr::divE(Expr::lit(1000),
-                   Expr::sub(Expr::reg(GhostReg), Expr::reg(ReadResult)))));
+        A.divE(A.lit(1000),
+                   A.sub(A.reg(GhostReg), A.reg(ReadResult)))));
   if (Mu.GhostDeltaOverflow)
     // (r7 - r2) + (MAX - 1) == MAX exactly: touches the rim, never over.
-    Slot.push_back(Stmt::setReg(
+    Slot.push_back(A.setReg(
         ScratchCtr,
-        Expr::add(Expr::sub(Expr::reg(GhostReg), Expr::reg(ReadResult)),
-                  Expr::lit(INT64_MAX - 1))));
+        A.add(A.sub(A.reg(GhostReg), A.reg(ReadResult)),
+                  A.lit(INT64_MAX - 1))));
   if (Mu.RelationalOverflow)
     // (r7 - r2) + MAX == MAX + 1: overflows on every execution, but the
     // interval domain cannot relate r7 to r2 and still reports May.
-    Slot.push_back(Stmt::setReg(
+    Slot.push_back(A.setReg(
         ScratchCtr,
-        Expr::add(Expr::sub(Expr::reg(GhostReg), Expr::reg(ReadResult)),
-                  Expr::lit(INT64_MAX))));
-  Slot.push_back(Stmt::ifThen(
-      Expr::notE(Expr::eq(Expr::reg(ReadResult), Expr::lit(-1))),
-      Stmt::seq({
-          Stmt::enqueue(RecvBuf),
-          Stmt::freeBuf(RecvBuf),
-          Stmt::setReg(AnySuccess, Expr::lit(1)),
+        A.add(A.sub(A.reg(GhostReg), A.reg(ReadResult)),
+                  A.lit(INT64_MAX))));
+  Slot.push_back(A.ifThen(
+      A.notE(A.eq(A.reg(ReadResult), A.lit(-1))),
+      A.seq({
+          A.enqueue(RecvBuf),
+          A.freeBuf(RecvBuf),
+          A.setReg(AnySuccess, A.lit(1)),
       }),
-      Mu.FailedReadBackoff ? spinLoop(BackoffCtr, Mu.FailedReadBackoff)
+      Mu.FailedReadBackoff ? spinLoop(A, BackoffCtr, Mu.FailedReadBackoff)
                            : nullptr));
   if (Mu.CounterStride)
     // A statistics counter that is never reset: grows by the stride in
     // every slot until the addition overflows int64.
-    Slot.push_back(Stmt::setReg(
+    Slot.push_back(A.setReg(
         ScratchCtr,
-        Expr::add(Expr::reg(ScratchCtr), Expr::lit(Mu.CounterStride))));
-  Slot.push_back(Stmt::setReg(Sock, Expr::add(Expr::reg(Sock), Expr::lit(1))));
+        A.add(A.reg(ScratchCtr), A.lit(Mu.CounterStride))));
+  Slot.push_back(A.setReg(Sock, A.add(A.reg(Sock), A.lit(1))));
 
-  StmtPtr OneRound = Stmt::seq({
-      Stmt::setReg(Sock, Expr::lit(0)),
-      Stmt::whileLoop(Expr::less(Expr::reg(Sock), Expr::lit(Bound)),
-                      Stmt::seq(std::move(Slot))),
+  StmtPtr OneRound = A.seq({
+      A.setReg(Sock, A.lit(0)),
+      A.whileLoop(A.less(A.reg(Sock), A.lit(Bound)),
+                      A.seq(std::move(Slot))),
   });
 
-  StmtPtr Polling = Stmt::seq({
-      Stmt::setReg(AnySuccess, Expr::lit(1)),
-      Stmt::whileLoop(Expr::reg(AnySuccess),
-                      Stmt::seq({
-                          Stmt::setReg(AnySuccess, Expr::lit(0)),
+  StmtPtr Polling = A.seq({
+      A.setReg(AnySuccess, A.lit(1)),
+      A.whileLoop(A.reg(AnySuccess),
+                      A.seq({
+                          A.setReg(AnySuccess, A.lit(0)),
                           OneRound,
                       })),
   });
 
   std::vector<StmtPtr> Dispatched;
   if (Mu.SwapDispatchExec) {
-    Dispatched.push_back(Stmt::traceE(TraceFn::TrExec, DispBuf));
-    Dispatched.push_back(Stmt::traceE(TraceFn::TrDisp, DispBuf));
+    Dispatched.push_back(A.traceE(TraceFn::TrExec, DispBuf));
+    Dispatched.push_back(A.traceE(TraceFn::TrDisp, DispBuf));
   } else {
     if (!Mu.DropDispatchMarker)
-      Dispatched.push_back(Stmt::traceE(TraceFn::TrDisp, DispBuf));
+      Dispatched.push_back(A.traceE(TraceFn::TrDisp, DispBuf));
     if (Mu.DispatchPad)
-      Dispatched.push_back(spinLoop(PadCtr, Mu.DispatchPad));
-    Dispatched.push_back(Stmt::traceE(TraceFn::TrExec, DispBuf));
+      Dispatched.push_back(spinLoop(A, PadCtr, Mu.DispatchPad));
+    Dispatched.push_back(A.traceE(TraceFn::TrExec, DispBuf));
   }
   if (!Mu.DropCompletion)
-    Dispatched.push_back(Stmt::traceE(TraceFn::TrCompl, DispBuf));
-  Dispatched.push_back(Stmt::freeBuf(DispBuf));
+    Dispatched.push_back(A.traceE(TraceFn::TrCompl, DispBuf));
+  Dispatched.push_back(A.freeBuf(DispBuf));
   if (Mu.IdleAlways)
-    Dispatched.push_back(Stmt::traceE(TraceFn::TrIdling));
+    Dispatched.push_back(A.traceE(TraceFn::TrIdling));
 
   std::vector<StmtPtr> SelectAndRun;
   if (!Mu.SkipSelection)
-    SelectAndRun.push_back(Stmt::traceE(TraceFn::TrSelection));
-  SelectAndRun.push_back(Stmt::dequeue(DispBuf, HaveJob));
-  SelectAndRun.push_back(Stmt::ifThen(Expr::reg(HaveJob),
-                                      Stmt::seq(std::move(Dispatched)),
-                                      Stmt::traceE(TraceFn::TrIdling)));
+    SelectAndRun.push_back(A.traceE(TraceFn::TrSelection));
+  SelectAndRun.push_back(A.dequeue(DispBuf, HaveJob));
+  SelectAndRun.push_back(A.ifThen(A.reg(HaveJob),
+                                      A.seq(std::move(Dispatched)),
+                                      A.traceE(TraceFn::TrIdling)));
 
-  return Stmt::whileLoop(
-      Expr::fuel(),
-      Stmt::seq({Polling, Stmt::seq(std::move(SelectAndRun))}));
+  return A.whileLoop(
+      A.fuel(),
+      A.seq({Polling, A.seq(std::move(SelectAndRun))}));
 }
 
-Mutant make(std::string Name, std::string Description, Mutation Mu,
-            std::uint32_t NumSockets, bool InterpreterSafe = true,
+Mutant make(AstArena &A, std::string Name, std::string Description,
+            Mutation Mu, std::uint32_t NumSockets, bool InterpreterSafe = true,
             std::string ExpectedCheckId = "",
             std::string ExpectedRefinement = "") {
   return {std::move(Name),          std::move(Description),
-          buildMutatedRossl(NumSockets, Mu), InterpreterSafe,
+          buildMutatedRossl(A, NumSockets, Mu), InterpreterSafe,
           std::move(ExpectedCheckId), std::move(ExpectedRefinement)};
+}
+
+/// Memoizes a corpus builder per socket count. Programs are built once
+/// into the process-lifetime staticProgramArena() (under its mutex —
+/// sweep benches request corpora from pool workers); callers get a
+/// fresh copy of the Mutant descriptors, whose Program pointers stay
+/// valid forever.
+template <typename BuildFn>
+std::vector<Mutant> memoCorpus(std::map<std::uint32_t, std::vector<Mutant>> &C,
+                               std::uint32_t NumSockets, BuildFn Build) {
+  std::lock_guard<std::mutex> Lock(staticProgramMutex());
+  auto [It, Inserted] = C.try_emplace(NumSockets);
+  if (Inserted)
+    It->second = Build(staticProgramArena());
+  return It->second;
 }
 
 } // namespace
 
 std::vector<Mutant>
 rprosa::analysis::protocolMutantCorpus(std::uint32_t NumSockets) {
+  static std::map<std::uint32_t, std::vector<Mutant>> Cache;
+  return memoCorpus(Cache, NumSockets, [NumSockets](AstArena &A) {
   std::vector<Mutant> Corpus;
 
   {
     Mutation Mu;
     Mu.DropCompletion = true;
-    Corpus.push_back(make("dropped-completion",
+    Corpus.push_back(make(A, "dropped-completion",
                           "the completion marker is never emitted: the "
                           "next polling phase starts while the STS still "
                           "expects M_Completion",
@@ -193,7 +214,7 @@ rprosa::analysis::protocolMutantCorpus(std::uint32_t NumSockets) {
   {
     Mutation Mu;
     Mu.DropDispatchMarker = true;
-    Corpus.push_back(make("dropped-dispatch",
+    Corpus.push_back(make(A, "dropped-dispatch",
                           "execution starts without a dispatch marker: "
                           "M_Execution arrives where M_Dispatch or "
                           "M_Idling is expected",
@@ -202,7 +223,7 @@ rprosa::analysis::protocolMutantCorpus(std::uint32_t NumSockets) {
   {
     Mutation Mu;
     Mu.SwapDispatchExec = true;
-    Corpus.push_back(make("reordered-dispatch",
+    Corpus.push_back(make(A, "reordered-dispatch",
                           "dispatch and execution markers are swapped: "
                           "the job 'executes' before it is dispatched",
                           Mu, NumSockets, /*InterpreterSafe=*/false));
@@ -210,7 +231,7 @@ rprosa::analysis::protocolMutantCorpus(std::uint32_t NumSockets) {
   {
     Mutation Mu;
     Mu.DoubleRead = true;
-    Corpus.push_back(make("double-read",
+    Corpus.push_back(make(A, "double-read",
                           "each socket is read twice per round-robin "
                           "slot, breaking the polling discipline",
                           Mu, NumSockets));
@@ -218,7 +239,7 @@ rprosa::analysis::protocolMutantCorpus(std::uint32_t NumSockets) {
   {
     Mutation Mu;
     Mu.SkipSelection = true;
-    Corpus.push_back(make("skipped-selection",
+    Corpus.push_back(make(A, "skipped-selection",
                           "the selection marker is omitted: dispatch or "
                           "idling arrives while the STS expects "
                           "M_Selection",
@@ -227,7 +248,7 @@ rprosa::analysis::protocolMutantCorpus(std::uint32_t NumSockets) {
   {
     Mutation Mu;
     Mu.IdleAlways = true;
-    Corpus.push_back(make("unconditional-idling",
+    Corpus.push_back(make(A, "unconditional-idling",
                           "an idling marker is also emitted after a "
                           "successful dispatch cycle, where the STS "
                           "expects the next polling read",
@@ -236,7 +257,7 @@ rprosa::analysis::protocolMutantCorpus(std::uint32_t NumSockets) {
   {
     Mutation Mu;
     Mu.IgnoreLastSocket = true;
-    Corpus.push_back(make("ignore-last-socket",
+    Corpus.push_back(make(A, "ignore-last-socket",
                           "the polling loop stops one socket early (the "
                           "ROS2 wait-set starvation bug, §1.1): the "
                           "round-robin order is violated — and with one "
@@ -245,16 +266,19 @@ rprosa::analysis::protocolMutantCorpus(std::uint32_t NumSockets) {
   }
 
   return Corpus;
+  });
 }
 
 std::vector<Mutant>
 rprosa::analysis::timingMutantCorpus(std::uint32_t NumSockets) {
+  static std::map<std::uint32_t, std::vector<Mutant>> Cache;
+  return memoCorpus(Cache, NumSockets, [NumSockets](AstArena &A) {
   std::vector<Mutant> Corpus;
 
   {
     Mutation Mu;
     Mu.FailedReadBackoff = 4;
-    Corpus.push_back(make("read-retry-backoff",
+    Corpus.push_back(make(A, "read-retry-backoff",
                           "a bounded spin loop after every failed read "
                           "(a naive backoff): markers untouched, but the "
                           "failed-read segment grows by the spin cost",
@@ -263,7 +287,7 @@ rprosa::analysis::timingMutantCorpus(std::uint32_t NumSockets) {
   {
     Mutation Mu;
     Mu.DispatchPad = 8;
-    Corpus.push_back(make("padded-dispatch",
+    Corpus.push_back(make(A, "padded-dispatch",
                           "a bounded spin loop between the dispatch and "
                           "execution markers (bookkeeping crept into the "
                           "dispatch path): protocol-clean, but the "
@@ -272,16 +296,19 @@ rprosa::analysis::timingMutantCorpus(std::uint32_t NumSockets) {
   }
 
   return Corpus;
+  });
 }
 
 std::vector<Mutant>
 rprosa::analysis::valueRangeMutantCorpus(std::uint32_t NumSockets) {
+  static std::map<std::uint32_t, std::vector<Mutant>> Cache;
+  return memoCorpus(Cache, NumSockets, [NumSockets](AstArena &A) {
   std::vector<Mutant> Corpus;
 
   {
     Mutation Mu;
     Mu.CounterStride = std::int64_t{1} << 62;
-    Corpus.push_back(make("overflowing-counter",
+    Corpus.push_back(make(A, "overflowing-counter",
                           "a never-reset statistics counter gains 2^62 per "
                           "polling slot: the second addition overflows "
                           "int64",
@@ -291,7 +318,7 @@ rprosa::analysis::valueRangeMutantCorpus(std::uint32_t NumSockets) {
   {
     Mutation Mu;
     Mu.ZeroDivisor = true;
-    Corpus.push_back(make("zero-divisor",
+    Corpus.push_back(make(A, "zero-divisor",
                           "divides by read-result + 1, which is zero "
                           "exactly when the read failed (result -1)",
                           Mu, NumSockets, /*InterpreterSafe=*/true,
@@ -300,7 +327,7 @@ rprosa::analysis::valueRangeMutantCorpus(std::uint32_t NumSockets) {
   {
     Mutation Mu;
     Mu.OffByOneSocket = true;
-    Corpus.push_back(make("off-by-one-socket",
+    Corpus.push_back(make(A, "off-by-one-socket",
                           "the polling loop runs one socket past the wait "
                           "set: the read of socket N is out of range",
                           Mu, NumSockets, /*InterpreterSafe=*/true,
@@ -308,16 +335,19 @@ rprosa::analysis::valueRangeMutantCorpus(std::uint32_t NumSockets) {
   }
 
   return Corpus;
+  });
 }
 
 std::vector<Mutant>
 rprosa::analysis::witnessMutantCorpus(std::uint32_t NumSockets) {
+  static std::map<std::uint32_t, std::vector<Mutant>> Cache;
+  return memoCorpus(Cache, NumSockets, [NumSockets](AstArena &A) {
   std::vector<Mutant> Corpus;
 
   {
     Mutation Mu;
     Mu.PayloadDivisor = true;
-    Corpus.push_back(make("payload-divisor",
+    Corpus.push_back(make(A, "payload-divisor",
                           "divides by read-result - 5: traps only when the "
                           "environment delivers a 5-byte datagram, which "
                           "the path executor must synthesize",
@@ -328,7 +358,7 @@ rprosa::analysis::witnessMutantCorpus(std::uint32_t NumSockets) {
   {
     Mutation Mu;
     Mu.RelationalOverflow = true;
-    Corpus.push_back(make("relational-overflow",
+    Corpus.push_back(make(A, "relational-overflow",
                           "(r7 - r2) + INT64_MAX with r7 == r2 + 1: "
                           "overflows on every execution, yet the interval "
                           "domain cannot relate r7 to r2 and says May",
@@ -339,7 +369,7 @@ rprosa::analysis::witnessMutantCorpus(std::uint32_t NumSockets) {
   {
     Mutation Mu;
     Mu.GhostDeltaDivisor = true;
-    Corpus.push_back(make("ghost-delta-divisor",
+    Corpus.push_back(make(A, "ghost-delta-divisor",
                           "divides by r7 - r2 where r7 := r2 + 1: the "
                           "divisor is provably 1 — an interval-domain "
                           "false positive the zone domain suppresses",
@@ -350,7 +380,7 @@ rprosa::analysis::witnessMutantCorpus(std::uint32_t NumSockets) {
   {
     Mutation Mu;
     Mu.GhostDeltaOverflow = true;
-    Corpus.push_back(make("ghost-delta-overflow",
+    Corpus.push_back(make(A, "ghost-delta-overflow",
                           "(r7 - r2) + (INT64_MAX - 1) with r7 == r2 + 1: "
                           "the sum is exactly INT64_MAX and never "
                           "overflows — another proven false positive",
@@ -360,4 +390,5 @@ rprosa::analysis::witnessMutantCorpus(std::uint32_t NumSockets) {
   }
 
   return Corpus;
+  });
 }

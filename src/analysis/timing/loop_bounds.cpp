@@ -49,10 +49,10 @@ std::optional<Value> positiveStep(const Expr &E, RegId R) {
   const Expr *Lit = nullptr;
   if (E.L->K == Expr::Kind::Reg && E.L->Reg == R &&
       E.R->K == Expr::Kind::Lit)
-    Lit = E.R.get();
+    Lit = E.R;
   else if (E.R->K == Expr::Kind::Reg && E.R->Reg == R &&
            E.L->K == Expr::Kind::Lit)
-    Lit = E.L.get();
+    Lit = E.L;
   if (!Lit || Lit->Lit < 1)
     return std::nullopt;
   return Lit->Lit;

@@ -6,125 +6,73 @@
 
 #include "caesium/ast.h"
 
+#include <cstdlib>
+
 using namespace rprosa::caesium;
 
-ExprPtr Expr::lit(Value V) {
-  auto E = std::make_shared<Expr>();
-  E->K = Kind::Lit;
-  E->Lit = V;
+static_assert(std::is_trivially_destructible_v<Expr>,
+              "Expr must stay arena-compatible");
+static_assert(std::is_trivially_destructible_v<Stmt>,
+              "Stmt must stay arena-compatible");
+
+AstArena::~AstArena() {
+  for (void *P : PerNodeAllocs)
+    ::operator delete(P);
+}
+
+void *AstArena::perNodeExpr() {
+  void *E = ::operator new(sizeof(Expr));
+  PerNodeAllocs.push_back(E);
+  PerNodeBytes += sizeof(Expr);
   return E;
 }
 
-ExprPtr Expr::reg(RegId R) {
-  auto E = std::make_shared<Expr>();
-  E->K = Kind::Reg;
-  E->Reg = R;
-  return E;
-}
-
-static ExprPtr binary(Expr::Kind K, ExprPtr L, ExprPtr R) {
-  auto E = std::make_shared<Expr>();
-  E->K = K;
-  E->L = std::move(L);
-  E->R = std::move(R);
-  return E;
-}
-
-ExprPtr Expr::add(ExprPtr L, ExprPtr R) {
-  return binary(Kind::Add, std::move(L), std::move(R));
-}
-ExprPtr Expr::sub(ExprPtr L, ExprPtr R) {
-  return binary(Kind::Sub, std::move(L), std::move(R));
-}
-ExprPtr Expr::divE(ExprPtr L, ExprPtr R) {
-  return binary(Kind::Div, std::move(L), std::move(R));
-}
-ExprPtr Expr::modE(ExprPtr L, ExprPtr R) {
-  return binary(Kind::Mod, std::move(L), std::move(R));
-}
-ExprPtr Expr::less(ExprPtr L, ExprPtr R) {
-  return binary(Kind::Less, std::move(L), std::move(R));
-}
-ExprPtr Expr::eq(ExprPtr L, ExprPtr R) {
-  return binary(Kind::Eq, std::move(L), std::move(R));
-}
-ExprPtr Expr::notE(ExprPtr L) {
-  return binary(Kind::Not, std::move(L), nullptr);
-}
-ExprPtr Expr::fuel() {
-  auto E = std::make_shared<Expr>();
-  E->K = Kind::Fuel;
-  return E;
-}
-
-StmtPtr Stmt::seq(std::vector<StmtPtr> Children) {
-  auto S = std::make_shared<Stmt>();
-  S->K = Kind::Seq;
-  S->Children = std::move(Children);
+void *AstArena::perNodeStmt() {
+  void *S = ::operator new(sizeof(Stmt));
+  PerNodeAllocs.push_back(S);
+  PerNodeBytes += sizeof(Stmt);
   return S;
 }
 
-StmtPtr Stmt::setReg(RegId Dst, ExprPtr E) {
-  auto S = std::make_shared<Stmt>();
-  S->K = Kind::SetReg;
-  S->Dst = Dst;
-  S->E = std::move(E);
-  return S;
+StmtPtr *AstArena::perNodeChildArray(std::size_t Count) {
+  // PerNode mode models the old layout: every block was a separate
+  // heap-backed std::vector.
+  auto *P = static_cast<StmtPtr *>(::operator new(Count * sizeof(StmtPtr)));
+  PerNodeAllocs.push_back(P);
+  PerNodeBytes += Count * sizeof(StmtPtr);
+  return P;
 }
 
-StmtPtr Stmt::ifThen(ExprPtr Cond, StmtPtr Then, StmtPtr Else) {
-  auto S = std::make_shared<Stmt>();
-  S->K = Kind::If;
-  S->E = std::move(Cond);
-  S->Children.push_back(std::move(Then));
-  if (Else)
-    S->Children.push_back(std::move(Else));
-  return S;
+std::size_t AstArena::bytesUsed() const {
+  return Mode == Alloc::Bump ? Bump.bytesUsed() : PerNodeBytes;
 }
 
-StmtPtr Stmt::whileLoop(ExprPtr Cond, StmtPtr Body) {
-  auto S = std::make_shared<Stmt>();
-  S->K = Kind::While;
-  S->E = std::move(Cond);
-  S->Children.push_back(std::move(Body));
-  return S;
+void AstArena::reset() {
+  // PerNode mode releases every node back to the allocator — the
+  // faithful analogue of the old design destructing its tree before a
+  // re-parse. Bump mode is O(chunks).
+  for (void *P : PerNodeAllocs)
+    ::operator delete(P);
+  PerNodeAllocs.clear();
+  PerNodeBytes = 0;
+  Bump.reset();
+  ExprById.clear();
+  StmtById.clear();
 }
 
-StmtPtr Stmt::readE(RegId SockReg, BufId Buf, RegId Dst) {
-  auto S = std::make_shared<Stmt>();
-  S->K = Kind::ReadE;
-  S->Reg = SockReg;
-  S->Buf = Buf;
-  S->Dst = Dst;
-  return S;
+namespace rprosa::caesium {
+
+AstArena &staticProgramArena() {
+  // Intentionally leaked (never destructed): memoized fixed programs
+  // are process-lifetime values handed out by reference all over the
+  // tests and benches. Still reachable via this static, so LSan-clean.
+  static AstArena *A = new AstArena(AstArena::Alloc::Bump);
+  return *A;
 }
 
-StmtPtr Stmt::traceE(TraceFn Fn, BufId Buf) {
-  auto S = std::make_shared<Stmt>();
-  S->K = Kind::TraceE;
-  S->Fn = Fn;
-  S->Buf = Buf;
-  return S;
+std::mutex &staticProgramMutex() {
+  static std::mutex M;
+  return M;
 }
 
-StmtPtr Stmt::enqueue(BufId Buf) {
-  auto S = std::make_shared<Stmt>();
-  S->K = Kind::Enqueue;
-  S->Buf = Buf;
-  return S;
-}
-
-StmtPtr Stmt::dequeue(BufId Buf, RegId Dst) {
-  auto S = std::make_shared<Stmt>();
-  S->K = Kind::Dequeue;
-  S->Buf = Buf;
-  S->Dst = Dst;
-  return S;
-}
-
-StmtPtr Stmt::freeBuf(BufId Buf) {
-  auto S = std::make_shared<Stmt>();
-  S->K = Kind::FreeBuf;
-  S->Buf = Buf;
-  return S;
-}
+} // namespace rprosa::caesium

@@ -3,10 +3,20 @@
 // Part of RefinedProsa-CPP. MIT License.
 //
 //===----------------------------------------------------------------------===//
+//
+// The streaming frontend. One pass over the source: a state-stack
+// scanner (the gbuzykin/code-format shape — a stack of lexical modes,
+// so nested constructs like comments are a push/pop, not a special
+// case in every rule) hands zero-copy tokens to a one-token-lookahead
+// recursive-descent parser that allocates nodes straight into the
+// caller's AstArena. No token vector, no per-token strings: a Token is
+// a kind, a string_view into the source, and a line:col.
+//
+//===----------------------------------------------------------------------===//
 
 #include "caesium/parser.h"
 
-#include <cctype>
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -17,187 +27,274 @@ namespace {
 
 /// Token kinds of the concrete syntax.
 enum class Tok : std::uint8_t {
-  Ident,   ///< while, if, else, fuel, read, free, marker names, ...
-  Reg,     ///< rN
-  Buf,     ///< bufN
-  Number,  ///< decimal literal (the '-' of -1 is a separate token)
+  Ident,  ///< while, if, else, fuel, read, free, marker names, ...
+  Reg,    ///< rN (Text = the digit suffix)
+  Buf,    ///< bufN (Text = the digit suffix)
+  Number, ///< decimal literal (the '-' of -1 is a separate token)
   LParen,
   RParen,
   LBrace,
   RBrace,
   Semi,
   Comma,
-  Assign,  ///< =
-  Bang,    ///< !
+  Assign, ///< =
+  Bang,   ///< !
   Plus,
   Minus,
-  Slash,   ///< / (a lone one; '//' still starts a comment)
+  Slash, ///< / (a lone one; '//' still starts a comment)
   Percent,
   Lt,
   EqEq,
-  Amp,     ///< & (of &sched)
+  Amp, ///< & (of &sched)
   End,
+  Error, ///< Lexical error; Text = reason, position = lexeme start.
 };
 
 struct Token {
   Tok K = Tok::End;
-  std::string Text;
+  std::string_view Text;
   std::uint64_t Num = 0;
-  std::size_t Line = 1;
+  std::uint32_t Line = 1;
+  std::uint32_t Col = 1;
 };
 
-/// Lexer for the C-like syntax. '#' and '//' start line comments.
+/// Character classes, table-driven: one load instead of a cascade of
+/// isalpha/isdigit calls in the scanner's hot loop.
+enum class CharClass : std::uint8_t {
+  Space,   ///< ' ', '\t', '\r', '\v', '\f'
+  Newline, ///< '\n'
+  Digit,
+  Word, ///< [A-Za-z_]
+  Punct,
+  Other,
+};
+
+constexpr std::array<CharClass, 256> makeCharClasses() {
+  std::array<CharClass, 256> T{};
+  for (unsigned C = 0; C < 256; ++C)
+    T[C] = CharClass::Other;
+  for (char C : {' ', '\t', '\r', '\v', '\f'})
+    T[static_cast<unsigned char>(C)] = CharClass::Space;
+  T[static_cast<unsigned char>('\n')] = CharClass::Newline;
+  for (unsigned C = '0'; C <= '9'; ++C)
+    T[C] = CharClass::Digit;
+  for (unsigned C = 'a'; C <= 'z'; ++C)
+    T[C] = CharClass::Word;
+  for (unsigned C = 'A'; C <= 'Z'; ++C)
+    T[C] = CharClass::Word;
+  T[static_cast<unsigned char>('_')] = CharClass::Word;
+  for (char C : {'(', ')', '{', '}', ';', ',', '=', '!', '+', '-', '/', '%',
+                 '<', '&', '#'})
+    T[static_cast<unsigned char>(C)] = CharClass::Punct;
+  return T;
+}
+
+constexpr std::array<CharClass, 256> CharClasses = makeCharClasses();
+
+inline CharClass classOf(char C) {
+  return CharClasses[static_cast<unsigned char>(C)];
+}
+
+/// The scanner's lexical modes. Only two today, but the stack is the
+/// point: a future block comment or string literal is one more mode
+/// and a push/pop, with no changes to the token rules.
+enum class LexState : std::uint8_t {
+  Source,      ///< Normal token scanning.
+  LineComment, ///< Inside '#...' or '//...'; ends at newline/EOF.
+};
+
+/// Single-pass streaming lexer: next() produces one token on demand.
+/// Tokens are string_views into Src — zero allocation per token.
 class Lexer {
 public:
-  explicit Lexer(const std::string &Src) : Src(Src) {}
+  explicit Lexer(std::string_view Src) : Src(Src) {
+    States.reserve(8);
+    States.push_back(LexState::Source);
+  }
 
-  bool lex(std::vector<Token> &Out, std::string &Err) {
-    std::size_t I = 0, Line = 1;
-    auto Push = [&](Tok K, std::string Text = "", std::uint64_t N = 0) {
-      Out.push_back(Token{K, std::move(Text), N, Line});
-    };
-    while (I < Src.size()) {
-      char C = Src[I];
-      if (C == '\n') {
-        ++Line;
-        ++I;
-        continue;
-      }
-      if (std::isspace(static_cast<unsigned char>(C))) {
-        ++I;
-        continue;
-      }
-      if (C == '#' || (C == '/' && I + 1 < Src.size() &&
-                       Src[I + 1] == '/')) {
+  Token next() {
+    for (;;) {
+      if (States.back() == LexState::LineComment) {
         while (I < Src.size() && Src[I] != '\n')
           ++I;
+        States.pop_back();
         continue;
       }
-      if (std::isdigit(static_cast<unsigned char>(C))) {
-        // Overflow-checked accumulation: literals beyond the Value range
-        // are a diagnostic, not a silent wrap.
-        constexpr std::uint64_t Max = INT64_MAX;
-        std::uint64_t N = 0;
-        bool TooBig = false;
-        while (I < Src.size() &&
-               std::isdigit(static_cast<unsigned char>(Src[I]))) {
-          auto D = static_cast<std::uint64_t>(Src[I++] - '0');
-          if (N > (Max - D) / 10)
-            TooBig = true;
-          else
-            N = N * 10 + D;
-        }
-        if (TooBig) {
-          Err = "line " + std::to_string(Line) +
-                ": numeric literal too large";
-          return false;
-        }
-        Push(Tok::Number, "", N);
+      if (I >= Src.size())
+        return token(Tok::End);
+      char C = Src[I];
+      switch (classOf(C)) {
+      case CharClass::Space:
+        ++I;
+        continue;
+      case CharClass::Newline:
+        ++I;
+        ++Line;
+        LineStart = I;
+        continue;
+      case CharClass::Digit:
+        return number();
+      case CharClass::Word:
+        return word();
+      case CharClass::Punct:
+        break;
+      case CharClass::Other:
+        return error(I, std::string("unexpected character '") + C + "'");
+      }
+      if (C == '#' || (C == '/' && I + 1 < Src.size() && Src[I + 1] == '/')) {
+        States.push_back(LexState::LineComment);
         continue;
       }
-      if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
-        std::string W;
-        while (I < Src.size() &&
-               (std::isalnum(static_cast<unsigned char>(Src[I])) ||
-                Src[I] == '_'))
-          W += Src[I++];
-        // rN and bufN are their own token kinds.
-        if (W.size() >= 2 && W[0] == 'r' &&
-            std::isdigit(static_cast<unsigned char>(W[1]))) {
-          Push(Tok::Reg, W.substr(1));
-        } else if (W.size() >= 4 && W.rfind("buf", 0) == 0 &&
-                   std::isdigit(static_cast<unsigned char>(W[3]))) {
-          Push(Tok::Buf, W.substr(3));
-        } else {
-          Push(Tok::Ident, W);
-        }
-        continue;
-      }
-      switch (C) {
-      case '(':
-        Push(Tok::LParen);
-        break;
-      case ')':
-        Push(Tok::RParen);
-        break;
-      case '{':
-        Push(Tok::LBrace);
-        break;
-      case '}':
-        Push(Tok::RBrace);
-        break;
-      case ';':
-        Push(Tok::Semi);
-        break;
-      case ',':
-        Push(Tok::Comma);
-        break;
-      case '!':
-        Push(Tok::Bang);
-        break;
-      case '+':
-        Push(Tok::Plus);
-        break;
-      case '-':
-        Push(Tok::Minus);
-        break;
-      case '/':
-        // A lone '/' is division; '//' was consumed as a comment above.
-        Push(Tok::Slash);
-        break;
-      case '%':
-        Push(Tok::Percent);
-        break;
-      case '&':
-        Push(Tok::Amp);
-        break;
-      case '<':
-        Push(Tok::Lt);
-        break;
-      case '=':
-        if (I + 1 < Src.size() && Src[I + 1] == '=') {
-          Push(Tok::EqEq);
-          ++I;
-        } else {
-          Push(Tok::Assign);
-        }
-        break;
-      default:
-        Err = "line " + std::to_string(Line) +
-              ": unexpected character '" + std::string(1, C) + "'";
-        return false;
-      }
-      ++I;
+      Tok K = punctKind(C);
+      Token T = token(K);
+      I += K == Tok::EqEq ? 2 : 1;
+      return T;
     }
-    Push(Tok::End);
-    return true;
   }
 
 private:
-  const std::string &Src;
+  std::uint32_t col(std::size_t At) const {
+    return static_cast<std::uint32_t>(At - LineStart + 1);
+  }
+
+  Token token(Tok K) const {
+    return Token{K, {}, 0, Line, col(I)};
+  }
+
+  Token error(std::size_t At, std::string Reason) {
+    ErrReason = std::move(Reason);
+    return Token{Tok::Error, ErrReason, 0, Line, col(At)};
+  }
+
+  Tok punctKind(char C) {
+    switch (C) {
+    case '(':
+      return Tok::LParen;
+    case ')':
+      return Tok::RParen;
+    case '{':
+      return Tok::LBrace;
+    case '}':
+      return Tok::RBrace;
+    case ';':
+      return Tok::Semi;
+    case ',':
+      return Tok::Comma;
+    case '!':
+      return Tok::Bang;
+    case '+':
+      return Tok::Plus;
+    case '-':
+      return Tok::Minus;
+    case '/':
+      // A lone '/' is division; '//' became a comment mode above.
+      return Tok::Slash;
+    case '%':
+      return Tok::Percent;
+    case '&':
+      return Tok::Amp;
+    case '<':
+      return Tok::Lt;
+    default: // '='
+      return I + 1 < Src.size() && Src[I + 1] == '=' ? Tok::EqEq
+                                                     : Tok::Assign;
+    }
+  }
+
+  Token number() {
+    std::size_t Start = I;
+    // Overflow-checked accumulation: literals beyond the Value range
+    // are a diagnostic, not a silent wrap.
+    constexpr std::uint64_t Max = INT64_MAX;
+    std::uint64_t N = 0;
+    bool TooBig = false;
+    while (I < Src.size() && classOf(Src[I]) == CharClass::Digit) {
+      auto D = static_cast<std::uint64_t>(Src[I++] - '0');
+      if (N > (Max - D) / 10)
+        TooBig = true;
+      else
+        N = N * 10 + D;
+    }
+    if (TooBig)
+      return error(Start, "numeric literal too large");
+    return Token{Tok::Number, {}, N, Line, col(Start)};
+  }
+
+  Token word() {
+    std::size_t Start = I;
+    // One table load per character, two compares (Word and Digit are
+    // adjacent in the enum's usage here).
+    while (I < Src.size()) {
+      CharClass C = classOf(Src[I]);
+      if (C != CharClass::Word && C != CharClass::Digit)
+        break;
+      ++I;
+    }
+    std::string_view W = Src.substr(Start, I - Start);
+    // rN and bufN are their own token kinds; Text is the digit suffix.
+    if (W.size() >= 2 && W[0] == 'r' && classOf(W[1]) == CharClass::Digit)
+      return Token{Tok::Reg, W.substr(1), 0, Line, col(Start)};
+    if (W.size() >= 4 && W.substr(0, 3) == "buf" &&
+        classOf(W[3]) == CharClass::Digit)
+      return Token{Tok::Buf, W.substr(3), 0, Line, col(Start)};
+    return Token{Tok::Ident, W, 0, Line, col(Start)};
+  }
+
+  std::string_view Src;
+  std::size_t I = 0;
+  std::uint32_t Line = 1;
+  std::size_t LineStart = 0;
+  std::vector<LexState> States;
+  std::string ErrReason;
 };
 
-/// Recursive-descent parser over the token stream.
+/// Recursive-descent parser with one token of lookahead, allocating
+/// into the caller's arena.
 class Parser {
 public:
-  Parser(std::vector<Token> Toks, CheckResult *Diags)
-      : Toks(std::move(Toks)), Diags(Diags) {}
+  Parser(AstArena &A, std::string_view Source, CheckResult *Diags,
+         ParseDiag *Err)
+      : A(A), Lex(Source), Diags(Diags), Err(Err) {
+    Cur = fetch();
+  }
 
   std::optional<StmtPtr> program() {
-    std::vector<StmtPtr> Stmts;
+    std::size_t Mark = Scratch.size();
     while (!at(Tok::End)) {
       std::optional<StmtPtr> S = stmt();
       if (!S)
         return std::nullopt;
-      Stmts.push_back(std::move(*S));
+      Scratch.push_back(*S);
     }
-    return Stmt::seq(std::move(Stmts));
+    if (Failed)
+      return std::nullopt;
+    StmtPtr Out = A.seq(Scratch.data() + Mark, Scratch.size() - Mark);
+    Scratch.resize(Mark);
+    return Out;
   }
 
 private:
-  const Token &peek() const { return Toks[Pos]; }
-  bool at(Tok K) const { return peek().K == K; }
-  const Token &advance() { return Toks[Pos++]; }
+  /// Pulls the next token from the scanner. A lexical error is
+  /// reported immediately (at the lexeme's own position) and the
+  /// stream is capped with End so the grammar unwinds; fail()'s
+  /// first-error latch keeps the lexer's diagnostic.
+  Token fetch() {
+    Token T = Lex.next();
+    if (T.K == Tok::Error) {
+      failAt(T.Line, T.Col, std::string(T.Text));
+      T = Token{Tok::End, {}, 0, T.Line, T.Col};
+    }
+    return T;
+  }
+
+  const Token &peek() const { return Cur; }
+  bool at(Tok K) const { return Cur.K == K; }
+
+  Token advance() {
+    Token T = Cur;
+    Cur = fetch();
+    return T;
+  }
 
   bool expect(Tok K, const char *What) {
     if (at(K)) {
@@ -208,17 +305,26 @@ private:
     return false;
   }
 
-  void fail(const std::string &Why) {
+  /// Reports the first error only: later failures are unwinding noise
+  /// from the capped token stream or from callers re-describing the
+  /// same position.
+  void failAt(std::uint32_t Line, std::uint32_t Col, std::string Why) {
+    if (Failed)
+      return;
+    Failed = true;
     if (Diags)
-      Diags->addFailure("parse error at line " +
-                        std::to_string(peek().Line) + ": " + Why);
+      Diags->addFailure("parse error at line " + std::to_string(Line) +
+                        ", col " + std::to_string(Col) + ": " + Why);
+    if (Err)
+      *Err = ParseDiag{Line, Col, std::move(Why)};
   }
+
+  void fail(std::string Why) { failAt(Cur.Line, Cur.Col, std::move(Why)); }
 
   /// Checked digit-string parse of a register/buffer suffix. Indices are
   /// capped well below RegId's range: downstream (the interpreter, the
   /// abstract domains) allocates index+1 slots, so an absurd index like
-  /// r4000000000 must be a diagnostic, not an allocation. std::stoul
-  /// would throw out_of_range on long digit strings — never used here.
+  /// r4000000000 must be a diagnostic, not an allocation.
   static constexpr std::uint64_t MaxIndex = 4095;
 
   std::optional<std::uint64_t> regOrBufIndex(Tok K, const char *What) {
@@ -229,16 +335,22 @@ private:
     const Token &T = peek();
     std::uint64_t N = 0;
     bool TooBig = false;
-    for (char C : T.Text) {
-      auto D = static_cast<std::uint64_t>(C - '0');
-      if (N > (MaxIndex - D) / 10) {
-        TooBig = true;
-        break;
+    if (T.Text.size() == 1) {
+      // Single-digit indices (the overwhelmingly common case: r0..r9,
+      // buf0..buf9) skip the overflow-checked loop.
+      N = static_cast<std::uint64_t>(T.Text[0] - '0');
+    } else {
+      for (char C : T.Text) {
+        auto D = static_cast<std::uint64_t>(C - '0');
+        if (N > (MaxIndex - D) / 10) {
+          TooBig = true;
+          break;
+        }
+        N = N * 10 + D;
       }
-      N = N * 10 + D;
     }
     if (TooBig || N > MaxIndex) {
-      fail(std::string(What) + " index '" + T.Text +
+      fail(std::string(What) + " index '" + std::string(T.Text) +
            "' exceeds the maximum " + std::to_string(MaxIndex));
       return std::nullopt;
     }
@@ -266,38 +378,43 @@ private:
            std::to_string(MaxDepth));
       return std::nullopt;
     }
-    if (at(Tok::Number))
-      return Expr::lit(static_cast<Value>(advance().Num));
-    if (at(Tok::Minus)) {
+    // Dispatch on the token kind in one jump instead of an if-chain:
+    // expression heads are data-dependent, so the chain's branches are
+    // unpredictable in exactly the hot path.
+    switch (peek().K) {
+    case Tok::Number:
+      return A.lit(static_cast<Value>(advance().Num));
+    case Tok::Minus: {
       advance();
       if (!at(Tok::Number)) {
         fail("expected a number after '-'");
         return std::nullopt;
       }
-      return Expr::lit(-static_cast<Value>(advance().Num));
+      return A.lit(-static_cast<Value>(advance().Num));
     }
-    if (at(Tok::Reg)) {
-      std::optional<std::uint64_t> R = regOrBufIndex(Tok::Reg,
-                                                     "a register");
+    case Tok::Reg: {
+      std::optional<std::uint64_t> R = regOrBufIndex(Tok::Reg, "a register");
       if (!R)
         return std::nullopt;
-      return Expr::reg(static_cast<RegId>(*R));
+      return A.reg(static_cast<RegId>(*R));
     }
-    if (at(Tok::Bang)) {
+    case Tok::Bang: {
       advance();
       std::optional<ExprPtr> Inner = expr();
       if (!Inner)
         return std::nullopt;
-      return Expr::notE(std::move(*Inner));
+      return A.notE(*Inner);
     }
-    if (at(Tok::Ident) && peek().Text == "fuel") {
+    case Tok::Ident: {
+      if (peek().Text != "fuel")
+        break;
       advance();
       if (!expect(Tok::LParen, "'(' after fuel") ||
           !expect(Tok::RParen, "')' after fuel("))
         return std::nullopt;
-      return Expr::fuel();
+      return A.fuel();
     }
-    if (at(Tok::LParen)) {
+    case Tok::LParen: {
       advance();
       std::optional<ExprPtr> L = expr();
       if (!L)
@@ -314,18 +431,21 @@ private:
         return std::nullopt;
       switch (Op) {
       case Tok::Plus:
-        return Expr::add(std::move(*L), std::move(*R));
+        return A.add(*L, *R);
       case Tok::Minus:
-        return Expr::sub(std::move(*L), std::move(*R));
+        return A.sub(*L, *R);
       case Tok::Slash:
-        return Expr::divE(std::move(*L), std::move(*R));
+        return A.divE(*L, *R);
       case Tok::Percent:
-        return Expr::modE(std::move(*L), std::move(*R));
+        return A.modE(*L, *R);
       case Tok::Lt:
-        return Expr::less(std::move(*L), std::move(*R));
+        return A.less(*L, *R);
       default:
-        return Expr::eq(std::move(*L), std::move(*R));
+        return A.eq(*L, *R);
       }
+    }
+    default:
+      break;
     }
     fail("expected an expression");
     return std::nullopt;
@@ -334,16 +454,21 @@ private:
   std::optional<StmtPtr> block() {
     if (!expect(Tok::LBrace, "'{'"))
       return std::nullopt;
-    std::vector<StmtPtr> Stmts;
+    // Children accumulate on one scratch stack shared by all nesting
+    // levels (mark/restore), so a deep program costs zero per-block
+    // vector allocations.
+    std::size_t Mark = Scratch.size();
     while (!at(Tok::RBrace) && !at(Tok::End)) {
       std::optional<StmtPtr> S = stmt();
       if (!S)
         return std::nullopt;
-      Stmts.push_back(std::move(*S));
+      Scratch.push_back(*S);
     }
     if (!expect(Tok::RBrace, "'}'"))
       return std::nullopt;
-    return Stmt::seq(std::move(Stmts));
+    StmtPtr Out = A.seq(Scratch.data() + Mark, Scratch.size() - Mark);
+    Scratch.resize(Mark);
+    return Out;
   }
 
   /// "(&sched, bufN)" tail of the queue builtins.
@@ -364,15 +489,14 @@ private:
   }
 
   /// Stamps the freshly built statement with the line of its first
-  /// token (the node is uniquely owned at this point, so the const_cast
-  /// is benign). Structured statements carry the line of their keyword;
-  /// the Seq wrappers of program()/block() stay at line 0 — they
-  /// dissolve during CFG lowering anyway.
+  /// token. Structured statements carry the line of their keyword; the
+  /// Seq wrappers of program()/block() stay at line 0 — they dissolve
+  /// during CFG lowering anyway.
   std::optional<StmtPtr> stmt() {
-    std::size_t Line = peek().Line;
+    std::uint32_t Line = peek().Line;
     std::optional<StmtPtr> S = stmtInner();
     if (S && *S)
-      const_cast<Stmt &>(**S).Line = static_cast<std::uint32_t>(Line);
+      A.setLine(*S, Line);
     return S;
   }
 
@@ -383,46 +507,47 @@ private:
            std::to_string(MaxDepth));
       return std::nullopt;
     }
-    // Control flow.
-    if (at(Tok::Ident) && peek().Text == "while") {
-      advance();
-      if (!expect(Tok::LParen, "'('"))
-        return std::nullopt;
-      std::optional<ExprPtr> Cond = expr();
-      if (!Cond || !expect(Tok::RParen, "')'"))
-        return std::nullopt;
-      std::optional<StmtPtr> Body = block();
-      if (!Body)
-        return std::nullopt;
-      return Stmt::whileLoop(std::move(*Cond), std::move(*Body));
-    }
-    if (at(Tok::Ident) && peek().Text == "if") {
-      advance();
-      if (!expect(Tok::LParen, "'('"))
-        return std::nullopt;
-      std::optional<ExprPtr> Cond = expr();
-      if (!Cond || !expect(Tok::RParen, "')'"))
-        return std::nullopt;
-      std::optional<StmtPtr> Then = block();
-      if (!Then)
-        return std::nullopt;
-      StmtPtr Else;
-      if (at(Tok::Ident) && peek().Text == "else") {
+    // One jump on the head token's kind; identifier keywords resolve
+    // inside the Ident arm, assignments inside the Reg arm.
+    switch (peek().K) {
+    case Tok::Ident: {
+      std::string_view W = peek().Text;
+      // Control flow.
+      if (W == "while") {
         advance();
-        std::optional<StmtPtr> E = block();
-        if (!E)
+        if (!expect(Tok::LParen, "'('"))
           return std::nullopt;
-        Else = std::move(*E);
+        std::optional<ExprPtr> Cond = expr();
+        if (!Cond || !expect(Tok::RParen, "')'"))
+          return std::nullopt;
+        std::optional<StmtPtr> Body = block();
+        if (!Body)
+          return std::nullopt;
+        return A.whileLoop(*Cond, *Body);
       }
-      return Stmt::ifThen(std::move(*Cond), std::move(*Then),
-                          std::move(Else));
-    }
+      if (W == "if") {
+        advance();
+        if (!expect(Tok::LParen, "'('"))
+          return std::nullopt;
+        std::optional<ExprPtr> Cond = expr();
+        if (!Cond || !expect(Tok::RParen, "')'"))
+          return std::nullopt;
+        std::optional<StmtPtr> Then = block();
+        if (!Then)
+          return std::nullopt;
+        StmtPtr Else = nullptr;
+        if (at(Tok::Ident) && peek().Text == "else") {
+          advance();
+          std::optional<StmtPtr> E = block();
+          if (!E)
+            return std::nullopt;
+          Else = *E;
+        }
+        return A.ifThen(*Cond, *Then, Else);
+      }
 
-    // Marker functions and free().
-    if (at(Tok::Ident)) {
-      const std::string &W = peek().Text;
-      auto MarkerFor = [&](const std::string &Name)
-          -> std::optional<TraceFn> {
+      // Marker functions and free().
+      auto MarkerFor = [](std::string_view Name) -> std::optional<TraceFn> {
         if (Name == "selection_start")
           return TraceFn::TrSelection;
         if (Name == "dispatch_start")
@@ -441,49 +566,46 @@ private:
           return std::nullopt;
         // dispatch/execution/completion name the job's buffer; the
         // others take no argument (mirrors the printer exactly).
-        bool WantsBuf = *Fn == TraceFn::TrDisp ||
-                        *Fn == TraceFn::TrExec ||
+        bool WantsBuf = *Fn == TraceFn::TrDisp || *Fn == TraceFn::TrExec ||
                         *Fn == TraceFn::TrCompl;
         BufId Buf = 0;
         if (WantsBuf) {
-          std::optional<std::uint64_t> B =
-              regOrBufIndex(Tok::Buf, "a buffer");
+          std::optional<std::uint64_t> B = regOrBufIndex(Tok::Buf, "a buffer");
           if (!B)
             return std::nullopt;
           Buf = static_cast<BufId>(*B);
         } else if (at(Tok::Buf)) {
-          fail("'" + W + "' takes no argument");
+          fail("'" + std::string(W) + "' takes no argument");
           return std::nullopt;
         }
         if (!expect(Tok::RParen, "')'") || !expect(Tok::Semi, "';'"))
           return std::nullopt;
-        return Stmt::traceE(*Fn, Buf);
+        return A.traceE(*Fn, Buf);
       }
       if (W == "free") {
         advance();
         if (!expect(Tok::LParen, "'('"))
           return std::nullopt;
-        std::optional<std::uint64_t> B =
-            regOrBufIndex(Tok::Buf, "a buffer");
-        if (!B || !expect(Tok::RParen, "')'") ||
-            !expect(Tok::Semi, "';'"))
+        std::optional<std::uint64_t> B = regOrBufIndex(Tok::Buf, "a buffer");
+        if (!B || !expect(Tok::RParen, "')'") || !expect(Tok::Semi, "';'"))
           return std::nullopt;
-        return Stmt::freeBuf(static_cast<BufId>(*B));
+        return A.freeBuf(static_cast<BufId>(*B));
       }
       if (W == "npfp_enqueue") {
         advance();
         std::optional<BufId> B = schedArgs();
         if (!B || !expect(Tok::Semi, "';'"))
           return std::nullopt;
-        return Stmt::enqueue(*B);
+        return A.enqueue(*B);
       }
+      break; // An unknown identifier falls through to the diagnostic.
     }
 
     // Assignments: rN = expr; | rN = read(rM, bufK); |
     //              rN = npfp_dequeue(&sched, bufK);
-    if (at(Tok::Reg)) {
-      std::optional<std::uint64_t> DstIdx = regOrBufIndex(Tok::Reg,
-                                                          "a register");
+    case Tok::Reg: {
+      std::optional<std::uint64_t> DstIdx =
+          regOrBufIndex(Tok::Reg, "a register");
       if (!DstIdx)
         return std::nullopt;
       RegId Dst = static_cast<RegId>(*DstIdx);
@@ -497,52 +619,89 @@ private:
             regOrBufIndex(Tok::Reg, "a register");
         if (!Sock || !expect(Tok::Comma, "','"))
           return std::nullopt;
-        std::optional<std::uint64_t> Buf =
-            regOrBufIndex(Tok::Buf, "a buffer");
-        if (!Buf || !expect(Tok::RParen, "')'") ||
-            !expect(Tok::Semi, "';'"))
+        std::optional<std::uint64_t> Buf = regOrBufIndex(Tok::Buf, "a buffer");
+        if (!Buf || !expect(Tok::RParen, "')'") || !expect(Tok::Semi, "';'"))
           return std::nullopt;
-        return Stmt::readE(static_cast<RegId>(*Sock),
-                           static_cast<BufId>(*Buf), Dst);
+        return A.readE(static_cast<RegId>(*Sock), static_cast<BufId>(*Buf),
+                       Dst);
       }
       if (at(Tok::Ident) && peek().Text == "npfp_dequeue") {
         advance();
         std::optional<BufId> B = schedArgs();
         if (!B || !expect(Tok::Semi, "';'"))
           return std::nullopt;
-        return Stmt::dequeue(*B, Dst);
+        return A.dequeue(*B, Dst);
       }
       std::optional<ExprPtr> E = expr();
       if (!E || !expect(Tok::Semi, "';'"))
         return std::nullopt;
-      return Stmt::setReg(Dst, std::move(*E));
+      return A.setReg(Dst, *E);
+    }
+
+    default:
+      break;
     }
 
     fail("expected a statement, got '" +
-         (peek().Text.empty() ? std::to_string(peek().Num) : peek().Text) +
+         (peek().Text.empty() ? std::to_string(peek().Num)
+                              : std::string(peek().Text)) +
          "'");
     return std::nullopt;
   }
 
-  std::vector<Token> Toks;
+  AstArena &A;
+  Lexer Lex;
+  Token Cur;
   CheckResult *Diags;
-  std::size_t Pos = 0;
-  unsigned Depth = 0;
+  ParseDiag *Err;
+  bool Failed = false;
+  std::size_t Depth = 0;
+  std::vector<StmtPtr> Scratch;
 };
 
 } // namespace
 
-std::optional<StmtPtr>
-rprosa::caesium::parseProgram(const std::string &Source,
-                              CheckResult *Diags) {
-  Lexer L(Source);
-  std::vector<Token> Toks;
-  std::string Err;
-  if (!L.lex(Toks, Err)) {
-    if (Diags)
-      Diags->addFailure(Err);
-    return std::nullopt;
-  }
-  Parser P(std::move(Toks), Diags);
+std::optional<StmtPtr> rprosa::caesium::parseProgram(AstArena &A,
+                                                     std::string_view Source,
+                                                     CheckResult *Diags,
+                                                     ParseDiag *Err) {
+  Parser P(A, Source, Diags, Err);
   return P.program();
+}
+
+std::string rprosa::caesium::renderParseError(std::string_view FileName,
+                                              std::string_view Source,
+                                              const ParseDiag &D) {
+  std::string Out;
+  Out += FileName;
+  Out += ':';
+  Out += std::to_string(D.Line);
+  Out += ':';
+  Out += std::to_string(D.Col);
+  Out += ": parse error: ";
+  Out += D.Reason;
+  Out += '\n';
+  if (D.Line == 0)
+    return Out;
+  // Walk to the 1-based line D.Line.
+  std::size_t Start = 0;
+  for (std::uint32_t L = 1; L < D.Line; ++L) {
+    std::size_t Nl = Source.find('\n', Start);
+    if (Nl == std::string_view::npos)
+      return Out; // Position past the end (e.g. an unterminated block).
+    Start = Nl + 1;
+  }
+  std::size_t LineEnd = Source.find('\n', Start);
+  std::string_view Text = Source.substr(
+      Start, LineEnd == std::string_view::npos ? std::string_view::npos
+                                               : LineEnd - Start);
+  Out += "  ";
+  Out += Text;
+  Out += '\n';
+  Out += "  ";
+  // Tabs keep their width so the caret lands under the right column.
+  for (std::uint32_t C = 1; C < D.Col && C <= Text.size(); ++C)
+    Out += Text[C - 1] == '\t' ? '\t' : ' ';
+  Out += "^\n";
+  return Out;
 }

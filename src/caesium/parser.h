@@ -28,8 +28,18 @@
 ///     else { idling_start(); }
 ///   }
 ///
-/// parse ∘ print is the identity on ASTs (asserted by tests), and the
-/// parsed Rössl source is trace-equivalent to the native scheduler.
+/// parse ∘ print is the identity on ASTs (asserted by tests, including
+/// a seeded random-AST round-trip fuzz), and the parsed Rössl source is
+/// trace-equivalent to the native scheduler.
+///
+/// The frontend is a single-pass *streaming* lexer feeding a
+/// one-token-lookahead parser (DESIGN.md §14): tokens are string_views
+/// into the source, produced on demand by a state-stack scanner — no
+/// token vector is ever materialised, so multi-MB generated specs parse
+/// in one cheap pass. Nodes go straight into the caller's AstArena.
+/// The pre-refactor two-pass design survives as parseProgramReference
+/// (parser_reference.cpp): the E24 throughput baseline and the
+/// differential-fuzz oracle for the new frontend.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,13 +52,47 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace rprosa::caesium {
 
-/// Parses a program (a sequence of statements). nullopt on error, with
-/// the position and reason appended to \p Diags when non-null.
-std::optional<StmtPtr> parseProgram(const std::string &Source,
-                                    rprosa::CheckResult *Diags = nullptr);
+/// Structured position + reason of the first parse error. Line and Col
+/// are 1-based; Col points at the first character of the offending
+/// token (or of the offending lexeme for lexical errors).
+struct ParseDiag {
+  std::uint32_t Line = 0;
+  std::uint32_t Col = 0;
+  std::string Reason;
+};
+
+/// Parses a program (a sequence of statements) into \p A. nullopt on
+/// error; the first error is appended to \p Diags when non-null (as
+/// "parse error at line L, col C: reason") and written to \p Err when
+/// non-null. The returned tree lives as long as \p A.
+std::optional<StmtPtr> parseProgram(AstArena &A, std::string_view Source,
+                                    rprosa::CheckResult *Diags = nullptr,
+                                    ParseDiag *Err = nullptr);
+
+/// The pre-refactor frontend (materialize-all-tokens lexer, then a
+/// recursive descent over the token vector), kept verbatim as the E24
+/// baseline and as a differential oracle: on every input, it must
+/// accept exactly when parseProgram accepts, with print-identical
+/// trees. Diagnostics carry line only (the old format) — use
+/// parseProgram for user-facing errors.
+std::optional<StmtPtr>
+parseProgramReference(AstArena &A, std::string_view Source,
+                      rprosa::CheckResult *Diags = nullptr);
+
+/// Renders a caret snippet for a parse error:
+///
+///   spec.rossl:3:8: parse error: expected a buffer
+///     r1 = read(r0, buf9999);
+///          ^
+///
+/// \p FileName is used verbatim in the header line; the offending
+/// source line is extracted from \p Source (empty Line → header only).
+std::string renderParseError(std::string_view FileName,
+                             std::string_view Source, const ParseDiag &D);
 
 } // namespace rprosa::caesium
 

@@ -8,30 +8,67 @@
 
 using namespace rprosa::caesium;
 
-std::string rprosa::caesium::printExpr(const Expr &E) {
+// The *To variants append into one growing buffer; the string-returning
+// wrappers below exist for call sites that want a fresh string. Printing
+// a whole program this way is O(output) instead of the quadratic
+// temporary-concatenation the recursive +-chains used to do — it is the
+// inner loop of round-trip fuzzing, content hashing (incremental.h), and
+// the parse_cost spec generator, all of which print multi-MB programs.
+
+void rprosa::caesium::printExprTo(const Expr &E, std::string &Out) {
   switch (E.K) {
   case Expr::Kind::Lit:
-    return std::to_string(E.Lit);
+    Out += std::to_string(E.Lit);
+    return;
   case Expr::Kind::Reg:
-    return "r" + std::to_string(E.Reg);
+    Out += 'r';
+    Out += std::to_string(E.Reg);
+    return;
   case Expr::Kind::Add:
-    return "(" + printExpr(*E.L) + " + " + printExpr(*E.R) + ")";
   case Expr::Kind::Sub:
-    return "(" + printExpr(*E.L) + " - " + printExpr(*E.R) + ")";
   case Expr::Kind::Div:
-    return "(" + printExpr(*E.L) + " / " + printExpr(*E.R) + ")";
   case Expr::Kind::Mod:
-    return "(" + printExpr(*E.L) + " % " + printExpr(*E.R) + ")";
   case Expr::Kind::Less:
-    return "(" + printExpr(*E.L) + " < " + printExpr(*E.R) + ")";
-  case Expr::Kind::Eq:
-    return "(" + printExpr(*E.L) + " == " + printExpr(*E.R) + ")";
-  case Expr::Kind::Not:
-    return "!" + printExpr(*E.L);
-  case Expr::Kind::Fuel:
-    return "fuel()"; // The finite-horizon stand-in for `1`.
+  case Expr::Kind::Eq: {
+    const char *Op = "?";
+    switch (E.K) {
+    case Expr::Kind::Add:
+      Op = " + ";
+      break;
+    case Expr::Kind::Sub:
+      Op = " - ";
+      break;
+    case Expr::Kind::Div:
+      Op = " / ";
+      break;
+    case Expr::Kind::Mod:
+      Op = " % ";
+      break;
+    case Expr::Kind::Less:
+      Op = " < ";
+      break;
+    case Expr::Kind::Eq:
+      Op = " == ";
+      break;
+    default:
+      break;
+    }
+    Out += '(';
+    printExprTo(*E.L, Out);
+    Out += Op;
+    printExprTo(*E.R, Out);
+    Out += ')';
+    return;
   }
-  return "?";
+  case Expr::Kind::Not:
+    Out += '!';
+    printExprTo(*E.L, Out);
+    return;
+  case Expr::Kind::Fuel:
+    Out += "fuel()"; // The finite-horizon stand-in for `1`.
+    return;
+  }
+  Out += '?';
 }
 
 static const char *traceFnName(TraceFn F) {
@@ -50,47 +87,102 @@ static const char *traceFnName(TraceFn F) {
   return "?";
 }
 
-std::string rprosa::caesium::printStmt(const Stmt &S, unsigned Indent) {
-  std::string Pad(Indent, ' ');
+static void pad(unsigned Indent, std::string &Out) {
+  Out.append(Indent, ' ');
+}
+
+void rprosa::caesium::printStmtTo(const Stmt &S, unsigned Indent,
+                                  std::string &Out) {
   switch (S.K) {
-  case Stmt::Kind::Seq: {
-    std::string Out;
+  case Stmt::Kind::Seq:
     for (const StmtPtr &C : S.Children)
-      Out += printStmt(*C, Indent);
-    return Out;
-  }
+      printStmtTo(*C, Indent, Out);
+    return;
   case Stmt::Kind::SetReg:
-    return Pad + "r" + std::to_string(S.Dst) + " = " + printExpr(*S.E) +
-           ";\n";
-  case Stmt::Kind::If: {
-    std::string Out = Pad + "if (" + printExpr(*S.E) + ") {\n" +
-                      printStmt(*S.Children[0], Indent + 2);
-    if (S.Children.size() > 1)
-      Out += Pad + "} else {\n" + printStmt(*S.Children[1], Indent + 2);
-    return Out + Pad + "}\n";
-  }
+    pad(Indent, Out);
+    Out += 'r';
+    Out += std::to_string(S.Dst);
+    Out += " = ";
+    printExprTo(*S.E, Out);
+    Out += ";\n";
+    return;
+  case Stmt::Kind::If:
+    pad(Indent, Out);
+    Out += "if (";
+    printExprTo(*S.E, Out);
+    Out += ") {\n";
+    printStmtTo(*S.Children[0], Indent + 2, Out);
+    if (S.Children.size() > 1) {
+      pad(Indent, Out);
+      Out += "} else {\n";
+      printStmtTo(*S.Children[1], Indent + 2, Out);
+    }
+    pad(Indent, Out);
+    Out += "}\n";
+    return;
   case Stmt::Kind::While:
-    return Pad + "while (" + printExpr(*S.E) + ") {\n" +
-           printStmt(*S.Children[0], Indent + 2) + Pad + "}\n";
+    pad(Indent, Out);
+    Out += "while (";
+    printExprTo(*S.E, Out);
+    Out += ") {\n";
+    printStmtTo(*S.Children[0], Indent + 2, Out);
+    pad(Indent, Out);
+    Out += "}\n";
+    return;
   case Stmt::Kind::ReadE:
-    return Pad + "r" + std::to_string(S.Dst) + " = read(r" +
-           std::to_string(S.Reg) + ", buf" + std::to_string(S.Buf) +
-           ");\n";
-  case Stmt::Kind::TraceE: {
-    std::string Args;
+    pad(Indent, Out);
+    Out += 'r';
+    Out += std::to_string(S.Dst);
+    Out += " = read(r";
+    Out += std::to_string(S.Reg);
+    Out += ", buf";
+    Out += std::to_string(S.Buf);
+    Out += ");\n";
+    return;
+  case Stmt::Kind::TraceE:
+    pad(Indent, Out);
+    Out += traceFnName(S.Fn);
+    Out += '(';
     if (S.Fn == TraceFn::TrDisp || S.Fn == TraceFn::TrExec ||
-        S.Fn == TraceFn::TrCompl)
-      Args = "buf" + std::to_string(S.Buf);
-    return Pad + std::string(traceFnName(S.Fn)) + "(" + Args + ");\n";
-  }
+        S.Fn == TraceFn::TrCompl) {
+      Out += "buf";
+      Out += std::to_string(S.Buf);
+    }
+    Out += ");\n";
+    return;
   case Stmt::Kind::Enqueue:
-    return Pad + "npfp_enqueue(&sched, buf" + std::to_string(S.Buf) +
-           ");\n";
+    pad(Indent, Out);
+    Out += "npfp_enqueue(&sched, buf";
+    Out += std::to_string(S.Buf);
+    Out += ");\n";
+    return;
   case Stmt::Kind::Dequeue:
-    return Pad + "r" + std::to_string(S.Dst) + " = npfp_dequeue(&sched, "
-           "buf" + std::to_string(S.Buf) + ");\n";
+    pad(Indent, Out);
+    Out += 'r';
+    Out += std::to_string(S.Dst);
+    Out += " = npfp_dequeue(&sched, buf";
+    Out += std::to_string(S.Buf);
+    Out += ");\n";
+    return;
   case Stmt::Kind::FreeBuf:
-    return Pad + "free(buf" + std::to_string(S.Buf) + ");\n";
+    pad(Indent, Out);
+    Out += "free(buf";
+    Out += std::to_string(S.Buf);
+    Out += ");\n";
+    return;
   }
-  return Pad + "?;\n";
+  pad(Indent, Out);
+  Out += "?;\n";
+}
+
+std::string rprosa::caesium::printExpr(const Expr &E) {
+  std::string Out;
+  printExprTo(E, Out);
+  return Out;
+}
+
+std::string rprosa::caesium::printStmt(const Stmt &S, unsigned Indent) {
+  std::string Out;
+  printStmtTo(S, Indent, Out);
+  return Out;
 }

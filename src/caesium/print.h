@@ -26,6 +26,13 @@ std::string printExpr(const Expr &E);
 /// Renders the statement tree with \p Indent leading spaces per level.
 std::string printStmt(const Stmt &S, unsigned Indent = 0);
 
+/// Append-style variants: render into \p Out without intermediate
+/// strings — O(output) for whole programs where the wrappers above are
+/// quadratic when chained. The hot path of round-trip fuzzing, content
+/// hashing (analysis/incremental.h), and spec generation.
+void printExprTo(const Expr &E, std::string &Out);
+void printStmtTo(const Stmt &S, unsigned Indent, std::string &Out);
+
 } // namespace rprosa::caesium
 
 #endif // RPROSA_CAESIUM_PRINT_H

@@ -6,9 +6,13 @@
 
 #include "caesium/rossl_program.h"
 
+#include <map>
+#include <mutex>
+
 using namespace rprosa::caesium;
 
-StmtPtr rprosa::caesium::buildRosslProgram(std::uint32_t NumSockets) {
+StmtPtr rprosa::caesium::buildRosslProgram(AstArena &A,
+                                           std::uint32_t NumSockets) {
   constexpr RegId Sock = 0, AnySuccess = 1, ReadResult = 2, HaveJob = 3;
   constexpr BufId RecvBuf = 0, DispBuf = 1;
 
@@ -16,49 +20,54 @@ StmtPtr rprosa::caesium::buildRosslProgram(std::uint32_t NumSockets) {
   // for (sock = 0; sock < N; ++sock) {
   //   if (read(sock, buf) != -1) { npfp_enqueue(buf); any = 1; }
   // }
-  StmtPtr OneRound = Stmt::seq({
-      Stmt::setReg(Sock, Expr::lit(0)),
-      Stmt::whileLoop(
-          Expr::less(Expr::reg(Sock), Expr::lit(NumSockets)),
-          Stmt::seq({
-              Stmt::readE(Sock, RecvBuf, ReadResult),
-              Stmt::ifThen(
-                  Expr::notE(Expr::eq(Expr::reg(ReadResult),
-                                      Expr::lit(-1))),
-                  Stmt::seq({
-                      Stmt::enqueue(RecvBuf),
-                      Stmt::freeBuf(RecvBuf),
-                      Stmt::setReg(AnySuccess, Expr::lit(1)),
-                  })),
-              Stmt::setReg(Sock,
-                           Expr::add(Expr::reg(Sock), Expr::lit(1))),
+  StmtPtr OneRound = A.seq({
+      A.setReg(Sock, A.lit(0)),
+      A.whileLoop(
+          A.less(A.reg(Sock), A.lit(NumSockets)),
+          A.seq({
+              A.readE(Sock, RecvBuf, ReadResult),
+              A.ifThen(A.notE(A.eq(A.reg(ReadResult), A.lit(-1))),
+                       A.seq({
+                           A.enqueue(RecvBuf),
+                           A.freeBuf(RecvBuf),
+                           A.setReg(AnySuccess, A.lit(1)),
+                       })),
+              A.setReg(Sock, A.add(A.reg(Sock), A.lit(1))),
           })),
   });
 
   // do { any = 0; <round>; } while (any);
-  StmtPtr Polling = Stmt::seq({
-      Stmt::setReg(AnySuccess, Expr::lit(1)),
-      Stmt::whileLoop(Expr::reg(AnySuccess),
-                      Stmt::seq({
-                          Stmt::setReg(AnySuccess, Expr::lit(0)),
-                          OneRound,
-                      })),
+  StmtPtr Polling = A.seq({
+      A.setReg(AnySuccess, A.lit(1)),
+      A.whileLoop(A.reg(AnySuccess), A.seq({
+                                         A.setReg(AnySuccess, A.lit(0)),
+                                         OneRound,
+                                     })),
   });
 
   // --- selection + execution phases (Fig. 2, lines 4-12) ---
-  StmtPtr SelectAndRun = Stmt::seq({
-      Stmt::traceE(TraceFn::TrSelection),
-      Stmt::dequeue(DispBuf, HaveJob),
-      Stmt::ifThen(Expr::reg(HaveJob),
-                   Stmt::seq({
-                       Stmt::traceE(TraceFn::TrDisp, DispBuf),
-                       Stmt::traceE(TraceFn::TrExec, DispBuf),
-                       Stmt::traceE(TraceFn::TrCompl, DispBuf),
-                       Stmt::freeBuf(DispBuf), // free(j)
-                   }),
-                   Stmt::traceE(TraceFn::TrIdling)),
+  StmtPtr SelectAndRun = A.seq({
+      A.traceE(TraceFn::TrSelection),
+      A.dequeue(DispBuf, HaveJob),
+      A.ifThen(A.reg(HaveJob),
+               A.seq({
+                   A.traceE(TraceFn::TrDisp, DispBuf),
+                   A.traceE(TraceFn::TrExec, DispBuf),
+                   A.traceE(TraceFn::TrCompl, DispBuf),
+                   A.freeBuf(DispBuf), // free(j)
+               }),
+               A.traceE(TraceFn::TrIdling)),
   });
 
   // while (1) { ... }  — with Fuel standing in for the finite horizon.
-  return Stmt::whileLoop(Expr::fuel(), Stmt::seq({Polling, SelectAndRun}));
+  return A.whileLoop(A.fuel(), A.seq({Polling, SelectAndRun}));
+}
+
+StmtPtr rprosa::caesium::buildRosslProgram(std::uint32_t NumSockets) {
+  std::lock_guard<std::mutex> Lock(staticProgramMutex());
+  static std::map<std::uint32_t, StmtPtr> Cache;
+  auto [It, Inserted] = Cache.try_emplace(NumSockets, nullptr);
+  if (Inserted)
+    It->second = buildRosslProgram(staticProgramArena(), NumSockets);
+  return It->second;
 }

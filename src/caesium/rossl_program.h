@@ -20,9 +20,15 @@
 
 namespace rprosa::caesium {
 
-/// Builds fds_run for \p NumSockets sockets. Register/buffer usage:
-/// r0 = socket loop index, r1 = any-success flag, r2 = read result,
-/// r3 = dequeue flag; buf0 = receive buffer, buf1 = dispatch buffer.
+/// Builds fds_run for \p NumSockets sockets into \p A. Register/buffer
+/// usage: r0 = socket loop index, r1 = any-success flag, r2 = read
+/// result, r3 = dequeue flag; buf0 = receive buffer, buf1 = dispatch
+/// buffer.
+StmtPtr buildRosslProgram(AstArena &A, std::uint32_t NumSockets);
+
+/// Memoizing convenience overload: builds (once per NumSockets) into
+/// the process-lifetime staticProgramArena(), so the returned tree is
+/// valid forever and repeated bench/test calls are O(1). Thread-safe.
 StmtPtr buildRosslProgram(std::uint32_t NumSockets);
 
 } // namespace rprosa::caesium

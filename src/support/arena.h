@@ -1,0 +1,161 @@
+//===- support/arena.h - Bump-pointer arena allocation --------------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked bump-pointer arena. Allocation is a pointer increment into
+/// the current chunk; chunks are never freed individually, so every
+/// object allocated from the arena stays at a stable address until the
+/// arena itself is destroyed. Objects are NOT destructed — callers may
+/// only place trivially-destructible types here (the AST nodes in
+/// caesium/ast.h are designed to be exactly that: children live in
+/// arena-allocated arrays, not std::vectors).
+///
+/// This is the storage layer behind `AstArena` (DESIGN.md §14): parsing
+/// a multi-MB generated `.rossl` spec performs O(chunks) calls to the
+/// system allocator instead of O(nodes), and the dense packing keeps
+/// tree walks (print, interpret, CFG lowering) on a handful of cache
+/// lines per block instead of pointer-chasing refcounted heap nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPROSA_SUPPORT_ARENA_H
+#define RPROSA_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace rprosa {
+
+/// A chunked bump allocator. Not thread-safe; callers that share an
+/// arena across threads must serialise allocation externally (see
+/// caesium::staticProgramMutex()).
+class BumpArena {
+public:
+  /// Default chunk size: large enough that even the Fig. 2 program plus
+  /// its mutants fit in one chunk, small enough not to bloat short-lived
+  /// arenas (tests allocate thousands of these). Chunks grow
+  /// geometrically from this floor (doubling, capped at MaxChunkBytes),
+  /// so a multi-hundred-MB AST performs O(log n) system allocations
+  /// instead of O(bytes / chunk).
+  static constexpr std::size_t DefaultChunkBytes = 1 << 16;
+  /// Geometric growth cap: one chunk never exceeds this unless a single
+  /// oversize allocation demands it.
+  static constexpr std::size_t MaxChunkBytes = 1 << 23;
+
+  explicit BumpArena(std::size_t ChunkBytes = DefaultChunkBytes)
+      : ChunkBytes(ChunkBytes ? ChunkBytes : DefaultChunkBytes),
+        NextChunkBytes(this->ChunkBytes) {}
+
+  BumpArena(const BumpArena &) = delete;
+  BumpArena &operator=(const BumpArena &) = delete;
+  BumpArena(BumpArena &&) = default;
+  BumpArena &operator=(BumpArena &&) = default;
+
+  /// Raw aligned allocation. Align must be a power of two.
+  void *allocate(std::size_t Size, std::size_t Align) {
+    std::size_t Avail = static_cast<std::size_t>(End - Cur);
+    std::size_t Pad = padding(Cur, Align);
+    if (Size + Pad > Avail) {
+      grow(Size + Align);
+      Pad = padding(Cur, Align);
+    }
+    Cur += Pad;
+    void *P = Cur;
+    Cur += Size;
+    Used += Size + Pad;
+    return P;
+  }
+
+  /// Construct a T in the arena. T must be trivially destructible: the
+  /// arena never runs destructors.
+  template <typename T, typename... Args> T *create(Args &&...A) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destructed");
+    return ::new (allocate(sizeof(T), alignof(T))) T{std::forward<Args>(A)...};
+  }
+
+  /// Allocate an uninitialised array of N Ts (N may be 0 → nullptr).
+  template <typename T> T *allocateArray(std::size_t N) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destructed");
+    if (N == 0)
+      return nullptr;
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  /// Drop every allocation but keep the reserved memory for reuse.
+  /// Invalidates all pointers previously handed out. Multiple chunks
+  /// coalesce into one of the total reserved size, so a steady-state
+  /// caller (parse, reset, parse, ...) bumps through one warm chunk
+  /// with no system allocator traffic at all.
+  void reset() {
+    if (Chunks.empty()) {
+      Used = 0;
+      return;
+    }
+    if (Chunks.size() > 1) {
+      std::size_t Total = Reserved;
+      Chunks.clear();
+      Chunks.push_back(
+          Chunk{std::unique_ptr<std::byte[]>(new std::byte[Total]), Total});
+    }
+    Cur = Chunks.back().Mem.get();
+    End = Cur + Chunks.back().Cap;
+    Used = 0;
+  }
+
+  /// Bytes handed out to callers (including alignment padding).
+  std::size_t bytesUsed() const { return Used; }
+  /// Bytes reserved from the system allocator.
+  std::size_t bytesReserved() const { return Reserved; }
+  /// Number of chunks requested from the system allocator.
+  std::size_t numChunks() const { return Chunks.size(); }
+
+private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> Mem;
+    std::size_t Cap = 0;
+  };
+
+  static std::size_t padding(const std::byte *P, std::size_t Align) {
+    auto Addr = reinterpret_cast<std::uintptr_t>(P);
+    return static_cast<std::size_t>((-Addr) & (Align - 1));
+  }
+
+  void grow(std::size_t AtLeast) {
+    // Oversize requests get a dedicated chunk; the bump pointer stays on
+    // a normal-size chunk so small follow-up allocations don't strand
+    // the tail of a huge one.
+    std::size_t Cap = AtLeast > NextChunkBytes ? AtLeast : NextChunkBytes;
+    if (NextChunkBytes < MaxChunkBytes && AtLeast <= NextChunkBytes)
+      NextChunkBytes *= 2;
+    // new[] without an initializer default-initializes: the chunk's
+    // bytes stay uninitialized instead of being memset to zero only to
+    // be overwritten by placement-new — on a multi-hundred-MB AST the
+    // redundant zeroing is the single largest allocation cost.
+    Chunks.push_back(Chunk{std::unique_ptr<std::byte[]>(new std::byte[Cap]), Cap});
+    Reserved += Cap;
+    Cur = Chunks.back().Mem.get();
+    End = Cur + Cap;
+  }
+
+  std::vector<Chunk> Chunks;
+  std::byte *Cur = nullptr;
+  std::byte *End = nullptr;
+  std::size_t Used = 0;
+  std::size_t Reserved = 0;
+  std::size_t ChunkBytes;
+  std::size_t NextChunkBytes;
+};
+
+} // namespace rprosa
+
+#endif // RPROSA_SUPPORT_ARENA_H

@@ -38,6 +38,10 @@ using namespace rprosa::analysis;
 using namespace rprosa::caesium;
 using namespace rprosa::testutil;
 
+// The shared test arena (test_util.h): every hand-built AST node in
+// this file allocates here.
+static rprosa::caesium::AstArena &TA = rprosa::testutil::testArena();
+
 namespace {
 
 /// Replays a counterexample's marker prefix against a fresh runtime
@@ -65,9 +69,9 @@ void expectRuntimeRejects(const Verdict &V, std::uint32_t NumSockets) {
 //===----------------------------------------------------------------------===//
 
 TEST(Cfg, LowersStraightLine) {
-  StmtPtr P = Stmt::seq({
-      Stmt::setReg(0, Expr::lit(3)),
-      Stmt::setReg(1, Expr::add(Expr::reg(0), Expr::lit(1))),
+  StmtPtr P = TA.seq({
+      TA.setReg(0, TA.lit(3)),
+      TA.setReg(1, TA.add(TA.reg(0), TA.lit(1))),
   });
   Cfg G = buildCfg(P);
   EXPECT_EQ(G[G.Entry].K, CfgNode::Kind::Entry);
@@ -85,8 +89,8 @@ TEST(Cfg, LowersStraightLine) {
 }
 
 TEST(Cfg, LowersIfElse) {
-  StmtPtr P = Stmt::ifThen(Expr::reg(0), Stmt::setReg(1, Expr::lit(1)),
-                           Stmt::setReg(1, Expr::lit(2)));
+  StmtPtr P = TA.ifThen(TA.reg(0), TA.setReg(1, TA.lit(1)),
+                           TA.setReg(1, TA.lit(2)));
   Cfg G = buildCfg(P);
   NodeId B = G[G.Entry].Succ;
   ASSERT_EQ(G[B].K, CfgNode::Kind::Branch);
@@ -99,9 +103,9 @@ TEST(Cfg, LowersIfElse) {
 }
 
 TEST(Cfg, LowersWhileWithBackEdge) {
-  StmtPtr P = Stmt::whileLoop(Expr::less(Expr::reg(0), Expr::lit(3)),
-                              Stmt::setReg(0, Expr::add(Expr::reg(0),
-                                                        Expr::lit(1))));
+  StmtPtr P = TA.whileLoop(TA.less(TA.reg(0), TA.lit(3)),
+                              TA.setReg(0, TA.add(TA.reg(0),
+                                                        TA.lit(1))));
   Cfg G = buildCfg(P);
   NodeId W = G[G.Entry].Succ;
   ASSERT_EQ(G[W].K, CfgNode::Kind::Branch);
@@ -180,7 +184,7 @@ TEST(Verifier, StateSpaceIsFuelFree) {
 }
 
 TEST(Verifier, EmptyProgramIsClean) {
-  Verdict V = verifyProtocol(Stmt::seq({}), 1);
+  Verdict V = verifyProtocol(TA.seq({}), 1);
   EXPECT_TRUE(V.verified());
 }
 
@@ -221,33 +225,33 @@ TEST(Verifier, DispatchOfNeverFilledBufferIsADefect) {
   // an empty buffer"); the verifier reports the defect statically. The
   // polling loop must be the real one so that no competing *protocol*
   // violation exists on any path.
-  StmtPtr Poll = Stmt::seq({
-      Stmt::setReg(1, Expr::lit(1)),
-      Stmt::whileLoop(
-          Expr::reg(1),
-          Stmt::seq({
-              Stmt::setReg(1, Expr::lit(0)),
-              Stmt::setReg(0, Expr::lit(0)),
-              Stmt::whileLoop(
-                  Expr::less(Expr::reg(0), Expr::lit(1)),
-                  Stmt::seq({
-                      Stmt::readE(0, 0, 2),
-                      Stmt::ifThen(Expr::notE(Expr::eq(Expr::reg(2),
-                                                       Expr::lit(-1))),
-                                   Stmt::seq({
-                                       Stmt::enqueue(0),
-                                       Stmt::freeBuf(0),
-                                       Stmt::setReg(1, Expr::lit(1)),
+  StmtPtr Poll = TA.seq({
+      TA.setReg(1, TA.lit(1)),
+      TA.whileLoop(
+          TA.reg(1),
+          TA.seq({
+              TA.setReg(1, TA.lit(0)),
+              TA.setReg(0, TA.lit(0)),
+              TA.whileLoop(
+                  TA.less(TA.reg(0), TA.lit(1)),
+                  TA.seq({
+                      TA.readE(0, 0, 2),
+                      TA.ifThen(TA.notE(TA.eq(TA.reg(2),
+                                                       TA.lit(-1))),
+                                   TA.seq({
+                                       TA.enqueue(0),
+                                       TA.freeBuf(0),
+                                       TA.setReg(1, TA.lit(1)),
                                    })),
-                      Stmt::setReg(0, Expr::add(Expr::reg(0),
-                                                Expr::lit(1))),
+                      TA.setReg(0, TA.add(TA.reg(0),
+                                                TA.lit(1))),
                   })),
           })),
   });
-  StmtPtr P = Stmt::seq({
+  StmtPtr P = TA.seq({
       Poll,
-      Stmt::traceE(TraceFn::TrSelection),
-      Stmt::traceE(TraceFn::TrDisp, 1),
+      TA.traceE(TraceFn::TrSelection),
+      TA.traceE(TraceFn::TrDisp, 1),
   });
   Verdict V = verifyProtocol(P, 1);
   EXPECT_EQ(V.Kind, VerdictKind::Defect) << V.describe();
@@ -730,21 +734,21 @@ TEST(Lint, MarkerBalanceCatchesDroppedCompletion) {
 }
 
 TEST(Lint, DefBeforeUseCatchesUnassignedRegister) {
-  StmtPtr P = Stmt::setReg(1, Expr::add(Expr::reg(5), Expr::lit(1)));
+  StmtPtr P = TA.setReg(1, TA.add(TA.reg(5), TA.lit(1)));
   std::vector<LintFinding> Fs = lintDefBeforeUse(buildCfg(P));
   ASSERT_FALSE(Fs.empty());
   EXPECT_NE(Fs[0].Message.find("r5"), std::string::npos);
 }
 
 TEST(Lint, DefBeforeUseCatchesNeverFilledBuffer) {
-  StmtPtr P = Stmt::seq({Stmt::enqueue(3)});
+  StmtPtr P = TA.seq({TA.enqueue(3)});
   std::vector<LintFinding> Fs = lintDefBeforeUse(buildCfg(P));
   ASSERT_FALSE(Fs.empty());
   EXPECT_NE(Fs[0].Message.find("buf3"), std::string::npos);
 }
 
 TEST(Lint, FuelTerminationCatchesWhileTrue) {
-  StmtPtr P = Stmt::whileLoop(Expr::lit(1), Stmt::setReg(0, Expr::lit(0)));
+  StmtPtr P = TA.whileLoop(TA.lit(1), TA.setReg(0, TA.lit(0)));
   std::vector<LintFinding> Fs = lintFuelTermination(buildCfg(P));
   ASSERT_EQ(Fs.size(), 1u);
   EXPECT_EQ(Fs[0].Pass, "fuel-termination");
@@ -752,11 +756,11 @@ TEST(Lint, FuelTerminationCatchesWhileTrue) {
 
 TEST(Lint, FuelTerminationCatchesInvariantCondition) {
   // while (r0 < 3) { r1 = r1 + 1; } — the body never changes r0.
-  StmtPtr P = Stmt::seq({
-      Stmt::setReg(0, Expr::lit(0)),
-      Stmt::whileLoop(Expr::less(Expr::reg(0), Expr::lit(3)),
-                      Stmt::setReg(1, Expr::add(Expr::reg(1),
-                                                Expr::lit(1)))),
+  StmtPtr P = TA.seq({
+      TA.setReg(0, TA.lit(0)),
+      TA.whileLoop(TA.less(TA.reg(0), TA.lit(3)),
+                      TA.setReg(1, TA.add(TA.reg(1),
+                                                TA.lit(1)))),
   });
   std::vector<LintFinding> Fs = lintFuelTermination(buildCfg(P));
   ASSERT_EQ(Fs.size(), 1u);
@@ -767,7 +771,7 @@ TEST(Lint, FuelTerminationAcceptsFuelAndProgressLoops) {
 }
 
 TEST(Lint, DeadBranchCatchesConstantCondition) {
-  StmtPtr P = Stmt::ifThen(Expr::lit(0), Stmt::setReg(0, Expr::lit(7)));
+  StmtPtr P = TA.ifThen(TA.lit(0), TA.setReg(0, TA.lit(7)));
   Cfg G = buildCfg(P);
   Verdict V = verifyProtocol(G, 1);
   ASSERT_TRUE(V.verified());
@@ -783,7 +787,7 @@ TEST(Lint, DeadBranchCatchesConstantCondition) {
 }
 
 TEST(Lint, MachineRangeCatchesOversizedPrograms) {
-  StmtPtr P = Stmt::setReg(9, Expr::lit(1));
+  StmtPtr P = TA.setReg(9, TA.lit(1));
   std::vector<LintFinding> Fs = lintMachineRange(buildCfg(P));
   ASSERT_EQ(Fs.size(), 1u);
   EXPECT_EQ(Fs[0].Pass, "machine-range");

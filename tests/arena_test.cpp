@@ -1,0 +1,146 @@
+//===- tests/arena_test.cpp - Bump arena and AST storage tests ------------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The storage layer under the frontend (DESIGN.md §14): BumpArena's
+/// alignment/growth behaviour, AstArena's dense node ids and stable
+/// addresses, and the PerNode baseline mode bench/parse_cost measures
+/// against.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/arena.h"
+
+#include "caesium/ast.h"
+#include "caesium/print.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+using namespace rprosa;
+using namespace rprosa::caesium;
+
+TEST(BumpArena, AlignsEveryAllocation) {
+  BumpArena A;
+  // Interleave odd sizes with strict alignments; every pointer must
+  // honor its requested alignment.
+  for (int I = 1; I <= 64; ++I) {
+    void *P1 = A.allocate(static_cast<std::size_t>(I), 1);
+    void *P8 = A.allocate(static_cast<std::size_t>(I), 8);
+    void *P16 = A.allocate(static_cast<std::size_t>(I), 16);
+    EXPECT_NE(P1, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(P8) % 8, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(P16) % 16, 0u);
+  }
+  EXPECT_GE(A.bytesReserved(), A.bytesUsed());
+}
+
+TEST(BumpArena, AddressesStayStableAcrossGrowth) {
+  // Chunked growth must never move earlier allocations (the whole
+  // point versus a std::vector backing store).
+  BumpArena A(/*ChunkBytes=*/256);
+  std::vector<std::uint64_t *> Ptrs;
+  for (std::uint64_t I = 0; I < 1000; ++I)
+    Ptrs.push_back(A.create<std::uint64_t>(I));
+  ASSERT_GT(A.numChunks(), std::size_t{1});
+  for (std::uint64_t I = 0; I < 1000; ++I)
+    EXPECT_EQ(*Ptrs[I], I);
+}
+
+TEST(BumpArena, OversizeRequestsGetDedicatedChunks) {
+  BumpArena A(/*ChunkBytes=*/128);
+  char *Big = static_cast<char *>(A.allocate(4096, 8));
+  ASSERT_NE(Big, nullptr);
+  // The oversize chunk is fully usable.
+  for (int I = 0; I < 4096; ++I)
+    Big[I] = static_cast<char>(I);
+  // Small allocations still work afterwards.
+  int *Small = A.create<int>(42);
+  EXPECT_EQ(*Small, 42);
+  EXPECT_GE(A.bytesUsed(), std::size_t{4096});
+}
+
+TEST(BumpArena, ArrayAllocation) {
+  BumpArena A;
+  EXPECT_EQ(A.allocateArray<int>(0), nullptr);
+  int *Xs = A.allocateArray<int>(17);
+  for (int I = 0; I < 17; ++I)
+    Xs[I] = I * I;
+  for (int I = 0; I < 17; ++I)
+    EXPECT_EQ(Xs[I], I * I);
+}
+
+TEST(AstArena, DenseIdsFollowCreationOrder) {
+  AstArena A;
+  ExprPtr E0 = A.lit(1);
+  ExprPtr E1 = A.reg(3);
+  ExprPtr E2 = A.add(E0, E1);
+  EXPECT_EQ(E0->Id, 0u);
+  EXPECT_EQ(E1->Id, 1u);
+  EXPECT_EQ(E2->Id, 2u);
+  EXPECT_EQ(A.numExprs(), 3u);
+  EXPECT_EQ(A.expr(2), E2);
+
+  StmtPtr S0 = A.setReg(0, E2);
+  StmtPtr S1 = A.freeBuf(1);
+  StmtPtr S2 = A.seq({S0, S1});
+  EXPECT_EQ(S0->Id, 0u);
+  EXPECT_EQ(S1->Id, 1u);
+  EXPECT_EQ(S2->Id, 2u);
+  EXPECT_EQ(A.numStmts(), 3u);
+  EXPECT_EQ(A.stmt(0), S0);
+}
+
+TEST(AstArena, StmtListMirrorsVectorSurface) {
+  AstArena A;
+  StmtPtr S0 = A.freeBuf(0);
+  StmtPtr S1 = A.freeBuf(1);
+  StmtPtr S2 = A.freeBuf(2);
+  StmtPtr Block = A.seq({S0, S1, S2});
+  const StmtList &L = Block->Children;
+  ASSERT_EQ(L.size(), 3u);
+  EXPECT_FALSE(L.empty());
+  EXPECT_EQ(L[0], S0);
+  EXPECT_EQ(L[2], S2);
+  // Forward and reverse iteration (CFG lowering walks blocks
+  // backwards).
+  std::vector<StmtPtr> Fwd(L.begin(), L.end());
+  std::vector<StmtPtr> Rev(L.rbegin(), L.rend());
+  EXPECT_EQ(Fwd, (std::vector<StmtPtr>{S0, S1, S2}));
+  EXPECT_EQ(Rev, (std::vector<StmtPtr>{S2, S1, S0}));
+}
+
+TEST(AstArena, PerNodeModeBuildsIdenticalTrees) {
+  // The E24 baseline mode must be semantically indistinguishable: same
+  // prints, same ids — only the storage differs.
+  AstArena Bump(AstArena::Alloc::Bump);
+  AstArena Per(AstArena::Alloc::PerNode);
+  auto Build = [](AstArena &A) {
+    return A.seq({A.setReg(1, A.add(A.reg(0), A.lit(2))),
+                  A.ifThen(A.eq(A.reg(1), A.lit(-1)),
+                           A.seq({A.freeBuf(0)}), A.seq({A.enqueue(1)})),
+                  A.whileLoop(A.fuel(), A.seq({A.traceE(TraceFn::TrIdling)}))});
+  };
+  StmtPtr B = Build(Bump);
+  StmtPtr P = Build(Per);
+  EXPECT_EQ(printStmt(*B), printStmt(*P));
+  EXPECT_EQ(B->Id, P->Id);
+  EXPECT_EQ(Bump.numStmts(), Per.numStmts());
+  EXPECT_EQ(Bump.mode(), AstArena::Alloc::Bump);
+  EXPECT_EQ(Per.mode(), AstArena::Alloc::PerNode);
+  EXPECT_GT(Bump.bytesUsed(), std::size_t{0});
+  EXPECT_GT(Per.bytesUsed(), std::size_t{0});
+}
+
+TEST(AstArena, SetLineStampsStatements) {
+  AstArena A;
+  StmtPtr S = A.freeBuf(0);
+  EXPECT_EQ(S->Line, 0u);
+  A.setLine(S, 17);
+  EXPECT_EQ(S->Line, 17u);
+}

@@ -20,6 +20,19 @@ using namespace rprosa;
 using namespace rprosa::caesium;
 using namespace rprosa::testutil;
 
+namespace {
+
+// Every parse in this file allocates into the shared test arena; the
+// two-argument shim keeps the call sites focused on the grammar under
+// test rather than on storage plumbing.
+std::optional<StmtPtr> parseProgram(std::string_view Src,
+                                    CheckResult *Diags = nullptr,
+                                    ParseDiag *PD = nullptr) {
+  return caesium::parseProgram(testArena(), Src, Diags, PD);
+}
+
+} // namespace
+
 TEST(CaesiumParser, RoundTripsTheRosslProgram) {
   // parse(print(P)) prints identically to P — the frontend inverts the
   // printer.
@@ -286,6 +299,251 @@ TEST(CaesiumParser, ByteSoupFuzzNeverCrashes) {
     (void)parseProgram(Src, &Diags); // Must not crash or hang.
   }
   SUCCEED() << "replay: RPROSA_FUZZ_SEED=" << Seed;
+}
+
+TEST(CaesiumParser, DiagnosticsPinLineAndColumn) {
+  // Every error path reports the exact 1-based line and column of the
+  // offending token, with stable reason text. These pins are the
+  // contract rp_verify's caret snippets (renderParseError) build on.
+  struct Pin {
+    const char *Src;
+    std::uint32_t Line;
+    std::uint32_t Col;
+    const char *Reason;
+  };
+  std::string Parens = "r0 = ";
+  for (int I = 0; I < 300; ++I)
+    Parens += "(";
+  const std::vector<Pin> Pins = {
+      // Literal overflow points at the literal itself.
+      {"r0 = 99999999999999999999;", 1, 6, "numeric literal too large"},
+      {"r0 = 1;\nr1 = (r0 + 99999999999999999999);", 2, 12,
+       "numeric literal too large"},
+      // Index caps point at the offending identifier.
+      {"r4096 = 1;", 1, 1, "a register index '4096' exceeds the maximum 4095"},
+      {"r0 = read(r0, buf4096);", 1, 15,
+       "a buffer index '4096' exceeds the maximum 4095"},
+      // The depth cap fires at the token that would exceed it: paren
+      // 257 sits at column 5 + 256 + 1 = 262's predecessor (1-based).
+      {Parens.c_str(), 1, 261,
+       "expression nesting exceeds the maximum depth of 256"},
+      // Unterminated constructs report the end-of-input position.
+      {"while (fuel()) { r0 = 1;", 1, 25, "expected '}'"},
+      {"while (fuel()) { r0 = 1;\n", 2, 1, "expected '}'"},
+      {"r0 = (1 + 2;", 1, 12, "expected ')'"},
+      {"r0 = 1", 1, 7, "expected ';'"},
+      // Lexical errors carry the bad character's own position.
+      {"r0 = 1;\n  r1 = @;", 2, 8, "unexpected character '@'"},
+  };
+  for (const Pin &P : Pins) {
+    ParseDiag D;
+    EXPECT_FALSE(caesium::parseProgram(testArena(), P.Src, nullptr, &D)
+                     .has_value())
+        << P.Src;
+    EXPECT_EQ(D.Line, P.Line) << P.Src;
+    EXPECT_EQ(D.Col, P.Col) << P.Src;
+    EXPECT_EQ(D.Reason, P.Reason) << P.Src;
+  }
+}
+
+TEST(CaesiumParser, CaretSnippetRendering) {
+  // renderParseError pins: header, two-space indented source line, and
+  // a caret under the offending column.
+  {
+    ParseDiag D;
+    const char *Src = "r0 = 1;\nr1 = (r0 + );\n";
+    ASSERT_FALSE(
+        caesium::parseProgram(testArena(), Src, nullptr, &D).has_value());
+    EXPECT_EQ(renderParseError("spec.rossl", Src, D),
+              "spec.rossl:2:12: parse error: expected an expression\n"
+              "  r1 = (r0 + );\n"
+              "             ^\n");
+  }
+  {
+    // Tabs before the error are preserved in the snippet and mirrored
+    // in the caret line, so the caret stays visually aligned no matter
+    // how wide the terminal renders the tab.
+    ParseDiag D;
+    const char *Src = "\tr0 = @;\n";
+    ASSERT_FALSE(
+        caesium::parseProgram(testArena(), Src, nullptr, &D).has_value());
+    EXPECT_EQ(renderParseError("t.rossl", Src, D),
+              "t.rossl:1:7: parse error: unexpected character '@'\n"
+              "  \tr0 = @;\n"
+              "  \t     ^\n");
+  }
+}
+
+namespace {
+
+/// Builds random printable ASTs for the round-trip fuzz: every shape
+/// the printer can emit (canonical blocks only — Seq appears exactly
+/// as the body of a block or the toplevel), with literals kept inside
+/// the parseable range (|v| <= INT64_MAX) and indices inside the 4095
+/// cap.
+class AstFuzzer {
+public:
+  AstFuzzer(std::uint64_t Seed, AstArena &A) : Rng(Seed), A(A) {}
+
+  StmtPtr program() {
+    std::vector<StmtPtr> Top;
+    std::size_t N = Rng.nextInRange(1, 6);
+    for (std::size_t I = 0; I < N; ++I)
+      Top.push_back(stmt(0));
+    return A.seq(Top);
+  }
+
+private:
+  ExprPtr expr(unsigned Depth) {
+    if (Depth >= 5 || Rng.nextBernoulli(1, 3)) {
+      switch (Rng.nextInRange(0, 3)) {
+      case 0: {
+        static const caesium::Value Lits[] = {
+            0, 1, -1, 2, 7, 4095, 9223372036854775807,
+            -9223372036854775807};
+        return A.lit(Lits[Rng.nextInRange(0, std::size(Lits) - 1)]);
+      }
+      case 1:
+        return A.lit(static_cast<caesium::Value>(Rng.nextInRange(0, 100)));
+      case 2:
+        return A.reg(reg());
+      default:
+        return A.fuel();
+      }
+    }
+    switch (Rng.nextInRange(0, 6)) {
+    case 0:
+      return A.add(expr(Depth + 1), expr(Depth + 1));
+    case 1:
+      return A.sub(expr(Depth + 1), expr(Depth + 1));
+    case 2:
+      return A.divE(expr(Depth + 1), expr(Depth + 1));
+    case 3:
+      return A.modE(expr(Depth + 1), expr(Depth + 1));
+    case 4:
+      return A.less(expr(Depth + 1), expr(Depth + 1));
+    case 5:
+      return A.eq(expr(Depth + 1), expr(Depth + 1));
+    default:
+      return A.notE(expr(Depth + 1));
+    }
+  }
+
+  StmtPtr block(unsigned Depth) {
+    std::vector<StmtPtr> Kids;
+    std::size_t N = Rng.nextInRange(1, 3);
+    for (std::size_t I = 0; I < N; ++I)
+      Kids.push_back(stmt(Depth));
+    return A.seq(Kids);
+  }
+
+  StmtPtr stmt(unsigned Depth) {
+    // Past depth 3, only leaves — keeps programs small and well under
+    // the parser's nesting cap.
+    switch (Rng.nextInRange(0, Depth >= 3 ? 5 : 7)) {
+    case 0:
+      return A.setReg(reg(), expr(0));
+    case 1:
+      return A.readE(reg(), buf(), reg());
+    case 2: {
+      static const TraceFn Fns[] = {TraceFn::TrSelection, TraceFn::TrDisp,
+                                    TraceFn::TrExec, TraceFn::TrCompl,
+                                    TraceFn::TrIdling};
+      return A.traceE(Fns[Rng.nextInRange(0, std::size(Fns) - 1)], buf());
+    }
+    case 3:
+      return A.enqueue(buf());
+    case 4:
+      return A.dequeue(buf(), reg());
+    case 5:
+      return A.freeBuf(buf());
+    case 6:
+      return A.whileLoop(expr(0), block(Depth + 1));
+    default:
+      return A.ifThen(expr(0), block(Depth + 1),
+                      Rng.nextBernoulli(1, 2) ? block(Depth + 1) : nullptr);
+    }
+  }
+
+  caesium::RegId reg() {
+    return Rng.nextBernoulli(1, 8)
+               ? static_cast<caesium::RegId>(Rng.nextInRange(0, 4095))
+               : static_cast<caesium::RegId>(Rng.nextInRange(0, 7));
+  }
+  caesium::BufId buf() {
+    return Rng.nextBernoulli(1, 8)
+               ? static_cast<caesium::BufId>(Rng.nextInRange(0, 4095))
+               : static_cast<caesium::BufId>(Rng.nextInRange(0, 3));
+  }
+
+  SplitMix64 Rng;
+  AstArena &A;
+};
+
+} // namespace
+
+TEST(CaesiumParser, RandomAstRoundTripFuzz) {
+  // Seeded random ASTs: print -> parse -> print must be byte-identical,
+  // and the reference (pre-refactor) parser must produce the same
+  // bytes — the differential oracle for the streaming frontend.
+  const std::uint64_t Seed = fuzzSeed(92873465);
+  for (int Round = 0; Round < 150; ++Round) {
+    AstFuzzer F(Seed + static_cast<std::uint64_t>(Round), testArena());
+    StmtPtr P = F.program();
+    std::string Printed = printStmt(*P);
+
+    CheckResult Diags;
+    std::optional<StmtPtr> Reparsed =
+        caesium::parseProgram(testArena(), Printed, &Diags);
+    ASSERT_TRUE(Reparsed.has_value())
+        << "round " << Round << "; replay: RPROSA_FUZZ_SEED=" << Seed
+        << "\n" << Diags.describe() << Printed;
+    EXPECT_EQ(printStmt(**Reparsed), Printed)
+        << "round " << Round << "; replay: RPROSA_FUZZ_SEED=" << Seed;
+
+    std::optional<StmtPtr> Ref =
+        caesium::parseProgramReference(testArena(), Printed);
+    ASSERT_TRUE(Ref.has_value())
+        << "round " << Round << "; replay: RPROSA_FUZZ_SEED=" << Seed;
+    EXPECT_EQ(printStmt(**Ref), Printed)
+        << "round " << Round << "; replay: RPROSA_FUZZ_SEED=" << Seed;
+  }
+}
+
+TEST(CaesiumParser, DifferentialFuzzAgainstReference) {
+  // Random token soup through both frontends: they must agree on
+  // accept/reject, and accepted inputs must print identically. This is
+  // the acceptance-equivalence half of the differential oracle (the
+  // round-trip fuzz above covers the accepted-tree half).
+  static const char *Toks[] = {
+      "while", "if",   "else", "fuel()", "read", "free(buf0);",
+      "npfp_enqueue(&sched, buf1);", "r2 = npfp_dequeue(&sched, buf0);",
+      "selection_start();", "dispatch_start(buf0);", "idling_start();",
+      "r0",    "r1",   "buf0", "(",      ")",    "{",
+      "}",     ";",    "=",    "==",     "<",    "+",
+      "-",     "!",    "-1",   "0",      "4095", "@",
+      "//x\n", "#y\n",
+  };
+  const std::uint64_t Seed = fuzzSeed(777421);
+  SplitMix64 Rng(Seed);
+  for (int Round = 0; Round < 300; ++Round) {
+    std::string Src;
+    std::size_t Len = Rng.nextInRange(1, 30);
+    for (std::size_t I = 0; I < Len; ++I) {
+      Src += Toks[Rng.nextInRange(0, std::size(Toks) - 1)];
+      Src += ' ';
+    }
+    std::optional<StmtPtr> New =
+        caesium::parseProgram(testArena(), Src);
+    std::optional<StmtPtr> Ref =
+        caesium::parseProgramReference(testArena(), Src);
+    ASSERT_EQ(New.has_value(), Ref.has_value())
+        << "round " << Round << "; replay: RPROSA_FUZZ_SEED=" << Seed
+        << "\n" << Src;
+    if (New)
+      EXPECT_EQ(printStmt(**New), printStmt(**Ref))
+          << "round " << Round << "; replay: RPROSA_FUZZ_SEED=" << Seed;
+  }
 }
 
 TEST(CaesiumParser, CommentsAndWhitespace) {

@@ -22,6 +22,10 @@ using namespace rprosa;
 using namespace rprosa::caesium;
 using namespace rprosa::testutil;
 
+// The shared test arena (test_util.h): every hand-built AST node in
+// this file allocates here.
+static rprosa::caesium::AstArena &TA = rprosa::testutil::testArena();
+
 namespace {
 
 /// Runs the embedded Rössl program and returns its timed trace.
@@ -67,12 +71,12 @@ TEST(CaesiumExpr, Evaluation) {
   Environment Env(Arr);
   CostModel Costs(C.Wcets, CostModelKind::AlwaysWcet, 1);
   CaesiumMachine M(C, Env, Costs);
-  StmtPtr Prog = Stmt::seq({
-      Stmt::setReg(1, Expr::less(Expr::add(Expr::lit(2), Expr::lit(3)),
-                                 Expr::lit(7))),
-      Stmt::setReg(2, Expr::eq(Expr::lit(4), Expr::lit(4))),
-      Stmt::setReg(3, Expr::notE(Expr::reg(2))),
-      Stmt::setReg(4, Expr::sub(Expr::lit(10), Expr::lit(4))),
+  StmtPtr Prog = TA.seq({
+      TA.setReg(1, TA.less(TA.add(TA.lit(2), TA.lit(3)),
+                                 TA.lit(7))),
+      TA.setReg(2, TA.eq(TA.lit(4), TA.lit(4))),
+      TA.setReg(3, TA.notE(TA.reg(2))),
+      TA.setReg(4, TA.sub(TA.lit(10), TA.lit(4))),
   });
   RunLimits Limits;
   TimedTrace TT = M.run(Prog, Limits);
@@ -85,9 +89,9 @@ TEST(CaesiumRead, FailureEmitsBottomAndMinusOne) {
   Environment Env(Arr);
   CostModel Costs(C.Wcets, CostModelKind::AlwaysWcet, 1);
   CaesiumMachine M(C, Env, Costs);
-  StmtPtr Prog = Stmt::seq({
-      Stmt::setReg(0, Expr::lit(0)),
-      Stmt::readE(0, 0, 2),
+  StmtPtr Prog = TA.seq({
+      TA.setReg(0, TA.lit(0)),
+      TA.readE(0, 0, 2),
   });
   RunLimits Limits;
   TimedTrace TT = M.run(Prog, Limits);
@@ -106,10 +110,10 @@ TEST(CaesiumRead, SuccessAssignsFreshIds) {
   Environment Env(Arr);
   CostModel Costs(C.Wcets, CostModelKind::AlwaysWcet, 1);
   CaesiumMachine M(C, Env, Costs);
-  StmtPtr Prog = Stmt::seq({
-      Stmt::setReg(0, Expr::lit(0)),
-      Stmt::readE(0, 0, 2),
-      Stmt::readE(0, 0, 2),
+  StmtPtr Prog = TA.seq({
+      TA.setReg(0, TA.lit(0)),
+      TA.readE(0, 0, 2),
+      TA.readE(0, 0, 2),
   });
   RunLimits Limits;
   TimedTrace TT = M.run(Prog, Limits);
@@ -224,9 +228,9 @@ TEST(CaesiumPrint, RosslProgramLooksLikeFigure2) {
 }
 
 TEST(CaesiumPrint, ExprForms) {
-  ExprPtr E = Expr::less(Expr::add(Expr::reg(1), Expr::lit(2)),
-                         Expr::lit(7));
+  ExprPtr E = TA.less(TA.add(TA.reg(1), TA.lit(2)),
+                         TA.lit(7));
   EXPECT_EQ(printExpr(*E), "((r1 + 2) < 7)");
-  EXPECT_EQ(printExpr(*Expr::notE(Expr::eq(Expr::reg(0), Expr::lit(0)))),
+  EXPECT_EQ(printExpr(*TA.notE(TA.eq(TA.reg(0), TA.lit(0)))),
             "!(r0 == 0)");
 }

@@ -28,6 +28,8 @@
 #include "caesium/print.h"
 #include "caesium/rossl_program.h"
 
+#include "test_util.h"
+
 #include <gtest/gtest.h>
 
 using namespace rprosa;
@@ -35,13 +37,17 @@ using namespace rprosa::analysis;
 using namespace rprosa::analysis::dataflow;
 using namespace rprosa::caesium;
 
+// The shared test arena (test_util.h): every hand-built AST node in
+// this file allocates here.
+static rprosa::caesium::AstArena &TA = rprosa::testutil::testArena();
+
 namespace {
 
 StmtPtr parseOrDie(const std::string &Src) {
   CheckResult Diags;
-  std::optional<StmtPtr> P = parseProgram(Src, &Diags);
+  std::optional<StmtPtr> P = parseProgram(TA, Src, &Diags);
   EXPECT_TRUE(P.has_value()) << Diags.describe();
-  return P ? std::move(*P) : Stmt::seq({});
+  return P ? *P : TA.seq({});
 }
 
 } // namespace
@@ -243,7 +249,7 @@ TEST(Engine, BackwardLivenessThroughLoop) {
 }
 
 TEST(Engine, EmptyProgramSolvesToBoundaryAtExit) {
-  Cfg G = buildCfg(Stmt::seq({}));
+  Cfg G = buildCfg(TA.seq({}));
   CfgOrder Order = CfgOrder::compute(G);
   Solution<int> Sol = solve(G, ReachDomain{}, Order);
   ASSERT_TRUE(Sol.Converged);
@@ -332,7 +338,7 @@ TEST(Interval, RefineLessNarrowsBothSides) {
   S.Reachable = true;
   S.Regs.assign(2, ValueInterval::range(0, 100));
   // r0 < 10 on the true edge.
-  ExprPtr C = Expr::less(Expr::reg(0), Expr::lit(10));
+  ExprPtr C = TA.less(TA.reg(0), TA.lit(10));
   RangeState T = S;
   ASSERT_TRUE(refineByCondition(*C, true, T));
   EXPECT_EQ(T.Regs[0], ValueInterval::range(0, 9));
@@ -345,10 +351,10 @@ TEST(Interval, RefineDetectsInfeasibleEdges) {
   RangeState S;
   S.Reachable = true;
   S.Regs.assign(1, ValueInterval::constant(5));
-  ExprPtr C = Expr::less(Expr::reg(0), Expr::lit(3));
+  ExprPtr C = TA.less(TA.reg(0), TA.lit(3));
   RangeState T = S;
   EXPECT_FALSE(refineByCondition(*C, true, T)) << "5 < 3 cannot hold";
-  ExprPtr E = Expr::eq(Expr::reg(0), Expr::lit(5));
+  ExprPtr E = TA.eq(TA.reg(0), TA.lit(5));
   RangeState U = S;
   EXPECT_FALSE(refineByCondition(*E, false, U)) << "5 != 5 cannot hold";
 }
@@ -520,14 +526,14 @@ TEST(Zone, JoinIsTheConvexHullAndWideningJumpsToInfinity) {
 
 TEST(Zone, DiffExprRecognizesExactlyTheAffineForms) {
   DiffExpr D = diffExprOf(
-      *Expr::add(Expr::sub(Expr::reg(7), Expr::reg(2)), Expr::lit(9)));
+      *TA.add(TA.sub(TA.reg(7), TA.reg(2)), TA.lit(9)));
   ASSERT_TRUE(D.Ok);
   EXPECT_EQ(D.Pos, 8u); // reg r -> var r + 1
   EXPECT_EQ(D.Neg, 3u);
   EXPECT_EQ(static_cast<long long>(D.K), 9);
-  EXPECT_FALSE(diffExprOf(*Expr::divE(Expr::reg(1), Expr::reg(2))).Ok);
+  EXPECT_FALSE(diffExprOf(*TA.divE(TA.reg(1), TA.reg(2))).Ok);
   EXPECT_FALSE(
-      diffExprOf(*Expr::add(Expr::reg(1), Expr::reg(2))).Ok)
+      diffExprOf(*TA.add(TA.reg(1), TA.reg(2))).Ok)
       << "two positive variables do not form a difference";
 }
 
@@ -884,7 +890,7 @@ TEST(Lines, ParserStampsAndFindingsCarryThem) {
   EXPECT_EQ(R.Findings[0].Line, 3u);
   // Programmatically-built ASTs have no lines; findings degrade to 0.
   ValueRangeResult P = analyzeValueRanges(
-      buildCfg(Stmt::setReg(0, Expr::divE(Expr::lit(1), Expr::lit(0)))));
+      buildCfg(TA.setReg(0, TA.divE(TA.lit(1), TA.lit(0)))));
   ASSERT_FALSE(P.Findings.empty());
   EXPECT_EQ(P.Findings[0].Line, 0u);
 }

@@ -1,0 +1,218 @@
+//===- tests/incremental_test.cpp - Incremental re-analysis tests ---------===//
+//
+// Part of RefinedProsa-CPP. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The content-hash keyed re-analysis layer (analysis/incremental.h):
+/// cache hits must return byte-identical results, the workspace loop
+/// must re-analyze exactly the edited slices, and the cached per-slice
+/// WCET tables must drive a SweepRunner to the same JSON as a cold
+/// analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/incremental.h"
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow/diagnostics.h"
+#include "caesium/print.h"
+#include "caesium/rossl_program.h"
+#include "core/arrival_curve.h"
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprosa;
+using namespace rprosa::analysis;
+using namespace rprosa::caesium;
+
+namespace {
+
+StaticCostParams testParams() {
+  StaticCostParams P;
+  P.Wcets = BasicActionWcets::typicalDeployment();
+  P.Instr = InstructionCosts::unit();
+  P.MaxCallbackWcet = 10 * TickUs;
+  return P;
+}
+
+std::vector<TaskSlice> embeddedSlices() {
+  std::vector<TaskSlice> Slices;
+  for (std::uint32_t N : {1u, 2u, 4u})
+    Slices.push_back({"slice-" + std::to_string(N),
+                      printStmt(*buildRosslProgram(N)), N});
+  return Slices;
+}
+
+} // namespace
+
+TEST(Fnv1a, KnownVectors) {
+  // The standard FNV-1a 64 test vectors pin the constants.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  // Chaining equals one pass over the concatenation.
+  EXPECT_EQ(fnv1a64("bc", fnv1a64("a")), fnv1a64("abc"));
+}
+
+TEST(AnalysisCache, TimingHitsReturnIdenticalResults) {
+  AnalysisCache Cache;
+  StmtPtr P = buildRosslProgram(2);
+  bool Hit = true;
+  TimingResult Cold = Cache.timing(P, testParams(), 2, &Hit);
+  EXPECT_FALSE(Hit);
+  TimingResult Warm = Cache.timing(P, testParams(), 2, &Hit);
+  EXPECT_TRUE(Hit);
+  EXPECT_EQ(Cold.describeTable(), Warm.describeTable());
+  EXPECT_EQ(Cold.PathsExplored, Warm.PathsExplored);
+
+  // A different socket count is a different question.
+  Cache.timing(P, testParams(), 3, &Hit);
+  EXPECT_FALSE(Hit);
+  // So are different parameters.
+  StaticCostParams Zero = testParams();
+  Zero.Instr = InstructionCosts{};
+  Cache.timing(P, Zero, 2, &Hit);
+  EXPECT_FALSE(Hit);
+
+  IncrementalStats St = Cache.stats();
+  EXPECT_EQ(St.TimingHits, 1u);
+  EXPECT_EQ(St.TimingMisses, 3u);
+}
+
+TEST(AnalysisCache, LintHitsReturnIdenticalFindings) {
+  AnalysisCache Cache;
+  // A program with real findings: reads r5 with no prior write and
+  // divides by a register that may be zero.
+  AstArena &A = rprosa::testutil::testArena();
+  StmtPtr P = A.seq({A.setReg(0, A.divE(A.lit(10), A.reg(5)))});
+  dataflow::AnalysisOptions Opts;
+  Opts.NumSockets = 2;
+  bool Hit = true;
+  std::vector<dataflow::Finding> Cold = Cache.lint(P, Opts, &Hit);
+  EXPECT_FALSE(Hit);
+  std::vector<dataflow::Finding> Warm = Cache.lint(P, Opts, &Hit);
+  EXPECT_TRUE(Hit);
+  ASSERT_EQ(Cold.size(), Warm.size());
+  EXPECT_FALSE(Cold.empty());
+  EXPECT_EQ(dataflow::renderText("f", Cold), dataflow::renderText("f", Warm));
+}
+
+TEST(AnalysisCache, CrossCheckModePassesOnPureAnalyses) {
+  AnalysisCache::Options O;
+  O.CrossCheck = true;
+  AnalysisCache Cache(O);
+  StmtPtr P = buildRosslProgram(1);
+  Cache.timing(P, testParams(), 1);
+  Cache.timing(P, testParams(), 1); // Hit: re-derives and byte-compares.
+  dataflow::AnalysisOptions Opts;
+  Opts.NumSockets = 1;
+  Cache.lint(P, Opts);
+  Cache.lint(P, Opts);
+  IncrementalStats St = Cache.stats();
+  EXPECT_EQ(St.CrossChecks, 2u);
+  EXPECT_EQ(St.TimingHits, 1u);
+  EXPECT_EQ(St.LintHits, 1u);
+}
+
+TEST(WorkspaceAnalyzer, SingleEditReanalyzesOneSlice) {
+  WorkspaceAnalyzer WA(testParams());
+  std::vector<TaskSlice> Slices = embeddedSlices();
+
+  std::vector<SliceAnalysis> Cold = WA.analyze(Slices);
+  ASSERT_EQ(Cold.size(), 3u);
+  for (const SliceAnalysis &R : Cold) {
+    EXPECT_TRUE(R.ParseOk) << R.ParseError;
+    EXPECT_FALSE(R.Reused);
+    EXPECT_TRUE(R.Timing.allBounded());
+  }
+
+  std::vector<SliceAnalysis> Warm = WA.analyze(Slices);
+  for (const SliceAnalysis &R : Warm)
+    EXPECT_TRUE(R.Reused);
+
+  // Edit slice 1 only: its fingerprint changes and it re-analyzes; the
+  // other two stay cached.
+  Slices[1].Source += "r6 = 0;\n";
+  std::vector<SliceAnalysis> Edited = WA.analyze(Slices);
+  EXPECT_TRUE(Edited[0].Reused);
+  EXPECT_FALSE(Edited[1].Reused);
+  EXPECT_TRUE(Edited[2].Reused);
+  EXPECT_NE(Edited[1].Fingerprint, Warm[1].Fingerprint);
+  EXPECT_EQ(Edited[0].Fingerprint, Warm[0].Fingerprint);
+
+  IncrementalStats St = WA.cache().stats();
+  // 3 cold misses + 1 edit miss per pass; everything else hits.
+  EXPECT_EQ(St.TimingMisses, 4u);
+  EXPECT_EQ(St.LintMisses, 4u);
+}
+
+TEST(WorkspaceAnalyzer, CommentOnlyEditReusesTheAnalysis) {
+  // The caches key on the *canonical printed program*, so an edit that
+  // only touches comments or whitespace changes the slice fingerprint
+  // but still reuses both analyses.
+  WorkspaceAnalyzer WA(testParams());
+  std::vector<TaskSlice> Slices = embeddedSlices();
+  std::vector<SliceAnalysis> Cold = WA.analyze(Slices);
+  Slices[0].Source = "// a comment changes no content\n" + Slices[0].Source;
+  std::vector<SliceAnalysis> Warm = WA.analyze(Slices);
+  EXPECT_NE(Warm[0].Fingerprint, Cold[0].Fingerprint);
+  EXPECT_TRUE(Warm[0].Reused);
+}
+
+TEST(WorkspaceAnalyzer, ParseErrorsAreReportedPerSlice) {
+  WorkspaceAnalyzer WA(testParams());
+  std::vector<TaskSlice> Slices = embeddedSlices();
+  Slices.push_back({"broken.rossl", "r0 = (1 + ;\n", 2});
+  std::vector<SliceAnalysis> Rs = WA.analyze(Slices);
+  ASSERT_EQ(Rs.size(), 4u);
+  EXPECT_TRUE(Rs[0].ParseOk);
+  EXPECT_FALSE(Rs[3].ParseOk);
+  EXPECT_NE(Rs[3].ParseError.find("broken.rossl:1:11: parse error"),
+            std::string::npos)
+      << Rs[3].ParseError;
+  // The healthy slices analyzed normally.
+  EXPECT_TRUE(Rs[2].Timing.allBounded());
+}
+
+TEST(WorkspaceAnalyzer, SweepPointsMatchColdAnalysis) {
+  // The sweep fed from the cache must render the same JSON as one fed
+  // from fresh analyses — the byte-identity contract of reuse.
+  TaskSet Tasks;
+  Tasks.addTask("ctrl", 600 * TickNs, 3,
+                std::make_shared<PeriodicCurve>(15 * TickUs));
+  Tasks.addTask("log", 1200 * TickNs, 1,
+                std::make_shared<PeriodicCurve>(60 * TickUs));
+  BasicActionWcets Hand = BasicActionWcets::typicalDeployment();
+
+  WorkspaceAnalyzer WA(testParams());
+  std::vector<SliceAnalysis> Rs = WA.analyze(embeddedSlices());
+  std::vector<SweepPoint> Cached =
+      WA.sweepPointsFor(Rs, Tasks, RtaConfig{}, Hand);
+  ASSERT_EQ(Cached.size(), 3u);
+  EXPECT_EQ(Cached[0].Sbf.NumSockets, 1u);
+  EXPECT_EQ(Cached[2].Sbf.NumSockets, 4u);
+
+  std::vector<SweepPoint> Cold;
+  for (std::uint32_t N : {1u, 2u, 4u}) {
+    TimingResult R =
+        analyzeTiming(buildCfg(buildRosslProgram(N)), testParams(), N);
+    TimingInputs In = R.toRtaInputs(Tasks, Hand);
+    SweepPoint Pt;
+    for (const Task &T : Tasks.tasks())
+      Pt.Tasks.addTask(T.Name, In.callbackWcet(T.Id, T.Wcet), T.Prio,
+                       T.Curve, T.Deadline);
+    Pt.Sbf.Wcets = In.Wcets;
+    Pt.Sbf.NumSockets = N;
+    Cold.push_back(std::move(Pt));
+  }
+
+  SweepRunner Runner;
+  std::string CachedJson =
+      sweepResultsJson(Cached, Runner.run(Cached));
+  std::string ColdJson = sweepResultsJson(Cold, Runner.run(Cold));
+  EXPECT_EQ(CachedJson, ColdJson);
+  EXPECT_FALSE(CachedJson.empty());
+}

@@ -14,6 +14,7 @@
 #ifndef RPROSA_TESTS_TEST_UTIL_H
 #define RPROSA_TESTS_TEST_UTIL_H
 
+#include "caesium/ast.h"
 #include "rossl/scheduler.h"
 #include "sim/environment.h"
 #include "sim/workload.h"
@@ -22,6 +23,15 @@
 #include <memory>
 
 namespace rprosa::testutil {
+
+/// Process-lifetime arena for ASTs hand-built inside tests (the trees
+/// are tiny, and never resetting keeps every StmtPtr valid for the
+/// whole binary). Test files alias it as `TA` for terse factory calls:
+/// TA.seq({TA.setReg(0, TA.lit(1))}).
+inline caesium::AstArena &testArena() {
+  static auto *A = new caesium::AstArena;
+  return *A;
+}
 
 /// The base seed of a randomized (fuzz-style) test: \p Default unless
 /// the environment overrides it via RPROSA_FUZZ_SEED. Every randomized

@@ -30,6 +30,10 @@
 using namespace rprosa;
 using namespace rprosa::analysis;
 using namespace rprosa::testutil;
+
+// The shared test arena (test_util.h): every hand-built AST node in
+// this file allocates here.
+static rprosa::caesium::AstArena &TA = rprosa::testutil::testArena();
 namespace cs = rprosa::caesium;
 
 namespace {
@@ -148,12 +152,12 @@ TEST(LoopBounds, CounterLoopTripCount) {
   // r5 = 0; while (r5 < 8) { r5 = r5 + 1; }  =>  at most 8 trips.
   using cs::Expr;
   using cs::Stmt;
-  cs::StmtPtr Prog = Stmt::seq({
-      Stmt::traceE(cs::TraceFn::TrSelection, 0),
-      Stmt::setReg(5, Expr::lit(0)),
-      Stmt::whileLoop(Expr::less(Expr::reg(5), Expr::lit(8)),
-                      Stmt::setReg(5, Expr::add(Expr::reg(5), Expr::lit(1)))),
-      Stmt::traceE(cs::TraceFn::TrIdling, 0),
+  cs::StmtPtr Prog = TA.seq({
+      TA.traceE(cs::TraceFn::TrSelection, 0),
+      TA.setReg(5, TA.lit(0)),
+      TA.whileLoop(TA.less(TA.reg(5), TA.lit(8)),
+                      TA.setReg(5, TA.add(TA.reg(5), TA.lit(1)))),
+      TA.traceE(cs::TraceFn::TrIdling, 0),
   });
   Cfg G = buildCfg(Prog);
   std::vector<LoopBound> Loops = inferLoopBounds(G);
@@ -179,11 +183,11 @@ TEST(LoopBounds, MarkerFreeUnboundedLoopIsFlaggedNotMiscounted) {
   // the loop instead of guessing.
   using cs::Expr;
   using cs::Stmt;
-  cs::StmtPtr Prog = Stmt::seq({
-      Stmt::readE(/*SockReg=*/0, /*Buf=*/0, /*Dst=*/2),
-      Stmt::whileLoop(Expr::reg(2),
-                      Stmt::setReg(2, Expr::add(Expr::reg(2), Expr::lit(1)))),
-      Stmt::traceE(cs::TraceFn::TrSelection, 0),
+  cs::StmtPtr Prog = TA.seq({
+      TA.readE(/*SockReg=*/0, /*Buf=*/0, /*Dst=*/2),
+      TA.whileLoop(TA.reg(2),
+                      TA.setReg(2, TA.add(TA.reg(2), TA.lit(1)))),
+      TA.traceE(cs::TraceFn::TrSelection, 0),
   });
   Cfg G = buildCfg(Prog);
   std::vector<LoopBound> Loops = inferLoopBounds(G);
